@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: multi-objective search — the F1 / compute-unit trade-off.
+ *
+ * The paper's §3 framing ("the most efficient model will use as many
+ * resources as needed without over-provisioning") is fundamentally a
+ * Pareto statement. This bench runs the optimizer in random-scalarization
+ * multi-objective mode (objective = F1, cost = CUs) on the AD design
+ * space and prints the resulting front: the menu of models an operator
+ * can pick from when the switch is shared.
+ */
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table_printer.hpp"
+#include "core/design_space.hpp"
+#include "core/trainer.hpp"
+
+using namespace homunculus;
+using namespace homunculus::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== Ablation: Pareto front of F1 vs. compute units "
+                 "(AD DNN, multi-objective BO) ===\n\n";
+
+    auto platform = paperTaurus();
+    core::ModelSpec spec = appSpec(App::kAd);
+    auto split = spec.dataLoader();
+    auto space = core::buildDesignSpace(core::Algorithm::kDnn, spec,
+                                        platform.platform());
+
+    auto objective =
+        [&](const opt::Configuration &config) -> opt::EvalResult {
+        auto evaluation = core::evaluateCandidate(
+            core::Algorithm::kDnn, config, spec, split,
+            platform.platform(), kBenchSeed);
+        return core::toEvalResult(evaluation);
+    };
+
+    opt::BoConfig bo_config;
+    bo_config.numInitSamples = 6;
+    bo_config.numIterations = 18;
+    bo_config.costMetricKey = "cus";
+    bo_config.seed = kBenchSeed;
+    opt::BayesianOptimizer optimizer(space, bo_config);
+    auto result = optimizer.optimize(objective);
+
+    common::TablePrinter table({"CUs", "F1", "Configuration"});
+    for (const auto &point : result.front.sortedByCost()) {
+        table.addRow({common::TablePrinter::cell(point.cost, 0),
+                      common::TablePrinter::cell(100.0 * point.objective,
+                                                 2),
+                      point.config.toString().substr(0, 60)});
+    }
+    table.print();
+
+    std::cout << "\n  front size: " << result.front.size()
+              << " non-dominated models out of "
+              << result.history.size() << " evaluations\n"
+              << "  hypervolume (ref 0 F1 / 256 CUs): "
+              << common::TablePrinter::cell(
+                     result.front.hypervolume(0.0, 256.0), 1)
+              << "\n";
+
+    auto sorted = result.front.sortedByCost();
+    bool trade_off = sorted.size() >= 2 &&
+                     sorted.front().cost < sorted.back().cost &&
+                     sorted.front().objective < sorted.back().objective;
+    std::cout << "  [shape] front exposes a real quality/resource "
+                 "trade-off: "
+              << (trade_off ? "YES" : "NO") << "\n\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

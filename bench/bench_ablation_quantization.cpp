@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation: Q-format fractional-bit sweep for data-plane inference.
+ *
+ * DESIGN.md decision 4: the compiler reports the accuracy of the
+ * *quantized* artifact the backend deploys. This bench quantifies the
+ * F1 cost of the default Q8.8 format against coarser and finer formats,
+ * on the trained AD model.
+ */
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table_printer.hpp"
+#include "ml/metrics.hpp"
+
+using namespace homunculus;
+using namespace homunculus::bench;
+
+namespace {
+
+void
+BM_QuantizedInference(benchmark::State &state)
+{
+    auto split = loadAd();
+    auto platform = paperTaurus();
+    auto baseline = trainBaseline(App::kAd, split, platform.platform());
+    std::size_t row = 0;
+    for (auto _ : state) {
+        int label = ir::executeIr(
+            baseline.model,
+            split.test.x.row(row++ % split.test.numSamples()));
+        benchmark::DoNotOptimize(label);
+    }
+}
+BENCHMARK(BM_QuantizedInference);
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== Ablation: fixed-point precision sweep (AD DNN, "
+                 "Q8.n for n in 1..12) ===\n\n";
+
+    auto split = loadAd();
+    ml::MlpConfig config = baselineConfig(App::kAd, split);
+    ml::Mlp mlp(config);
+    mlp.train(split.train);
+
+    // Float reference.
+    double float_f1 = ml::f1ForTask(split.test.y, mlp.predict(split.test.x),
+                                    split.test.numClasses);
+
+    common::TablePrinter table(
+        {"Format", "Frac bits", "F1", "Delta vs float"});
+    double prev_f1 = 0.0;
+    std::vector<double> f1_series;
+    for (int frac : {1, 2, 4, 6, 8, 10, 12}) {
+        common::FixedPointFormat format(8, frac);
+        auto ir_model = ir::lowerMlp(mlp, format, "ad_q");
+        auto predicted = ir::executeIrBatch(ir_model, split.test.x);
+        double f1 = ml::f1ForTask(split.test.y, predicted,
+                                  split.test.numClasses);
+        f1_series.push_back(f1);
+        table.addRow({"Q8." + std::to_string(frac), std::to_string(frac),
+                      common::TablePrinter::cell(100.0 * f1, 2),
+                      common::TablePrinter::cell(100.0 * (f1 - float_f1),
+                                                 2)});
+        prev_f1 = f1;
+    }
+    (void)prev_f1;
+    table.print();
+
+    std::cout << "\n  float32 reference F1: "
+              << common::TablePrinter::cell(100.0 * float_f1, 2) << "\n";
+    bool q88_close = std::fabs(f1_series[4] - float_f1) < 0.03;
+    bool coarse_hurts = f1_series[0] < f1_series.back() + 1e-9;
+    std::cout << "  [shape] Q8.8 within 3 F1 points of float: "
+              << (q88_close ? "YES" : "NO") << "\n"
+              << "  [shape] 1 fractional bit degrades vs 12: "
+              << (coarse_hurts ? "YES" : "NO") << "\n\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

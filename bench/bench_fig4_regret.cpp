@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 4 reproduction: regret plot with the F1-score metric for the
+ * anomaly-detection DNN on the MapReduce grid.
+ *
+ * Paper reference: F1 starts poor (~20-40), stabilizes within a few
+ * iterations, then jumps when the optimizer discovers a significantly
+ * better variant (exploitation/exploration trade) — reaching ~80+ by
+ * iteration ~20.
+ *
+ * Output: one line per optimization iteration with the evaluated F1 and
+ * the best-so-far envelope, plus an ASCII sparkline of the series.
+ */
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table_printer.hpp"
+
+using namespace homunculus;
+using namespace homunculus::bench;
+
+namespace {
+
+std::string
+sparkline(const std::vector<double> &values, double lo, double hi)
+{
+    static const char *levels[] = {"_", ".", ":", "-", "=", "+", "*", "#"};
+    std::string out;
+    for (double v : values) {
+        double t = (v - lo) / (hi - lo);
+        int idx = std::clamp(static_cast<int>(t * 7.0), 0, 7);
+        out += levels[idx];
+    }
+    return out;
+}
+
+void
+BM_BoIteration(benchmark::State &state)
+{
+    // Cost of one surrogate-guided iteration, amortized: run a 3-eval
+    // search and divide.
+    auto platform = paperTaurus();
+    core::ModelSpec spec = appSpec(App::kAd);
+    auto split = spec.dataLoader();
+    for (auto _ : state) {
+        auto options = searchBudget(2, 1);
+        auto model = core::searchModel(spec, platform, options, split);
+        benchmark::DoNotOptimize(model.objective);
+    }
+}
+BENCHMARK(BM_BoIteration)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== Figure 4: regret plot, F1 vs. BO iteration "
+                 "(AD DNN on the Taurus MapReduce grid) ===\n\n";
+
+    auto platform = paperTaurus();
+    core::ModelSpec spec = appSpec(App::kAd);
+    auto split = spec.dataLoader();
+    auto options = searchBudget(5, 20);
+    auto generated = core::searchModel(spec, platform, options, split);
+
+    const auto &history = generated.searchHistory.history;
+    common::TablePrinter table(
+        {"Iter", "Phase", "F1", "Best-so-far", "Feasible"});
+    std::vector<double> evaluated;
+    for (std::size_t i = 0; i < history.size(); ++i) {
+        const auto &record = history[i];
+        evaluated.push_back(100.0 * record.result.objective);
+        table.addRow({common::TablePrinter::cell(
+                          static_cast<long long>(i + 1)),
+                      record.fromWarmup ? "warmup" : "bayes-opt",
+                      common::TablePrinter::cell(
+                          100.0 * record.result.objective, 2),
+                      common::TablePrinter::cell(100.0 * record.bestSoFar,
+                                                 2),
+                      record.result.feasible ? "yes" : "no"});
+    }
+    table.print();
+
+    std::cout << "\n  evaluated F1 per iteration: "
+              << sparkline(evaluated, 0.0, 100.0) << "\n";
+    auto best = generated.searchHistory.bestSoFarSeries();
+    for (double &v : best)
+        v *= 100.0;
+    std::cout << "  best-so-far envelope:       "
+              << sparkline(best, 0.0, 100.0) << "\n\n";
+
+    printPaperNote("initial iterations poor, quick stabilization, "
+                   "occasional exploration dips, best F1 ~83 at "
+                   "iteration ~20");
+    bool improves = best.back() > best.front() + 1e-9;
+    bool monotone = true;
+    for (std::size_t i = 1; i < best.size(); ++i)
+        monotone &= best[i] >= best[i - 1] - 1e-12;
+    std::cout << "  [shape] best-so-far envelope monotone: "
+              << (monotone ? "YES" : "NO")
+              << "; improves over warmup: " << (improves ? "YES" : "NO")
+              << "\n\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Micro-kernel timings (google-benchmark): the hot paths of the compiler
+ * and its simulators — matrix multiply, MLP training epoch, fixed-point
+ * inference, MAT pipeline lookup, MapReduce stream simulation, surrogate
+ * fit + acquisition.
+ */
+#include <benchmark/benchmark.h>
+
+#include "backends/mapreduce_sim.hpp"
+#include "backends/mat_platform.hpp"
+#include "bench_common.hpp"
+#include "opt/bayes_opt.hpp"
+
+using namespace homunculus;
+using namespace homunculus::bench;
+
+namespace {
+
+void
+BM_MatMul(benchmark::State &state)
+{
+    auto n = static_cast<std::size_t>(state.range(0));
+    common::Rng rng(1);
+    math::Matrix a(n, n), b(n, n);
+    for (double &v : a.data())
+        v = rng.gaussian(0, 1);
+    for (double &v : b.data())
+        v = rng.gaussian(0, 1);
+    for (auto _ : state) {
+        auto c = a.matmul(b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128)->Complexity();
+
+void
+BM_MlpTrainEpoch(benchmark::State &state)
+{
+    auto split = loadAd();
+    ml::MlpConfig config = baselineConfig(App::kAd, split);
+    config.epochs = 1;
+    for (auto _ : state) {
+        ml::Mlp mlp(config);
+        double loss = mlp.train(split.train);
+        benchmark::DoNotOptimize(loss);
+    }
+}
+BENCHMARK(BM_MlpTrainEpoch)->Unit(benchmark::kMillisecond);
+
+void
+BM_QuantizedMlpInference(benchmark::State &state)
+{
+    auto split = loadAd();
+    auto platform = paperTaurus();
+    auto baseline = trainBaseline(App::kAd, split, platform.platform());
+    std::size_t row = 0;
+    for (auto _ : state) {
+        int label = ir::executeIr(
+            baseline.model,
+            split.test.x.row(row++ % split.test.numSamples()));
+        benchmark::DoNotOptimize(label);
+    }
+}
+BENCHMARK(BM_QuantizedMlpInference);
+
+void
+BM_MapReduceStream(benchmark::State &state)
+{
+    auto split = loadAd();
+    auto platform = paperTaurus();
+    auto baseline = trainBaseline(App::kAd, split, platform.platform());
+    backends::MapReduceSimulator sim;
+    for (auto _ : state) {
+        auto stream = sim.runStream(baseline.model, split.test.x);
+        benchmark::DoNotOptimize(stream.labels.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(split.test.numSamples()));
+}
+BENCHMARK(BM_MapReduceStream)->Unit(benchmark::kMillisecond);
+
+void
+BM_MatLookupPipeline(benchmark::State &state)
+{
+    auto split = loadTc();
+    ml::KMeansConfig config;
+    config.numClusters = 5;
+    ml::KMeans kmeans(config);
+    kmeans.fit(split.train.x);
+    auto ir_model = ir::lowerKMeans(kmeans, common::FixedPointFormat::q88(),
+                                    "km", split.train.numFeatures());
+    auto pipeline = backends::MatPipeline::compileKMeans(ir_model);
+    std::size_t row = 0;
+    for (auto _ : state) {
+        int label = pipeline.process(
+            split.test.x.row(row++ % split.test.numSamples()));
+        benchmark::DoNotOptimize(label);
+    }
+}
+BENCHMARK(BM_MatLookupPipeline);
+
+void
+BM_SurrogateFitAndSuggest(benchmark::State &state)
+{
+    // Cost of one BO iteration's model machinery on synthetic history.
+    common::Rng rng(5);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> objectives;
+    for (int i = 0; i < 30; ++i) {
+        rows.push_back({rng.uniform(0, 1), rng.uniform(0, 1),
+                        rng.uniform(0, 1)});
+        objectives.push_back(rng.uniform(0, 1));
+    }
+    auto x = math::Matrix::fromRows(rows);
+    for (auto _ : state) {
+        ml::ForestConfig config;
+        config.numTrees = 30;
+        ml::RandomForestRegressor surrogate(config);
+        surrogate.train(x, objectives);
+        double total = 0;
+        for (int c = 0; c < 600; ++c) {
+            auto pred = surrogate.predictWithVariance(
+                {rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)});
+            total += pred.mean;
+        }
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_SurrogateFitAndSuggest)->Unit(benchmark::kMillisecond);
+
+void
+BM_SpatialCodegen(benchmark::State &state)
+{
+    auto split = loadAd();
+    auto platform = paperTaurus();
+    auto baseline = trainBaseline(App::kAd, split, platform.platform());
+    for (auto _ : state) {
+        auto code = platform.platform().generateCode(baseline.model);
+        benchmark::DoNotOptimize(code.data());
+    }
+}
+BENCHMARK(BM_SpatialCodegen);
+
+}  // namespace
+
+BENCHMARK_MAIN();

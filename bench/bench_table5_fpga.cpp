@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Table 5 reproduction: resource consumption and power of the Table 2
+ * models on the Taurus FPGA testbed (Alveo-style bump-in-the-wire).
+ *
+ * Paper reference (Table 5):
+ *   Loopback  -    LUT 5.36  FF 3.64  BRAM 4.15  15.131 W
+ *   Base-AD   DNN  LUT 6.55  FF 4.30  BRAM 4.15  16.969 W
+ *   Hom-AD    DNN  LUT 6.61  FF 4.43  BRAM 4.15  17.440 W
+ *   Base-TC   DNN  LUT 6.69  FF 4.48  BRAM 4.15  17.553 W
+ *   Hom-TC    DNN  LUT 7.48  FF 4.77  BRAM 4.15  18.405 W
+ *   Base-BD   DNN  LUT 7.29  FF 4.68  BRAM 4.15  17.807 W
+ *   Hom-BD    DNN  LUT 6.72  FF 4.49  BRAM 4.15  17.309 W
+ *
+ * Shape: every model costs more than loopback; resource use (and hence
+ * power) tracks parameter count, so larger Hom models for AD/TC cost
+ * more than their baselines, while a smaller winning model costs less.
+ */
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "backends/fpga.hpp"
+#include "bench_common.hpp"
+#include "common/table_printer.hpp"
+
+using namespace homunculus;
+using namespace homunculus::bench;
+
+namespace {
+
+void
+BM_FpgaEstimate(benchmark::State &state)
+{
+    backends::FpgaPlatform fpga;
+    auto split = loadAd();
+    auto baseline = trainBaseline(App::kAd, split, fpga);
+    for (auto _ : state) {
+        auto report = fpga.estimate(baseline.model);
+        benchmark::DoNotOptimize(report.powerWatts);
+    }
+}
+BENCHMARK(BM_FpgaEstimate);
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== Table 5: FPGA testbed resource/power for the "
+                 "Table 2 models ===\n\n";
+
+    backends::FpgaPlatform fpga;
+    common::TablePrinter table({"Application", "Model", "LUT%", "FFs%",
+                                "BRAM%", "Power (W)"});
+
+    auto loopback = fpga.loopbackReport();
+    table.addRow({"Loopback", "-",
+                  common::TablePrinter::cell(loopback.lutPercent, 2),
+                  common::TablePrinter::cell(loopback.ffPercent, 2),
+                  common::TablePrinter::cell(loopback.bramPercent, 2),
+                  common::TablePrinter::cell(loopback.powerWatts, 3)});
+
+    std::vector<double> power;
+    std::vector<std::size_t> params;
+    for (App app : {App::kAd, App::kTc, App::kBd}) {
+        core::ModelSpec spec = appSpec(app);
+        auto split = spec.dataLoader();
+
+        auto baseline = trainBaseline(app, split, fpga);
+        auto base_report = fpga.estimate(baseline.model);
+
+        auto taurus = paperTaurus();
+        auto options = searchBudget(4, 10);
+        auto generated = core::searchModel(spec, taurus, options, split);
+        auto hom_report = fpga.estimate(generated.model);
+
+        auto add = [&](const std::string &name,
+                       const backends::ResourceReport &report,
+                       std::size_t param_count) {
+            table.addRow({name, "DNN",
+                          common::TablePrinter::cell(report.lutPercent, 2),
+                          common::TablePrinter::cell(report.ffPercent, 2),
+                          common::TablePrinter::cell(report.bramPercent, 2),
+                          common::TablePrinter::cell(report.powerWatts, 3)});
+            power.push_back(report.powerWatts);
+            params.push_back(param_count);
+        };
+        add("Base-" + appName(app), base_report,
+            baseline.model.paramCount());
+        add("Hom-" + appName(app), hom_report,
+            generated.model.paramCount());
+    }
+    table.print();
+
+    std::cout << "\n";
+    printPaperNote("loopback 15.131 W; every model adds 1.8-3.3 W; power "
+                   "tracks parameter count (LUTs store the parameters)");
+    bool all_above = true;
+    for (double p : power)
+        all_above &= p > loopback.powerWatts;
+    // Power should order with parameter count.
+    bool monotone = true;
+    for (std::size_t i = 0; i < power.size(); ++i)
+        for (std::size_t j = 0; j < power.size(); ++j)
+            if (params[i] < params[j] && power[i] > power[j] + 1e-9)
+                monotone = false;
+    std::cout << "  [shape] all models above loopback power: "
+              << (all_above ? "YES" : "NO") << "\n"
+              << "  [shape] power monotone in parameter count: "
+              << (monotone ? "YES" : "NO") << "\n\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

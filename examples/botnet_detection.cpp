@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Botnet detection with per-packet reaction time (paper §5.1.1-§5.1.2).
+ *
+ * FlowLens aggregates packet-size / inter-arrival histograms for up to
+ * 3600 s before classifying a flow. This example trains on flow-level
+ * flowmarkers but evaluates on *partial* histograms after k packets,
+ * showing how quickly a line-rate model starts catching botnet flows —
+ * the reaction-time argument that motivates per-packet ML.
+ *
+ * Run: ./botnet_detection
+ */
+#include <iomanip>
+#include <iostream>
+
+#include "core/generate.hpp"
+#include "data/flowmarker.hpp"
+#include "ml/metrics.hpp"
+#include "ml/preprocess.hpp"
+
+int
+main()
+{
+    using namespace homunculus;
+
+    std::cout << "=== Homunculus botnet detection: reaction time vs. "
+                 "flow aggregation ===\n\n";
+
+    // ---- Generate P2P traces and featurize. -----------------------------
+    data::P2pTraceConfig trace_config;
+    trace_config.numFlows = 500;
+    auto flows = data::generateP2pFlows(trace_config);
+    auto marker_config = data::homunculusCompressedConfig();
+    std::cout << "flowmarker: " << marker_config.plBins << " PL bins + "
+              << marker_config.iptBins << " IPT bins = "
+              << marker_config.totalBins() << " features ("
+              << data::flowLensOriginalConfig().totalBins()
+              << " in original FlowLens -> "
+              << data::flowLensOriginalConfig().totalBins() /
+                     marker_config.totalBins()
+              << "x compression)\n\n";
+
+    std::size_t train_count = flows.size() * 7 / 10;
+    std::vector<data::Flow> train_flows(flows.begin(),
+                                        flows.begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                train_count));
+    std::vector<data::Flow> test_flows(
+        flows.begin() + static_cast<std::ptrdiff_t>(train_count),
+        flows.end());
+
+    // ---- Train on full flow-level histograms. ----------------------------
+    ml::DataSplit split;
+    split.train = data::buildFlowLevelDataset(train_flows, marker_config);
+    split.test = data::buildFlowLevelDataset(test_flows, marker_config);
+    ml::StandardScaler scaler;
+    split.train.x = scaler.fitTransform(split.train.x);
+    split.test.x = scaler.transform(split.test.x);
+
+    core::ModelSpec spec;
+    spec.name = "botnet_detection";
+    spec.optimizationMetric = core::Metric::kF1;
+    spec.algorithms = {core::Algorithm::kDnn};
+    spec.maxHiddenLayers = 6;
+    spec.maxNeuronsPerLayer = 16;
+    spec.dataLoader = [split] { return split; };
+
+    auto platform = core::Platforms::taurus();
+    platform.constrain({1.0, 500.0}, {16, 16, {}});
+    core::GenerateOptions options;
+    options.bo.numInitSamples = 4;
+    options.bo.numIterations = 8;
+    auto generated = core::searchModel(spec, platform, options, split);
+
+    std::cout << "model: " << generated.model.paramCount() << " params, "
+              << generated.report.summary() << "\n"
+              << "flow-complete F1: " << generated.objective << "\n\n";
+
+    // ---- Reaction time: F1 after the first k packets. --------------------
+    std::cout << "per-packet partial-histogram F1 (reaction time):\n";
+    std::cout << "  k packets   F1\n";
+    for (std::size_t k : {1, 2, 4, 8, 16, 32}) {
+        std::vector<std::vector<double>> rows;
+        std::vector<int> labels;
+        for (const auto &flow : test_flows) {
+            rows.push_back(
+                data::computeFlowMarker(flow, marker_config, k));
+            labels.push_back(flow.botnet ? 1 : 0);
+        }
+        auto x = scaler.transform(math::Matrix::fromRows(rows));
+        auto predicted = platform.platform().evaluate(generated.model, x);
+        double f1 = ml::f1Score(labels, predicted, 1);
+        std::cout << "  " << std::setw(9) << k << "   " << f1 << "\n";
+    }
+
+    std::cout << "\nreaction time: a FlowLens-style aggregator waits up "
+                 "to 3600 s per flow;\nthe per-packet model issues its "
+                 "first verdict after one packet (~"
+              << generated.report.latencyNs << " ns in the pipeline).\n";
+    return 0;
+}

@@ -1,0 +1,36 @@
+#include "backends/mapreduce_sim.hpp"
+
+namespace homunculus::backends {
+
+MapReduceSimulator::MapReduceSimulator(TaurusConfig config) : config_(config)
+{
+}
+
+PacketSimResult
+MapReduceSimulator::runPacket(const ir::ModelIr &model,
+                              const std::vector<double> &features) const
+{
+    PacketSimResult result;
+    result.label = ir::executeIr(model, features);
+    result.cycles = taurusMappingCost(config_, model).fillCycles;
+    return result;
+}
+
+StreamSimResult
+MapReduceSimulator::runStream(const ir::ModelIr &model,
+                              const math::Matrix &x) const
+{
+    TaurusMappingCost cost = taurusMappingCost(config_, model);
+    StreamSimResult result;
+    result.labels.reserve(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i)
+        result.labels.push_back(ir::executeIr(model, x.row(i)));
+
+    double n = static_cast<double>(x.rows());
+    result.totalCycles = n > 0 ? cost.fillCycles + (n - 1.0) * cost.ii : 0.0;
+    result.latencyNs = cost.fillCycles / config_.clockGhz;
+    result.throughputGpps = config_.clockGhz / cost.ii;
+    return result;
+}
+
+}  // namespace homunculus::backends

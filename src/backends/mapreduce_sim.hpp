@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Cycle-approximate simulator of the Taurus MapReduce block.
+ *
+ * Substitution (see DESIGN.md): stands in for the SARA/Tungsten
+ * cycle-accurate toolchain the paper uses for feasibility testing. The
+ * simulator executes the *quantized* model (same fixed-point semantics as
+ * ir::executeIr) while accounting cycles with the same per-layer cost
+ * model the mapper uses, so functional results and timing verdicts come
+ * from one artifact.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "backends/taurus.hpp"
+
+namespace homunculus::backends {
+
+/** Outcome of pushing one packet through the simulated pipeline. */
+struct PacketSimResult
+{
+    int label = 0;
+    double cycles = 0.0;  ///< end-to-end pipeline occupancy for the packet.
+};
+
+/** Outcome of streaming a batch of packets back-to-back. */
+struct StreamSimResult
+{
+    std::vector<int> labels;
+    double totalCycles = 0.0;   ///< fill + (n-1) * II.
+    double latencyNs = 0.0;     ///< single-packet latency.
+    double throughputGpps = 0.0;  ///< steady-state rate.
+};
+
+/** The simulator proper. */
+class MapReduceSimulator
+{
+  public:
+    explicit MapReduceSimulator(TaurusConfig config = {});
+
+    /** Single-packet inference with cycle accounting. */
+    PacketSimResult runPacket(const ir::ModelIr &model,
+                              const std::vector<double> &features) const;
+
+    /** Pipelined stream: packets enter every II cycles after fill. */
+    StreamSimResult runStream(const ir::ModelIr &model,
+                              const math::Matrix &x) const;
+
+    const TaurusConfig &config() const { return config_; }
+
+  private:
+    TaurusConfig config_;
+};
+
+}  // namespace homunculus::backends

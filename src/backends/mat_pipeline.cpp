@@ -1,0 +1,257 @@
+#include "backends/mat_pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace homunculus::backends {
+
+std::size_t
+MatPipeline::totalEntries() const
+{
+    std::size_t total = 0;
+    for (const auto &table : tables_)
+        // Distance tables hold their centroid as installed entries too.
+        total += std::max<std::size_t>(table.entries.size(),
+                                       table.centroid.empty() ? 0 : 1);
+    return total;
+}
+
+MatPipeline
+MatPipeline::compileKMeans(const ir::ModelIr &model)
+{
+    if (model.kind != ir::ModelKind::kKMeans)
+        throw std::runtime_error("compileKMeans: wrong model kind");
+    MatPipeline pipeline(model.format);
+    pipeline.numClasses_ = model.centroids.size();
+    pipeline.inputDim_ = model.inputDim;
+
+    for (std::size_t c = 0; c < model.centroids.size(); ++c) {
+        MatTable table;
+        table.name = "kmeans_cluster_" + std::to_string(c);
+        table.kind = MatStageKind::kDistance;
+        table.centroid = model.centroids[c];
+        table.classSlot = c;
+        if (c + 1 == model.centroids.size()) {
+            // The final cluster table fuses the arg-min selection so the
+            // pipeline consumes exactly k MATs (paper §5.2.2 accounting).
+            table.fusedSelect = true;
+            table.selectMin = true;
+        }
+        pipeline.tables_.push_back(std::move(table));
+    }
+    return pipeline;
+}
+
+MatPipeline
+MatPipeline::compileSvm(const ir::ModelIr &model,
+                        std::size_t bins_per_feature)
+{
+    if (model.kind != ir::ModelKind::kSvm)
+        throw std::runtime_error("compileSvm: wrong model kind");
+    if (bins_per_feature < 2)
+        throw std::runtime_error("compileSvm: need >= 2 bins");
+    MatPipeline pipeline(model.format);
+    pipeline.numClasses_ = model.svmWeights.size();
+    pipeline.inputDim_ = model.inputDim;
+    const common::FixedPointFormat &fmt = model.format;
+
+    // Feature domain: the scaled inputs live well inside [-8, 8] after
+    // standardization; the outermost bins catch saturated values.
+    const double lo = -8.0, hi = 8.0;
+    double width = (hi - lo) / static_cast<double>(bins_per_feature);
+
+    for (std::size_t f = 0; f < model.inputDim; ++f) {
+        MatTable table;
+        table.name = "svm_feature_" + std::to_string(f);
+        table.kind = MatStageKind::kAccumulate;
+        table.keyField = f;
+        for (std::size_t b = 0; b < bins_per_feature; ++b) {
+            MatEntry entry;
+            double bin_lo = lo + width * static_cast<double>(b);
+            double bin_hi = bin_lo + width;
+            double center = 0.5 * (bin_lo + bin_hi);
+            entry.lo = (b == 0) ? std::numeric_limits<std::int32_t>::min()
+                                : fmt.quantize(bin_lo);
+            entry.hi = (b + 1 == bins_per_feature)
+                           ? std::numeric_limits<std::int32_t>::max()
+                           : fmt.quantize(bin_hi);
+            for (std::size_t c = 0; c < pipeline.numClasses_; ++c) {
+                std::int64_t contribution =
+                    fmt.multiply(fmt.quantize(center),
+                                 model.svmWeights[c][f]);
+                if (f == 0)
+                    contribution += model.svmBiases[c];
+                entry.classContribution.push_back(contribution);
+            }
+            table.entries.push_back(std::move(entry));
+        }
+        if (f + 1 == model.inputDim) {
+            table.fusedSelect = true;
+            table.selectMin = false;
+        }
+        pipeline.tables_.push_back(std::move(table));
+    }
+    return pipeline;
+}
+
+MatPipeline
+MatPipeline::compileTree(const ir::ModelIr &model)
+{
+    if (model.kind != ir::ModelKind::kDecisionTree)
+        throw std::runtime_error("compileTree: wrong model kind");
+    MatPipeline pipeline(model.format);
+    pipeline.numClasses_ = static_cast<std::size_t>(model.numClasses);
+    pipeline.inputDim_ = model.inputDim;
+
+    // Level-order traversal: nodes reachable at each depth become entries
+    // of that level's table, keyed on the packet's current state (node id).
+    std::vector<std::vector<int>> levels;
+    std::vector<int> frontier = {0};
+    while (!frontier.empty()) {
+        levels.push_back(frontier);
+        std::vector<int> next;
+        for (int idx : frontier) {
+            const ir::IrTreeNode &node =
+                model.treeNodes[static_cast<std::size_t>(idx)];
+            if (!node.isLeaf) {
+                next.push_back(node.left);
+                next.push_back(node.right);
+            }
+        }
+        frontier = std::move(next);
+    }
+    // Every level gets a table: internal nodes contribute comparison
+    // entries that advance the state, leaves contribute entries that
+    // write the final label.
+    for (std::size_t depth = 0; depth < levels.size(); ++depth) {
+        MatTable table;
+        table.name = "tree_level_" + std::to_string(depth);
+        table.kind = MatStageKind::kTreeLevel;
+        for (int idx : levels[depth]) {
+            const ir::IrTreeNode &node =
+                model.treeNodes[static_cast<std::size_t>(idx)];
+            if (node.isLeaf) {
+                // A leaf at this level: match on state, write the label.
+                MatEntry entry;
+                entry.lo = idx;   // state match encoded in [lo, lo].
+                entry.hi = idx;
+                entry.labelWrite = node.classLabel;
+                table.entries.push_back(entry);
+                continue;
+            }
+            // Internal node: two entries (<= threshold, > threshold).
+            MatEntry left;
+            left.lo = idx;
+            left.hi = idx;
+            left.nextState = node.left;
+            left.labelWrite = -1;
+            // Encode the comparison via the keyField + threshold carried
+            // in classContribution[0] (the interpreter understands this).
+            left.classContribution = {node.threshold, 1};  // 1 = "<=".
+            MatEntry right = left;
+            right.nextState = node.right;
+            right.classContribution = {node.threshold, 0};  // 0 = ">".
+            table.keyField = node.feature;  // per-entry feature below.
+            left.classContribution.push_back(
+                static_cast<std::int64_t>(node.feature));
+            right.classContribution.push_back(
+                static_cast<std::int64_t>(node.feature));
+            table.entries.push_back(left);
+            table.entries.push_back(right);
+        }
+        pipeline.tables_.push_back(std::move(table));
+    }
+    return pipeline;
+}
+
+int
+MatPipeline::process(const std::vector<double> &features) const
+{
+    if (features.size() != inputDim_)
+        throw std::runtime_error("MatPipeline: feature width mismatch");
+    std::vector<std::int32_t> q = format_.quantizeVector(features);
+    std::vector<std::int64_t> accumulators(numClasses_, 0);
+    std::int32_t state = 0;   // tree traversal node id.
+    int label = 0;
+    bool label_written = false;
+
+    for (const MatTable &table : tables_) {
+        switch (table.kind) {
+          case MatStageKind::kDistance: {
+            std::int64_t dist = 0;
+            for (std::size_t f = 0; f < q.size(); ++f) {
+                std::int64_t d = static_cast<std::int64_t>(q[f]) -
+                                 table.centroid[f];
+                dist += d * d;
+            }
+            accumulators[table.classSlot] = dist;
+            break;
+          }
+          case MatStageKind::kAccumulate: {
+            std::int32_t key = q[table.keyField];
+            for (const MatEntry &entry : table.entries) {
+                if (key >= entry.lo && key <= entry.hi) {
+                    for (std::size_t c = 0; c < accumulators.size(); ++c)
+                        accumulators[c] += entry.classContribution[c];
+                    break;  // first-match semantics, entries are disjoint.
+                }
+            }
+            break;
+          }
+          case MatStageKind::kTreeLevel: {
+            if (label_written)
+                break;  // packet already classified at a shallower leaf.
+            for (const MatEntry &entry : table.entries) {
+                if (state < entry.lo || state > entry.hi)
+                    continue;
+                if (entry.labelWrite >= 0 && entry.classContribution.empty()) {
+                    label = entry.labelWrite;
+                    label_written = true;
+                    break;
+                }
+                // Comparison entry: payload = [threshold, is_le, feature].
+                std::int64_t threshold = entry.classContribution[0];
+                bool is_le = entry.classContribution[1] == 1;
+                auto feature = static_cast<std::size_t>(
+                    entry.classContribution[2]);
+                bool cmp = q[feature] <= threshold;
+                if (cmp == is_le) {
+                    state = entry.nextState;
+                    // A next state pointing at a leaf resolves on the next
+                    // level's leaf entry.
+                    break;
+                }
+            }
+            break;
+          }
+          case MatStageKind::kSelectMin:
+          case MatStageKind::kSelectMax:
+            break;  // standalone select stages are always fused; see below.
+        }
+
+        if (table.fusedSelect && !label_written) {
+            std::size_t best = 0;
+            for (std::size_t c = 1; c < accumulators.size(); ++c) {
+                bool better = table.selectMin
+                                  ? accumulators[c] < accumulators[best]
+                                  : accumulators[c] > accumulators[best];
+                if (better)
+                    best = c;
+            }
+            label = static_cast<int>(best);
+            label_written = true;
+        }
+    }
+
+    // Tree pipelines whose walk ended on a leaf node id resolve here.
+    if (!label_written && !tables_.empty() &&
+        tables_.front().kind == MatStageKind::kTreeLevel) {
+        // Fall back to the state's label if it is a leaf id (robustness
+        // against depth-truncated tables).
+        label = 0;
+    }
+    return label;
+}
+
+}  // namespace homunculus::backends

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Match-action-table (MAT) pipeline interpreter with IIsy-style mappings.
+ *
+ * Substitution (see DESIGN.md): stands in for a Tofino/P4-SDNet pipeline
+ * executing IIsy's classical-ML mappings. The interpreter models a PISA
+ * pipeline as an ordered list of tables; a packet carries a metadata
+ * vector of per-class accumulators plus a state register through the
+ * stages, and each table performs a lookup + ALU action:
+ *
+ *  - KMeans (paper §5.2.2): one MAT per cluster. Each cluster table holds
+ *    the centroid constants and its action accumulates the squared
+ *    distance into the cluster's metadata slot; the final cluster table
+ *    also performs the arg-min selection. Tables consumed = k.
+ *  - SVM (paper §4): one MAT per feature. Each feature table range-matches
+ *    the quantized feature value into a bin and its action adds the
+ *    per-class contribution w_c[f] * bin_center; the last table arg-maxes.
+ *    Tables consumed = number of features.
+ *  - Decision tree: one MAT per level. Entries match (state = node id,
+ *    feature value range) and the action writes the next node id or the
+ *    leaf label. Tables consumed = tree depth.
+ *
+ * DNNs are not MAT-mappable at these sizes (N2Net needs ~12 MATs per
+ * layer); MatPlatform reports them unsupported, which is what drives the
+ * optimization core to prune the DNN family for MAT targets.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/model_ir.hpp"
+
+namespace homunculus::backends {
+
+/** A range-match entry: [lo, hi] on the stage key -> action payload. */
+struct MatEntry
+{
+    std::int32_t lo = 0;
+    std::int32_t hi = 0;
+    /** Per-class ALU operands (contribution added per class slot). */
+    std::vector<std::int64_t> classContribution;
+    /** Next-state write for tree traversal (-1 = unused). */
+    std::int32_t nextState = -1;
+    /** Leaf label write (-1 = unused). */
+    int labelWrite = -1;
+};
+
+/** What a stage does after its lookup. */
+enum class MatStageKind {
+    kAccumulate,   ///< add classContribution to per-class accumulators.
+    kDistance,     ///< accumulate squared distance to stored centroid.
+    kTreeLevel,    ///< state-machine step for a tree level.
+    kSelectMin,    ///< write argmin(accumulators) to the packet label.
+    kSelectMax,    ///< write argmax(accumulators) to the packet label.
+};
+
+/** One physical match-action table. */
+struct MatTable
+{
+    std::string name;
+    MatStageKind kind = MatStageKind::kAccumulate;
+    /** Feature index keyed by this table (unused for select stages). */
+    std::size_t keyField = 0;
+    std::vector<MatEntry> entries;
+    /** Centroid constants for kDistance stages (one per feature). */
+    std::vector<std::int32_t> centroid;
+    /** Accumulator slot a kDistance stage writes. */
+    std::size_t classSlot = 0;
+    /** Whether this table also performs the final selection. */
+    bool fusedSelect = false;
+    bool selectMin = false;  ///< fused selection polarity.
+};
+
+/** A compiled MAT program plus the packet-walk interpreter. */
+class MatPipeline
+{
+  public:
+    /** Compile IIsy mappings from a ModelIr. */
+    static MatPipeline compileKMeans(const ir::ModelIr &model);
+    static MatPipeline compileSvm(const ir::ModelIr &model,
+                                  std::size_t bins_per_feature);
+    static MatPipeline compileTree(const ir::ModelIr &model);
+
+    /** Per-packet pipeline walk; returns the classified label. */
+    int process(const std::vector<double> &features) const;
+
+    std::size_t numTables() const { return tables_.size(); }
+    std::size_t totalEntries() const;
+    const std::vector<MatTable> &tables() const { return tables_; }
+    const common::FixedPointFormat &format() const { return format_; }
+
+  private:
+    explicit MatPipeline(common::FixedPointFormat format)
+        : format_(format)
+    {
+    }
+
+    std::vector<MatTable> tables_;
+    common::FixedPointFormat format_;
+    std::size_t numClasses_ = 0;
+    std::size_t inputDim_ = 0;
+};
+
+}  // namespace homunculus::backends

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * P4_16 code generator for MAT-mapped models (IIsy methodology).
+ *
+ * Emits a complete P4 program: header/metadata definitions, a parser, one
+ * match-action table per IIsy stage with const entries holding the
+ * quantized model constants, and an apply block wiring the pipeline.
+ * Mirrors the structure MatPipeline executes, so the emitted program and
+ * the simulated pipeline agree table-for-table.
+ */
+#pragma once
+
+#include <string>
+
+#include "ir/model_ir.hpp"
+
+namespace homunculus::backends {
+
+/** Emits P4 programs from ModelIr. */
+class P4Codegen
+{
+  public:
+    explicit P4Codegen(std::size_t bins_per_feature = 64);
+
+    /** Generate the program; throws for MLPs (not MAT-mappable). */
+    std::string generate(const ir::ModelIr &model) const;
+
+  private:
+    std::string headerSection(const ir::ModelIr &model) const;
+    std::string kmeansTables(const ir::ModelIr &model) const;
+    std::string svmTables(const ir::ModelIr &model) const;
+    std::string treeTables(const ir::ModelIr &model) const;
+
+    std::size_t binsPerFeature_;
+};
+
+}  // namespace homunculus::backends

@@ -1,0 +1,26 @@
+#include "backends/platform.hpp"
+
+#include "common/string_util.hpp"
+
+namespace homunculus::backends {
+
+std::string
+ResourceReport::summary() const
+{
+    std::string perf = common::format(
+        "latency=%.1fns throughput=%.2fGpps", latencyNs, throughputGpps);
+    std::string res;
+    if (computeUnits > 0 || memoryUnits > 0)
+        res = common::format("CUs=%zu MUs=%zu ", computeUnits, memoryUnits);
+    if (matTables > 0)
+        res += common::format("MATs=%zu entries=%zu ", matTables, matEntries);
+    if (lutPercent > 0.0) {
+        res += common::format("LUT=%.2f%% FF=%.2f%% BRAM=%.2f%% P=%.3fW ",
+                              lutPercent, ffPercent, bramPercent, powerWatts);
+    }
+    std::string verdict = feasible ? "FEASIBLE"
+                                   : "INFEASIBLE(" + infeasibleReason + ")";
+    return res + perf + " " + verdict;
+}
+
+}  // namespace homunculus::backends

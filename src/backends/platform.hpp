@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Abstract data-plane platform: the backend interface of the compiler.
+ *
+ * A Platform answers three questions about a ModelIr (paper §3.3):
+ *  - estimate(): what resources does the mapping consume and does it meet
+ *    the performance envelope? (feasibility testing)
+ *  - evaluate(): what does the deployed artifact predict? (executed via
+ *    the platform's own simulator, in fixed point)
+ *  - generateCode(): what platform program implements it? (Spatial / P4)
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backends/resource_report.hpp"
+#include "ir/model_ir.hpp"
+
+namespace homunculus::backends {
+
+/** Families of models a platform can accept at all. */
+enum class AlgorithmSupport { kSupported, kUnsupported };
+
+/** Abstract backend target. */
+class Platform
+{
+  public:
+    virtual ~Platform() = default;
+
+    /** Short identifier, e.g. "taurus", "tofino-mat", "fpga". */
+    virtual std::string name() const = 0;
+
+    /** Whether this platform can host the given model family at all. */
+    virtual AlgorithmSupport supports(ir::ModelKind kind) const = 0;
+
+    /** Map the model and report resources + performance + feasibility. */
+    virtual ResourceReport estimate(const ir::ModelIr &model) const = 0;
+
+    /**
+     * Execute the deployed (quantized) model on the platform's simulator.
+     * @return predicted class per row of @p x
+     */
+    virtual std::vector<int> evaluate(const ir::ModelIr &model,
+                                      const math::Matrix &x) const = 0;
+
+    /** Emit the platform program implementing the model. */
+    virtual std::string generateCode(const ir::ModelIr &model) const = 0;
+
+    /** The operator-specified performance envelope. */
+    const PerfConstraints &constraints() const { return constraints_; }
+    void setConstraints(const PerfConstraints &constraints)
+    {
+        constraints_ = constraints;
+    }
+
+  protected:
+    PerfConstraints constraints_;
+};
+
+using PlatformPtr = std::shared_ptr<Platform>;
+
+}  // namespace homunculus::backends

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ResourceReport and the performance-constraint envelope.
+ *
+ * The report is the only feedback channel from a backend to the
+ * optimization core (paper §3.3): resources consumed, the latency and
+ * throughput the mapping achieves, and the resulting feasibility verdict.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace homunculus::backends {
+
+/** The operator-specified performance envelope (Alchemy `constrain`). */
+struct PerfConstraints
+{
+    double minThroughputGpps = 1.0;  ///< packets/ns, paper default 1 GPkt/s.
+    double maxLatencyNs = 500.0;     ///< end-to-end pipeline latency budget.
+};
+
+/** Resources and performance of one model mapped onto one platform. */
+struct ResourceReport
+{
+    // --- Taurus / CGRA resources ---------------------------------------
+    std::size_t computeUnits = 0;  ///< CUs consumed.
+    std::size_t memoryUnits = 0;   ///< MUs consumed.
+
+    // --- MAT-pipeline resources ----------------------------------------
+    std::size_t matTables = 0;     ///< match-action tables consumed.
+    std::size_t matEntries = 0;    ///< total table entries installed.
+
+    // --- FPGA resources --------------------------------------------------
+    double lutPercent = 0.0;
+    double ffPercent = 0.0;
+    double bramPercent = 0.0;
+    double powerWatts = 0.0;
+
+    // --- Performance -----------------------------------------------------
+    double latencyNs = 0.0;
+    double throughputGpps = 0.0;
+
+    // --- Verdict ----------------------------------------------------------
+    bool feasible = false;
+    std::string infeasibleReason;  ///< empty when feasible.
+
+    /** Human-readable one-line summary for logs and reports. */
+    std::string summary() const;
+};
+
+}  // namespace homunculus::backends

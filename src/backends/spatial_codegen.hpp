@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Spatial code generator: template-assembled programs for Taurus / FPGA.
+ *
+ * Reproduces the paper's Figure 5 methodology: a library of small
+ * parameterized templates (dot product as map+reduce, activation,
+ * double-buffered layer glue, arg-select) composed bottom-up into a full
+ * packet pipeline. The emitted program is Spatial-DSL-shaped Scala text
+ * with the quantized weights inlined as LUT initializers.
+ */
+#pragma once
+
+#include <string>
+
+#include "ir/model_ir.hpp"
+
+namespace homunculus::backends {
+
+/** Emits Spatial programs from ModelIr. */
+class SpatialCodegen
+{
+  public:
+    /** Generate the complete program for any supported model kind. */
+    std::string generate(const ir::ModelIr &model) const;
+
+    // Template building blocks, public so tests can pin their structure.
+
+    /** Dense layer: map over neurons, reduce over inputs, activation. */
+    std::string denseLayerTemplate(const ir::QuantizedLayer &layer,
+                                   std::size_t index, bool is_output,
+                                   ml::Activation activation) const;
+
+    /** Squared-distance + arg-min block for KMeans. */
+    std::string kmeansTemplate(const ir::ModelIr &model) const;
+
+    /** Per-class dot product + arg-max block for SVM. */
+    std::string svmTemplate(const ir::ModelIr &model) const;
+
+    /** Comparator cascade for decision trees. */
+    std::string treeTemplate(const ir::ModelIr &model) const;
+
+  private:
+    std::string prologue(const ir::ModelIr &model) const;
+    std::string epilogue(const ir::ModelIr &model) const;
+};
+
+}  // namespace homunculus::backends

@@ -1,0 +1,84 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace homunculus::common {
+
+CsvTable
+parseCsv(const std::string &content, bool has_header)
+{
+    CsvTable table;
+    std::istringstream in(content);
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        line = trim(line);
+        if (line.empty())
+            continue;
+        std::vector<std::string> fields = split(line, ',');
+        if (first && has_header) {
+            for (auto &f : fields)
+                table.header.push_back(trim(f));
+            first = false;
+            continue;
+        }
+        first = false;
+        std::vector<double> row;
+        row.reserve(fields.size());
+        for (const auto &f : fields) {
+            try {
+                row.push_back(std::stod(trim(f)));
+            } catch (const std::exception &) {
+                throw std::runtime_error("csv: non-numeric field '" + f + "'");
+            }
+        }
+        if (!table.rows.empty() && row.size() != table.rows.front().size())
+            throw std::runtime_error("csv: ragged row widths");
+        table.rows.push_back(std::move(row));
+    }
+    return table;
+}
+
+CsvTable
+readCsvFile(const std::string &path, bool has_header)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("csv: cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseCsv(buffer.str(), has_header);
+}
+
+std::string
+writeCsv(const CsvTable &table)
+{
+    std::ostringstream out;
+    out.precision(10);
+    if (!table.header.empty())
+        out << join(table.header, ",") << "\n";
+    for (const auto &row : table.rows) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i > 0)
+                out << ",";
+            out << row[i];
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+void
+writeCsvFile(const std::string &path, const CsvTable &table)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("csv: cannot write '" + path + "'");
+    out << writeCsv(table);
+}
+
+}  // namespace homunculus::common

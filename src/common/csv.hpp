@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal CSV reader/writer used by the data loaders and experiment dumps.
+ *
+ * Supports numeric tables with an optional header row. Quoting is not
+ * needed for our numeric datasets, so fields are plain delimiter-separated.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace homunculus::common {
+
+/** An in-memory CSV table: header (possibly empty) plus numeric rows. */
+struct CsvTable
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<double>> rows;
+
+    std::size_t numRows() const { return rows.size(); }
+    std::size_t numCols() const
+    {
+        return rows.empty() ? header.size() : rows.front().size();
+    }
+};
+
+/**
+ * Parse CSV content from a string.
+ *
+ * @param content full file content
+ * @param has_header when true, the first line is kept as column names
+ * @return the parsed table; malformed numeric fields raise std::runtime_error
+ */
+CsvTable parseCsv(const std::string &content, bool has_header);
+
+/** Read and parse a CSV file from disk. Throws std::runtime_error on I/O. */
+CsvTable readCsvFile(const std::string &path, bool has_header);
+
+/** Serialize a table back to CSV text (6 significant digits). */
+std::string writeCsv(const CsvTable &table);
+
+/** Write a table to disk. Throws std::runtime_error on I/O failure. */
+void writeCsvFile(const std::string &path, const CsvTable &table);
+
+}  // namespace homunculus::common

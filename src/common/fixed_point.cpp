@@ -1,0 +1,103 @@
+#include "common/fixed_point.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace homunculus::common {
+
+FixedPointFormat::FixedPointFormat(int integer_bits, int frac_bits)
+    : integerBits_(integer_bits), fracBits_(frac_bits)
+{
+    if (integer_bits < 1 || frac_bits < 0 || integer_bits + frac_bits > 31)
+        panic("fixed_point", "invalid Q-format specification");
+}
+
+double
+FixedPointFormat::maxValue() const
+{
+    std::int64_t max_raw = (std::int64_t{1} << (totalBits() - 1)) - 1;
+    return static_cast<double>(max_raw) / std::pow(2.0, fracBits_);
+}
+
+double
+FixedPointFormat::minValue() const
+{
+    std::int64_t min_raw = -(std::int64_t{1} << (totalBits() - 1));
+    return static_cast<double>(min_raw) / std::pow(2.0, fracBits_);
+}
+
+double
+FixedPointFormat::resolution() const
+{
+    return std::pow(2.0, -fracBits_);
+}
+
+std::int32_t
+FixedPointFormat::saturate(std::int64_t raw) const
+{
+    std::int64_t max_raw = (std::int64_t{1} << (totalBits() - 1)) - 1;
+    std::int64_t min_raw = -(std::int64_t{1} << (totalBits() - 1));
+    if (raw > max_raw)
+        raw = max_raw;
+    if (raw < min_raw)
+        raw = min_raw;
+    return static_cast<std::int32_t>(raw);
+}
+
+std::int32_t
+FixedPointFormat::quantize(double value) const
+{
+    double scaled = value * std::pow(2.0, fracBits_);
+    return saturate(static_cast<std::int64_t>(std::llround(scaled)));
+}
+
+double
+FixedPointFormat::dequantize(std::int32_t raw) const
+{
+    return static_cast<double>(raw) / std::pow(2.0, fracBits_);
+}
+
+double
+FixedPointFormat::roundTrip(double value) const
+{
+    return dequantize(quantize(value));
+}
+
+std::int32_t
+FixedPointFormat::add(std::int32_t a, std::int32_t b) const
+{
+    return saturate(static_cast<std::int64_t>(a) + b);
+}
+
+std::int32_t
+FixedPointFormat::multiply(std::int32_t a, std::int32_t b) const
+{
+    std::int64_t product = static_cast<std::int64_t>(a) * b;
+    // Renormalize: the product carries 2*fracBits fractional bits.
+    product >>= fracBits_;
+    return saturate(product);
+}
+
+std::vector<std::int32_t>
+FixedPointFormat::quantizeVector(const std::vector<double> &values) const
+{
+    std::vector<std::int32_t> out;
+    out.reserve(values.size());
+    for (double v : values)
+        out.push_back(quantize(v));
+    return out;
+}
+
+double
+FixedPointFormat::meanAbsError(const std::vector<double> &values) const
+{
+    if (values.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double v : values)
+        total += std::fabs(v - roundTrip(v));
+    return total / static_cast<double>(values.size());
+}
+
+}  // namespace homunculus::common

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Q-format fixed-point arithmetic for data-plane inference.
+ *
+ * Programmable switch fabrics (Taurus compute units, MAT ALUs) operate on
+ * narrow fixed-point integers, not IEEE floats. Homunculus quantizes
+ * trained model weights into a signed Qm.n representation and the backend
+ * simulators execute inference in this representation, so the accuracy the
+ * compiler reports is the accuracy of the artifact it actually deploys.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace homunculus::common {
+
+/**
+ * A signed fixed-point format with @c integerBits integer bits (including
+ * sign) and @c fracBits fractional bits, stored in a 32-bit container.
+ * The Taurus paper uses 16-bit Q8.8 pipelines; we default to the same.
+ */
+class FixedPointFormat
+{
+  public:
+    FixedPointFormat(int integer_bits, int frac_bits);
+
+    int integerBits() const { return integerBits_; }
+    int fracBits() const { return fracBits_; }
+    int totalBits() const { return integerBits_ + fracBits_; }
+
+    /** Largest representable value. */
+    double maxValue() const;
+    /** Smallest (most negative) representable value. */
+    double minValue() const;
+    /** Quantization step (1 / 2^fracBits). */
+    double resolution() const;
+
+    /** Encode a real value with round-to-nearest and saturation. */
+    std::int32_t quantize(double value) const;
+
+    /** Decode a raw fixed-point word back to a real value. */
+    double dequantize(std::int32_t raw) const;
+
+    /** Round-trip a real value through the format (quantize + dequantize). */
+    double roundTrip(double value) const;
+
+    /** Saturating fixed-point addition of two raw words. */
+    std::int32_t add(std::int32_t a, std::int32_t b) const;
+
+    /** Saturating fixed-point multiply (result renormalized to this format). */
+    std::int32_t multiply(std::int32_t a, std::int32_t b) const;
+
+    /** Quantize a vector of reals. */
+    std::vector<std::int32_t> quantizeVector(
+        const std::vector<double> &values) const;
+
+    /** Mean absolute quantization error over a vector of reals. */
+    double meanAbsError(const std::vector<double> &values) const;
+
+    /** The default data-plane format, Q8.8 (16-bit). */
+    static FixedPointFormat q88() { return {8, 8}; }
+
+  private:
+    std::int32_t saturate(std::int64_t raw) const;
+
+    int integerBits_;
+    int fracBits_;
+};
+
+}  // namespace homunculus::common

@@ -1,0 +1,57 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace homunculus::common {
+
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kNone: return "NONE";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold.load(std::memory_order_relaxed);
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string &component,
+           const std::string &message)
+{
+    if (static_cast<int>(level) < static_cast<int>(logThreshold()))
+        return;
+    std::cerr << "[" << levelName(level) << "][" << component << "] "
+              << message << "\n";
+}
+
+void
+panic(const std::string &component, const std::string &message)
+{
+    std::cerr << "[PANIC][" << component << "] " << message << std::endl;
+    std::abort();
+}
+
+}  // namespace homunculus::common

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Lightweight leveled logging for the Homunculus framework.
+ *
+ * Follows the gem5 convention of separating user-facing status messages
+ * (inform/warn) from internal invariant violations (panic). Logging is
+ * routed through a single sink so tests can silence or capture output.
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace homunculus::common {
+
+/** Severity of a log record, in increasing order of importance. */
+enum class LogLevel {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kNone = 4,  ///< Sentinel: suppress all output.
+};
+
+/** Global minimum level; records below it are dropped. */
+LogLevel logThreshold();
+
+/** Set the global minimum level (e.g. kNone in unit tests). */
+void setLogThreshold(LogLevel level);
+
+/**
+ * Emit a single log record to stderr if @p level passes the threshold.
+ *
+ * @param level severity of the record
+ * @param component short subsystem tag, e.g. "opt" or "taurus"
+ * @param message fully formatted message body
+ */
+void logMessage(LogLevel level, const std::string &component,
+                const std::string &message);
+
+/**
+ * Abort the process after printing an internal-error diagnostic.
+ *
+ * Mirrors gem5's panic(): use only for conditions that indicate a bug in
+ * Homunculus itself, never for user errors.
+ */
+[[noreturn]] void panic(const std::string &component,
+                        const std::string &message);
+
+/** Convenience stream-style logger: HOM_LOG(kInfo, "opt") << "msg"; */
+class LogStream
+{
+  public:
+    LogStream(LogLevel level, std::string component)
+        : level_(level), component_(std::move(component))
+    {
+    }
+
+    ~LogStream() { logMessage(level_, component_, buffer_.str()); }
+
+    template <typename T>
+    LogStream &
+    operator<<(const T &value)
+    {
+        buffer_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::string component_;
+    std::ostringstream buffer_;
+};
+
+}  // namespace homunculus::common
+
+#define HOM_LOG(level, component) \
+    ::homunculus::common::LogStream( \
+        ::homunculus::common::LogLevel::level, component)

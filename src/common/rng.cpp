@@ -1,0 +1,96 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace homunculus::common {
+
+Rng
+Rng::fork()
+{
+    std::uint64_t child_seed = engine_();
+    return Rng(child_seed);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+}
+
+double
+Rng::exponential(double lambda)
+{
+    std::exponential_distribution<double> dist(lambda);
+    return dist(engine_);
+}
+
+double
+Rng::pareto(double xm, double alpha)
+{
+    // Inverse-CDF sampling: X = xm / U^(1/alpha), U ~ Uniform(0, 1].
+    double u = 1.0 - uniform(0.0, 1.0);
+    return xm / std::pow(u, 1.0 / alpha);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+std::int64_t
+Rng::poisson(double mean)
+{
+    std::poisson_distribution<std::int64_t> dist(mean);
+    return dist(engine_);
+}
+
+std::size_t
+Rng::categorical(const std::vector<double> &weights)
+{
+    if (weights.empty())
+        panic("rng", "categorical() called with empty weight vector");
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    if (total <= 0.0)
+        return 0;
+    double r = uniform(0.0, total);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<std::size_t>
+Rng::permutation(std::size_t n)
+{
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i)
+        perm[i] = i;
+    shuffle(perm);
+    return perm;
+}
+
+}  // namespace homunculus::common

@@ -1,0 +1,119 @@
+#include "common/string_util.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace homunculus::common {
+
+std::vector<std::string>
+split(const std::string &text, char delimiter)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    for (char c : text) {
+        if (c == delimiter) {
+            fields.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    fields.push_back(current);
+    return fields;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &separator)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out << separator;
+        out << parts[i];
+    }
+    return out.str();
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+std::string
+toLower(const std::string &text)
+{
+    std::string out = text;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return {};
+    }
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+std::string
+indent(const std::string &text, int spaces)
+{
+    std::string pad(static_cast<std::size_t>(spaces), ' ');
+    std::ostringstream out;
+    std::istringstream in(text);
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (!first)
+            out << "\n";
+        first = false;
+        if (!line.empty())
+            out << pad << line;
+    }
+    if (!text.empty() && text.back() == '\n')
+        out << "\n";
+    return out.str();
+}
+
+std::string
+replaceAll(std::string text, const std::string &from, const std::string &to)
+{
+    if (from.empty())
+        return text;
+    std::size_t pos = 0;
+    while ((pos = text.find(from, pos)) != std::string::npos) {
+        text.replace(pos, from.size(), to);
+        pos += to.size();
+    }
+    return text;
+}
+
+}  // namespace homunculus::common

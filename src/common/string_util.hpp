@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small string helpers shared across the framework (no locale, ASCII only).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace homunculus::common {
+
+/** Split @p text on @p delimiter; adjacent delimiters yield empty fields. */
+std::vector<std::string> split(const std::string &text, char delimiter);
+
+/** Join @p parts with @p separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &separator);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &text);
+
+/** Lowercase an ASCII string. */
+std::string toLower(const std::string &text);
+
+/** True if @p text begins with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** printf-like formatting into a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Indent every line of @p text by @p spaces spaces (for codegen). */
+std::string indent(const std::string &text, int spaces);
+
+/** Replace every occurrence of @p from in @p text with @p to. */
+std::string replaceAll(std::string text, const std::string &from,
+                       const std::string &to);
+
+}  // namespace homunculus::common

@@ -1,0 +1,77 @@
+#include "common/table_printer.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace homunculus::common {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header_.size())
+        panic("table_printer", "row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::cell(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+std::string
+TablePrinter::cell(long long value)
+{
+    return std::to_string(value);
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::ostringstream line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                line << "  ";
+            line << row[c];
+            for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad)
+                line << ' ';
+        }
+        return line.str();
+    };
+
+    std::ostringstream out;
+    out << render_row(header_) << "\n";
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c > 0 ? 2 : 0);
+    out << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        out << render_row(row) << "\n";
+    return out.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::cout << render();
+}
+
+}  // namespace homunculus::common

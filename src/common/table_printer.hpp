@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Aligned-column table printer for experiment harnesses.
+ *
+ * The benchmark binaries print paper-style tables (Tables 2-5) and figure
+ * series (Figures 4, 6, 7); this helper keeps the columns aligned without
+ * every bench reinventing width logic.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace homunculus::common {
+
+/** Accumulates rows of string cells and renders an aligned ASCII table. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Append one row; width must match the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double cell with @p precision decimals. */
+    static std::string cell(double value, int precision = 2);
+    static std::string cell(long long value);
+
+    /** Render with a separator under the header. */
+    std::string render() const;
+
+    /** Render directly to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace homunculus::common

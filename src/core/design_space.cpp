@@ -1,0 +1,147 @@
+#include "core/design_space.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace homunculus::core {
+
+opt::SearchSpace
+buildDesignSpace(Algorithm algorithm, const ModelSpec &spec,
+                 const backends::Platform &platform)
+{
+    opt::SearchSpace space;
+    switch (algorithm) {
+      case Algorithm::kDnn: {
+        auto max_layers =
+            static_cast<std::int64_t>(std::max<std::size_t>(
+                1, spec.maxHiddenLayers));
+        space.addInteger("num_layers", 1, max_layers);
+        // Per-layer widths; layers beyond num_layers are ignored by the
+        // trainer. Ordinal keeps the surrogate's splits meaningful.
+        std::vector<double> widths;
+        for (std::size_t w : {2, 3, 4, 6, 8, 10, 12, 16, 20, 24, 32})
+            if (w <= spec.maxNeuronsPerLayer)
+                widths.push_back(static_cast<double>(w));
+        for (std::int64_t l = 0; l < max_layers; ++l)
+            space.addOrdinal("width_" + std::to_string(l), widths);
+        space.addReal("learning_rate", 1e-4, 5e-2, /*log_scale=*/true);
+        space.addOrdinal("batch_size", {16, 32, 64});
+        space.addCategorical("activation", {"relu", "tanh"});
+        break;
+      }
+      case Algorithm::kSvm: {
+        space.addReal("learning_rate", 1e-3, 0.2, /*log_scale=*/true);
+        space.addReal("regularization", 1e-5, 1e-1, /*log_scale=*/true);
+        space.addInteger("epochs", 10, 60);
+        break;
+      }
+      case Algorithm::kKMeans: {
+        std::size_t max_k = spec.maxClusters.value_or(8);
+        // Physical-resource bound: a MAT backend spends one table per
+        // cluster, so the table budget caps k (paper §5.2.2).
+        if (const auto *mat = dynamic_cast<const backends::MatPlatform *>(
+                &platform)) {
+            max_k = std::min(max_k, mat->config().numTables);
+        }
+        space.addInteger("num_clusters", 2,
+                         static_cast<std::int64_t>(
+                             std::max<std::size_t>(2, max_k)));
+        space.addInteger("max_iterations", 10, 100);
+        break;
+      }
+      case Algorithm::kDecisionTree: {
+        std::size_t max_depth = 10;
+        // One MAT per tree level: depth is capped by the stage budget.
+        if (const auto *mat = dynamic_cast<const backends::MatPlatform *>(
+                &platform)) {
+            max_depth = std::min(max_depth, mat->config().numTables - 1);
+        }
+        space.addInteger("max_depth", 2,
+                         static_cast<std::int64_t>(
+                             std::max<std::size_t>(2, max_depth)));
+        space.addInteger("min_samples_leaf", 1, 16);
+        break;
+      }
+    }
+    return space;
+}
+
+std::vector<Algorithm>
+selectCandidates(const ModelSpec &spec, const backends::Platform &platform,
+                 std::size_t input_dim, int num_classes)
+{
+    std::vector<Algorithm> pool =
+        spec.algorithms.empty() ? allAlgorithms() : spec.algorithms;
+
+    std::vector<Algorithm> candidates;
+    for (Algorithm algorithm : pool) {
+        ir::ModelKind kind = algorithmKind(algorithm);
+        if (platform.supports(kind) ==
+            backends::AlgorithmSupport::kUnsupported) {
+            HOM_LOG(kInfo, "candidates")
+                << spec.name << ": pruned " << algorithmName(algorithm)
+                << " (unsupported on " << platform.name() << ")";
+            continue;
+        }
+
+        // Resource sanity probe: the smallest viable model of the family
+        // must fit; otherwise every BO iteration would be wasted.
+        ir::ModelIr probe;
+        probe.kind = kind;
+        probe.name = spec.name + "_probe";
+        probe.inputDim = input_dim;
+        probe.numClasses = std::max(2, num_classes);
+        switch (kind) {
+          case ir::ModelKind::kMlp: {
+            ir::QuantizedLayer hidden;
+            hidden.inputDim = input_dim;
+            hidden.outputDim = 2;
+            hidden.weights.assign(input_dim * 2, 0);
+            hidden.biases.assign(2, 0);
+            ir::QuantizedLayer out;
+            out.inputDim = 2;
+            out.outputDim = static_cast<std::size_t>(probe.numClasses);
+            out.weights.assign(2 * out.outputDim, 0);
+            out.biases.assign(out.outputDim, 0);
+            probe.layers = {hidden, out};
+            break;
+          }
+          case ir::ModelKind::kKMeans:
+            probe.centroids.assign(2, std::vector<std::int32_t>(input_dim, 0));
+            break;
+          case ir::ModelKind::kSvm:
+            probe.svmWeights.assign(
+                static_cast<std::size_t>(probe.numClasses),
+                std::vector<std::int32_t>(input_dim, 0));
+            probe.svmBiases.assign(
+                static_cast<std::size_t>(probe.numClasses), 0);
+            break;
+          case ir::ModelKind::kDecisionTree: {
+            ir::IrTreeNode root;
+            root.isLeaf = false;
+            root.feature = 0;
+            root.left = 1;
+            root.right = 2;
+            ir::IrTreeNode leaf_a, leaf_b;
+            leaf_b.classLabel = 1;
+            probe.treeNodes = {root, leaf_a, leaf_b};
+            probe.treeDepth = 1;
+            break;
+          }
+        }
+
+        backends::ResourceReport report = platform.estimate(probe);
+        if (!report.feasible) {
+            HOM_LOG(kInfo, "candidates")
+                << spec.name << ": pruned " << algorithmName(algorithm)
+                << " (minimal config infeasible: "
+                << report.infeasibleReason << ")";
+            continue;
+        }
+        candidates.push_back(algorithm);
+    }
+    return candidates;
+}
+
+}  // namespace homunculus::core

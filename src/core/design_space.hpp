@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Automated design-space creation (paper §3.2.2).
+ *
+ * For each candidate algorithm family, builds the bounded hyperparameter
+ * space the Bayesian optimizer searches. Bounds are derived from the
+ * ModelSpec's overrides and the target platform's resource envelope —
+ * e.g. the KMeans cluster-count upper bound is capped by the MAT budget
+ * (one table per cluster), which is the paper's "physical resources
+ * reduce the design space" mechanism made concrete.
+ */
+#pragma once
+
+#include "core/alchemy.hpp"
+#include "opt/search_space.hpp"
+
+namespace homunculus::core {
+
+/** Build the search space for one (algorithm, spec, platform) triple. */
+opt::SearchSpace buildDesignSpace(Algorithm algorithm,
+                                  const ModelSpec &spec,
+                                  const backends::Platform &platform);
+
+/**
+ * Candidate selection (paper §3.2.1): the algorithm families worth
+ * searching for this spec on this platform. Starts from the spec's pool
+ * (or every family), drops families the platform cannot host, and drops
+ * families whose *minimal* viable configuration already violates the
+ * resource envelope.
+ */
+std::vector<Algorithm> selectCandidates(const ModelSpec &spec,
+                                        const backends::Platform &platform,
+                                        std::size_t input_dim,
+                                        int num_classes);
+
+}  // namespace homunculus::core

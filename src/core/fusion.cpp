@@ -1,0 +1,71 @@
+#include "core/fusion.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace homunculus::core {
+
+FeatureOverlap
+assessFeatureOverlap(const ml::Dataset &a, const ml::Dataset &b)
+{
+    FeatureOverlap overlap;
+    std::set<std::string> names_a(a.featureNames.begin(),
+                                  a.featureNames.end());
+    std::set<std::string> names_b(b.featureNames.begin(),
+                                  b.featureNames.end());
+    std::set<std::string> unioned = names_a;
+    unioned.insert(names_b.begin(), names_b.end());
+    for (const auto &name : names_a)
+        if (names_b.count(name))
+            overlap.shared.push_back(name);
+    overlap.fraction =
+        unioned.empty()
+            ? 0.0
+            : static_cast<double>(overlap.shared.size()) /
+                  static_cast<double>(unioned.size());
+    return overlap;
+}
+
+bool
+shouldFuse(const ml::Dataset &a, const ml::Dataset &b)
+{
+    return assessFeatureOverlap(a, b).fraction >= kFusionOverlapThreshold;
+}
+
+ml::DataSplit
+fuseSplits(const ml::DataSplit &a, const ml::DataSplit &b)
+{
+    ml::DataSplit fused;
+    fused.train = a.train.concat(b.train);
+    fused.test = a.test.concat(b.test);
+    return fused;
+}
+
+std::pair<ml::DataSplit, ml::DataSplit>
+halveSplit(const ml::DataSplit &full, std::uint64_t seed)
+{
+    common::Rng rng(seed);
+
+    auto halve = [&rng](const ml::Dataset &data) {
+        std::vector<std::size_t> perm = rng.permutation(data.numSamples());
+        std::size_t mid = perm.size() / 2;
+        std::vector<std::size_t> first(perm.begin(),
+                                       perm.begin() +
+                                           static_cast<std::ptrdiff_t>(mid));
+        std::vector<std::size_t> second(
+            perm.begin() + static_cast<std::ptrdiff_t>(mid), perm.end());
+        return std::make_pair(data.selectSamples(first),
+                              data.selectSamples(second));
+    };
+
+    auto [train_a, train_b] = halve(full.train);
+    auto [test_a, test_b] = halve(full.test);
+
+    ml::DataSplit part1{std::move(train_a), std::move(test_a)};
+    ml::DataSplit part2{std::move(train_b), std::move(test_b)};
+    return {part1, part2};
+}
+
+}  // namespace homunculus::core

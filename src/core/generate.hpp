@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The Homunculus compiler driver (paper Figure 2, bottom-to-top flow).
+ *
+ * generate() runs the full pipeline for every schedule attached to a
+ * platform: load the spec's data, select candidate algorithm families,
+ * build each family's design space, run constrained Bayesian optimization
+ * (training + backend feasibility per evaluation), select the best
+ * feasible model across families, and emit the platform program.
+ */
+#pragma once
+
+#include <map>
+
+#include "core/alchemy.hpp"
+#include "core/schedule.hpp"
+#include "core/trainer.hpp"
+
+namespace homunculus::core {
+
+/** Knobs of one generate() run. */
+struct GenerateOptions
+{
+    opt::BoConfig bo;            ///< per-candidate-family search budget.
+    std::uint64_t seed = 9;      ///< training/search determinism.
+    bool emitCode = true;        ///< run the backend code generator.
+
+    GenerateOptions()
+    {
+        bo.numInitSamples = 5;
+        bo.numIterations = 15;
+    }
+};
+
+/** The winning artifact for one scheduled model spec. */
+struct GeneratedModel
+{
+    std::string specName;
+    Algorithm algorithm = Algorithm::kDnn;
+    ir::ModelIr model;
+    backends::ResourceReport report;
+    double objective = 0.0;       ///< metric on the test partition.
+    std::string code;             ///< emitted platform program.
+    opt::BoResult searchHistory;  ///< winning family's BO trace.
+    /** Every family's trace, keyed by algorithm name (regret plots). */
+    std::map<std::string, opt::BoResult> perAlgorithm;
+};
+
+/** The outcome of compiling one platform's schedules. */
+struct GenerationResult
+{
+    bool success = false;         ///< every spec found a feasible model.
+    std::vector<GeneratedModel> models;   ///< one per scheduled leaf spec.
+    /** Aggregate resources per schedule (Table 3 accounting). */
+    std::vector<ScheduleResources> scheduleResources;
+
+    /** Find a generated model by spec name (nullptr when absent). */
+    const GeneratedModel *find(const std::string &spec_name) const;
+};
+
+/** Run the compiler for everything scheduled on @p platform. */
+GenerationResult generate(PlatformHandle &platform,
+                          const GenerateOptions &options = {});
+
+/**
+ * Search a single spec on a platform — the inner loop of generate(),
+ * exposed for experiments that sweep specs without full schedules.
+ */
+GeneratedModel searchModel(const ModelSpec &spec, PlatformHandle &platform,
+                           const GenerateOptions &options,
+                           const ml::DataSplit &split);
+
+}  // namespace homunculus::core

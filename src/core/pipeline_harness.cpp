@@ -1,0 +1,71 @@
+#include "core/pipeline_harness.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace homunculus::core {
+
+PipelineHarness::PipelineHarness(ir::ModelIr model,
+                                 backends::PlatformPtr platform,
+                                 ml::StandardScaler scaler,
+                                 net::FeatureExtractor extractor)
+    : model_(std::move(model)),
+      platform_(std::move(platform)),
+      scaler_(std::move(scaler)),
+      extractor_(std::move(extractor))
+{
+    if (!platform_)
+        throw std::runtime_error("PipelineHarness: null platform");
+    model_.validate();
+}
+
+ReplayStats
+PipelineHarness::classify(const std::vector<std::vector<double>> &features,
+                          std::size_t offered) const
+{
+    auto started = std::chrono::steady_clock::now();
+    ReplayStats stats;
+    stats.packetsOffered = offered;
+    stats.packetsParsed = features.size();
+    if (!features.empty()) {
+        math::Matrix x = math::Matrix::fromRows(features);
+        x = scaler_.fitted() ? scaler_.transform(x) : x;
+        stats.verdicts = platform_->evaluate(model_, x);
+        stats.packetsClassified = stats.verdicts.size();
+
+        backends::ResourceReport report = platform_->estimate(model_);
+        stats.modelLatencyNs = report.latencyNs;
+        stats.modelThroughputGpps = report.throughputGpps;
+    }
+    stats.hostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    return stats;
+}
+
+ReplayStats
+PipelineHarness::replayWire(
+    const std::vector<std::vector<std::uint8_t>> &frames) const
+{
+    std::vector<std::vector<double>> features;
+    features.reserve(frames.size());
+    for (const auto &frame : frames) {
+        auto row = extractor_.extractFromWire(frame);
+        if (row)
+            features.push_back(std::move(*row));
+    }
+    return classify(features, frames.size());
+}
+
+ReplayStats
+PipelineHarness::replay(const std::vector<net::RawPacket> &packets) const
+{
+    std::vector<std::vector<double>> features;
+    features.reserve(packets.size());
+    for (const auto &packet : packets)
+        features.push_back(extractor_.extract(packet));
+    return classify(features, packets.size());
+}
+
+}  // namespace homunculus::core

@@ -1,0 +1,119 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace homunculus::core {
+
+ScheduleResources
+composeResources(
+    const ScheduleNode &node,
+    const std::map<std::string, backends::ResourceReport> &reports)
+{
+    ScheduleResources out;
+    switch (node.kind) {
+      case ScheduleNode::Kind::kModel: {
+        auto it = reports.find(node.spec->name);
+        if (it == reports.end())
+            throw std::runtime_error("composeResources: missing report for " +
+                                     node.spec->name);
+        const backends::ResourceReport &report = it->second;
+        out.computeUnits = report.computeUnits;
+        out.memoryUnits = report.memoryUnits;
+        out.matTables = report.matTables;
+        out.latencyNs = report.latencyNs;
+        out.throughputGpps = report.throughputGpps;
+        return out;
+      }
+      case ScheduleNode::Kind::kSequential: {
+        out.throughputGpps = std::numeric_limits<double>::infinity();
+        for (const auto &child : node.children) {
+            ScheduleResources sub = composeResources(child, reports);
+            out.computeUnits += sub.computeUnits;
+            out.memoryUnits += sub.memoryUnits;
+            out.matTables += sub.matTables;
+            out.latencyNs += sub.latencyNs;
+            out.throughputGpps =
+                std::min(out.throughputGpps, sub.throughputGpps);
+        }
+        return out;
+      }
+      case ScheduleNode::Kind::kParallel: {
+        out.throughputGpps = std::numeric_limits<double>::infinity();
+        for (const auto &child : node.children) {
+            ScheduleResources sub = composeResources(child, reports);
+            out.computeUnits += sub.computeUnits;
+            out.memoryUnits += sub.memoryUnits;
+            out.matTables += sub.matTables;
+            out.latencyNs = std::max(out.latencyNs, sub.latencyNs);
+            out.throughputGpps =
+                std::min(out.throughputGpps, sub.throughputGpps);
+        }
+        return out;
+      }
+    }
+    return out;
+}
+
+namespace {
+
+/** Execute one row through the DAG; returns (features', label). */
+std::pair<std::vector<double>, int>
+executeRow(const ScheduleNode &node,
+           const std::map<std::string, ir::ModelIr> &models,
+           const backends::Platform &platform,
+           const std::vector<double> &features)
+{
+    switch (node.kind) {
+      case ScheduleNode::Kind::kModel: {
+        auto it = models.find(node.spec->name);
+        if (it == models.end())
+            throw std::runtime_error("executeSchedule: missing model for " +
+                                     node.spec->name);
+        math::Matrix row(1, features.size());
+        for (std::size_t c = 0; c < features.size(); ++c)
+            row(0, c) = features[c];
+        int label = platform.evaluate(it->second, row).front();
+        return {features, label};
+      }
+      case ScheduleNode::Kind::kSequential: {
+        std::vector<double> current = features;
+        int label = 0;
+        for (std::size_t i = 0; i < node.children.size(); ++i) {
+            auto [out_features, out_label] =
+                executeRow(node.children[i], models, platform, current);
+            label = out_label;
+            if (i + 1 < node.children.size())
+                current = node.ioMap.mapper(out_features, out_label);
+        }
+        return {current, label};
+      }
+      case ScheduleNode::Kind::kParallel: {
+        int label = 0;
+        for (const auto &child : node.children) {
+            auto [out_features, out_label] =
+                executeRow(child, models, platform, features);
+            (void)out_features;
+            label = out_label;  // last branch's verdict, by convention.
+        }
+        return {features, label};
+      }
+    }
+    return {features, 0};
+}
+
+}  // namespace
+
+std::vector<int>
+executeSchedule(const ScheduleNode &node,
+                const std::map<std::string, ir::ModelIr> &models,
+                const backends::Platform &platform, const math::Matrix &x)
+{
+    std::vector<int> labels(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i)
+        labels[i] = executeRow(node, models, platform, x.row(i)).second;
+    return labels;
+}
+
+}  // namespace homunculus::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Schedule-DAG resource composition and chained execution (paper §5.1.3).
+ *
+ * Multiple models share one data plane via the > (sequential) and |
+ * (parallel) operators. Resource totals are strategy-independent — the
+ * glue logic that routes metadata between models folds into CUs already
+ * in use (Table 3's observation) — while latency composes additively on
+ * sequential paths and as a maximum across parallel branches, and
+ * throughput is the minimum over all members (paper §3.2.1's consistency
+ * rule).
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "backends/resource_report.hpp"
+#include "core/alchemy.hpp"
+
+namespace homunculus::core {
+
+/** Aggregated resources/performance of a whole schedule. */
+struct ScheduleResources
+{
+    std::size_t computeUnits = 0;
+    std::size_t memoryUnits = 0;
+    std::size_t matTables = 0;
+    double latencyNs = 0.0;
+    double throughputGpps = 0.0;
+};
+
+/**
+ * Compose per-model reports over the schedule DAG.
+ *
+ * @param node the schedule tree
+ * @param reports per-leaf resource reports keyed by spec name; every leaf
+ *        of @p node must be present
+ */
+ScheduleResources composeResources(
+    const ScheduleNode &node,
+    const std::map<std::string, backends::ResourceReport> &reports);
+
+/**
+ * Execute a schedule of trained models over a feature matrix. Sequential
+ * edges apply the node's IoMap between stages (identity keeps the feature
+ * vector; appendLabel requires the downstream model to expect the wider
+ * input). Parallel branches each see the original features; the result
+ * is the last branch's output (branches are independent applications).
+ *
+ * @param node schedule tree
+ * @param models trained IR per spec name
+ * @param platform backend used to run each model
+ * @param x input features
+ * @return final label per row
+ */
+std::vector<int> executeSchedule(
+    const ScheduleNode &node,
+    const std::map<std::string, ir::ModelIr> &models,
+    const backends::Platform &platform, const math::Matrix &x);
+
+}  // namespace homunculus::core

@@ -1,0 +1,162 @@
+#include "core/trainer.hpp"
+
+#include <chrono>
+
+#include "ml/metrics.hpp"
+
+namespace homunculus::core {
+
+namespace {
+
+/** Score predictions under the spec's objective metric. */
+double
+scoreMetric(Metric metric, const std::vector<int> &truth,
+            const std::vector<int> &predicted, int num_classes)
+{
+    switch (metric) {
+      case Metric::kF1:
+        return ml::f1ForTask(truth, predicted, num_classes);
+      case Metric::kAccuracy:
+        return ml::accuracy(truth, predicted);
+      case Metric::kVMeasure:
+        return ml::vMeasure(truth, predicted);
+    }
+    return 0.0;
+}
+
+ir::ModelIr
+trainDnn(const opt::Configuration &config, const ModelSpec &spec,
+         const ml::DataSplit &split, std::uint64_t seed)
+{
+    ml::MlpConfig mlp_config;
+    mlp_config.inputDim = split.train.numFeatures();
+    mlp_config.numClasses = split.train.numClasses;
+    auto num_layers = static_cast<std::size_t>(config.integer("num_layers"));
+    for (std::size_t l = 0; l < num_layers; ++l) {
+        mlp_config.hiddenLayers.push_back(static_cast<std::size_t>(
+            config.integer("width_" + std::to_string(l))));
+    }
+    mlp_config.learningRate = config.real("learning_rate");
+    mlp_config.batchSize =
+        static_cast<std::size_t>(config.integer("batch_size"));
+    mlp_config.activation =
+        ml::activationFromName(config.categorical("activation"));
+    mlp_config.epochs = kCandidateTrainEpochs;
+    mlp_config.seed = seed;
+
+    ml::Mlp mlp(mlp_config);
+    mlp.train(split.train);
+    return ir::lowerMlp(mlp, common::FixedPointFormat::q88(), spec.name);
+}
+
+ir::ModelIr
+trainSvm(const opt::Configuration &config, const ModelSpec &spec,
+         const ml::DataSplit &split, std::uint64_t seed)
+{
+    ml::SvmConfig svm_config;
+    svm_config.learningRate = config.real("learning_rate");
+    svm_config.regularization = config.real("regularization");
+    svm_config.epochs = static_cast<std::size_t>(config.integer("epochs"));
+    svm_config.seed = seed;
+
+    ml::LinearSvm svm(svm_config);
+    svm.train(split.train);
+    return ir::lowerSvm(svm, common::FixedPointFormat::q88(), spec.name,
+                        split.train.numFeatures());
+}
+
+ir::ModelIr
+trainKMeans(const opt::Configuration &config, const ModelSpec &spec,
+            const ml::DataSplit &split, std::uint64_t seed)
+{
+    ml::KMeansConfig km_config;
+    km_config.numClusters =
+        static_cast<std::size_t>(config.integer("num_clusters"));
+    km_config.maxIterations =
+        static_cast<std::size_t>(config.integer("max_iterations"));
+    km_config.seed = seed;
+
+    ml::KMeans kmeans(km_config);
+    kmeans.fit(split.train.x);
+    return ir::lowerKMeans(kmeans, common::FixedPointFormat::q88(),
+                           spec.name, split.train.numFeatures());
+}
+
+ir::ModelIr
+trainTree(const opt::Configuration &config, const ModelSpec &spec,
+          const ml::DataSplit &split, std::uint64_t seed)
+{
+    ml::TreeConfig tree_config;
+    tree_config.maxDepth =
+        static_cast<std::size_t>(config.integer("max_depth"));
+    tree_config.minSamplesLeaf =
+        static_cast<std::size_t>(config.integer("min_samples_leaf"));
+    tree_config.seed = seed;
+
+    ml::DecisionTreeClassifier tree(tree_config);
+    tree.train(split.train);
+    return ir::lowerDecisionTree(tree, common::FixedPointFormat::q88(),
+                                 spec.name, split.train.numFeatures());
+}
+
+}  // namespace
+
+CandidateEvaluation
+evaluateCandidate(Algorithm algorithm, const opt::Configuration &config,
+                  const ModelSpec &spec, const ml::DataSplit &split,
+                  const backends::Platform &platform, std::uint64_t seed)
+{
+    auto started = std::chrono::steady_clock::now();
+
+    CandidateEvaluation evaluation;
+    switch (algorithm) {
+      case Algorithm::kDnn:
+        evaluation.model = trainDnn(config, spec, split, seed);
+        break;
+      case Algorithm::kSvm:
+        evaluation.model = trainSvm(config, spec, split, seed);
+        break;
+      case Algorithm::kKMeans:
+        evaluation.model = trainKMeans(config, spec, split, seed);
+        break;
+      case Algorithm::kDecisionTree:
+        evaluation.model = trainTree(config, spec, split, seed);
+        break;
+    }
+
+    evaluation.report = platform.estimate(evaluation.model);
+    if (evaluation.report.feasible) {
+        std::vector<int> predicted =
+            platform.evaluate(evaluation.model, split.test.x);
+        evaluation.objective = scoreMetric(spec.optimizationMetric,
+                                           split.test.y, predicted,
+                                           split.test.numClasses);
+    }
+
+    evaluation.trainSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    return evaluation;
+}
+
+opt::EvalResult
+toEvalResult(const CandidateEvaluation &evaluation)
+{
+    opt::EvalResult result;
+    result.objective = evaluation.objective;
+    result.feasible = evaluation.report.feasible;
+    result.metrics["cus"] =
+        static_cast<double>(evaluation.report.computeUnits);
+    result.metrics["mus"] =
+        static_cast<double>(evaluation.report.memoryUnits);
+    result.metrics["mat_tables"] =
+        static_cast<double>(evaluation.report.matTables);
+    result.metrics["latency_ns"] = evaluation.report.latencyNs;
+    result.metrics["throughput_gpps"] = evaluation.report.throughputGpps;
+    result.metrics["params"] =
+        static_cast<double>(evaluation.model.paramCount());
+    return result;
+}
+
+}  // namespace homunculus::core

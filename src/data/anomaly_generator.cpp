@@ -1,0 +1,141 @@
+#include "data/anomaly_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/preprocess.hpp"
+
+namespace homunculus::data {
+
+namespace {
+
+/** Feature vector layout for the AD schema (7 features). */
+enum AdFeature : std::size_t {
+    kDuration = 0,
+    kSrcBytes,
+    kDstBytes,
+    kConnCount,
+    kSrvCount,
+    kSerrorRate,
+    kSameSrvRate,
+    kNumAdFeatures,
+};
+
+/** Benign connection: moderate duration, balanced byte counts. */
+std::vector<double>
+benignSample(common::Rng &rng, double noise)
+{
+    std::vector<double> f(kNumAdFeatures);
+    f[kDuration] = std::max(0.0, rng.exponential(0.08));
+    f[kSrcBytes] = std::max(0.0, rng.gaussian(2200.0, 900.0 * (1 + noise)));
+    f[kDstBytes] = std::max(0.0, rng.gaussian(3800.0, 1500.0 * (1 + noise)));
+    f[kConnCount] = std::max(0.0, rng.gaussian(10.0, 6.0 * (1 + noise)));
+    f[kSrvCount] = std::max(0.0, rng.gaussian(8.0, 5.0 * (1 + noise)));
+    f[kSerrorRate] = std::clamp(rng.gaussian(0.04, 0.05 * (1 + noise)),
+                                0.0, 1.0);
+    f[kSameSrvRate] = std::clamp(rng.gaussian(0.85, 0.12 * (1 + noise)),
+                                 0.0, 1.0);
+    return f;
+}
+
+/** DoS flood: tiny payloads, huge connection counts, high SYN errors. */
+std::vector<double>
+dosSample(common::Rng &rng, double noise)
+{
+    std::vector<double> f(kNumAdFeatures);
+    f[kDuration] = std::max(0.0, rng.exponential(2.0));
+    f[kSrcBytes] = std::max(0.0, rng.gaussian(120.0, 220.0 * (1 + noise)));
+    f[kDstBytes] = std::max(0.0, rng.gaussian(40.0, 120.0 * (1 + noise)));
+    f[kConnCount] = std::max(0.0, rng.gaussian(180.0, 70.0 * (1 + noise)));
+    f[kSrvCount] = std::max(0.0, rng.gaussian(150.0, 60.0 * (1 + noise)));
+    f[kSerrorRate] = std::clamp(rng.gaussian(0.7, 0.22 * (1 + noise)),
+                                0.0, 1.0);
+    f[kSameSrvRate] = std::clamp(rng.gaussian(0.95, 0.1 * (1 + noise)),
+                                 0.0, 1.0);
+    return f;
+}
+
+/** Port probe: short bursts touching many distinct services. */
+std::vector<double>
+probeSample(common::Rng &rng, double noise)
+{
+    std::vector<double> f(kNumAdFeatures);
+    f[kDuration] = std::max(0.0, rng.exponential(1.0));
+    f[kSrcBytes] = std::max(0.0, rng.gaussian(300.0, 280.0 * (1 + noise)));
+    f[kDstBytes] = std::max(0.0, rng.gaussian(900.0, 700.0 * (1 + noise)));
+    f[kConnCount] = std::max(0.0, rng.gaussian(60.0, 30.0 * (1 + noise)));
+    f[kSrvCount] = std::max(0.0, rng.gaussian(45.0, 25.0 * (1 + noise)));
+    f[kSerrorRate] = std::clamp(rng.gaussian(0.35, 0.2 * (1 + noise)),
+                                0.0, 1.0);
+    f[kSameSrvRate] = std::clamp(rng.gaussian(0.25, 0.18 * (1 + noise)),
+                                 0.0, 1.0);
+    return f;
+}
+
+/** Remote-to-local: looks close to benign, long-duration, low error. */
+std::vector<double>
+r2lSample(common::Rng &rng, double noise)
+{
+    std::vector<double> f(kNumAdFeatures);
+    f[kDuration] = std::max(0.0, rng.gaussian(45.0, 30.0 * (1 + noise)));
+    f[kSrcBytes] = std::max(0.0, rng.gaussian(1800.0, 900.0 * (1 + noise)));
+    f[kDstBytes] = std::max(0.0, rng.gaussian(5200.0, 2200.0 * (1 + noise)));
+    f[kConnCount] = std::max(0.0, rng.gaussian(6.0, 5.0 * (1 + noise)));
+    f[kSrvCount] = std::max(0.0, rng.gaussian(4.0, 4.0 * (1 + noise)));
+    f[kSerrorRate] = std::clamp(rng.gaussian(0.08, 0.08 * (1 + noise)),
+                                0.0, 1.0);
+    f[kSameSrvRate] = std::clamp(rng.gaussian(0.7, 0.2 * (1 + noise)),
+                                 0.0, 1.0);
+    return f;
+}
+
+}  // namespace
+
+ml::Dataset
+generateAnomalyDataset(const AnomalyConfig &config)
+{
+    common::Rng rng(config.seed);
+    ml::Dataset out;
+    out.numClasses = 2;
+    out.featureNames = {"duration", "src_bytes", "dst_bytes", "conn_count",
+                        "srv_count", "serror_rate", "same_srv_rate"};
+    out.x = math::Matrix(config.numSamples, kNumAdFeatures);
+    out.y.resize(config.numSamples);
+
+    std::vector<double> attack_mix = {config.dosWeight, config.probeWeight,
+                                      config.r2lWeight};
+    for (std::size_t i = 0; i < config.numSamples; ++i) {
+        bool malicious = rng.bernoulli(config.maliciousFraction);
+        std::vector<double> features;
+        if (!malicious || rng.bernoulli(config.stealthFraction)) {
+            // Benign profile — also used by stealthy attacks that blend
+            // into normal traffic.
+            features = benignSample(rng, config.noiseLevel);
+        } else {
+            switch (rng.categorical(attack_mix)) {
+              case 0: features = dosSample(rng, config.noiseLevel); break;
+              case 1: features = probeSample(rng, config.noiseLevel); break;
+              default: features = r2lSample(rng, config.noiseLevel); break;
+            }
+        }
+        for (std::size_t c = 0; c < kNumAdFeatures; ++c)
+            out.x(i, c) = features[c];
+        int label = malicious ? 1 : 0;
+        if (rng.bernoulli(config.labelNoise))
+            label ^= 1;
+        out.y[i] = label;
+    }
+    return out;
+}
+
+ml::DataSplit
+generateAnomalySplit(const AnomalyConfig &config, double test_fraction)
+{
+    ml::Dataset full = generateAnomalyDataset(config);
+    ml::DataSplit split = ml::stratifiedSplit(full, test_fraction,
+                                              config.seed ^ 0x1234ull);
+    return ml::standardizeSplit(split);
+}
+
+}  // namespace homunculus::data

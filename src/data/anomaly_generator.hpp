@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Synthetic NSL-KDD-style anomaly-detection dataset.
+ *
+ * Substitution (see DESIGN.md): the paper trains its anomaly-detection
+ * model on NSL-KDD packet-level traces. We synthesize a dataset with the
+ * same 7-feature schema the Taurus AD model consumes and the same
+ * structural properties the compiler exercises: a benign majority class,
+ * three attack archetypes (DoS flood, port probe, remote-to-local) whose
+ * feature distributions overlap the benign cloud enough that model
+ * capacity matters — so the F1-vs-size trade the BO loop explores is real.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "ml/dataset.hpp"
+
+namespace homunculus::data {
+
+/** Knobs for the anomaly-detection generator. */
+struct AnomalyConfig
+{
+    std::size_t numSamples = 4000;
+    double maliciousFraction = 0.35;  ///< attack share (NSL-KDD-like).
+    /** Relative mix of DoS / probe / R2L within the malicious share. */
+    double dosWeight = 0.5;
+    double probeWeight = 0.3;
+    double r2lWeight = 0.2;
+    /** Class-overlap noise; larger is harder (0.5 ~ paper-like F1 band). */
+    double noiseLevel = 0.5;
+    /**
+     * Fraction of malicious samples that mimic benign feature profiles
+     * (stealthy attacks). Caps achievable recall — the lever that places
+     * baseline F1 in the paper's 0.6-0.8 band.
+     */
+    double stealthFraction = 0.0;
+    /** Fraction of flipped labels (annotation noise in IDS captures). */
+    double labelNoise = 0.0;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Generate a binary-labeled anomaly dataset (0 = benign, 1 = malicious)
+ * over features: duration, src_bytes, dst_bytes, conn_count, srv_count,
+ * serror_rate, same_srv_rate.
+ */
+ml::Dataset generateAnomalyDataset(const AnomalyConfig &config);
+
+/** Convenience: generated, split, and standardized in one call. */
+ml::DataSplit generateAnomalySplit(const AnomalyConfig &config,
+                                   double test_fraction = 0.3);
+
+}  // namespace homunculus::data

@@ -1,0 +1,149 @@
+#include "data/flowmarker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace homunculus::data {
+
+FlowMarkerConfig
+flowLensOriginalConfig()
+{
+    FlowMarkerConfig config;
+    config.plBins = 94;
+    config.plBinWidth = 16.0;
+    config.iptBins = 57;
+    config.iptBinWidthSec = 64.0;
+    return config;
+}
+
+FlowMarkerConfig
+homunculusCompressedConfig()
+{
+    return {};  // defaults are the 23 + 7 scheme.
+}
+
+std::vector<double>
+computeFlowMarker(const Flow &flow, const FlowMarkerConfig &config,
+                  std::size_t max_packets)
+{
+    std::vector<double> marker(config.totalBins(), 0.0);
+    std::size_t count = flow.packets.size();
+    if (max_packets > 0)
+        count = std::min(count, max_packets);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const Packet &pkt = flow.packets[i];
+        auto pl_bin = static_cast<std::size_t>(pkt.sizeBytes /
+                                               config.plBinWidth);
+        pl_bin = std::min(pl_bin, config.plBins - 1);
+        marker[pl_bin] += 1.0;
+
+        if (i > 0) {
+            double gap = pkt.timestampSec -
+                         flow.packets[i - 1].timestampSec;
+            auto ipt_bin = static_cast<std::size_t>(
+                std::max(0.0, gap) / config.iptBinWidthSec);
+            ipt_bin = std::min(ipt_bin, config.iptBins - 1);
+            marker[config.plBins + ipt_bin] += 1.0;
+        }
+    }
+    return marker;
+}
+
+namespace {
+
+std::vector<std::string>
+markerFeatureNames(const FlowMarkerConfig &config)
+{
+    std::vector<std::string> names;
+    for (std::size_t b = 0; b < config.plBins; ++b)
+        names.push_back("pl_bin_" + std::to_string(b));
+    for (std::size_t b = 0; b < config.iptBins; ++b)
+        names.push_back("ipt_bin_" + std::to_string(b));
+    return names;
+}
+
+}  // namespace
+
+ml::Dataset
+buildFlowLevelDataset(const std::vector<Flow> &flows,
+                      const FlowMarkerConfig &config)
+{
+    if (flows.empty())
+        throw std::runtime_error("flowmarker: no flows");
+    ml::Dataset out;
+    out.numClasses = 2;
+    out.featureNames = markerFeatureNames(config);
+    out.x = math::Matrix(flows.size(), config.totalBins());
+    out.y.resize(flows.size());
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        std::vector<double> marker = computeFlowMarker(flows[i], config);
+        for (std::size_t c = 0; c < marker.size(); ++c)
+            out.x(i, c) = marker[c];
+        out.y[i] = flows[i].botnet ? 1 : 0;
+    }
+    return out;
+}
+
+ml::Dataset
+buildPerPacketDataset(const std::vector<Flow> &flows,
+                      const FlowMarkerConfig &config, std::size_t stride)
+{
+    if (flows.empty())
+        throw std::runtime_error("flowmarker: no flows");
+    if (stride == 0)
+        stride = 1;
+
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    for (const Flow &flow : flows) {
+        for (std::size_t k = 1; k <= flow.packets.size(); k += stride) {
+            rows.push_back(computeFlowMarker(flow, config, k));
+            labels.push_back(flow.botnet ? 1 : 0);
+        }
+    }
+
+    ml::Dataset out;
+    out.numClasses = 2;
+    out.featureNames = markerFeatureNames(config);
+    out.x = math::Matrix::fromRows(rows);
+    out.y = std::move(labels);
+    return out;
+}
+
+ClassHistograms
+averageClassHistograms(const std::vector<Flow> &flows,
+                       const FlowMarkerConfig &config)
+{
+    ClassHistograms out;
+    out.benignPl.assign(config.plBins, 0.0);
+    out.botnetPl.assign(config.plBins, 0.0);
+    out.benignIpt.assign(config.iptBins, 0.0);
+    out.botnetIpt.assign(config.iptBins, 0.0);
+
+    std::size_t benign_count = 0, botnet_count = 0;
+    for (const Flow &flow : flows) {
+        std::vector<double> marker = computeFlowMarker(flow, config);
+        auto &pl = flow.botnet ? out.botnetPl : out.benignPl;
+        auto &ipt = flow.botnet ? out.botnetIpt : out.benignIpt;
+        for (std::size_t b = 0; b < config.plBins; ++b)
+            pl[b] += marker[b];
+        for (std::size_t b = 0; b < config.iptBins; ++b)
+            ipt[b] += marker[config.plBins + b];
+        (flow.botnet ? botnet_count : benign_count) += 1;
+    }
+
+    auto normalize = [](std::vector<double> &values, std::size_t count) {
+        if (count == 0)
+            return;
+        for (double &v : values)
+            v /= static_cast<double>(count);
+    };
+    normalize(out.benignPl, benign_count);
+    normalize(out.botnetPl, botnet_count);
+    normalize(out.benignIpt, benign_count);
+    normalize(out.botnetIpt, botnet_count);
+    return out;
+}
+
+}  // namespace homunculus::data

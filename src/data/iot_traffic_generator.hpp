@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Synthetic IoT traffic-classification dataset (IIsy-style).
+ *
+ * Substitution (see DESIGN.md): the paper's TC application identifies IoT
+ * device types from packet-header features in datacenter traces. We
+ * synthesize 5 device archetypes (camera, sensor, speaker, hub, thermostat)
+ * over 7 header-derived features: packet size, IPv4 TTL, protocol number,
+ * source port bucket, destination port bucket, TOS/DSCP, payload entropy
+ * proxy. Device classes are separable but overlapping, which is what the
+ * clustering (Figure 7) and DNN-TC (Table 2) experiments require.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "ml/dataset.hpp"
+
+namespace homunculus::data {
+
+/** Knobs for the IoT traffic generator. */
+struct IotTrafficConfig
+{
+    std::size_t numSamples = 5000;
+    int numDeviceClasses = 5;   ///< up to 5 archetypes.
+    double noiseLevel = 0.6;    ///< class overlap control.
+    std::uint64_t seed = 77;
+};
+
+/** Generate the multi-class IoT device dataset. */
+ml::Dataset generateIotTrafficDataset(const IotTrafficConfig &config);
+
+/** Generated, split, and standardized in one call. */
+ml::DataSplit generateIotTrafficSplit(const IotTrafficConfig &config,
+                                      double test_fraction = 0.3);
+
+}  // namespace homunculus::data

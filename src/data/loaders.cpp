@@ -1,0 +1,106 @@
+#include "data/loaders.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace homunculus::data {
+
+namespace {
+
+ml::Dataset
+datasetFromTable(const common::CsvTable &table)
+{
+    if (table.rows.empty())
+        throw std::runtime_error("loader: empty CSV");
+    std::size_t width = table.rows.front().size();
+    if (width < 2)
+        throw std::runtime_error("loader: need >= 1 feature + label column");
+
+    ml::Dataset out;
+    out.x = math::Matrix(table.rows.size(), width - 1);
+    out.y.resize(table.rows.size());
+    int max_label = 0;
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        for (std::size_t c = 0; c + 1 < width; ++c)
+            out.x(r, c) = table.rows[r][c];
+        double raw_label = table.rows[r][width - 1];
+        int label = static_cast<int>(std::llround(raw_label));
+        if (label < 0 || std::fabs(raw_label - label) > 1e-9)
+            throw std::runtime_error(
+                "loader: label column must hold non-negative integers");
+        out.y[r] = label;
+        max_label = std::max(max_label, label);
+    }
+    out.numClasses = max_label + 1;
+    if (!table.header.empty()) {
+        out.featureNames.assign(table.header.begin(),
+                                table.header.end() - 1);
+    }
+    out.validate();
+    return out;
+}
+
+}  // namespace
+
+ml::Dataset
+datasetFromCsv(const std::string &csv_content, bool has_header)
+{
+    return datasetFromTable(common::parseCsv(csv_content, has_header));
+}
+
+ml::Dataset
+datasetFromCsvFile(const std::string &path, bool has_header)
+{
+    return datasetFromTable(common::readCsvFile(path, has_header));
+}
+
+std::string
+datasetToCsv(const ml::Dataset &data)
+{
+    common::CsvTable table;
+    if (!data.featureNames.empty()) {
+        table.header = data.featureNames;
+        table.header.push_back("label");
+    }
+    table.rows.reserve(data.numSamples());
+    for (std::size_t r = 0; r < data.numSamples(); ++r) {
+        std::vector<double> row = data.x.row(r);
+        row.push_back(static_cast<double>(data.y[r]));
+        table.rows.push_back(std::move(row));
+    }
+    return common::writeCsv(table);
+}
+
+void
+datasetToCsvFile(const std::string &path, const ml::Dataset &data)
+{
+    common::CsvTable table;
+    table.rows.reserve(data.numSamples());
+    if (!data.featureNames.empty()) {
+        table.header = data.featureNames;
+        table.header.push_back("label");
+    }
+    for (std::size_t r = 0; r < data.numSamples(); ++r) {
+        std::vector<double> row = data.x.row(r);
+        row.push_back(static_cast<double>(data.y[r]));
+        table.rows.push_back(std::move(row));
+    }
+    common::writeCsvFile(path, table);
+}
+
+DataLoaderFn
+csvLoader(const std::string &train_path, const std::string &test_path,
+          bool has_header)
+{
+    return [train_path, test_path, has_header]() {
+        ml::DataSplit split;
+        split.train = datasetFromCsvFile(train_path, has_header);
+        split.test = datasetFromCsvFile(test_path, has_header);
+        return split;
+    };
+}
+
+}  // namespace homunculus::data

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Dataset <-> CSV bridging, the C++ analogue of Alchemy's @DataLoader.
+ *
+ * The Alchemy DSL wraps a user function that loads and preprocesses a
+ * labeled dataset. In this library a DataLoader is any callable returning
+ * a DataSplit; these helpers cover the common case of CSV files whose
+ * last column is the integer class label.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ml/dataset.hpp"
+
+namespace homunculus::data {
+
+/** The loader signature the Alchemy frontend accepts. */
+using DataLoaderFn = std::function<ml::DataSplit()>;
+
+/**
+ * Parse a Dataset from an in-memory CSV table. The last column holds the
+ * class label; remaining columns are features.
+ */
+ml::Dataset datasetFromCsv(const std::string &csv_content, bool has_header);
+
+/** Read a labeled dataset from a CSV file (last column = label). */
+ml::Dataset datasetFromCsvFile(const std::string &path, bool has_header);
+
+/** Serialize a dataset to CSV text (features then label column). */
+std::string datasetToCsv(const ml::Dataset &data);
+
+/** Write a dataset to a CSV file. */
+void datasetToCsvFile(const std::string &path, const ml::Dataset &data);
+
+/**
+ * Build a DataLoaderFn over train/test CSV files, mirroring the paper's
+ * Figure 3 example (train_ad.csv / test_ad.csv).
+ */
+DataLoaderFn csvLoader(const std::string &train_path,
+                       const std::string &test_path, bool has_header);
+
+}  // namespace homunculus::data

@@ -1,0 +1,104 @@
+#include "data/p2p_traces.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace homunculus::data {
+
+namespace {
+
+/** Botnet C&C: periodic keep-alives with ±25% jitter over the window. */
+Flow
+generateBotnetFlow(const P2pTraceConfig &config, common::Rng &rng)
+{
+    Flow flow;
+    flow.botnet = true;
+    double t = rng.uniform(0.0, config.botnetMeanGapSec);
+    while (t < config.observationWindowSec) {
+        Packet pkt;
+        pkt.timestampSec = t;
+        pkt.sizeBytes = std::clamp(
+            rng.gaussian(config.botnetPacketMean, config.botnetPacketStddev),
+            40.0, 1500.0);
+        flow.packets.push_back(pkt);
+        double jitter = rng.uniform(0.6, 1.4);
+        double gap = config.botnetMeanGapSec * jitter;
+        // Dormant periods stretch the inter-arrival tail across several
+        // 512 s histogram bins (Figure 6's IPT divergence).
+        if (rng.bernoulli(config.botnetDormancyProb))
+            gap *= rng.uniform(2.0, 6.0);
+        t += gap;
+        // Occasional command burst: 2-4 packets back-to-back.
+        if (rng.bernoulli(0.08)) {
+            auto burst = static_cast<std::size_t>(rng.uniformInt(2, 4));
+            for (std::size_t b = 0; b < burst &&
+                                    t < config.observationWindowSec;
+                 ++b) {
+                Packet extra;
+                extra.timestampSec = t;
+                extra.sizeBytes = std::clamp(
+                    rng.gaussian(config.botnetPacketMean * 1.5,
+                                 config.botnetPacketStddev),
+                    40.0, 1500.0);
+                flow.packets.push_back(extra);
+                t += rng.uniform(0.1, 2.0);
+            }
+        }
+    }
+    return flow;
+}
+
+/** Benign P2P: Poisson bursts of heavy-tailed (Pareto) packet sizes. */
+Flow
+generateBenignFlow(const P2pTraceConfig &config, common::Rng &rng)
+{
+    Flow flow;
+    flow.botnet = false;
+    double duration = std::min(
+        config.observationWindowSec,
+        rng.exponential(1.0 / config.benignMeanDurationSec));
+    // Ensure even short benign flows carry a handful of packets.
+    duration = std::max(duration, 30.0);
+
+    double t = rng.uniform(0.0, 5.0);
+    while (t < duration) {
+        auto burst_len = static_cast<std::size_t>(std::max<std::int64_t>(
+            1, rng.poisson(config.benignMeanBurstLen)));
+        for (std::size_t b = 0; b < burst_len && t < duration; ++b) {
+            Packet pkt;
+            pkt.timestampSec = t;
+            pkt.sizeBytes = std::clamp(
+                rng.pareto(120.0, config.benignParetoShape), 40.0, 1500.0);
+            flow.packets.push_back(pkt);
+            t += rng.exponential(50.0);  // intra-burst: ~20 ms gaps.
+        }
+        t += rng.exponential(config.benignBurstRatePerSec);
+    }
+    if (flow.packets.empty()) {
+        Packet pkt;
+        pkt.timestampSec = 0.0;
+        pkt.sizeBytes = 120.0;
+        flow.packets.push_back(pkt);
+    }
+    return flow;
+}
+
+}  // namespace
+
+std::vector<Flow>
+generateP2pFlows(const P2pTraceConfig &config)
+{
+    common::Rng rng(config.seed);
+    std::vector<Flow> flows;
+    flows.reserve(config.numFlows);
+    for (std::size_t i = 0; i < config.numFlows; ++i) {
+        bool botnet = rng.bernoulli(config.botnetFraction);
+        flows.push_back(botnet ? generateBotnetFlow(config, rng)
+                               : generateBenignFlow(config, rng));
+    }
+    return flows;
+}
+
+}  // namespace homunculus::data

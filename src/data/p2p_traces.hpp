@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Synthetic P2P packet traces with botnet vs. benign signatures.
+ *
+ * Substitution (see DESIGN.md): the paper's botnet-detection application
+ * uses PeerRush P2P captures (Storm/Waledac botnets vs. uTorrent, Vuze,
+ * eMule, FrostWire). Those pcaps are not available offline, so this module
+ * synthesizes packet-level flows reproducing the two statistical facts the
+ * experiments depend on (paper §5.1.1 and Figure 6):
+ *
+ *  - Botnet C&C flows are low-volume and high-duration: few, small,
+ *    narrowly-sized packets with long, regular inter-arrival gaps.
+ *  - Benign P2P flows are bursty and heavy-tailed: many packets spanning
+ *    the full MTU range with short inter-arrival times.
+ *
+ * Consequently the packet-length / inter-arrival histograms of the two
+ * classes diverge after only a few packets — the property that makes
+ * per-packet partial-histogram inference (reaction time) viable.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace homunculus::data {
+
+/** A single observed packet within a flow. */
+struct Packet
+{
+    double timestampSec = 0.0;  ///< seconds since flow start.
+    double sizeBytes = 0.0;     ///< on-wire length.
+};
+
+/** A conversation-level flow (src/dst pair, ports ignored as in FlowLens). */
+struct Flow
+{
+    bool botnet = false;
+    std::vector<Packet> packets;  ///< sorted by timestamp.
+
+    double durationSec() const
+    {
+        return packets.empty() ? 0.0 : packets.back().timestampSec;
+    }
+};
+
+/** Knobs for the P2P trace generator. */
+struct P2pTraceConfig
+{
+    std::size_t numFlows = 600;
+    double botnetFraction = 0.5;
+    double observationWindowSec = 3600.0;  ///< FlowLens aggregation window.
+    std::uint64_t seed = 1337;
+
+    // Botnet C&C behavior: sparse keep-alives with jittered periodicity
+    // and occasional long dormancy (gaps span multiple 512 s IPT bins).
+    double botnetMeanGapSec = 400.0;
+    double botnetDormancyProb = 0.25;   ///< chance of a 2-6x longer gap.
+    double botnetPacketMean = 140.0;   ///< bytes; narrow distribution.
+    double botnetPacketStddev = 40.0;
+
+    // Benign P2P behavior: bursts of heavy-tailed packets.
+    double benignBurstRatePerSec = 0.8;   ///< burst arrival rate.
+    double benignMeanBurstLen = 14.0;     ///< packets per burst.
+    double benignParetoShape = 1.3;       ///< packet-size tail index.
+    double benignMeanDurationSec = 700.0; ///< flows end well before window.
+};
+
+/** Generate a deterministic set of labeled flows. */
+std::vector<Flow> generateP2pFlows(const P2pTraceConfig &config);
+
+}  // namespace homunculus::data

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * ModelIr: the backend-neutral description of a trained model.
+ *
+ * This is the compiler contract at the heart of Homunculus's black-box
+ * split (paper §3.2.3): the optimization core trains models and lowers
+ * them to a ModelIr; backends consume the ModelIr to (a) estimate
+ * resources/latency/throughput, (b) execute fixed-point inference in
+ * simulation, and (c) emit platform code. Weights are stored quantized in
+ * the data plane's Q-format so every downstream consumer sees exactly the
+ * artifact that would be deployed.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/mlp.hpp"
+#include "ml/svm.hpp"
+
+namespace homunculus::ir {
+
+/** Model families the backends understand. */
+enum class ModelKind { kMlp, kKMeans, kSvm, kDecisionTree };
+
+std::string modelKindName(ModelKind kind);
+
+/** One dense layer with quantized weights (row-major in x out) + biases. */
+struct QuantizedLayer
+{
+    std::size_t inputDim = 0;
+    std::size_t outputDim = 0;
+    std::vector<std::int32_t> weights;  ///< inputDim * outputDim words.
+    std::vector<std::int32_t> biases;   ///< outputDim words.
+
+    std::int32_t weight(std::size_t in, std::size_t out) const
+    {
+        return weights[in * outputDim + out];
+    }
+};
+
+/** Flattened decision-tree node for table-friendly traversal. */
+struct IrTreeNode
+{
+    bool isLeaf = true;
+    std::size_t feature = 0;
+    std::int32_t threshold = 0;  ///< quantized split threshold.
+    int classLabel = 0;
+    int left = -1;   ///< child indices into the node array.
+    int right = -1;
+};
+
+/** The backend-neutral trained model. */
+struct ModelIr
+{
+    ModelKind kind = ModelKind::kMlp;
+    std::string name = "model";
+    std::size_t inputDim = 0;
+    int numClasses = 2;
+    common::FixedPointFormat format = common::FixedPointFormat::q88();
+
+    // --- MLP payload ---------------------------------------------------
+    std::vector<QuantizedLayer> layers;
+    ml::Activation activation = ml::Activation::kRelu;
+
+    // --- KMeans payload ------------------------------------------------
+    std::vector<std::vector<std::int32_t>> centroids;  ///< k x d.
+
+    // --- SVM payload ---------------------------------------------------
+    std::vector<std::vector<std::int32_t>> svmWeights;  ///< classes x d.
+    std::vector<std::int32_t> svmBiases;                ///< classes.
+
+    // --- Decision-tree payload ------------------------------------------
+    std::vector<IrTreeNode> treeNodes;  ///< node 0 is the root.
+    std::size_t treeDepth = 0;
+
+    /** Total stored parameter count (weights + biases or equivalents). */
+    std::size_t paramCount() const;
+
+    /** Hidden-layer count for MLPs (0 otherwise). */
+    std::size_t hiddenLayerCount() const;
+
+    /** Largest layer MAC width (max over layers of in*out); 0 if no MLP. */
+    std::size_t maxLayerMacs() const;
+
+    /** Sanity checks; throws std::runtime_error on inconsistency. */
+    void validate() const;
+};
+
+/** Lower a trained MLP to IR, quantizing weights into @p format. */
+ModelIr lowerMlp(const ml::Mlp &mlp, const common::FixedPointFormat &format,
+                 const std::string &name);
+
+/** Lower a fitted KMeans model to IR. */
+ModelIr lowerKMeans(const ml::KMeans &kmeans,
+                    const common::FixedPointFormat &format,
+                    const std::string &name, std::size_t input_dim);
+
+/** Lower a trained linear SVM to IR. */
+ModelIr lowerSvm(const ml::LinearSvm &svm,
+                 const common::FixedPointFormat &format,
+                 const std::string &name, std::size_t input_dim);
+
+/** Lower a trained decision-tree classifier to IR. */
+ModelIr lowerDecisionTree(const ml::DecisionTreeClassifier &tree,
+                          const common::FixedPointFormat &format,
+                          const std::string &name, std::size_t input_dim);
+
+/**
+ * Reference fixed-point executor for the IR — the semantics every backend
+ * simulator must agree with. Returns the predicted class for one input.
+ */
+int executeIr(const ModelIr &ir, const std::vector<double> &features);
+
+/** Batch form of executeIr over a feature matrix. */
+std::vector<int> executeIrBatch(const ModelIr &ir, const math::Matrix &x);
+
+}  // namespace homunculus::ir

@@ -1,0 +1,206 @@
+#include "ir/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace homunculus::ir {
+
+namespace {
+
+constexpr const char *kMagic = "homunculus-ir";
+constexpr const char *kVersion = "v1";
+
+ModelKind
+kindFromName(const std::string &name)
+{
+    if (name == "dnn")
+        return ModelKind::kMlp;
+    if (name == "kmeans")
+        return ModelKind::kKMeans;
+    if (name == "svm")
+        return ModelKind::kSvm;
+    if (name == "decision_tree")
+        return ModelKind::kDecisionTree;
+    throw std::runtime_error("ir: unknown model kind '" + name + "'");
+}
+
+void
+writeInts(std::ostringstream &out, const char *tag,
+          const std::vector<std::int32_t> &values)
+{
+    out << tag;
+    for (std::int32_t v : values)
+        out << " " << v;
+    out << "\n";
+}
+
+std::vector<std::int32_t>
+readInts(const std::vector<std::string> &tokens, std::size_t from)
+{
+    std::vector<std::int32_t> values;
+    values.reserve(tokens.size() - from);
+    for (std::size_t i = from; i < tokens.size(); ++i)
+        values.push_back(static_cast<std::int32_t>(std::stol(tokens[i])));
+    return values;
+}
+
+}  // namespace
+
+std::string
+serializeModel(const ModelIr &model)
+{
+    model.validate();
+    std::ostringstream out;
+    out << kMagic << " " << kVersion << "\n"
+        << "kind " << modelKindName(model.kind) << "\n"
+        << "name " << model.name << "\n"
+        << "input_dim " << model.inputDim << "\n"
+        << "num_classes " << model.numClasses << "\n"
+        << "format " << model.format.integerBits() << " "
+        << model.format.fracBits() << "\n";
+
+    switch (model.kind) {
+      case ModelKind::kMlp: {
+        out << "activation " << ml::activationName(model.activation)
+            << "\n";
+        for (const auto &layer : model.layers) {
+            out << "layer " << layer.inputDim << " " << layer.outputDim
+                << "\n";
+            writeInts(out, "weights", layer.weights);
+            writeInts(out, "biases", layer.biases);
+        }
+        break;
+      }
+      case ModelKind::kKMeans:
+        for (const auto &centroid : model.centroids)
+            writeInts(out, "centroid", centroid);
+        break;
+      case ModelKind::kSvm:
+        for (std::size_t c = 0; c < model.svmWeights.size(); ++c) {
+            writeInts(out, "svm_weights", model.svmWeights[c]);
+            out << "svm_bias " << model.svmBiases[c] << "\n";
+        }
+        break;
+      case ModelKind::kDecisionTree:
+        out << "tree_depth " << model.treeDepth << "\n";
+        for (const auto &node : model.treeNodes) {
+            out << "node " << (node.isLeaf ? 1 : 0) << " " << node.feature
+                << " " << node.threshold << " " << node.classLabel << " "
+                << node.left << " " << node.right << "\n";
+        }
+        break;
+    }
+    out << "end\n";
+    return out.str();
+}
+
+ModelIr
+deserializeModel(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+
+    if (!std::getline(in, line) ||
+        common::trim(line) != std::string(kMagic) + " " + kVersion)
+        throw std::runtime_error("ir: bad artifact header");
+
+    ModelIr model;
+    bool saw_end = false;
+    QuantizedLayer *open_layer = nullptr;
+    int format_int = 8, format_frac = 8;
+
+    while (std::getline(in, line)) {
+        line = common::trim(line);
+        if (line.empty())
+            continue;
+        std::vector<std::string> tokens = common::split(line, ' ');
+        const std::string &tag = tokens[0];
+
+        if (tag == "end") {
+            saw_end = true;
+            break;
+        }
+        if (tag == "kind") {
+            model.kind = kindFromName(tokens.at(1));
+        } else if (tag == "name") {
+            model.name = tokens.at(1);
+        } else if (tag == "input_dim") {
+            model.inputDim = std::stoul(tokens.at(1));
+        } else if (tag == "num_classes") {
+            model.numClasses = std::stoi(tokens.at(1));
+        } else if (tag == "format") {
+            format_int = std::stoi(tokens.at(1));
+            format_frac = std::stoi(tokens.at(2));
+            model.format = common::FixedPointFormat(format_int,
+                                                    format_frac);
+        } else if (tag == "activation") {
+            model.activation = ml::activationFromName(tokens.at(1));
+        } else if (tag == "layer") {
+            QuantizedLayer layer;
+            layer.inputDim = std::stoul(tokens.at(1));
+            layer.outputDim = std::stoul(tokens.at(2));
+            model.layers.push_back(std::move(layer));
+            open_layer = &model.layers.back();
+        } else if (tag == "weights") {
+            if (!open_layer)
+                throw std::runtime_error("ir: weights before layer");
+            open_layer->weights = readInts(tokens, 1);
+        } else if (tag == "biases") {
+            if (!open_layer)
+                throw std::runtime_error("ir: biases before layer");
+            open_layer->biases = readInts(tokens, 1);
+        } else if (tag == "centroid") {
+            model.centroids.push_back(readInts(tokens, 1));
+        } else if (tag == "svm_weights") {
+            model.svmWeights.push_back(readInts(tokens, 1));
+        } else if (tag == "svm_bias") {
+            model.svmBiases.push_back(
+                static_cast<std::int32_t>(std::stol(tokens.at(1))));
+        } else if (tag == "tree_depth") {
+            model.treeDepth = std::stoul(tokens.at(1));
+        } else if (tag == "node") {
+            IrTreeNode node;
+            node.isLeaf = tokens.at(1) == "1";
+            node.feature = std::stoul(tokens.at(2));
+            node.threshold =
+                static_cast<std::int32_t>(std::stol(tokens.at(3)));
+            node.classLabel = std::stoi(tokens.at(4));
+            node.left = std::stoi(tokens.at(5));
+            node.right = std::stoi(tokens.at(6));
+            model.treeNodes.push_back(node);
+        } else {
+            throw std::runtime_error("ir: unknown artifact tag '" + tag +
+                                     "'");
+        }
+    }
+
+    if (!saw_end)
+        throw std::runtime_error("ir: truncated artifact (no 'end')");
+    model.validate();
+    return model;
+}
+
+void
+saveModel(const std::string &path, const ModelIr &model)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("ir: cannot write '" + path + "'");
+    out << serializeModel(model);
+}
+
+ModelIr
+loadModel(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("ir: cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return deserializeModel(buffer.str());
+}
+
+}  // namespace homunculus::ir

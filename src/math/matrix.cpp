@@ -1,0 +1,297 @@
+#include "math/matrix.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace homunculus::math {
+
+using common::panic;
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<double>> &rows)
+{
+    if (rows.empty())
+        return {};
+    Matrix m(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (rows[r].size() != m.cols_)
+            panic("matrix", "fromRows: ragged input");
+        for (std::size_t c = 0; c < m.cols_; ++c)
+            m(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+std::vector<double>
+Matrix::row(std::size_t r) const
+{
+    return {rowPtr(r), rowPtr(r) + cols_};
+}
+
+std::vector<double>
+Matrix::col(std::size_t c) const
+{
+    std::vector<double> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out[r] = (*this)(r, c);
+    return out;
+}
+
+Matrix
+Matrix::matmul(const Matrix &other) const
+{
+    if (cols_ != other.rows_)
+        panic("matrix", "matmul: inner dimensions disagree");
+    Matrix out(rows_, other.cols_);
+    // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double *a_row = rowPtr(i);
+        double *out_row = out.rowPtr(i);
+        for (std::size_t k = 0; k < cols_; ++k) {
+            double a_ik = a_row[k];
+            if (a_ik == 0.0)
+                continue;
+            const double *b_row = other.rowPtr(k);
+            for (std::size_t j = 0; j < other.cols_; ++j)
+                out_row[j] += a_ik * b_row[j];
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(c, r) = (*this)(r, c);
+    return out;
+}
+
+Matrix &
+Matrix::operator+=(const Matrix &other)
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        panic("matrix", "operator+=: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator-=(const Matrix &other)
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        panic("matrix", "operator-=: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= other.data_[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator*=(double scalar)
+{
+    for (double &v : data_)
+        v *= scalar;
+    return *this;
+}
+
+Matrix
+Matrix::operator+(const Matrix &other) const
+{
+    Matrix out = *this;
+    out += other;
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix &other) const
+{
+    Matrix out = *this;
+    out -= other;
+    return out;
+}
+
+Matrix
+Matrix::operator*(double scalar) const
+{
+    Matrix out = *this;
+    out *= scalar;
+    return out;
+}
+
+Matrix
+Matrix::hadamard(const Matrix &other) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        panic("matrix", "hadamard: shape mismatch");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] *= other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::map(const std::function<double(double)> &fn) const
+{
+    Matrix out = *this;
+    for (double &v : out.data_)
+        v = fn(v);
+    return out;
+}
+
+Matrix &
+Matrix::addRowVector(const std::vector<double> &v)
+{
+    if (v.size() != cols_)
+        panic("matrix", "addRowVector: width mismatch");
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double *row_ptr = rowPtr(r);
+        for (std::size_t c = 0; c < cols_; ++c)
+            row_ptr[c] += v[c];
+    }
+    return *this;
+}
+
+double
+Matrix::sum() const
+{
+    double total = 0.0;
+    for (double v : data_)
+        total += v;
+    return total;
+}
+
+std::vector<double>
+Matrix::colSums() const
+{
+    std::vector<double> sums(cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const double *row_ptr = rowPtr(r);
+        for (std::size_t c = 0; c < cols_; ++c)
+            sums[c] += row_ptr[c];
+    }
+    return sums;
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double total = 0.0;
+    for (double v : data_)
+        total += v * v;
+    return std::sqrt(total);
+}
+
+std::size_t
+Matrix::argmaxRow(std::size_t r) const
+{
+    const double *row_ptr = rowPtr(r);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < cols_; ++c)
+        if (row_ptr[c] > row_ptr[best])
+            best = c;
+    return best;
+}
+
+Matrix
+Matrix::selectRows(const std::vector<std::size_t> &indices) const
+{
+    Matrix out(indices.size(), cols_);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (indices[i] >= rows_)
+            panic("matrix", "selectRows: index out of range");
+        const double *src = rowPtr(indices[i]);
+        double *dst = out.rowPtr(i);
+        for (std::size_t c = 0; c < cols_; ++c)
+            dst[c] = src[c];
+    }
+    return out;
+}
+
+Matrix
+Matrix::selectCols(const std::vector<std::size_t> &indices) const
+{
+    Matrix out(rows_, indices.size());
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+            if (indices[i] >= cols_)
+                panic("matrix", "selectCols: index out of range");
+            out(r, i) = (*this)(r, indices[i]);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::vstack(const Matrix &below) const
+{
+    if (empty())
+        return below;
+    if (below.empty())
+        return *this;
+    if (cols_ != below.cols_)
+        panic("matrix", "vstack: column mismatch");
+    Matrix out(rows_ + below.rows_, cols_);
+    std::copy(data_.begin(), data_.end(), out.data_.begin());
+    std::copy(below.data_.begin(), below.data_.end(),
+              out.data_.begin() + static_cast<std::ptrdiff_t>(data_.size()));
+    return out;
+}
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        panic("matrix", "dot: length mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        total += a[i] * b[i];
+    return total;
+}
+
+double
+squaredDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        panic("matrix", "squaredDistance: length mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        total += d * d;
+    }
+    return total;
+}
+
+double
+l2Distance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    return std::sqrt(squaredDistance(a, b));
+}
+
+void
+axpy(double alpha, const std::vector<double> &x, std::vector<double> &y)
+{
+    if (x.size() != y.size())
+        panic("matrix", "axpy: length mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += alpha * x[i];
+}
+
+}  // namespace homunculus::math

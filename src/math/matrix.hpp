@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Dense row-major matrix used throughout the ML substrate.
+ *
+ * The models Homunculus searches are small (hundreds to a few thousand
+ * parameters — they must fit a switch pipeline), so a straightforward
+ * cache-friendly kernel set is both sufficient and fully deterministic.
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace homunculus::math {
+
+/** A dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Construct rows x cols, zero-initialized (or @p fill). */
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /** Construct from nested initializer data (row-major). */
+    static Matrix fromRows(const std::vector<std::vector<double>> &rows);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Raw storage access (row-major). */
+    std::vector<double> &data() { return data_; }
+    const std::vector<double> &data() const { return data_; }
+
+    /** Pointer to the start of row @p r. */
+    double *rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+    const double *rowPtr(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    /** Copy of row @p r as a vector. */
+    std::vector<double> row(std::size_t r) const;
+
+    /** Copy of column @p c as a vector. */
+    std::vector<double> col(std::size_t c) const;
+
+    /** Matrix product this * other. Dimensions must agree. */
+    Matrix matmul(const Matrix &other) const;
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Elementwise in-place operations. */
+    Matrix &operator+=(const Matrix &other);
+    Matrix &operator-=(const Matrix &other);
+    Matrix &operator*=(double scalar);
+
+    Matrix operator+(const Matrix &other) const;
+    Matrix operator-(const Matrix &other) const;
+    Matrix operator*(double scalar) const;
+
+    /** Elementwise (Hadamard) product. */
+    Matrix hadamard(const Matrix &other) const;
+
+    /** Apply a scalar function to every element (returns a copy). */
+    Matrix map(const std::function<double(double)> &fn) const;
+
+    /** Add a row vector to every row (bias broadcast). */
+    Matrix &addRowVector(const std::vector<double> &v);
+
+    /** Sum of every element. */
+    double sum() const;
+
+    /** Column-wise sums (length cols). */
+    std::vector<double> colSums() const;
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+
+    /** Index of the max element in row @p r. */
+    std::size_t argmaxRow(std::size_t r) const;
+
+    /** Select a subset of rows by index. */
+    Matrix selectRows(const std::vector<std::size_t> &indices) const;
+
+    /** Select a subset of columns by index. */
+    Matrix selectCols(const std::vector<std::size_t> &indices) const;
+
+    /** Stack another matrix below this one (same column count). */
+    Matrix vstack(const Matrix &below) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** Dot product of equal-length vectors. */
+double dot(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Euclidean (L2) distance between equal-length vectors. */
+double l2Distance(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Squared Euclidean distance (avoids the sqrt for comparisons). */
+double squaredDistance(const std::vector<double> &a,
+                       const std::vector<double> &b);
+
+/** In-place y += alpha * x. */
+void axpy(double alpha, const std::vector<double> &x, std::vector<double> &y);
+
+}  // namespace homunculus::math

@@ -1,0 +1,145 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace homunculus::math {
+
+using common::panic;
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    return total / static_cast<double>(values.size());
+}
+
+double
+variance(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    double m = mean(values);
+    double total = 0.0;
+    for (double v : values)
+        total += (v - m) * (v - m);
+    return total / static_cast<double>(values.size() - 1);
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    return std::sqrt(variance(values));
+}
+
+double
+median(std::vector<double> values)
+{
+    return quantile(std::move(values), 0.5);
+}
+
+double
+quantile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        panic("stats", "quantile of empty vector");
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(values.begin(), values.end());
+    double pos = q * static_cast<double>(values.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, values.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double
+minValue(const std::vector<double> &values)
+{
+    if (values.empty())
+        panic("stats", "minValue of empty vector");
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maxValue(const std::vector<double> &values)
+{
+    if (values.empty())
+        panic("stats", "maxValue of empty vector");
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+entropy(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    if (total <= 0.0)
+        return 0.0;
+    double h = 0.0;
+    for (double w : weights) {
+        if (w <= 0.0)
+            continue;
+        double p = w / total;
+        h -= p * std::log(p);
+    }
+    return h;
+}
+
+double
+normalPdf(double z)
+{
+    static const double inv_sqrt_2pi = 0.3989422804014327;
+    return inv_sqrt_2pi * std::exp(-0.5 * z * z);
+}
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double
+pearson(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size() || a.size() < 2)
+        return 0.0;
+    double ma = mean(a);
+    double mb = mean(b);
+    double cov = 0.0, va = 0.0, vb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        cov += (a[i] - ma) * (b[i] - mb);
+        va += (a[i] - ma) * (a[i] - ma);
+        vb += (b[i] - mb) * (b[i] - mb);
+    }
+    if (va <= 0.0 || vb <= 0.0)
+        return 0.0;
+    return cov / std::sqrt(va * vb);
+}
+
+std::vector<std::size_t>
+histogram(const std::vector<double> &values, double lo, double hi,
+          std::size_t bins)
+{
+    if (bins == 0 || hi <= lo)
+        panic("stats", "histogram: invalid bin specification");
+    std::vector<std::size_t> counts(bins, 0);
+    double width = (hi - lo) / static_cast<double>(bins);
+    for (double v : values) {
+        if (v < lo || v > hi)
+            continue;
+        auto idx = static_cast<std::size_t>((v - lo) / width);
+        if (idx >= bins)
+            idx = bins - 1;
+        ++counts[idx];
+    }
+    return counts;
+}
+
+}  // namespace homunculus::math

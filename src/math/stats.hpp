@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Scalar statistics helpers used by metrics, surrogates, and generators.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace homunculus::math {
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &values);
+
+/** Unbiased sample variance (n-1 denominator); 0 when n < 2. */
+double variance(const std::vector<double> &values);
+
+/** Sample standard deviation. */
+double stddev(const std::vector<double> &values);
+
+/** Median (copies and sorts). */
+double median(std::vector<double> values);
+
+/** Linear-interpolated quantile in [0, 1] (copies and sorts). */
+double quantile(std::vector<double> values, double q);
+
+/** Min / max of a non-empty vector. */
+double minValue(const std::vector<double> &values);
+double maxValue(const std::vector<double> &values);
+
+/** Shannon entropy (nats) of a non-negative weight vector. */
+double entropy(const std::vector<double> &weights);
+
+/** Standard normal probability density function. */
+double normalPdf(double z);
+
+/** Standard normal cumulative distribution function. */
+double normalCdf(double z);
+
+/** Pearson correlation of two equal-length vectors; 0 if degenerate. */
+double pearson(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Histogram of @p values into @p bins equal-width buckets over [lo, hi]. */
+std::vector<std::size_t> histogram(const std::vector<double> &values,
+                                   double lo, double hi, std::size_t bins);
+
+}  // namespace homunculus::math

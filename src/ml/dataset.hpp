@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Labeled tabular dataset container, the currency of the ML substrate.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace homunculus::ml {
+
+/**
+ * A labeled classification dataset: an n x d feature matrix plus integer
+ * class labels in [0, numClasses).
+ */
+struct Dataset
+{
+    math::Matrix x;                       ///< n x d feature matrix.
+    std::vector<int> y;                   ///< n class labels.
+    int numClasses = 0;                   ///< label alphabet size.
+    std::vector<std::string> featureNames;  ///< optional, length d.
+
+    std::size_t numSamples() const { return x.rows(); }
+    std::size_t numFeatures() const { return x.cols(); }
+
+    /** Count of samples carrying label @p label. */
+    std::size_t countLabel(int label) const;
+
+    /** Per-class sample counts (length numClasses). */
+    std::vector<std::size_t> classCounts() const;
+
+    /** Subset of samples by row index (labels follow). */
+    Dataset selectSamples(const std::vector<std::size_t> &indices) const;
+
+    /** Subset of feature columns by index (names follow). */
+    Dataset selectFeatures(const std::vector<std::size_t> &indices) const;
+
+    /** Concatenate another dataset's rows (same width and class count). */
+    Dataset concat(const Dataset &other) const;
+
+    /** Validate internal consistency; throws std::runtime_error if broken. */
+    void validate() const;
+};
+
+/** A train/test pair as produced by loaders and generators. */
+struct DataSplit
+{
+    Dataset train;
+    Dataset test;
+};
+
+/**
+ * Deterministically split @p data into train/test partitions.
+ *
+ * @param data source dataset
+ * @param test_fraction fraction of rows assigned to test, in (0, 1)
+ * @param seed shuffle seed
+ */
+DataSplit trainTestSplit(const Dataset &data, double test_fraction,
+                         std::uint64_t seed);
+
+/**
+ * Stratified variant: preserves per-class proportions in both partitions.
+ */
+DataSplit stratifiedSplit(const Dataset &data, double test_fraction,
+                          std::uint64_t seed);
+
+}  // namespace homunculus::ml

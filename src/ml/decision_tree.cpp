@@ -1,0 +1,373 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace homunculus::ml {
+
+namespace {
+
+/** Gini impurity of an integer label subset. */
+double
+giniImpurity(const std::vector<int> &y,
+             const std::vector<std::size_t> &indices, int num_classes)
+{
+    if (indices.empty())
+        return 0.0;
+    std::vector<double> counts(static_cast<std::size_t>(num_classes), 0.0);
+    for (std::size_t idx : indices)
+        counts[static_cast<std::size_t>(y[idx])] += 1.0;
+    double n = static_cast<double>(indices.size());
+    double impurity = 1.0;
+    for (double c : counts) {
+        double p = c / n;
+        impurity -= p * p;
+    }
+    return impurity;
+}
+
+/** Mean of a regression target subset. */
+double
+subsetMean(const std::vector<double> &y,
+           const std::vector<std::size_t> &indices)
+{
+    if (indices.empty())
+        return 0.0;
+    double total = 0.0;
+    for (std::size_t idx : indices)
+        total += y[idx];
+    return total / static_cast<double>(indices.size());
+}
+
+/** Sum of squared deviations of a regression target subset. */
+double
+subsetSse(const std::vector<double> &y,
+          const std::vector<std::size_t> &indices)
+{
+    double m = subsetMean(y, indices);
+    double total = 0.0;
+    for (std::size_t idx : indices) {
+        double d = y[idx] - m;
+        total += d * d;
+    }
+    return total;
+}
+
+/** Candidate feature subset for a split (all when max_features == 0). */
+std::vector<std::size_t>
+candidateFeatures(std::size_t d, std::size_t max_features, common::Rng &rng)
+{
+    std::vector<std::size_t> all(d);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    if (max_features == 0 || max_features >= d)
+        return all;
+    rng.shuffle(all);
+    all.resize(max_features);
+    return all;
+}
+
+/** Midpoint thresholds between consecutive distinct sorted values. */
+std::vector<double>
+candidateThresholds(const math::Matrix &x,
+                    const std::vector<std::size_t> &indices,
+                    std::size_t feature)
+{
+    std::vector<double> values;
+    values.reserve(indices.size());
+    for (std::size_t idx : indices)
+        values.push_back(x(idx, feature));
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    std::vector<double> thresholds;
+    for (std::size_t i = 0; i + 1 < values.size(); ++i)
+        thresholds.push_back(0.5 * (values[i] + values[i + 1]));
+    // Subsample very dense threshold sets to bound split cost.
+    constexpr std::size_t kMaxThresholds = 64;
+    if (thresholds.size() > kMaxThresholds) {
+        std::vector<double> sampled;
+        double stride = static_cast<double>(thresholds.size()) /
+                        static_cast<double>(kMaxThresholds);
+        for (std::size_t i = 0; i < kMaxThresholds; ++i)
+            sampled.push_back(
+                thresholds[static_cast<std::size_t>(i * stride)]);
+        return sampled;
+    }
+    return thresholds;
+}
+
+std::size_t
+nodeDepth(const TreeNode *node)
+{
+    if (!node || node->isLeaf)
+        return 0;
+    return 1 + std::max(nodeDepth(node->left.get()),
+                        nodeDepth(node->right.get()));
+}
+
+std::size_t
+countNodes(const TreeNode *node)
+{
+    if (!node)
+        return 0;
+    return 1 + countNodes(node->left.get()) + countNodes(node->right.get());
+}
+
+std::size_t
+countLeaves(const TreeNode *node)
+{
+    if (!node)
+        return 0;
+    if (node->isLeaf)
+        return 1;
+    return countLeaves(node->left.get()) + countLeaves(node->right.get());
+}
+
+const TreeNode *
+descend(const TreeNode *node, const std::vector<double> &point)
+{
+    while (node && !node->isLeaf) {
+        node = point[node->feature] <= node->threshold ? node->left.get()
+                                                       : node->right.get();
+    }
+    return node;
+}
+
+}  // namespace
+
+DecisionTreeClassifier::DecisionTreeClassifier(TreeConfig config)
+    : config_(config)
+{
+}
+
+std::unique_ptr<TreeNode>
+DecisionTreeClassifier::build(const math::Matrix &x,
+                              const std::vector<int> &y,
+                              const std::vector<std::size_t> &indices,
+                              std::size_t depth, common::Rng &rng) const
+{
+    auto node = std::make_unique<TreeNode>();
+
+    // Leaf payload: majority class + distribution.
+    std::vector<double> counts(static_cast<std::size_t>(numClasses_), 0.0);
+    for (std::size_t idx : indices)
+        counts[static_cast<std::size_t>(y[idx])] += 1.0;
+    std::size_t best_class = 0;
+    for (std::size_t c = 1; c < counts.size(); ++c)
+        if (counts[c] > counts[best_class])
+            best_class = c;
+    node->classLabel = static_cast<int>(best_class);
+    node->classProbs = counts;
+    double n = static_cast<double>(std::max<std::size_t>(1, indices.size()));
+    for (double &p : node->classProbs)
+        p /= n;
+
+    double impurity = giniImpurity(y, indices, numClasses_);
+    if (depth >= config_.maxDepth || indices.size() < config_.minSamplesSplit ||
+        impurity <= 1e-12) {
+        return node;
+    }
+
+    double best_gain = 1e-9;
+    std::size_t best_feature = 0;
+    double best_threshold = 0.0;
+    std::vector<std::size_t> best_left, best_right;
+
+    for (std::size_t feature :
+         candidateFeatures(x.cols(), config_.maxFeatures, rng)) {
+        for (double threshold : candidateThresholds(x, indices, feature)) {
+            std::vector<std::size_t> left, right;
+            for (std::size_t idx : indices) {
+                (x(idx, feature) <= threshold ? left : right).push_back(idx);
+            }
+            if (left.size() < config_.minSamplesLeaf ||
+                right.size() < config_.minSamplesLeaf) {
+                continue;
+            }
+            double nl = static_cast<double>(left.size());
+            double nr = static_cast<double>(right.size());
+            double child =
+                (nl * giniImpurity(y, left, numClasses_) +
+                 nr * giniImpurity(y, right, numClasses_)) /
+                (nl + nr);
+            double gain = impurity - child;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feature = feature;
+                best_threshold = threshold;
+                best_left = std::move(left);
+                best_right = std::move(right);
+            }
+        }
+    }
+
+    if (best_left.empty() || best_right.empty())
+        return node;
+
+    node->isLeaf = false;
+    node->feature = best_feature;
+    node->threshold = best_threshold;
+    node->left = build(x, y, best_left, depth + 1, rng);
+    node->right = build(x, y, best_right, depth + 1, rng);
+    return node;
+}
+
+void
+DecisionTreeClassifier::train(const Dataset &data)
+{
+    if (data.numSamples() == 0)
+        common::panic("tree", "train: empty dataset");
+    numClasses_ = data.numClasses;
+    common::Rng rng(config_.seed);
+    std::vector<std::size_t> indices(data.numSamples());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    root_ = build(data.x, data.y, indices, 0, rng);
+}
+
+int
+DecisionTreeClassifier::predictPoint(const std::vector<double> &point) const
+{
+    const TreeNode *leaf = descend(root_.get(), point);
+    return leaf ? leaf->classLabel : 0;
+}
+
+std::vector<double>
+DecisionTreeClassifier::predictProbaPoint(
+    const std::vector<double> &point) const
+{
+    const TreeNode *leaf = descend(root_.get(), point);
+    if (!leaf)
+        return std::vector<double>(static_cast<std::size_t>(numClasses_),
+                                   0.0);
+    return leaf->classProbs;
+}
+
+std::vector<int>
+DecisionTreeClassifier::predict(const math::Matrix &x) const
+{
+    std::vector<int> out(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i)
+        out[i] = predictPoint(x.row(i));
+    return out;
+}
+
+std::size_t
+DecisionTreeClassifier::depth() const
+{
+    return nodeDepth(root_.get());
+}
+
+std::size_t
+DecisionTreeClassifier::nodeCount() const
+{
+    return countNodes(root_.get());
+}
+
+std::size_t
+DecisionTreeClassifier::leafCount() const
+{
+    return countLeaves(root_.get());
+}
+
+DecisionTreeRegressor::DecisionTreeRegressor(TreeConfig config)
+    : config_(config)
+{
+}
+
+std::unique_ptr<TreeNode>
+DecisionTreeRegressor::build(const math::Matrix &x,
+                             const std::vector<double> &y,
+                             const std::vector<std::size_t> &indices,
+                             std::size_t depth, common::Rng &rng) const
+{
+    auto node = std::make_unique<TreeNode>();
+    node->value = subsetMean(y, indices);
+
+    double sse = subsetSse(y, indices);
+    if (depth >= config_.maxDepth || indices.size() < config_.minSamplesSplit ||
+        sse <= 1e-12) {
+        return node;
+    }
+
+    double best_gain = 1e-12;
+    std::size_t best_feature = 0;
+    double best_threshold = 0.0;
+    std::vector<std::size_t> best_left, best_right;
+
+    for (std::size_t feature :
+         candidateFeatures(x.cols(), config_.maxFeatures, rng)) {
+        for (double threshold : candidateThresholds(x, indices, feature)) {
+            std::vector<std::size_t> left, right;
+            for (std::size_t idx : indices) {
+                (x(idx, feature) <= threshold ? left : right).push_back(idx);
+            }
+            if (left.size() < config_.minSamplesLeaf ||
+                right.size() < config_.minSamplesLeaf) {
+                continue;
+            }
+            double gain = sse - subsetSse(y, left) - subsetSse(y, right);
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feature = feature;
+                best_threshold = threshold;
+                best_left = std::move(left);
+                best_right = std::move(right);
+            }
+        }
+    }
+
+    if (best_left.empty() || best_right.empty())
+        return node;
+
+    node->isLeaf = false;
+    node->feature = best_feature;
+    node->threshold = best_threshold;
+    node->left = build(x, y, best_left, depth + 1, rng);
+    node->right = build(x, y, best_right, depth + 1, rng);
+    return node;
+}
+
+void
+DecisionTreeRegressor::train(const math::Matrix &x,
+                             const std::vector<double> &y)
+{
+    if (x.rows() == 0 || x.rows() != y.size())
+        common::panic("tree", "regressor train: bad input");
+    common::Rng rng(config_.seed);
+    std::vector<std::size_t> indices(x.rows());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    root_ = build(x, y, indices, 0, rng);
+}
+
+double
+DecisionTreeRegressor::predictPoint(const std::vector<double> &point) const
+{
+    const TreeNode *leaf = descend(root_.get(), point);
+    return leaf ? leaf->value : 0.0;
+}
+
+std::vector<double>
+DecisionTreeRegressor::predict(const math::Matrix &x) const
+{
+    std::vector<double> out(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i)
+        out[i] = predictPoint(x.row(i));
+    return out;
+}
+
+std::size_t
+DecisionTreeRegressor::depth() const
+{
+    return nodeDepth(root_.get());
+}
+
+std::size_t
+DecisionTreeRegressor::nodeCount() const
+{
+    return countNodes(root_.get());
+}
+
+}  // namespace homunculus::ml

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * CART decision trees for classification and regression.
+ *
+ * Classification trees are an IIsy-mappable family (one MAT per tree
+ * level); regression trees are the building block of the random-forest
+ * surrogate that drives Bayesian optimization (the paper's HyperMapper
+ * configuration uses a random-forest model).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "math/matrix.hpp"
+#include "ml/dataset.hpp"
+
+namespace homunculus::ml {
+
+/** Shared growth limits for both tree flavors. */
+struct TreeConfig
+{
+    std::size_t maxDepth = 8;
+    std::size_t minSamplesLeaf = 2;
+    std::size_t minSamplesSplit = 4;
+    /**
+     * Number of features examined per split; 0 means all. Forests set
+     * this below d to decorrelate trees.
+     */
+    std::size_t maxFeatures = 0;
+    std::uint64_t seed = 1;
+};
+
+/** A binary split node; leaves carry a prediction payload. */
+struct TreeNode
+{
+    bool isLeaf = true;
+    std::size_t feature = 0;     ///< split feature index.
+    double threshold = 0.0;      ///< go left when x[feature] <= threshold.
+    int classLabel = 0;          ///< leaf payload (classification).
+    double value = 0.0;          ///< leaf payload (regression mean).
+    std::vector<double> classProbs;  ///< leaf class distribution.
+    std::unique_ptr<TreeNode> left;
+    std::unique_ptr<TreeNode> right;
+};
+
+/** Gini-impurity CART classifier. */
+class DecisionTreeClassifier
+{
+  public:
+    explicit DecisionTreeClassifier(TreeConfig config);
+
+    void train(const Dataset &data);
+
+    std::vector<int> predict(const math::Matrix &x) const;
+    int predictPoint(const std::vector<double> &point) const;
+
+    /** Leaf class distribution for a single point. */
+    std::vector<double> predictProbaPoint(
+        const std::vector<double> &point) const;
+
+    std::size_t depth() const;
+    std::size_t nodeCount() const;
+    std::size_t leafCount() const;
+    const TreeNode *root() const { return root_.get(); }
+    const TreeConfig &config() const { return config_; }
+    int numClasses() const { return numClasses_; }
+
+  private:
+    std::unique_ptr<TreeNode> build(const math::Matrix &x,
+                                    const std::vector<int> &y,
+                                    const std::vector<std::size_t> &indices,
+                                    std::size_t depth,
+                                    common::Rng &rng) const;
+
+    TreeConfig config_;
+    std::unique_ptr<TreeNode> root_;
+    int numClasses_ = 0;
+};
+
+/** Variance-reduction CART regressor. */
+class DecisionTreeRegressor
+{
+  public:
+    explicit DecisionTreeRegressor(TreeConfig config);
+
+    void train(const math::Matrix &x, const std::vector<double> &y);
+
+    double predictPoint(const std::vector<double> &point) const;
+    std::vector<double> predict(const math::Matrix &x) const;
+
+    std::size_t depth() const;
+    std::size_t nodeCount() const;
+    const TreeNode *root() const { return root_.get(); }
+
+  private:
+    std::unique_ptr<TreeNode> build(const math::Matrix &x,
+                                    const std::vector<double> &y,
+                                    const std::vector<std::size_t> &indices,
+                                    std::size_t depth,
+                                    common::Rng &rng) const;
+
+    TreeConfig config_;
+    std::unique_ptr<TreeNode> root_;
+};
+
+}  // namespace homunculus::ml

@@ -1,0 +1,124 @@
+#include "ml/kmeans.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace homunculus::ml {
+
+KMeans::KMeans(KMeansConfig config) : config_(config)
+{
+    if (config_.numClusters == 0)
+        common::panic("kmeans", "numClusters must be positive");
+}
+
+void
+KMeans::initCentroidsPlusPlus(const math::Matrix &x)
+{
+    common::Rng rng(config_.seed);
+    std::size_t n = x.rows();
+    std::size_t k = std::min(config_.numClusters, n);
+    centroids_ = math::Matrix(k, x.cols());
+
+    // First centroid uniformly at random.
+    std::size_t first = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(n) - 1));
+    for (std::size_t c = 0; c < x.cols(); ++c)
+        centroids_(0, c) = x(first, c);
+
+    std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+    for (std::size_t added = 1; added < k; ++added) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double d = math::squaredDistance(x.row(i),
+                                             centroids_.row(added - 1));
+            min_dist[i] = std::min(min_dist[i], d);
+        }
+        std::size_t chosen = rng.categorical(min_dist);
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            centroids_(added, c) = x(chosen, c);
+    }
+}
+
+double
+KMeans::fit(const math::Matrix &x)
+{
+    if (x.rows() == 0)
+        common::panic("kmeans", "fit: empty input");
+    initCentroidsPlusPlus(x);
+    std::size_t k = centroids_.rows();
+    std::vector<int> assignment(x.rows(), 0);
+
+    for (iterationsRun_ = 0; iterationsRun_ < config_.maxIterations;
+         ++iterationsRun_) {
+        // Assignment step.
+        inertia_ = 0.0;
+        for (std::size_t i = 0; i < x.rows(); ++i) {
+            double best = std::numeric_limits<double>::max();
+            int best_c = 0;
+            for (std::size_t c = 0; c < k; ++c) {
+                double d = math::squaredDistance(x.row(i), centroids_.row(c));
+                if (d < best) {
+                    best = d;
+                    best_c = static_cast<int>(c);
+                }
+            }
+            assignment[i] = best_c;
+            inertia_ += best;
+        }
+
+        // Update step.
+        math::Matrix new_centroids(k, x.cols());
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < x.rows(); ++i) {
+            auto c = static_cast<std::size_t>(assignment[i]);
+            ++counts[c];
+            for (std::size_t f = 0; f < x.cols(); ++f)
+                new_centroids(c, f) += x(i, f);
+        }
+        double shift = 0.0;
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                // Keep an empty cluster's centroid in place.
+                for (std::size_t f = 0; f < x.cols(); ++f)
+                    new_centroids(c, f) = centroids_(c, f);
+                continue;
+            }
+            for (std::size_t f = 0; f < x.cols(); ++f) {
+                new_centroids(c, f) /= static_cast<double>(counts[c]);
+                double d = new_centroids(c, f) - centroids_(c, f);
+                shift += d * d;
+            }
+        }
+        centroids_ = std::move(new_centroids);
+        if (shift < config_.tolerance)
+            break;
+    }
+    return inertia_;
+}
+
+int
+KMeans::predictPoint(const std::vector<double> &point) const
+{
+    double best = std::numeric_limits<double>::max();
+    int best_c = 0;
+    for (std::size_t c = 0; c < centroids_.rows(); ++c) {
+        double d = math::squaredDistance(point, centroids_.row(c));
+        if (d < best) {
+            best = d;
+            best_c = static_cast<int>(c);
+        }
+    }
+    return best_c;
+}
+
+std::vector<int>
+KMeans::predict(const math::Matrix &x) const
+{
+    std::vector<int> out(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i)
+        out[i] = predictPoint(x.row(i));
+    return out;
+}
+
+}  // namespace homunculus::ml

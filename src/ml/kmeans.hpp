@@ -1,0 +1,60 @@
+/**
+ * @file
+ * KMeans clustering with k-means++ initialization.
+ *
+ * KMeans is one of the "classical" families IIsy maps onto match-action
+ * tables (one MAT per cluster); Figure 7 of the paper sweeps the cluster
+ * budget against V-measure. Deterministic given a seed.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace homunculus::ml {
+
+/** Hyperparameters for a KMeans fit. */
+struct KMeansConfig
+{
+    std::size_t numClusters = 2;
+    std::size_t maxIterations = 100;
+    double tolerance = 1e-6;   ///< centroid-shift convergence threshold.
+    std::uint64_t seed = 1;
+};
+
+/** Fitted KMeans model. */
+class KMeans
+{
+  public:
+    explicit KMeans(KMeansConfig config);
+
+    /** Run Lloyd's algorithm on @p x; returns the final inertia. */
+    double fit(const math::Matrix &x);
+
+    /** Nearest-centroid assignment per row. */
+    std::vector<int> predict(const math::Matrix &x) const;
+
+    /** Assignment of a single point. */
+    int predictPoint(const std::vector<double> &point) const;
+
+    /** Sum of squared distances to assigned centroids (training inertia). */
+    double inertia() const { return inertia_; }
+
+    /** Number of Lloyd iterations actually executed. */
+    std::size_t iterationsRun() const { return iterationsRun_; }
+
+    const math::Matrix &centroids() const { return centroids_; }
+    const KMeansConfig &config() const { return config_; }
+
+  private:
+    void initCentroidsPlusPlus(const math::Matrix &x);
+
+    KMeansConfig config_;
+    math::Matrix centroids_;  ///< k x d.
+    double inertia_ = 0.0;
+    std::size_t iterationsRun_ = 0;
+};
+
+}  // namespace homunculus::ml

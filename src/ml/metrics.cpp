@@ -1,0 +1,186 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace homunculus::ml {
+
+namespace {
+
+void
+checkLengths(const std::vector<int> &truth, const std::vector<int> &predicted)
+{
+    if (truth.size() != predicted.size())
+        throw std::runtime_error("metrics: truth/prediction length mismatch");
+    if (truth.empty())
+        throw std::runtime_error("metrics: empty label vectors");
+}
+
+/**
+ * Conditional entropy H(A|B) over the joint label distribution, in nats.
+ * Labels may be arbitrary ints; a map-based contingency table is built.
+ */
+double
+conditionalEntropy(const std::vector<int> &a, const std::vector<int> &b)
+{
+    std::map<std::pair<int, int>, double> joint;
+    std::map<int, double> marginal_b;
+    double n = static_cast<double>(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        joint[{a[i], b[i]}] += 1.0;
+        marginal_b[b[i]] += 1.0;
+    }
+    double h = 0.0;
+    for (const auto &[key, count] : joint) {
+        double p_joint = count / n;
+        double p_b = marginal_b[key.second] / n;
+        h -= p_joint * std::log(p_joint / p_b);
+    }
+    return h;
+}
+
+/** Marginal entropy H(A), in nats. */
+double
+marginalEntropy(const std::vector<int> &a)
+{
+    std::map<int, double> counts;
+    for (int v : a)
+        counts[v] += 1.0;
+    double n = static_cast<double>(a.size());
+    double h = 0.0;
+    for (const auto &[label, count] : counts) {
+        double p = count / n;
+        h -= p * std::log(p);
+    }
+    return h;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>>
+confusionMatrix(const std::vector<int> &truth,
+                const std::vector<int> &predicted, int num_classes)
+{
+    checkLengths(truth, predicted);
+    std::vector<std::vector<std::size_t>> matrix(
+        static_cast<std::size_t>(num_classes),
+        std::vector<std::size_t>(static_cast<std::size_t>(num_classes), 0));
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        int t = truth[i];
+        int p = predicted[i];
+        if (t < 0 || t >= num_classes || p < 0 || p >= num_classes)
+            throw std::runtime_error("confusionMatrix: label out of range");
+        ++matrix[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)];
+    }
+    return matrix;
+}
+
+double
+accuracy(const std::vector<int> &truth, const std::vector<int> &predicted)
+{
+    checkLengths(truth, predicted);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i)
+        if (truth[i] == predicted[i])
+            ++hits;
+    return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double
+precision(const std::vector<int> &truth, const std::vector<int> &predicted,
+          int positive)
+{
+    checkLengths(truth, predicted);
+    std::size_t tp = 0, fp = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        if (predicted[i] == positive) {
+            if (truth[i] == positive)
+                ++tp;
+            else
+                ++fp;
+        }
+    }
+    return (tp + fp) == 0 ? 0.0
+                          : static_cast<double>(tp) /
+                                static_cast<double>(tp + fp);
+}
+
+double
+recall(const std::vector<int> &truth, const std::vector<int> &predicted,
+       int positive)
+{
+    checkLengths(truth, predicted);
+    std::size_t tp = 0, fn = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        if (truth[i] == positive) {
+            if (predicted[i] == positive)
+                ++tp;
+            else
+                ++fn;
+        }
+    }
+    return (tp + fn) == 0 ? 0.0
+                          : static_cast<double>(tp) /
+                                static_cast<double>(tp + fn);
+}
+
+double
+f1Score(const std::vector<int> &truth, const std::vector<int> &predicted,
+        int positive)
+{
+    double p = precision(truth, predicted, positive);
+    double r = recall(truth, predicted, positive);
+    return (p + r) <= 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double
+macroF1(const std::vector<int> &truth, const std::vector<int> &predicted,
+        int num_classes)
+{
+    if (num_classes <= 0)
+        throw std::runtime_error("macroF1: num_classes must be positive");
+    double total = 0.0;
+    for (int c = 0; c < num_classes; ++c)
+        total += f1Score(truth, predicted, c);
+    return total / static_cast<double>(num_classes);
+}
+
+double
+f1ForTask(const std::vector<int> &truth, const std::vector<int> &predicted,
+          int num_classes)
+{
+    if (num_classes == 2)
+        return f1Score(truth, predicted, 1);
+    return macroF1(truth, predicted, num_classes);
+}
+
+double
+homogeneity(const std::vector<int> &truth, const std::vector<int> &clusters)
+{
+    checkLengths(truth, clusters);
+    double h_c = marginalEntropy(truth);
+    if (h_c <= 0.0)
+        return 1.0;
+    return 1.0 - conditionalEntropy(truth, clusters) / h_c;
+}
+
+double
+completeness(const std::vector<int> &truth, const std::vector<int> &clusters)
+{
+    checkLengths(truth, clusters);
+    double h_k = marginalEntropy(clusters);
+    if (h_k <= 0.0)
+        return 1.0;
+    return 1.0 - conditionalEntropy(clusters, truth) / h_k;
+}
+
+double
+vMeasure(const std::vector<int> &truth, const std::vector<int> &clusters)
+{
+    double h = homogeneity(truth, clusters);
+    double c = completeness(truth, clusters);
+    return (h + c) <= 0.0 ? 0.0 : 2.0 * h * c / (h + c);
+}
+
+}  // namespace homunculus::ml

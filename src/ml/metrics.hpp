@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Classification and clustering quality metrics.
+ *
+ * The paper's objectives: F1 score for the supervised applications
+ * (anomaly, traffic-class, botnet detection) and V-measure for the
+ * MAT-constrained KMeans experiment (Figure 7).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace homunculus::ml {
+
+/** Row-major confusion matrix: entry [truth][predicted]. */
+std::vector<std::vector<std::size_t>> confusionMatrix(
+    const std::vector<int> &truth, const std::vector<int> &predicted,
+    int num_classes);
+
+/** Fraction of exact label matches. */
+double accuracy(const std::vector<int> &truth,
+                const std::vector<int> &predicted);
+
+/** Precision of class @p positive (0 when no positive predictions). */
+double precision(const std::vector<int> &truth,
+                 const std::vector<int> &predicted, int positive);
+
+/** Recall of class @p positive (0 when no positive truths). */
+double recall(const std::vector<int> &truth,
+              const std::vector<int> &predicted, int positive);
+
+/** F1 of class @p positive. */
+double f1Score(const std::vector<int> &truth,
+               const std::vector<int> &predicted, int positive);
+
+/** Unweighted mean of per-class F1 scores ("macro" F1). */
+double macroF1(const std::vector<int> &truth,
+               const std::vector<int> &predicted, int num_classes);
+
+/**
+ * Binary-or-macro F1 convenience: binary tasks report F1 of class 1
+ * (the paper's convention for AD/BD), multi-class tasks report macro F1.
+ */
+double f1ForTask(const std::vector<int> &truth,
+                 const std::vector<int> &predicted, int num_classes);
+
+/** Clustering homogeneity: 1 - H(C|K) / H(C). */
+double homogeneity(const std::vector<int> &truth,
+                   const std::vector<int> &clusters);
+
+/** Clustering completeness: 1 - H(K|C) / H(K). */
+double completeness(const std::vector<int> &truth,
+                    const std::vector<int> &clusters);
+
+/** V-measure: harmonic mean of homogeneity and completeness. */
+double vMeasure(const std::vector<int> &truth,
+                const std::vector<int> &clusters);
+
+}  // namespace homunculus::ml

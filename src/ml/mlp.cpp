@@ -1,0 +1,304 @@
+#include "ml/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "ml/preprocess.hpp"
+
+namespace homunculus::ml {
+
+std::string
+activationName(Activation activation)
+{
+    switch (activation) {
+      case Activation::kRelu: return "relu";
+      case Activation::kTanh: return "tanh";
+      case Activation::kSigmoid: return "sigmoid";
+    }
+    return "relu";
+}
+
+Activation
+activationFromName(const std::string &name)
+{
+    if (name == "relu")
+        return Activation::kRelu;
+    if (name == "tanh")
+        return Activation::kTanh;
+    if (name == "sigmoid")
+        return Activation::kSigmoid;
+    throw std::runtime_error("unknown activation: " + name);
+}
+
+std::vector<std::size_t>
+MlpConfig::layerDims() const
+{
+    std::vector<std::size_t> dims;
+    dims.push_back(inputDim);
+    for (std::size_t h : hiddenLayers)
+        dims.push_back(h);
+    dims.push_back(static_cast<std::size_t>(numClasses));
+    return dims;
+}
+
+std::size_t
+MlpConfig::paramCount() const
+{
+    std::vector<std::size_t> dims = layerDims();
+    std::size_t total = 0;
+    for (std::size_t l = 0; l + 1 < dims.size(); ++l)
+        total += dims[l] * dims[l + 1] + dims[l + 1];
+    return total;
+}
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config))
+{
+    if (config_.inputDim == 0)
+        common::panic("mlp", "inputDim must be positive");
+    if (config_.numClasses < 2)
+        common::panic("mlp", "numClasses must be at least 2");
+    common::Rng rng(config_.seed);
+    std::vector<std::size_t> dims = config_.layerDims();
+    for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+        math::Matrix w(dims[l], dims[l + 1]);
+        // He initialization keeps ReLU activations well-scaled.
+        double scale = std::sqrt(2.0 / static_cast<double>(dims[l]));
+        for (double &value : w.data())
+            value = rng.gaussian(0.0, scale);
+        weights_.push_back(std::move(w));
+        biases_.emplace_back(dims[l + 1], 0.0);
+    }
+}
+
+math::Matrix
+Mlp::applyActivation(const math::Matrix &z) const
+{
+    switch (config_.activation) {
+      case Activation::kRelu:
+        return z.map([](double v) { return v > 0.0 ? v : 0.0; });
+      case Activation::kTanh:
+        return z.map([](double v) { return std::tanh(v); });
+      case Activation::kSigmoid:
+        return z.map([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+    }
+    return z;
+}
+
+math::Matrix
+Mlp::activationDerivative(const math::Matrix &activated) const
+{
+    switch (config_.activation) {
+      case Activation::kRelu:
+        return activated.map([](double a) { return a > 0.0 ? 1.0 : 0.0; });
+      case Activation::kTanh:
+        return activated.map([](double a) { return 1.0 - a * a; });
+      case Activation::kSigmoid:
+        return activated.map([](double a) { return a * (1.0 - a); });
+    }
+    return activated;
+}
+
+math::Matrix
+Mlp::softmaxRows(const math::Matrix &z)
+{
+    math::Matrix out = z;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        double *row = out.rowPtr(r);
+        double max_v = row[0];
+        for (std::size_t c = 1; c < out.cols(); ++c)
+            max_v = std::max(max_v, row[c]);
+        double total = 0.0;
+        for (std::size_t c = 0; c < out.cols(); ++c) {
+            row[c] = std::exp(row[c] - max_v);
+            total += row[c];
+        }
+        for (std::size_t c = 0; c < out.cols(); ++c)
+            row[c] /= total;
+    }
+    return out;
+}
+
+void
+Mlp::forward(const math::Matrix &x,
+             std::vector<math::Matrix> &activations) const
+{
+    activations.clear();
+    activations.push_back(x);
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+        math::Matrix z = activations.back().matmul(weights_[l]);
+        z.addRowVector(biases_[l]);
+        bool is_output = (l + 1 == weights_.size());
+        activations.push_back(is_output ? softmaxRows(z)
+                                        : applyActivation(z));
+    }
+}
+
+math::Matrix
+Mlp::predictProba(const math::Matrix &x) const
+{
+    if (x.cols() != config_.inputDim)
+        common::panic("mlp", "predict: input width mismatch");
+    std::vector<math::Matrix> activations;
+    forward(x, activations);
+    return activations.back();
+}
+
+std::vector<int>
+Mlp::predict(const math::Matrix &x) const
+{
+    math::Matrix proba = predictProba(x);
+    std::vector<int> labels(proba.rows());
+    for (std::size_t r = 0; r < proba.rows(); ++r)
+        labels[r] = static_cast<int>(proba.argmaxRow(r));
+    return labels;
+}
+
+double
+Mlp::loss(const Dataset &data) const
+{
+    math::Matrix proba = predictProba(data.x);
+    double total = 0.0;
+    for (std::size_t r = 0; r < proba.rows(); ++r) {
+        double p = proba(r, static_cast<std::size_t>(data.y[r]));
+        total -= std::log(std::max(p, 1e-12));
+    }
+    return total / static_cast<double>(std::max<std::size_t>(1, proba.rows()));
+}
+
+void
+Mlp::setParameters(std::vector<math::Matrix> weights,
+                   std::vector<std::vector<double>> biases)
+{
+    if (weights.size() != weights_.size() || biases.size() != biases_.size())
+        common::panic("mlp", "setParameters: layer count mismatch");
+    for (std::size_t l = 0; l < weights.size(); ++l) {
+        if (weights[l].rows() != weights_[l].rows() ||
+            weights[l].cols() != weights_[l].cols() ||
+            biases[l].size() != biases_[l].size()) {
+            common::panic("mlp", "setParameters: layer shape mismatch");
+        }
+    }
+    weights_ = std::move(weights);
+    biases_ = std::move(biases);
+}
+
+double
+Mlp::train(const Dataset &data)
+{
+    if (data.numSamples() == 0)
+        common::panic("mlp", "train: empty dataset");
+    if (data.numFeatures() != config_.inputDim)
+        common::panic("mlp", "train: input width mismatch");
+
+    common::Rng rng(config_.seed ^ 0x9E3779B97F4A7C15ull);
+    math::Matrix targets = oneHot(data.y, config_.numClasses);
+
+    if (adamMW_.empty() && config_.useAdam) {
+        for (std::size_t l = 0; l < weights_.size(); ++l) {
+            adamMW_.emplace_back(weights_[l].rows(), weights_[l].cols());
+            adamVW_.emplace_back(weights_[l].rows(), weights_[l].cols());
+            adamMB_.emplace_back(biases_[l].size(), 0.0);
+            adamVB_.emplace_back(biases_[l].size(), 0.0);
+        }
+    }
+
+    const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+    std::size_t n = data.numSamples();
+    std::size_t batch = std::min(config_.batchSize, n);
+    double last_loss = 0.0;
+
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        std::vector<std::size_t> perm = rng.permutation(n);
+        double epoch_loss = 0.0;
+        std::size_t batches = 0;
+
+        for (std::size_t start = 0; start < n; start += batch) {
+            std::size_t end = std::min(start + batch, n);
+            std::vector<std::size_t> idx(
+                perm.begin() + static_cast<std::ptrdiff_t>(start),
+                perm.begin() + static_cast<std::ptrdiff_t>(end));
+            math::Matrix xb = data.x.selectRows(idx);
+            math::Matrix tb = targets.selectRows(idx);
+            double inv_b = 1.0 / static_cast<double>(idx.size());
+
+            std::vector<math::Matrix> acts;
+            forward(xb, acts);
+
+            // Cross-entropy for reporting.
+            for (std::size_t r = 0; r < idx.size(); ++r) {
+                double p = acts.back()(
+                    r, static_cast<std::size_t>(data.y[idx[r]]));
+                epoch_loss -= std::log(std::max(p, 1e-12)) * inv_b;
+            }
+            ++batches;
+
+            // Softmax + cross-entropy gradient at the output layer.
+            math::Matrix delta = acts.back() - tb;
+            for (std::size_t l = weights_.size(); l-- > 0;) {
+                math::Matrix grad_w =
+                    acts[l].transposed().matmul(delta) * inv_b;
+                std::vector<double> grad_b = delta.colSums();
+                for (double &g : grad_b)
+                    g *= inv_b;
+                if (config_.l2Penalty > 0.0)
+                    grad_w += weights_[l] * config_.l2Penalty;
+
+                if (l > 0) {
+                    // Propagate before the weight update so the gradient
+                    // uses the pre-update weights.
+                    math::Matrix back =
+                        delta.matmul(weights_[l].transposed());
+                    delta = back.hadamard(activationDerivative(acts[l]));
+                }
+
+                if (config_.useAdam) {
+                    ++adamStep_;
+                    double corr1 =
+                        1.0 - std::pow(beta1,
+                                       static_cast<double>(adamStep_));
+                    double corr2 =
+                        1.0 - std::pow(beta2,
+                                       static_cast<double>(adamStep_));
+                    auto &mw = adamMW_[l];
+                    auto &vw = adamVW_[l];
+                    for (std::size_t i = 0; i < grad_w.size(); ++i) {
+                        double g = grad_w.data()[i];
+                        mw.data()[i] = beta1 * mw.data()[i] +
+                                       (1.0 - beta1) * g;
+                        vw.data()[i] = beta2 * vw.data()[i] +
+                                       (1.0 - beta2) * g * g;
+                        double m_hat = mw.data()[i] / corr1;
+                        double v_hat = vw.data()[i] / corr2;
+                        weights_[l].data()[i] -=
+                            config_.learningRate * m_hat /
+                            (std::sqrt(v_hat) + eps);
+                    }
+                    auto &mb = adamMB_[l];
+                    auto &vb = adamVB_[l];
+                    for (std::size_t i = 0; i < grad_b.size(); ++i) {
+                        double g = grad_b[i];
+                        mb[i] = beta1 * mb[i] + (1.0 - beta1) * g;
+                        vb[i] = beta2 * vb[i] + (1.0 - beta2) * g * g;
+                        double m_hat = mb[i] / corr1;
+                        double v_hat = vb[i] / corr2;
+                        biases_[l][i] -= config_.learningRate * m_hat /
+                                         (std::sqrt(v_hat) + eps);
+                    }
+                } else {
+                    for (std::size_t i = 0; i < grad_w.size(); ++i)
+                        weights_[l].data()[i] -=
+                            config_.learningRate * grad_w.data()[i];
+                    for (std::size_t i = 0; i < grad_b.size(); ++i)
+                        biases_[l][i] -= config_.learningRate * grad_b[i];
+                }
+            }
+        }
+        last_loss = epoch_loss / static_cast<double>(std::max<std::size_t>(
+                                     1, batches));
+    }
+    return last_loss;
+}
+
+}  // namespace homunculus::ml

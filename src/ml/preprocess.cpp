@@ -1,0 +1,112 @@
+#include "ml/preprocess.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/stats.hpp"
+
+namespace homunculus::ml {
+
+void
+StandardScaler::fit(const math::Matrix &x)
+{
+    means_.assign(x.cols(), 0.0);
+    stddevs_.assign(x.cols(), 1.0);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+        std::vector<double> column = x.col(c);
+        means_[c] = math::mean(column);
+        double sd = math::stddev(column);
+        stddevs_[c] = sd > 1e-12 ? sd : 1.0;
+    }
+}
+
+math::Matrix
+StandardScaler::transform(const math::Matrix &x) const
+{
+    if (means_.size() != x.cols())
+        throw std::runtime_error("StandardScaler: width mismatch");
+    math::Matrix out = x;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        double *row = out.rowPtr(r);
+        for (std::size_t c = 0; c < out.cols(); ++c)
+            row[c] = (row[c] - means_[c]) / stddevs_[c];
+    }
+    return out;
+}
+
+math::Matrix
+StandardScaler::fitTransform(const math::Matrix &x)
+{
+    fit(x);
+    return transform(x);
+}
+
+void
+MinMaxScaler::fit(const math::Matrix &x)
+{
+    mins_.assign(x.cols(), 0.0);
+    maxs_.assign(x.cols(), 1.0);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+        std::vector<double> column = x.col(c);
+        mins_[c] = math::minValue(column);
+        maxs_[c] = math::maxValue(column);
+    }
+}
+
+math::Matrix
+MinMaxScaler::transform(const math::Matrix &x) const
+{
+    if (mins_.size() != x.cols())
+        throw std::runtime_error("MinMaxScaler: width mismatch");
+    math::Matrix out = x;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        double *row = out.rowPtr(r);
+        for (std::size_t c = 0; c < out.cols(); ++c) {
+            double range = maxs_[c] - mins_[c];
+            row[c] = range > 1e-12 ? (row[c] - mins_[c]) / range : 0.0;
+        }
+    }
+    return out;
+}
+
+math::Matrix
+MinMaxScaler::fitTransform(const math::Matrix &x)
+{
+    fit(x);
+    return transform(x);
+}
+
+math::Matrix
+oneHot(const std::vector<int> &labels, int num_classes)
+{
+    math::Matrix out(labels.size(), static_cast<std::size_t>(num_classes));
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        int label = labels[i];
+        if (label < 0 || label >= num_classes)
+            throw std::runtime_error("oneHot: label out of range");
+        out(i, static_cast<std::size_t>(label)) = 1.0;
+    }
+    return out;
+}
+
+DataSplit
+standardizeSplit(const DataSplit &split)
+{
+    StandardScaler scaler;
+    DataSplit out = split;
+    out.train.x = scaler.fitTransform(split.train.x);
+    out.test.x = scaler.transform(split.test.x);
+    return out;
+}
+
+DataSplit
+minMaxSplit(const DataSplit &split)
+{
+    MinMaxScaler scaler;
+    DataSplit out = split;
+    out.train.x = scaler.fitTransform(split.train.x);
+    out.test.x = scaler.transform(split.test.x);
+    return out;
+}
+
+}  // namespace homunculus::ml

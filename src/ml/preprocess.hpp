@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Feature preprocessing: scalers and encodings fit on training data only.
+ *
+ * Data-plane pipelines consume fixed-point features, so scaling into a
+ * bounded range is not just an accuracy aid — it bounds the dynamic range
+ * the Q-format must represent (see common/fixed_point.hpp).
+ */
+#pragma once
+
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "ml/dataset.hpp"
+
+namespace homunculus::ml {
+
+/** Z-score standardization: (x - mean) / std per feature. */
+class StandardScaler
+{
+  public:
+    /** Fit means and stddevs from @p x (columns with zero std use std=1). */
+    void fit(const math::Matrix &x);
+
+    /** Apply the fitted transform. */
+    math::Matrix transform(const math::Matrix &x) const;
+
+    /** fit() then transform(). */
+    math::Matrix fitTransform(const math::Matrix &x);
+
+    const std::vector<double> &means() const { return means_; }
+    const std::vector<double> &stddevs() const { return stddevs_; }
+    bool fitted() const { return !means_.empty(); }
+
+  private:
+    std::vector<double> means_;
+    std::vector<double> stddevs_;
+};
+
+/** Min-max scaling into [0, 1] (constant columns map to 0). */
+class MinMaxScaler
+{
+  public:
+    void fit(const math::Matrix &x);
+    math::Matrix transform(const math::Matrix &x) const;
+    math::Matrix fitTransform(const math::Matrix &x);
+
+    const std::vector<double> &mins() const { return mins_; }
+    const std::vector<double> &maxs() const { return maxs_; }
+    bool fitted() const { return !mins_.empty(); }
+
+  private:
+    std::vector<double> mins_;
+    std::vector<double> maxs_;
+};
+
+/** One-hot encode labels into an n x numClasses 0/1 matrix. */
+math::Matrix oneHot(const std::vector<int> &labels, int num_classes);
+
+/** Scale a whole DataSplit with a scaler fit on the training partition. */
+DataSplit standardizeSplit(const DataSplit &split);
+
+/** Min-max scale a whole DataSplit fit on the training partition. */
+DataSplit minMaxSplit(const DataSplit &split);
+
+}  // namespace homunculus::ml

@@ -1,0 +1,160 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "math/stats.hpp"
+
+namespace homunculus::ml {
+
+namespace {
+
+/** Draw a bootstrap index sample of the requested size (with replacement). */
+std::vector<std::size_t>
+bootstrapIndices(std::size_t n, double fraction, common::Rng &rng)
+{
+    auto count = static_cast<std::size_t>(
+        std::max(1.0, fraction * static_cast<double>(n)));
+    std::vector<std::size_t> indices(count);
+    for (std::size_t i = 0; i < count; ++i)
+        indices[i] = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(n) - 1));
+    return indices;
+}
+
+}  // namespace
+
+RandomForestRegressor::RandomForestRegressor(ForestConfig config)
+    : config_(config)
+{
+    if (config_.numTrees == 0)
+        common::panic("forest", "numTrees must be positive");
+}
+
+void
+RandomForestRegressor::train(const math::Matrix &x,
+                             const std::vector<double> &y)
+{
+    if (x.rows() == 0 || x.rows() != y.size())
+        common::panic("forest", "regressor train: bad input");
+    trees_.clear();
+    common::Rng rng(config_.seed);
+
+    // Default feature subsampling: d/3 for regression forests.
+    TreeConfig tree_config = config_.tree;
+    if (tree_config.maxFeatures == 0)
+        tree_config.maxFeatures = std::max<std::size_t>(1, x.cols() / 3);
+
+    for (std::size_t t = 0; t < config_.numTrees; ++t) {
+        std::vector<std::size_t> idx =
+            bootstrapIndices(x.rows(), config_.bootstrapFraction, rng);
+        math::Matrix xb = x.selectRows(idx);
+        std::vector<double> yb;
+        yb.reserve(idx.size());
+        for (std::size_t i : idx)
+            yb.push_back(y[i]);
+        tree_config.seed = rng.fork().engine()();
+        DecisionTreeRegressor tree(tree_config);
+        tree.train(xb, yb);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+double
+RandomForestRegressor::predictPoint(const std::vector<double> &point) const
+{
+    return predictWithVariance(point).mean;
+}
+
+ForestPrediction
+RandomForestRegressor::predictWithVariance(
+    const std::vector<double> &point) const
+{
+    if (trees_.empty())
+        common::panic("forest", "predict before train");
+    std::vector<double> outputs;
+    outputs.reserve(trees_.size());
+    for (const auto &tree : trees_)
+        outputs.push_back(tree.predictPoint(point));
+    return {math::mean(outputs), math::variance(outputs)};
+}
+
+std::vector<double>
+RandomForestRegressor::predict(const math::Matrix &x) const
+{
+    std::vector<double> out(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i)
+        out[i] = predictPoint(x.row(i));
+    return out;
+}
+
+RandomForestClassifier::RandomForestClassifier(ForestConfig config)
+    : config_(config)
+{
+    if (config_.numTrees == 0)
+        common::panic("forest", "numTrees must be positive");
+}
+
+void
+RandomForestClassifier::train(const Dataset &data)
+{
+    if (data.numSamples() == 0)
+        common::panic("forest", "classifier train: empty dataset");
+    trees_.clear();
+    numClasses_ = data.numClasses;
+    common::Rng rng(config_.seed ^ 0xA5A5A5A5ull);
+
+    TreeConfig tree_config = config_.tree;
+    if (tree_config.maxFeatures == 0) {
+        tree_config.maxFeatures = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::sqrt(static_cast<double>(data.numFeatures()))));
+    }
+
+    for (std::size_t t = 0; t < config_.numTrees; ++t) {
+        std::vector<std::size_t> idx = bootstrapIndices(
+            data.numSamples(), config_.bootstrapFraction, rng);
+        Dataset sample = data.selectSamples(idx);
+        tree_config.seed = rng.fork().engine()();
+        DecisionTreeClassifier tree(tree_config);
+        tree.train(sample);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+std::vector<double>
+RandomForestClassifier::predictProbaPoint(
+    const std::vector<double> &point) const
+{
+    if (trees_.empty())
+        common::panic("forest", "predict before train");
+    std::vector<double> votes(static_cast<std::size_t>(numClasses_), 0.0);
+    for (const auto &tree : trees_)
+        votes[static_cast<std::size_t>(tree.predictPoint(point))] += 1.0;
+    for (double &v : votes)
+        v /= static_cast<double>(trees_.size());
+    return votes;
+}
+
+int
+RandomForestClassifier::predictPoint(const std::vector<double> &point) const
+{
+    std::vector<double> probs = predictProbaPoint(point);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < probs.size(); ++c)
+        if (probs[c] > probs[best])
+            best = c;
+    return static_cast<int>(best);
+}
+
+std::vector<int>
+RandomForestClassifier::predict(const math::Matrix &x) const
+{
+    std::vector<int> out(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i)
+        out[i] = predictPoint(x.row(i));
+    return out;
+}
+
+}  // namespace homunculus::ml

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Random forests: bagged decision trees with feature subsampling.
+ *
+ * The regressor doubles as the Bayesian-optimization surrogate (the paper
+ * configures HyperMapper with a random-forest model for systems workloads);
+ * per-tree prediction spread provides the uncertainty estimate Expected
+ * Improvement needs. The classifier serves as the feasibility model.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace homunculus::ml {
+
+/** Forest-level hyperparameters wrapping per-tree TreeConfig. */
+struct ForestConfig
+{
+    std::size_t numTrees = 30;
+    TreeConfig tree;           ///< growth limits per tree.
+    double bootstrapFraction = 1.0;  ///< samples drawn per tree (with repl.)
+    std::uint64_t seed = 7;
+};
+
+/** Mean/variance prediction pair from the regression forest. */
+struct ForestPrediction
+{
+    double mean = 0.0;
+    double variance = 0.0;
+};
+
+/** Bagged regression forest with per-tree variance. */
+class RandomForestRegressor
+{
+  public:
+    explicit RandomForestRegressor(ForestConfig config);
+
+    void train(const math::Matrix &x, const std::vector<double> &y);
+
+    /** Ensemble mean for one point. */
+    double predictPoint(const std::vector<double> &point) const;
+
+    /** Ensemble mean + across-tree variance for one point. */
+    ForestPrediction predictWithVariance(
+        const std::vector<double> &point) const;
+
+    std::vector<double> predict(const math::Matrix &x) const;
+
+    std::size_t numTrees() const { return trees_.size(); }
+    bool trained() const { return !trees_.empty(); }
+
+  private:
+    ForestConfig config_;
+    std::vector<DecisionTreeRegressor> trees_;
+};
+
+/** Bagged classification forest (majority vote). */
+class RandomForestClassifier
+{
+  public:
+    explicit RandomForestClassifier(ForestConfig config);
+
+    void train(const Dataset &data);
+
+    int predictPoint(const std::vector<double> &point) const;
+    std::vector<int> predict(const math::Matrix &x) const;
+
+    /** Vote share per class for one point. */
+    std::vector<double> predictProbaPoint(
+        const std::vector<double> &point) const;
+
+    std::size_t numTrees() const { return trees_.size(); }
+    bool trained() const { return !trees_.empty(); }
+    int numClasses() const { return numClasses_; }
+
+  private:
+    ForestConfig config_;
+    std::vector<DecisionTreeClassifier> trees_;
+    int numClasses_ = 0;
+};
+
+}  // namespace homunculus::ml

@@ -1,0 +1,90 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace homunculus::ml {
+
+LinearSvm::LinearSvm(SvmConfig config) : config_(config)
+{
+}
+
+double
+LinearSvm::train(const Dataset &data)
+{
+    if (data.numSamples() == 0)
+        common::panic("svm", "train: empty dataset");
+    numClasses_ = data.numClasses;
+    std::size_t d = data.numFeatures();
+    weights_ = math::Matrix(static_cast<std::size_t>(numClasses_), d);
+    biases_.assign(static_cast<std::size_t>(numClasses_), 0.0);
+
+    common::Rng rng(config_.seed);
+    std::size_t n = data.numSamples();
+    double final_loss = 0.0;
+
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        std::vector<std::size_t> perm = rng.permutation(n);
+        double epoch_loss = 0.0;
+        // Decaying step size stabilizes the subgradient updates.
+        double step = config_.learningRate /
+                      (1.0 + 0.1 * static_cast<double>(epoch));
+
+        for (std::size_t idx : perm) {
+            std::vector<double> xi = data.x.row(idx);
+            for (int c = 0; c < numClasses_; ++c) {
+                auto cu = static_cast<std::size_t>(c);
+                double target = (data.y[idx] == c) ? 1.0 : -1.0;
+                double margin =
+                    target * (math::dot(weights_.row(cu), xi) + biases_[cu]);
+                // L2 shrinkage applies on every step.
+                for (std::size_t f = 0; f < d; ++f)
+                    weights_(cu, f) *= (1.0 - step * config_.regularization);
+                if (margin < 1.0) {
+                    epoch_loss += 1.0 - margin;
+                    for (std::size_t f = 0; f < d; ++f)
+                        weights_(cu, f) += step * target * xi[f];
+                    biases_[cu] += step * target;
+                }
+            }
+        }
+        final_loss = epoch_loss / static_cast<double>(n);
+    }
+    return final_loss;
+}
+
+math::Matrix
+LinearSvm::decisionFunction(const math::Matrix &x) const
+{
+    if (numClasses_ == 0)
+        common::panic("svm", "decisionFunction before train");
+    math::Matrix scores(x.rows(), static_cast<std::size_t>(numClasses_));
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        std::vector<double> xi = x.row(i);
+        for (int c = 0; c < numClasses_; ++c) {
+            auto cu = static_cast<std::size_t>(c);
+            scores(i, cu) = math::dot(weights_.row(cu), xi) + biases_[cu];
+        }
+    }
+    return scores;
+}
+
+std::vector<int>
+LinearSvm::predict(const math::Matrix &x) const
+{
+    math::Matrix scores = decisionFunction(x);
+    std::vector<int> out(scores.rows());
+    for (std::size_t i = 0; i < scores.rows(); ++i)
+        out[i] = static_cast<int>(scores.argmaxRow(i));
+    return out;
+}
+
+std::size_t
+LinearSvm::paramCount() const
+{
+    return static_cast<std::size_t>(numClasses_) * (weights_.cols() + 1);
+}
+
+}  // namespace homunculus::ml

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Linear support-vector machine trained with hinge-loss subgradient SGD.
+ *
+ * Linear SVMs are another IIsy-mappable family: one match-action table per
+ * feature encodes the per-feature contribution to the decision function.
+ * Multi-class is handled one-vs-rest.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "ml/dataset.hpp"
+
+namespace homunculus::ml {
+
+/** Hyperparameters for a linear SVM fit. */
+struct SvmConfig
+{
+    double learningRate = 0.05;
+    double regularization = 1e-3;  ///< L2 coefficient (lambda).
+    std::size_t epochs = 50;
+    std::uint64_t seed = 1;
+};
+
+/** One-vs-rest linear SVM classifier. */
+class LinearSvm
+{
+  public:
+    explicit LinearSvm(SvmConfig config);
+
+    /** Train on the dataset; returns final mean hinge loss. */
+    double train(const Dataset &data);
+
+    /** Hard class predictions (argmax of decision values). */
+    std::vector<int> predict(const math::Matrix &x) const;
+
+    /** Raw decision values, n x numClasses. */
+    math::Matrix decisionFunction(const math::Matrix &x) const;
+
+    /** Per-class weight vectors (numClasses x d). */
+    const math::Matrix &weights() const { return weights_; }
+    const std::vector<double> &biases() const { return biases_; }
+    int numClasses() const { return numClasses_; }
+
+    /** Trainable parameter count: numClasses * (d + 1). */
+    std::size_t paramCount() const;
+
+  private:
+    SvmConfig config_;
+    math::Matrix weights_;   ///< numClasses x d.
+    std::vector<double> biases_;
+    int numClasses_ = 0;
+};
+
+}  // namespace homunculus::ml

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Constrained Bayesian optimization over a mixed search space.
+ *
+ * This is the paper's optimization core (§3.2.3-§3.2.4), i.e. the
+ * HyperMapper configuration it describes (§5): a uniform random-sampling
+ * initialization phase, a random-forest surrogate (well-suited to the
+ * discrete, non-continuous response surfaces of systems workloads), the
+ * Expected Improvement criterion, and a feasibility model learned from
+ * the backend's constraint verdicts that multiplies the acquisition so
+ * infeasible regions are vacated quickly.
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ml/random_forest.hpp"
+#include "opt/pareto.hpp"
+#include "opt/search_space.hpp"
+
+namespace homunculus::opt {
+
+/** What one black-box evaluation reports back. */
+struct EvalResult
+{
+    double objective = 0.0;   ///< e.g. F1 score of the trained model.
+    bool feasible = false;    ///< backend constraint verdict.
+    std::map<std::string, double> metrics;  ///< extra telemetry (CUs, ns…).
+};
+
+/** The black box: train + map + test one configuration. */
+using ObjectiveFn = std::function<EvalResult(const Configuration &)>;
+
+/** Optimizer settings. */
+struct BoConfig
+{
+    std::size_t numInitSamples = 6;   ///< uniform warmup evaluations.
+    std::size_t numIterations = 20;   ///< model-guided evaluations.
+    std::size_t candidatePool = 600;  ///< acquisition sampling budget.
+    bool maximize = true;
+    double xi = 0.01;                 ///< EI exploration jitter.
+    ml::ForestConfig surrogate;       ///< RF surrogate settings.
+    std::uint64_t seed = 2024;
+
+    /**
+     * Multi-objective mode (paper §6: "multi-objective optimization is
+     * a crucial matter"): when non-empty, the named EvalResult metric is
+     * treated as a cost to minimize alongside the maximized objective.
+     * The optimizer then runs random-scalarization BO (Paria et al.)
+     * and reports the Pareto front of feasible evaluations.
+     */
+    std::string costMetricKey;
+};
+
+/** One step of the optimization trace (regret-plot material). */
+struct BoRecord
+{
+    Configuration config;
+    EvalResult result;
+    double bestSoFar = 0.0;  ///< best feasible objective after this step.
+    bool fromWarmup = false;
+};
+
+/** Final outcome. */
+struct BoResult
+{
+    bool foundFeasible = false;
+    Configuration bestConfig;
+    EvalResult bestResult;
+    std::vector<BoRecord> history;
+
+    /** Non-dominated (objective, cost) set; empty in single-objective
+     *  mode. */
+    ParetoFront front;
+
+    /** Best-so-far series (one point per evaluation) for regret plots. */
+    std::vector<double> bestSoFarSeries() const;
+};
+
+/** The optimizer. */
+class BayesianOptimizer
+{
+  public:
+    BayesianOptimizer(SearchSpace space, BoConfig config);
+
+    /** Run warmup + BO iterations against the black box. */
+    BoResult optimize(const ObjectiveFn &objective);
+
+    const SearchSpace &space() const { return space_; }
+    const BoConfig &config() const { return config_; }
+
+  private:
+    SearchSpace space_;
+    BoConfig config_;
+};
+
+/** Uniform random search at equal budget — the ablation baseline. */
+BoResult randomSearch(const SearchSpace &space, const ObjectiveFn &objective,
+                      std::size_t num_evaluations, bool maximize,
+                      std::uint64_t seed);
+
+}  // namespace homunculus::opt

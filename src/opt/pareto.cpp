@@ -1,0 +1,80 @@
+#include "opt/pareto.hpp"
+
+#include <algorithm>
+
+namespace homunculus::opt {
+
+bool
+dominates(const ParetoPoint &a, const ParetoPoint &b)
+{
+    bool no_worse = a.objective >= b.objective && a.cost <= b.cost;
+    bool strictly_better = a.objective > b.objective || a.cost < b.cost;
+    return no_worse && strictly_better;
+}
+
+bool
+ParetoFront::insert(ParetoPoint point)
+{
+    for (const auto &incumbent : points_) {
+        if (dominates(incumbent, point))
+            return false;
+        // Duplicate coordinates: keep the incumbent.
+        if (incumbent.objective == point.objective &&
+            incumbent.cost == point.cost)
+            return false;
+    }
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [&](const ParetoPoint &incumbent) {
+                                     return dominates(point, incumbent);
+                                 }),
+                  points_.end());
+    points_.push_back(std::move(point));
+    return true;
+}
+
+std::vector<ParetoPoint>
+ParetoFront::sortedByCost() const
+{
+    std::vector<ParetoPoint> sorted = points_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ParetoPoint &a, const ParetoPoint &b) {
+                  return a.cost < b.cost;
+              });
+    return sorted;
+}
+
+double
+ParetoFront::hypervolume(double objective_ref, double cost_ref) const
+{
+    // 2-D hypervolume: sweep points by ascending cost; each contributes
+    // a rectangle from the previous objective level up to its own.
+    std::vector<ParetoPoint> sorted = sortedByCost();
+    double volume = 0.0;
+    double best_objective = objective_ref;
+    for (const auto &point : sorted) {
+        if (point.cost >= cost_ref || point.objective <= objective_ref)
+            continue;
+        if (point.objective > best_objective) {
+            volume += (cost_ref - point.cost) *
+                      (point.objective - best_objective);
+            best_objective = point.objective;
+        }
+    }
+    return volume;
+}
+
+double
+scalarize(double objective, double cost, double objective_lo,
+          double objective_hi, double cost_lo, double cost_hi,
+          double weight)
+{
+    double obj_range = objective_hi - objective_lo;
+    double cost_range = cost_hi - cost_lo;
+    double obj_norm =
+        obj_range > 1e-12 ? (objective - objective_lo) / obj_range : 0.0;
+    double cost_norm =
+        cost_range > 1e-12 ? (cost - cost_lo) / cost_range : 0.0;
+    return weight * obj_norm - (1.0 - weight) * cost_norm;
+}
+
+}  // namespace homunculus::opt

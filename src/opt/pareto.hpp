@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pareto-front utilities for multi-objective optimization.
+ *
+ * The paper builds on HyperMapper's *multi-objective* formulation:
+ * real deployments trade model quality against data-plane resources.
+ * This module maintains the non-dominated set over (objective, cost)
+ * pairs — objective maximized, cost minimized — and provides the random
+ * scalarization used to fold the trade-off into a single-acquisition BO
+ * loop (Paria et al. [72], the paper's citation for the technique).
+ */
+#pragma once
+
+#include <vector>
+
+#include "opt/search_space.hpp"
+
+namespace homunculus::opt {
+
+/** One point of the quality/cost trade-off. */
+struct ParetoPoint
+{
+    Configuration config;
+    double objective = 0.0;  ///< maximized (e.g. F1).
+    double cost = 0.0;       ///< minimized (e.g. CUs, power, tables).
+};
+
+/** True when @p a dominates @p b (>= on objective, <= on cost, one strict). */
+bool dominates(const ParetoPoint &a, const ParetoPoint &b);
+
+/** Maintains the non-dominated set incrementally. */
+class ParetoFront
+{
+  public:
+    /**
+     * Offer a point.
+     * @return true if the point joined the front (i.e. it was not
+     *         dominated); dominated incumbents are evicted.
+     */
+    bool insert(ParetoPoint point);
+
+    const std::vector<ParetoPoint> &points() const { return points_; }
+    std::size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+
+    /** Points sorted by ascending cost (for plotting/printing). */
+    std::vector<ParetoPoint> sortedByCost() const;
+
+    /**
+     * Hypervolume indicator against a reference point (objective_ref
+     * below all points, cost_ref above all points): the standard scalar
+     * measure of front quality for 2-D fronts.
+     */
+    double hypervolume(double objective_ref, double cost_ref) const;
+
+  private:
+    std::vector<ParetoPoint> points_;
+};
+
+/**
+ * Random linear scalarization: objective' = w * objective_norm -
+ * (1 - w) * cost_norm with w ~ U(0,1) redrawn per call. Normalization
+ * bounds come from the observed ranges.
+ */
+double scalarize(double objective, double cost, double objective_lo,
+                 double objective_hi, double cost_lo, double cost_hi,
+                 double weight);
+
+}  // namespace homunculus::opt

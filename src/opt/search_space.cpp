@@ -1,0 +1,268 @@
+#include "opt/search_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace homunculus::opt {
+
+void
+Configuration::set(const std::string &name, ConfigValue value)
+{
+    values_[name] = std::move(value);
+}
+
+bool
+Configuration::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+double
+Configuration::real(const std::string &name) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        throw std::runtime_error("Configuration: missing '" + name + "'");
+    if (const double *v = std::get_if<double>(&it->second))
+        return *v;
+    if (const std::int64_t *v = std::get_if<std::int64_t>(&it->second))
+        return static_cast<double>(*v);
+    throw std::runtime_error("Configuration: '" + name + "' is not numeric");
+}
+
+std::int64_t
+Configuration::integer(const std::string &name) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        throw std::runtime_error("Configuration: missing '" + name + "'");
+    if (const std::int64_t *v = std::get_if<std::int64_t>(&it->second))
+        return *v;
+    if (const double *v = std::get_if<double>(&it->second))
+        return static_cast<std::int64_t>(std::llround(*v));
+    throw std::runtime_error("Configuration: '" + name + "' is not numeric");
+}
+
+const std::string &
+Configuration::categorical(const std::string &name) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        throw std::runtime_error("Configuration: missing '" + name + "'");
+    if (const std::string *v = std::get_if<std::string>(&it->second))
+        return *v;
+    throw std::runtime_error("Configuration: '" + name +
+                             "' is not categorical");
+}
+
+std::string
+Configuration::toString() const
+{
+    std::ostringstream out;
+    bool first = true;
+    for (const auto &[name, value] : values_) {
+        if (!first)
+            out << " ";
+        first = false;
+        out << name << "=";
+        if (const double *v = std::get_if<double>(&value))
+            out << *v;
+        else if (const std::int64_t *v = std::get_if<std::int64_t>(&value))
+            out << *v;
+        else
+            out << std::get<std::string>(value);
+    }
+    return out.str();
+}
+
+void
+SearchSpace::addReal(const std::string &name, double lo, double hi,
+                     bool log_scale)
+{
+    if (hi < lo)
+        throw std::runtime_error("SearchSpace: real bounds inverted");
+    if (log_scale && lo <= 0.0)
+        throw std::runtime_error("SearchSpace: log scale needs lo > 0");
+    params_.push_back({name, RealDomain{lo, hi, log_scale}});
+}
+
+void
+SearchSpace::addInteger(const std::string &name, std::int64_t lo,
+                        std::int64_t hi)
+{
+    if (hi < lo)
+        throw std::runtime_error("SearchSpace: integer bounds inverted");
+    params_.push_back({name, IntDomain{lo, hi}});
+}
+
+void
+SearchSpace::addOrdinal(const std::string &name, std::vector<double> values)
+{
+    if (values.empty())
+        throw std::runtime_error("SearchSpace: empty ordinal set");
+    params_.push_back({name, OrdinalDomain{std::move(values)}});
+}
+
+void
+SearchSpace::addCategorical(const std::string &name,
+                            std::vector<std::string> options)
+{
+    if (options.empty())
+        throw std::runtime_error("SearchSpace: empty categorical set");
+    params_.push_back({name, CategoricalDomain{std::move(options)}});
+}
+
+const Parameter &
+SearchSpace::param(std::size_t index) const
+{
+    return params_.at(index);
+}
+
+const Parameter *
+SearchSpace::find(const std::string &name) const
+{
+    for (const auto &p : params_)
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+namespace {
+
+ConfigValue
+sampleDomain(const Domain &domain, common::Rng &rng)
+{
+    if (const auto *d = std::get_if<RealDomain>(&domain)) {
+        if (d->logScale) {
+            double lo = std::log(d->lo);
+            double hi = std::log(d->hi);
+            return std::exp(rng.uniform(lo, hi));
+        }
+        return rng.uniform(d->lo, d->hi);
+    }
+    if (const auto *d = std::get_if<IntDomain>(&domain))
+        return rng.uniformInt(d->lo, d->hi);
+    if (const auto *d = std::get_if<OrdinalDomain>(&domain)) {
+        auto idx = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(d->values.size()) - 1));
+        return d->values[idx];
+    }
+    const auto &d = std::get<CategoricalDomain>(domain);
+    auto idx = static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(d.options.size()) - 1));
+    return d.options[idx];
+}
+
+}  // namespace
+
+Configuration
+SearchSpace::sample(common::Rng &rng) const
+{
+    Configuration config;
+    for (const auto &p : params_)
+        config.set(p.name, sampleDomain(p.domain, rng));
+    return config;
+}
+
+std::vector<double>
+SearchSpace::encode(const Configuration &config) const
+{
+    std::vector<double> row;
+    row.reserve(params_.size());
+    for (const auto &p : params_) {
+        if (std::holds_alternative<CategoricalDomain>(p.domain)) {
+            const auto &d = std::get<CategoricalDomain>(p.domain);
+            const std::string &value = config.categorical(p.name);
+            double index = 0.0;
+            for (std::size_t i = 0; i < d.options.size(); ++i)
+                if (d.options[i] == value)
+                    index = static_cast<double>(i);
+            row.push_back(index);
+        } else {
+            row.push_back(config.real(p.name));
+        }
+    }
+    return row;
+}
+
+Configuration
+SearchSpace::perturb(const Configuration &config, common::Rng &rng) const
+{
+    if (params_.empty())
+        return config;
+    Configuration out = config;
+    auto which = static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(params_.size()) - 1));
+    out.set(params_[which].name, sampleDomain(params_[which].domain, rng));
+    return out;
+}
+
+Configuration
+SearchSpace::perturbLocal(const Configuration &config,
+                          common::Rng &rng) const
+{
+    if (params_.empty())
+        return config;
+    Configuration out = config;
+    auto which = static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(params_.size()) - 1));
+    const Parameter &p = params_[which];
+
+    if (const auto *d = std::get_if<RealDomain>(&p.domain)) {
+        double current = config.real(p.name);
+        double value;
+        if (d->logScale) {
+            double log_lo = std::log(d->lo);
+            double log_hi = std::log(d->hi);
+            double step = 0.1 * (log_hi - log_lo);
+            value = std::exp(std::clamp(
+                std::log(current) + rng.gaussian(0.0, step), log_lo,
+                log_hi));
+        } else {
+            double step = 0.1 * (d->hi - d->lo);
+            value = std::clamp(current + rng.gaussian(0.0, step), d->lo,
+                               d->hi);
+        }
+        out.set(p.name, value);
+    } else if (const auto *d = std::get_if<IntDomain>(&p.domain)) {
+        std::int64_t current = config.integer(p.name);
+        std::int64_t delta = rng.uniformInt(1, 2) *
+                             (rng.bernoulli(0.5) ? 1 : -1);
+        out.set(p.name, std::clamp(current + delta, d->lo, d->hi));
+    } else if (const auto *d = std::get_if<OrdinalDomain>(&p.domain)) {
+        double current = config.real(p.name);
+        std::size_t index = 0;
+        for (std::size_t i = 0; i < d->values.size(); ++i)
+            if (d->values[i] == current)
+                index = i;
+        std::size_t last = d->values.size() - 1;
+        std::size_t next =
+            rng.bernoulli(0.5) ? std::min(index + 1, last)
+                               : (index == 0 ? 0 : index - 1);
+        out.set(p.name, d->values[next]);
+    } else {
+        out.set(p.name, sampleDomain(p.domain, rng));
+    }
+    return out;
+}
+
+double
+SearchSpace::cardinalityEstimate() const
+{
+    double total = 1.0;
+    for (const auto &p : params_) {
+        if (const auto *d = std::get_if<IntDomain>(&p.domain))
+            total *= static_cast<double>(d->hi - d->lo + 1);
+        else if (const auto *d = std::get_if<OrdinalDomain>(&p.domain))
+            total *= static_cast<double>(d->values.size());
+        else if (const auto *d = std::get_if<CategoricalDomain>(&p.domain))
+            total *= static_cast<double>(d->options.size());
+        else
+            total *= 1e6;  // continuous: effectively unbounded.
+    }
+    return total;
+}
+
+}  // namespace homunculus::opt

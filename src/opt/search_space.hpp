@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Mixed-domain hyperparameter search space (HyperMapper-style).
+ *
+ * The paper formulates design-space exploration as black-box optimization
+ * over real, integer, ordinal, and categorical variables (§3.2.3). A
+ * SearchSpace declares the variables and their bounds; Configurations are
+ * concrete assignments; encode() flattens a configuration into a numeric
+ * vector the random-forest surrogate can consume (categoricals become
+ * their option index — trees split on them natively).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace homunculus::opt {
+
+/** Continuous variable in [lo, hi]; optionally sampled log-uniformly. */
+struct RealDomain
+{
+    double lo = 0.0;
+    double hi = 1.0;
+    bool logScale = false;
+};
+
+/** Integer variable in [lo, hi] inclusive. */
+struct IntDomain
+{
+    std::int64_t lo = 0;
+    std::int64_t hi = 1;
+};
+
+/** Ordered discrete set of numeric values (e.g. batch sizes). */
+struct OrdinalDomain
+{
+    std::vector<double> values;
+};
+
+/** Unordered set of named options (e.g. activation functions). */
+struct CategoricalDomain
+{
+    std::vector<std::string> options;
+};
+
+using Domain =
+    std::variant<RealDomain, IntDomain, OrdinalDomain, CategoricalDomain>;
+
+/** A named variable. */
+struct Parameter
+{
+    std::string name;
+    Domain domain;
+};
+
+/** A concrete value: real, integer, or categorical option. */
+using ConfigValue = std::variant<double, std::int64_t, std::string>;
+
+/** A full assignment of values to the space's parameters. */
+class Configuration
+{
+  public:
+    void set(const std::string &name, ConfigValue value);
+    bool has(const std::string &name) const;
+
+    double real(const std::string &name) const;
+    std::int64_t integer(const std::string &name) const;
+    const std::string &categorical(const std::string &name) const;
+
+    const std::map<std::string, ConfigValue> &values() const
+    {
+        return values_;
+    }
+
+    /** Stable human-readable rendering ("a=1 b=relu c=0.5"). */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, ConfigValue> values_;
+};
+
+/** The declared search space. */
+class SearchSpace
+{
+  public:
+    void addReal(const std::string &name, double lo, double hi,
+                 bool log_scale = false);
+    void addInteger(const std::string &name, std::int64_t lo,
+                    std::int64_t hi);
+    void addOrdinal(const std::string &name, std::vector<double> values);
+    void addCategorical(const std::string &name,
+                        std::vector<std::string> options);
+
+    std::size_t size() const { return params_.size(); }
+    const Parameter &param(std::size_t index) const;
+    const Parameter *find(const std::string &name) const;
+
+    /** Uniform random configuration. */
+    Configuration sample(common::Rng &rng) const;
+
+    /** Flatten a configuration into the surrogate's numeric feature row. */
+    std::vector<double> encode(const Configuration &config) const;
+
+    /**
+     * Mutate one variable of @p config to a fresh random value — the
+     * local-perturbation move used to refine acquisition optimization.
+     */
+    Configuration perturb(const Configuration &config,
+                          common::Rng &rng) const;
+
+    /**
+     * Local neighborhood move: one variable steps a short distance
+     * (Gaussian for reals at ~10% of the range, +-1/2 for integers,
+     * adjacent value for ordinals, resample for categoricals). Drives the
+     * exploitation half of acquisition optimization.
+     */
+    Configuration perturbLocal(const Configuration &config,
+                               common::Rng &rng) const;
+
+    /** Total combinatorial size estimate (inf-like for real spaces). */
+    double cardinalityEstimate() const;
+
+  private:
+    std::vector<Parameter> params_;
+};
+
+}  // namespace homunculus::opt

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the constrained Bayesian optimizer.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/bayes_opt.hpp"
+
+namespace ho = homunculus::opt;
+
+namespace {
+
+/** Smooth 2-D bowl with the optimum at (3, -2); maximize the negative. */
+ho::EvalResult
+bowl(const ho::Configuration &config)
+{
+    double x = config.real("x");
+    double y = config.real("y");
+    ho::EvalResult result;
+    result.objective = -((x - 3.0) * (x - 3.0) + (y + 2.0) * (y + 2.0));
+    result.feasible = true;
+    return result;
+}
+
+ho::SearchSpace
+bowlSpace()
+{
+    ho::SearchSpace space;
+    space.addReal("x", -10.0, 10.0);
+    space.addReal("y", -10.0, 10.0);
+    return space;
+}
+
+}  // namespace
+
+TEST(BayesOpt, HistoryLengthIsWarmupPlusIterations)
+{
+    ho::BoConfig config;
+    config.numInitSamples = 4;
+    config.numIterations = 6;
+    ho::BayesianOptimizer optimizer(bowlSpace(), config);
+    auto result = optimizer.optimize(bowl);
+    EXPECT_EQ(result.history.size(), 10u);
+    int warmup = 0;
+    for (const auto &record : result.history)
+        if (record.fromWarmup)
+            ++warmup;
+    EXPECT_EQ(warmup, 4);
+}
+
+TEST(BayesOpt, BestSoFarIsMonotoneNonDecreasing)
+{
+    ho::BoConfig config;
+    config.numInitSamples = 5;
+    config.numIterations = 10;
+    ho::BayesianOptimizer optimizer(bowlSpace(), config);
+    auto result = optimizer.optimize(bowl);
+    auto series = result.bestSoFarSeries();
+    for (std::size_t i = 1; i < series.size(); ++i)
+        EXPECT_GE(series[i], series[i - 1] - 1e-12);
+}
+
+TEST(BayesOpt, FindsNearOptimumOnSmoothBowl)
+{
+    ho::BoConfig config;
+    config.numInitSamples = 8;
+    config.numIterations = 25;
+    config.seed = 5;
+    ho::BayesianOptimizer optimizer(bowlSpace(), config);
+    auto result = optimizer.optimize(bowl);
+    ASSERT_TRUE(result.foundFeasible);
+    // Optimum is 0; random-uniform over [-10,10]^2 averages around -70.
+    EXPECT_GT(result.bestResult.objective, -8.0);
+}
+
+TEST(BayesOpt, RespectsFeasibilityConstraints)
+{
+    // Only the x > 5 half-space is feasible; the optimum there is x = 5.
+    auto constrained = [](const ho::Configuration &config) {
+        double x = config.real("x");
+        ho::EvalResult result;
+        result.objective = -x;
+        result.feasible = x > 5.0;
+        return result;
+    };
+    ho::SearchSpace space;
+    space.addReal("x", 0.0, 10.0);
+    ho::BoConfig config;
+    config.numInitSamples = 6;
+    config.numIterations = 20;
+    ho::BayesianOptimizer optimizer(space, config);
+    auto result = optimizer.optimize(constrained);
+    ASSERT_TRUE(result.foundFeasible);
+    EXPECT_GT(result.bestConfig.real("x"), 5.0);
+    // And the optimizer pushed toward the boundary, not just anywhere.
+    EXPECT_LT(result.bestConfig.real("x"), 8.0);
+}
+
+TEST(BayesOpt, DeterministicGivenSeed)
+{
+    ho::BoConfig config;
+    config.numInitSamples = 4;
+    config.numIterations = 8;
+    config.seed = 77;
+    ho::BayesianOptimizer a(bowlSpace(), config);
+    ho::BayesianOptimizer b(bowlSpace(), config);
+    auto ra = a.optimize(bowl);
+    auto rb = b.optimize(bowl);
+    ASSERT_EQ(ra.history.size(), rb.history.size());
+    for (std::size_t i = 0; i < ra.history.size(); ++i)
+        EXPECT_DOUBLE_EQ(ra.history[i].result.objective,
+                         rb.history[i].result.objective);
+}
+
+TEST(BayesOpt, AllInfeasibleReportsNoFeasible)
+{
+    auto hopeless = [](const ho::Configuration &) {
+        ho::EvalResult result;
+        result.objective = 1.0;
+        result.feasible = false;
+        return result;
+    };
+    ho::BoConfig config;
+    config.numInitSamples = 3;
+    config.numIterations = 4;
+    ho::BayesianOptimizer optimizer(bowlSpace(), config);
+    auto result = optimizer.optimize(hopeless);
+    EXPECT_FALSE(result.foundFeasible);
+    EXPECT_EQ(result.history.size(), 7u);
+}
+
+TEST(BayesOpt, BeatsRandomSearchOnAverage)
+{
+    // Aggregate over seeds to keep the comparison statistically stable.
+    double bo_total = 0.0, random_total = 0.0;
+    const int trials = 10;
+    const std::size_t budget = 30;
+    for (int trial = 0; trial < trials; ++trial) {
+        ho::BoConfig config;
+        config.numInitSamples = 6;
+        config.numIterations = budget - config.numInitSamples;
+        config.seed = 100 + static_cast<std::uint64_t>(trial);
+        ho::BayesianOptimizer optimizer(bowlSpace(), config);
+        bo_total += optimizer.optimize(bowl).bestResult.objective;
+
+        auto random = ho::randomSearch(bowlSpace(), bowl, budget, true,
+                                       200 + static_cast<std::uint64_t>(
+                                                 trial));
+        random_total += random.bestResult.objective;
+    }
+    // BO should match or beat random search on average; allow a small
+    // slack because 10 trials still carry sampling noise.
+    EXPECT_GE(bo_total, random_total - 0.1 * std::fabs(random_total));
+}
+
+TEST(RandomSearch, TracksBestAndHistory)
+{
+    auto result = ho::randomSearch(bowlSpace(), bowl, 15, true, 3);
+    EXPECT_TRUE(result.foundFeasible);
+    EXPECT_EQ(result.history.size(), 15u);
+    auto series = result.bestSoFarSeries();
+    for (std::size_t i = 1; i < series.size(); ++i)
+        EXPECT_GE(series[i], series[i - 1] - 1e-12);
+}
+
+TEST(BayesOpt, MinimizationModeWorks)
+{
+    auto cost = [](const ho::Configuration &config) {
+        double x = config.real("x");
+        ho::EvalResult result;
+        result.objective = (x - 4.0) * (x - 4.0);
+        result.feasible = true;
+        return result;
+    };
+    ho::SearchSpace space;
+    space.addReal("x", -10.0, 10.0);
+    ho::BoConfig config;
+    config.maximize = false;
+    config.numInitSamples = 6;
+    config.numIterations = 18;
+    ho::BayesianOptimizer optimizer(space, config);
+    auto result = optimizer.optimize(cost);
+    EXPECT_LT(result.bestResult.objective, 2.0);
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Structural tests for the Spatial and P4 code generators.
+ *
+ * Golden-string tests would be brittle; instead these pin the structural
+ * invariants the paper's template methodology guarantees: one template
+ * instantiation per layer/table, parameter counts matching the IR, and
+ * the fixed scaffolding (parser, apply block, type alias) being present.
+ */
+#include <gtest/gtest.h>
+
+#include "backends/p4_codegen.hpp"
+#include "backends/spatial_codegen.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/mlp.hpp"
+#include "ml/svm.hpp"
+
+namespace hb = homunculus::backends;
+namespace hi = homunculus::ir;
+namespace ml = homunculus::ml;
+namespace hm = homunculus::math;
+namespace hc = homunculus::common;
+
+namespace {
+
+std::size_t
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    std::size_t count = 0, pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+        ++count;
+        pos += needle.size();
+    }
+    return count;
+}
+
+hi::ModelIr
+makeMlpIr(std::vector<std::size_t> hidden)
+{
+    ml::MlpConfig config;
+    config.inputDim = 7;
+    config.hiddenLayers = std::move(hidden);
+    config.numClasses = 2;
+    ml::Mlp mlp(config);
+    return hi::lowerMlp(mlp, hc::FixedPointFormat::q88(), "ad_model");
+}
+
+hi::ModelIr
+makeKMeansIr(std::size_t k)
+{
+    hm::Matrix x(40, 3);
+    for (std::size_t i = 0; i < 40; ++i)
+        for (std::size_t f = 0; f < 3; ++f)
+            x(i, f) = static_cast<double>((i * 7 + f * 3) % 11);
+    ml::KMeansConfig config;
+    config.numClusters = k;
+    ml::KMeans kmeans(config);
+    kmeans.fit(x);
+    return hi::lowerKMeans(kmeans, hc::FixedPointFormat::q88(), "tc_model",
+                           3);
+}
+
+hi::ModelIr
+makeSvmIr()
+{
+    ml::Dataset data;
+    data.x = hm::Matrix(60, 4);
+    data.y.resize(60);
+    data.numClasses = 3;
+    for (std::size_t i = 0; i < 60; ++i) {
+        data.y[i] = static_cast<int>(i % 3);
+        for (std::size_t f = 0; f < 4; ++f)
+            data.x(i, f) = static_cast<double>(data.y[i]) - 1.0 +
+                           0.01 * static_cast<double>(f);
+    }
+    ml::LinearSvm svm(ml::SvmConfig{});
+    svm.train(data);
+    return hi::lowerSvm(svm, hc::FixedPointFormat::q88(), "svm_model", 4);
+}
+
+}  // namespace
+
+TEST(SpatialCodegen, MlpHasOneDenseTemplatePerLayer)
+{
+    auto ir = makeMlpIr({16, 8});
+    hb::SpatialCodegen codegen;
+    std::string code = codegen.generate(ir);
+    EXPECT_EQ(countOccurrences(code, "---- dense layer"), 3u);
+    EXPECT_EQ(countOccurrences(code, "Reduce(Reg[T])"), 3u);
+    // One weight LUT and one bias LUT per layer.
+    EXPECT_NE(code.find("val w0"), std::string::npos);
+    EXPECT_NE(code.find("val w2"), std::string::npos);
+    EXPECT_NE(code.find("val b1"), std::string::npos);
+}
+
+TEST(SpatialCodegen, EmitsQ88TypeAliasAndScaffolding)
+{
+    auto ir = makeMlpIr({4});
+    hb::SpatialCodegen codegen;
+    std::string code = codegen.generate(ir);
+    EXPECT_NE(code.find("FixPt[TRUE, _8, _8]"), std::string::npos);
+    EXPECT_NE(code.find("@spatial object ad_model"), std::string::npos);
+    EXPECT_NE(code.find("Accel(*)"), std::string::npos);
+    EXPECT_NE(code.find("StreamIn"), std::string::npos);
+    EXPECT_NE(code.find("StreamOut"), std::string::npos);
+}
+
+TEST(SpatialCodegen, ReluLowersToMax)
+{
+    auto ir = makeMlpIr({4});
+    ir.activation = ml::Activation::kRelu;
+    hb::SpatialCodegen codegen;
+    EXPECT_NE(codegen.generate(ir).find("max("), std::string::npos);
+}
+
+TEST(SpatialCodegen, WeightCountMatchesIr)
+{
+    auto ir = makeMlpIr({5});
+    hb::SpatialCodegen codegen;
+    std::string code = codegen.generate(ir);
+    // Every quantized scalar appears as an N.to[T] literal; each hidden
+    // layer's Foreach body adds one ReLU 0.to[T] constant.
+    std::size_t hidden_layers = ir.layers.size() - 1;
+    EXPECT_EQ(countOccurrences(code, ".to[T]"),
+              ir.paramCount() + hidden_layers);
+}
+
+TEST(SpatialCodegen, KMeansTemplateHasCentroidPerCluster)
+{
+    auto ir = makeKMeansIr(4);
+    hb::SpatialCodegen codegen;
+    std::string code = codegen.generate(ir);
+    EXPECT_EQ(countOccurrences(code, "val centroid"), 4u);
+    EXPECT_NE(code.find("arg-min"), std::string::npos);
+}
+
+TEST(SpatialCodegen, SvmTemplateHasWeightsPerClass)
+{
+    auto ir = makeSvmIr();
+    hb::SpatialCodegen codegen;
+    std::string code = codegen.generate(ir);
+    EXPECT_EQ(countOccurrences(code, "val svmW"), 3u);
+    EXPECT_NE(code.find("arg-max"), std::string::npos);
+}
+
+TEST(P4Codegen, SvmEmitsOneTablePerFeatureWithEntries)
+{
+    auto ir = makeSvmIr();
+    hb::P4Codegen codegen(16);
+    std::string code = codegen.generate(ir);
+    EXPECT_EQ(countOccurrences(code, "table svm_feature_"), 4u);
+    // 4 features x 16 bins = 64 range entries.
+    EXPECT_EQ(countOccurrences(code, " .. "), 64u);
+    EXPECT_NE(code.find("const entries"), std::string::npos);
+}
+
+TEST(P4Codegen, KMeansEmitsOneTablePerCluster)
+{
+    auto ir = makeKMeansIr(3);
+    hb::P4Codegen codegen;
+    std::string code = codegen.generate(ir);
+    EXPECT_EQ(countOccurrences(code, "table kmeans_cluster_"), 3u);
+    EXPECT_NE(code.find("arg-min"), std::string::npos);
+}
+
+TEST(P4Codegen, ScaffoldingPresent)
+{
+    auto ir = makeKMeansIr(2);
+    hb::P4Codegen codegen;
+    std::string code = codegen.generate(ir);
+    EXPECT_NE(code.find("#include <v1model.p4>"), std::string::npos);
+    EXPECT_NE(code.find("parser FeatureParser"), std::string::npos);
+    EXPECT_NE(code.find("control MlIngress"), std::string::npos);
+    EXPECT_NE(code.find("apply {"), std::string::npos);
+    // One header field per feature.
+    EXPECT_EQ(countOccurrences(code, "bit<16> f"), ir.inputDim);
+}
+
+TEST(P4Codegen, RejectsDnn)
+{
+    auto ir = makeMlpIr({4});
+    hb::P4Codegen codegen;
+    EXPECT_THROW(codegen.generate(ir), std::runtime_error);
+}
+
+TEST(P4Codegen, ApplyBlockListsTablesInOrder)
+{
+    auto ir = makeSvmIr();
+    hb::P4Codegen codegen(8);
+    std::string code = codegen.generate(ir);
+    std::size_t apply_pos = code.find("apply {");
+    ASSERT_NE(apply_pos, std::string::npos);
+    std::size_t prev = apply_pos;
+    for (std::size_t f = 0; f < 4; ++f) {
+        std::size_t pos =
+            code.find("svm_feature_" + std::to_string(f) + ".apply()",
+                      apply_pos);
+        ASSERT_NE(pos, std::string::npos);
+        EXPECT_GT(pos, prev);
+        prev = pos;
+    }
+}

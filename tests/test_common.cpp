@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for the common substrate: rng, strings, csv, fixed point,
+ * table printing.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/csv.hpp"
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "common/table_printer.hpp"
+
+namespace hc = homunculus::common;
+
+// ---------------------------------------------------------------- Rng ---
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    hc::Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    hc::Rng a(1), b(2);
+    int differences = 0;
+    for (int i = 0; i < 50; ++i)
+        if (a.uniform() != b.uniform())
+            ++differences;
+    EXPECT_GT(differences, 40);
+}
+
+TEST(Rng, UniformRespectsBounds)
+{
+    hc::Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(-2.5, 3.5);
+        EXPECT_GE(v, -2.5);
+        EXPECT_LT(v, 3.5);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    hc::Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t v = rng.uniformInt(0, 4);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 4);
+        saw_lo |= (v == 0);
+        saw_hi |= (v == 4);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    hc::Rng rng(11);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.gaussian(5.0, 2.0);
+        sum += v;
+        sumsq += v * v;
+    }
+    double mean = sum / n;
+    double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ParetoIsHeavyTailedAboveScale)
+{
+    hc::Rng rng(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.pareto(100.0, 1.5), 100.0);
+}
+
+TEST(Rng, CategoricalRespectsWeights)
+{
+    hc::Rng rng(17);
+    std::vector<double> weights = {0.0, 10.0, 0.0};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.categorical(weights), 1u);
+}
+
+TEST(Rng, PermutationIsAPermutation)
+{
+    hc::Rng rng(19);
+    auto perm = rng.permutation(50);
+    std::vector<bool> seen(50, false);
+    for (std::size_t idx : perm) {
+        ASSERT_LT(idx, 50u);
+        EXPECT_FALSE(seen[idx]);
+        seen[idx] = true;
+    }
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    hc::Rng parent(23);
+    hc::Rng child = parent.fork();
+    // Child stream differs from what the parent produces next.
+    EXPECT_NE(parent.uniform(), child.uniform());
+}
+
+// ------------------------------------------------------------- strings ---
+
+TEST(StringUtil, SplitAndJoinRoundTrip)
+{
+    std::string text = "a,b,,c";
+    auto parts = hc::split(text, ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(hc::join(parts, ","), text);
+}
+
+TEST(StringUtil, TrimRemovesEdgesOnly)
+{
+    EXPECT_EQ(hc::trim("  a b  "), "a b");
+    EXPECT_EQ(hc::trim(""), "");
+    EXPECT_EQ(hc::trim("   "), "");
+}
+
+TEST(StringUtil, FormatBehavesLikePrintf)
+{
+    EXPECT_EQ(hc::format("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+}
+
+TEST(StringUtil, StartsWithAndLower)
+{
+    EXPECT_TRUE(hc::startsWith("homunculus", "hom"));
+    EXPECT_FALSE(hc::startsWith("hom", "homunculus"));
+    EXPECT_EQ(hc::toLower("AbC"), "abc");
+}
+
+TEST(StringUtil, ReplaceAllNonOverlapping)
+{
+    EXPECT_EQ(hc::replaceAll("aaa", "aa", "b"), "ba");
+    EXPECT_EQ(hc::replaceAll("x{N}y{N}", "{N}", "7"), "x7y7");
+}
+
+TEST(StringUtil, IndentPrefixesEveryLine)
+{
+    EXPECT_EQ(hc::indent("a\nb", 2), "  a\n  b");
+}
+
+// ----------------------------------------------------------------- csv ---
+
+TEST(Csv, ParseWithHeader)
+{
+    auto table = hc::parseCsv("x,y\n1,2\n3,4\n", true);
+    ASSERT_EQ(table.header.size(), 2u);
+    EXPECT_EQ(table.header[1], "y");
+    ASSERT_EQ(table.numRows(), 2u);
+    EXPECT_DOUBLE_EQ(table.rows[1][0], 3.0);
+}
+
+TEST(Csv, ParseRejectsNonNumeric)
+{
+    EXPECT_THROW(hc::parseCsv("1,abc\n", false), std::runtime_error);
+}
+
+TEST(Csv, ParseRejectsRaggedRows)
+{
+    EXPECT_THROW(hc::parseCsv("1,2\n3\n", false), std::runtime_error);
+}
+
+TEST(Csv, WriteParseRoundTrip)
+{
+    hc::CsvTable table;
+    table.header = {"a", "b"};
+    table.rows = {{1.5, -2.25}, {0.0, 1e6}};
+    auto parsed = hc::parseCsv(hc::writeCsv(table), true);
+    ASSERT_EQ(parsed.numRows(), 2u);
+    EXPECT_DOUBLE_EQ(parsed.rows[0][1], -2.25);
+    EXPECT_DOUBLE_EQ(parsed.rows[1][1], 1e6);
+}
+
+// --------------------------------------------------------- fixed point ---
+
+TEST(FixedPoint, RoundTripSmallValues)
+{
+    auto fmt = hc::FixedPointFormat::q88();
+    for (double v : {0.0, 1.0, -1.0, 0.5, -0.25, 100.0, -100.0})
+        EXPECT_NEAR(fmt.roundTrip(v), v, fmt.resolution());
+}
+
+TEST(FixedPoint, SaturatesAtRangeEdges)
+{
+    auto fmt = hc::FixedPointFormat::q88();
+    EXPECT_DOUBLE_EQ(fmt.roundTrip(1e9), fmt.maxValue());
+    EXPECT_DOUBLE_EQ(fmt.roundTrip(-1e9), fmt.minValue());
+}
+
+TEST(FixedPoint, ResolutionMatchesFracBits)
+{
+    hc::FixedPointFormat fmt(4, 12);
+    EXPECT_DOUBLE_EQ(fmt.resolution(), std::pow(2.0, -12));
+}
+
+TEST(FixedPoint, MultiplyMatchesRealArithmetic)
+{
+    auto fmt = hc::FixedPointFormat::q88();
+    double a = 1.5, b = -2.25;
+    auto qa = fmt.quantize(a);
+    auto qb = fmt.quantize(b);
+    EXPECT_NEAR(fmt.dequantize(fmt.multiply(qa, qb)), a * b,
+                4 * fmt.resolution());
+}
+
+TEST(FixedPoint, AddSaturatesInsteadOfWrapping)
+{
+    auto fmt = hc::FixedPointFormat::q88();
+    auto max_raw = fmt.quantize(fmt.maxValue());
+    EXPECT_EQ(fmt.add(max_raw, max_raw), max_raw);
+}
+
+TEST(FixedPoint, MeanAbsErrorShrinksWithMoreFracBits)
+{
+    std::vector<double> values;
+    for (int i = 0; i < 100; ++i)
+        values.push_back(std::sin(i * 0.37) * 3.0);
+    hc::FixedPointFormat coarse(8, 4), fine(8, 12);
+    EXPECT_LT(fine.meanAbsError(values), coarse.meanAbsError(values));
+}
+
+// ------------------------------------------------------- table printer ---
+
+TEST(TablePrinter, AlignsColumnsAndKeepsRows)
+{
+    hc::TablePrinter printer({"name", "value"});
+    printer.addRow({"alpha", "1"});
+    printer.addRow({"b", "22.5"});
+    std::string out = printer.render();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22.5"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, CellFormatting)
+{
+    EXPECT_EQ(hc::TablePrinter::cell(3.14159, 2), "3.14");
+    EXPECT_EQ(hc::TablePrinter::cell(static_cast<long long>(42)), "42");
+}

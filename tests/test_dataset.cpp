@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for Dataset, splits, and preprocessing.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.hpp"
+#include "ml/preprocess.hpp"
+
+namespace ml = homunculus::ml;
+namespace hm = homunculus::math;
+
+namespace {
+
+ml::Dataset
+makeToyDataset(std::size_t n = 100)
+{
+    ml::Dataset data;
+    data.x = hm::Matrix(n, 3);
+    data.y.resize(n);
+    data.numClasses = 2;
+    data.featureNames = {"a", "b", "c"};
+    for (std::size_t i = 0; i < n; ++i) {
+        data.x(i, 0) = static_cast<double>(i);
+        data.x(i, 1) = static_cast<double>(i % 7);
+        data.x(i, 2) = -1.0;
+        data.y[i] = static_cast<int>(i % 2);
+    }
+    return data;
+}
+
+}  // namespace
+
+TEST(Dataset, CountsAndValidation)
+{
+    auto data = makeToyDataset();
+    EXPECT_EQ(data.numSamples(), 100u);
+    EXPECT_EQ(data.numFeatures(), 3u);
+    EXPECT_EQ(data.countLabel(0), 50u);
+    EXPECT_EQ(data.classCounts(), (std::vector<std::size_t>{50, 50}));
+    EXPECT_NO_THROW(data.validate());
+}
+
+TEST(Dataset, ValidateRejectsBadLabels)
+{
+    auto data = makeToyDataset();
+    data.y[3] = 7;
+    EXPECT_THROW(data.validate(), std::runtime_error);
+}
+
+TEST(Dataset, SelectSamplesKeepsAlignment)
+{
+    auto data = makeToyDataset();
+    auto subset = data.selectSamples({5, 10, 15});
+    EXPECT_EQ(subset.numSamples(), 3u);
+    EXPECT_DOUBLE_EQ(subset.x(1, 0), 10.0);
+    EXPECT_EQ(subset.y[1], 0);
+    EXPECT_EQ(subset.featureNames, data.featureNames);
+}
+
+TEST(Dataset, SelectFeaturesKeepsNames)
+{
+    auto data = makeToyDataset();
+    auto narrow = data.selectFeatures({2, 0});
+    EXPECT_EQ(narrow.numFeatures(), 2u);
+    EXPECT_EQ(narrow.featureNames, (std::vector<std::string>{"c", "a"}));
+    EXPECT_DOUBLE_EQ(narrow.x(4, 1), 4.0);
+}
+
+TEST(Dataset, ConcatStacksRows)
+{
+    auto a = makeToyDataset(10);
+    auto b = makeToyDataset(5);
+    auto both = a.concat(b);
+    EXPECT_EQ(both.numSamples(), 15u);
+    EXPECT_EQ(both.y.size(), 15u);
+    EXPECT_DOUBLE_EQ(both.x(12, 0), 2.0);
+}
+
+TEST(Split, TrainTestPartitionIsComplete)
+{
+    auto data = makeToyDataset(100);
+    auto split = ml::trainTestSplit(data, 0.3, 1);
+    EXPECT_EQ(split.test.numSamples(), 30u);
+    EXPECT_EQ(split.train.numSamples(), 70u);
+}
+
+TEST(Split, TrainTestDeterministicInSeed)
+{
+    auto data = makeToyDataset(50);
+    auto a = ml::trainTestSplit(data, 0.2, 9);
+    auto b = ml::trainTestSplit(data, 0.2, 9);
+    for (std::size_t i = 0; i < a.test.numSamples(); ++i)
+        EXPECT_DOUBLE_EQ(a.test.x(i, 0), b.test.x(i, 0));
+}
+
+TEST(Split, StratifiedPreservesClassBalance)
+{
+    auto data = makeToyDataset(200);
+    auto split = ml::stratifiedSplit(data, 0.25, 3);
+    auto test_counts = split.test.classCounts();
+    EXPECT_EQ(test_counts[0], test_counts[1]);
+    auto train_counts = split.train.classCounts();
+    EXPECT_EQ(train_counts[0], train_counts[1]);
+}
+
+TEST(Split, RejectsDegenerateFractions)
+{
+    auto data = makeToyDataset(10);
+    EXPECT_THROW(ml::trainTestSplit(data, 0.0, 1), std::runtime_error);
+    EXPECT_THROW(ml::trainTestSplit(data, 1.0, 1), std::runtime_error);
+    EXPECT_THROW(ml::stratifiedSplit(data, -0.5, 1), std::runtime_error);
+}
+
+TEST(Preprocess, StandardScalerZeroMeanUnitVar)
+{
+    auto data = makeToyDataset(64);
+    ml::StandardScaler scaler;
+    auto scaled = scaler.fitTransform(data.x);
+    auto col = scaled.col(0);
+    double mean = 0.0;
+    for (double v : col)
+        mean += v;
+    mean /= static_cast<double>(col.size());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+}
+
+TEST(Preprocess, StandardScalerHandlesConstantColumn)
+{
+    auto data = makeToyDataset(32);
+    ml::StandardScaler scaler;
+    auto scaled = scaler.fitTransform(data.x);
+    // Column 2 is constant (-1): stddev guard keeps output finite.
+    for (std::size_t i = 0; i < scaled.rows(); ++i)
+        EXPECT_TRUE(std::isfinite(scaled(i, 2)));
+}
+
+TEST(Preprocess, MinMaxBoundsToUnitInterval)
+{
+    auto data = makeToyDataset(32);
+    ml::MinMaxScaler scaler;
+    auto scaled = scaler.fitTransform(data.x);
+    for (std::size_t i = 0; i < scaled.rows(); ++i)
+        for (std::size_t c = 0; c < scaled.cols(); ++c) {
+            EXPECT_GE(scaled(i, c), 0.0);
+            EXPECT_LE(scaled(i, c), 1.0);
+        }
+}
+
+TEST(Preprocess, TransformUsesTrainStatisticsOnly)
+{
+    auto data = makeToyDataset(64);
+    auto split = ml::trainTestSplit(data, 0.25, 5);
+    auto scaled = ml::standardizeSplit(split);
+    // Test rows transformed with train stats: widths preserved.
+    EXPECT_EQ(scaled.test.numFeatures(), split.test.numFeatures());
+    EXPECT_EQ(scaled.train.numSamples(), split.train.numSamples());
+}
+
+TEST(Preprocess, OneHotShapeAndContent)
+{
+    auto encoded = ml::oneHot({0, 2, 1}, 3);
+    EXPECT_EQ(encoded.rows(), 3u);
+    EXPECT_EQ(encoded.cols(), 3u);
+    EXPECT_DOUBLE_EQ(encoded(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(encoded(1, 2), 1.0);
+    EXPECT_DOUBLE_EQ(encoded(1, 0), 0.0);
+    EXPECT_THROW(ml::oneHot({3}, 3), std::runtime_error);
+}

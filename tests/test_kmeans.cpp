@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for KMeans clustering.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/metrics.hpp"
+
+namespace ml = homunculus::ml;
+namespace hm = homunculus::math;
+
+namespace {
+
+/** k well-separated gaussian blobs with ground-truth labels. */
+std::pair<hm::Matrix, std::vector<int>>
+makeClusters(std::size_t k, std::size_t per_cluster, std::uint64_t seed)
+{
+    homunculus::common::Rng rng(seed);
+    hm::Matrix x(k * per_cluster, 2);
+    std::vector<int> labels(k * per_cluster);
+    for (std::size_t c = 0; c < k; ++c) {
+        double cx = 10.0 * static_cast<double>(c);
+        for (std::size_t i = 0; i < per_cluster; ++i) {
+            std::size_t row = c * per_cluster + i;
+            x(row, 0) = rng.gaussian(cx, 0.5);
+            x(row, 1) = rng.gaussian(cx / 2.0, 0.5);
+            labels[row] = static_cast<int>(c);
+        }
+    }
+    return {x, labels};
+}
+
+}  // namespace
+
+TEST(KMeans, RecoversWellSeparatedClusters)
+{
+    auto [x, truth] = makeClusters(3, 50, 1);
+    ml::KMeansConfig config;
+    config.numClusters = 3;
+    config.seed = 2;
+    ml::KMeans kmeans(config);
+    kmeans.fit(x);
+    auto assignments = kmeans.predict(x);
+    EXPECT_NEAR(ml::vMeasure(truth, assignments), 1.0, 1e-9);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters)
+{
+    auto [x, truth] = makeClusters(4, 40, 3);
+    (void)truth;
+    double prev = 1e300;
+    for (std::size_t k : {1, 2, 4, 8}) {
+        ml::KMeansConfig config;
+        config.numClusters = k;
+        config.seed = 4;
+        ml::KMeans kmeans(config);
+        double inertia = kmeans.fit(x);
+        EXPECT_LE(inertia, prev + 1e-9);
+        prev = inertia;
+    }
+}
+
+TEST(KMeans, CentroidShapeMatchesConfig)
+{
+    auto [x, truth] = makeClusters(3, 20, 5);
+    (void)truth;
+    ml::KMeansConfig config;
+    config.numClusters = 3;
+    ml::KMeans kmeans(config);
+    kmeans.fit(x);
+    EXPECT_EQ(kmeans.centroids().rows(), 3u);
+    EXPECT_EQ(kmeans.centroids().cols(), 2u);
+}
+
+TEST(KMeans, ClampsClusterCountToSampleCount)
+{
+    hm::Matrix x = hm::Matrix::fromRows({{0, 0}, {1, 1}});
+    ml::KMeansConfig config;
+    config.numClusters = 10;
+    ml::KMeans kmeans(config);
+    kmeans.fit(x);
+    EXPECT_EQ(kmeans.centroids().rows(), 2u);
+}
+
+TEST(KMeans, DeterministicGivenSeed)
+{
+    auto [x, truth] = makeClusters(3, 30, 6);
+    (void)truth;
+    ml::KMeansConfig config;
+    config.numClusters = 3;
+    config.seed = 77;
+    ml::KMeans a(config), b(config);
+    a.fit(x);
+    b.fit(x);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_DOUBLE_EQ(a.centroids()(r, c), b.centroids()(r, c));
+}
+
+TEST(KMeans, PredictPointMatchesBatch)
+{
+    auto [x, truth] = makeClusters(2, 25, 8);
+    (void)truth;
+    ml::KMeansConfig config;
+    config.numClusters = 2;
+    ml::KMeans kmeans(config);
+    kmeans.fit(x);
+    auto batch = kmeans.predict(x);
+    for (std::size_t i = 0; i < x.rows(); ++i)
+        EXPECT_EQ(batch[i], kmeans.predictPoint(x.row(i)));
+}
+
+TEST(KMeans, ConvergesBeforeMaxIterationsOnEasyData)
+{
+    auto [x, truth] = makeClusters(2, 50, 9);
+    (void)truth;
+    ml::KMeansConfig config;
+    config.numClusters = 2;
+    config.maxIterations = 100;
+    ml::KMeans kmeans(config);
+    kmeans.fit(x);
+    EXPECT_LT(kmeans.iterationsRun(), 100u);
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean)
+{
+    hm::Matrix x = hm::Matrix::fromRows({{0, 0}, {2, 2}, {4, 4}});
+    ml::KMeansConfig config;
+    config.numClusters = 1;
+    ml::KMeans kmeans(config);
+    kmeans.fit(x);
+    EXPECT_NEAR(kmeans.centroids()(0, 0), 2.0, 1e-9);
+    EXPECT_NEAR(kmeans.centroids()(0, 1), 2.0, 1e-9);
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the dense matrix kernels.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/matrix.hpp"
+
+namespace hm = homunculus::math;
+
+TEST(Matrix, ConstructionAndIndexing)
+{
+    hm::Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+    m(0, 1) = -2.0;
+    EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, FromRowsAndRowColAccess)
+{
+    auto m = hm::Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    EXPECT_EQ(m.row(1), (std::vector<double>{4, 5, 6}));
+    EXPECT_EQ(m.col(2), (std::vector<double>{3, 6}));
+}
+
+TEST(Matrix, IdentityMatmulIsIdentityOp)
+{
+    auto m = hm::Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    auto result = m.matmul(hm::Matrix::identity(2));
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_DOUBLE_EQ(result(r, c), m(r, c));
+}
+
+TEST(Matrix, MatmulKnownValues)
+{
+    auto a = hm::Matrix::fromRows({{1, 2}, {3, 4}});
+    auto b = hm::Matrix::fromRows({{5, 6}, {7, 8}});
+    auto c = a.matmul(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    auto m = hm::Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    auto tt = m.transposed().transposed();
+    EXPECT_EQ(tt.rows(), m.rows());
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            EXPECT_DOUBLE_EQ(tt(r, c), m(r, c));
+}
+
+TEST(Matrix, ElementwiseOps)
+{
+    auto a = hm::Matrix::fromRows({{1, 2}, {3, 4}});
+    auto b = hm::Matrix::fromRows({{10, 20}, {30, 40}});
+    auto sum = a + b;
+    EXPECT_DOUBLE_EQ(sum(1, 1), 44.0);
+    auto diff = b - a;
+    EXPECT_DOUBLE_EQ(diff(0, 0), 9.0);
+    auto scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+    auto had = a.hadamard(b);
+    EXPECT_DOUBLE_EQ(had(0, 1), 40.0);
+}
+
+TEST(Matrix, MapAppliesFunction)
+{
+    auto m = hm::Matrix::fromRows({{-1, 2}});
+    auto relu = m.map([](double v) { return v > 0 ? v : 0.0; });
+    EXPECT_DOUBLE_EQ(relu(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(relu(0, 1), 2.0);
+}
+
+TEST(Matrix, AddRowVectorBroadcasts)
+{
+    auto m = hm::Matrix::fromRows({{1, 1}, {2, 2}});
+    m.addRowVector({10, 20});
+    EXPECT_DOUBLE_EQ(m(0, 1), 21.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 12.0);
+}
+
+TEST(Matrix, ReductionsAndArgmax)
+{
+    auto m = hm::Matrix::fromRows({{1, 5, 3}, {2, 2, 8}});
+    EXPECT_DOUBLE_EQ(m.sum(), 21.0);
+    EXPECT_EQ(m.colSums(), (std::vector<double>{3, 7, 11}));
+    EXPECT_EQ(m.argmaxRow(0), 1u);
+    EXPECT_EQ(m.argmaxRow(1), 2u);
+    EXPECT_NEAR(m.frobeniusNorm(), std::sqrt(1 + 25 + 9 + 4 + 4 + 64), 1e-12);
+}
+
+TEST(Matrix, SelectRowsAndCols)
+{
+    auto m = hm::Matrix::fromRows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+    auto rows = m.selectRows({2, 0});
+    EXPECT_DOUBLE_EQ(rows(0, 0), 7.0);
+    EXPECT_DOUBLE_EQ(rows(1, 2), 3.0);
+    auto cols = m.selectCols({1});
+    EXPECT_EQ(cols.cols(), 1u);
+    EXPECT_DOUBLE_EQ(cols(2, 0), 8.0);
+}
+
+TEST(Matrix, VstackConcatenatesRows)
+{
+    auto a = hm::Matrix::fromRows({{1, 2}});
+    auto b = hm::Matrix::fromRows({{3, 4}, {5, 6}});
+    auto stacked = a.vstack(b);
+    EXPECT_EQ(stacked.rows(), 3u);
+    EXPECT_DOUBLE_EQ(stacked(2, 1), 6.0);
+}
+
+TEST(VectorOps, DotDistanceAxpy)
+{
+    std::vector<double> a = {1, 2, 3}, b = {4, 5, 6};
+    EXPECT_DOUBLE_EQ(hm::dot(a, b), 32.0);
+    EXPECT_DOUBLE_EQ(hm::squaredDistance(a, b), 27.0);
+    EXPECT_NEAR(hm::l2Distance(a, b), std::sqrt(27.0), 1e-12);
+    hm::axpy(2.0, a, b);
+    EXPECT_EQ(b, (std::vector<double>{6, 9, 12}));
+}

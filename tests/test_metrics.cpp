@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for classification and clustering metrics.
+ */
+#include <gtest/gtest.h>
+
+#include "ml/metrics.hpp"
+
+namespace ml = homunculus::ml;
+
+TEST(Metrics, ConfusionMatrixEntries)
+{
+    std::vector<int> truth = {0, 0, 1, 1, 1};
+    std::vector<int> pred = {0, 1, 1, 1, 0};
+    auto cm = ml::confusionMatrix(truth, pred, 2);
+    EXPECT_EQ(cm[0][0], 1u);
+    EXPECT_EQ(cm[0][1], 1u);
+    EXPECT_EQ(cm[1][0], 1u);
+    EXPECT_EQ(cm[1][1], 2u);
+}
+
+TEST(Metrics, AccuracyPerfectAndZero)
+{
+    EXPECT_DOUBLE_EQ(ml::accuracy({1, 0, 1}, {1, 0, 1}), 1.0);
+    EXPECT_DOUBLE_EQ(ml::accuracy({1, 0}, {0, 1}), 0.0);
+}
+
+TEST(Metrics, PrecisionRecallF1KnownCase)
+{
+    // TP=2, FP=1, FN=1 for class 1.
+    std::vector<int> truth = {1, 1, 1, 0, 0};
+    std::vector<int> pred = {1, 1, 0, 1, 0};
+    EXPECT_NEAR(ml::precision(truth, pred, 1), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(ml::recall(truth, pred, 1), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(ml::f1Score(truth, pred, 1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, F1ZeroWhenNoPositivePredictions)
+{
+    std::vector<int> truth = {1, 1, 0};
+    std::vector<int> pred = {0, 0, 0};
+    EXPECT_DOUBLE_EQ(ml::precision(truth, pred, 1), 0.0);
+    EXPECT_DOUBLE_EQ(ml::f1Score(truth, pred, 1), 0.0);
+}
+
+TEST(Metrics, MacroF1AveragesClasses)
+{
+    std::vector<int> truth = {0, 0, 1, 1};
+    std::vector<int> pred = {0, 0, 0, 0};
+    // class 0: P=0.5, R=1 -> F1=2/3; class 1: 0.
+    EXPECT_NEAR(ml::macroF1(truth, pred, 2), (2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(Metrics, F1ForTaskDispatchesOnClassCount)
+{
+    std::vector<int> truth = {0, 1, 1};
+    std::vector<int> pred = {0, 1, 1};
+    EXPECT_DOUBLE_EQ(ml::f1ForTask(truth, pred, 2),
+                     ml::f1Score(truth, pred, 1));
+    std::vector<int> truth3 = {0, 1, 2};
+    std::vector<int> pred3 = {0, 1, 2};
+    EXPECT_DOUBLE_EQ(ml::f1ForTask(truth3, pred3, 3), 1.0);
+}
+
+TEST(Metrics, LengthMismatchThrows)
+{
+    EXPECT_THROW(ml::accuracy({0, 1}, {0}), std::runtime_error);
+    EXPECT_THROW(ml::accuracy({}, {}), std::runtime_error);
+}
+
+TEST(Metrics, VMeasurePerfectClustering)
+{
+    std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+    std::vector<int> clusters = {5, 5, 3, 3, 9, 9};  // relabeled but exact.
+    EXPECT_NEAR(ml::homogeneity(truth, clusters), 1.0, 1e-12);
+    EXPECT_NEAR(ml::completeness(truth, clusters), 1.0, 1e-12);
+    EXPECT_NEAR(ml::vMeasure(truth, clusters), 1.0, 1e-12);
+}
+
+TEST(Metrics, VMeasureSingleClusterHasZeroHomogeneity)
+{
+    std::vector<int> truth = {0, 0, 1, 1};
+    std::vector<int> clusters = {0, 0, 0, 0};
+    EXPECT_NEAR(ml::homogeneity(truth, clusters), 0.0, 1e-12);
+    // Single cluster is trivially complete.
+    EXPECT_NEAR(ml::completeness(truth, clusters), 1.0, 1e-12);
+    EXPECT_NEAR(ml::vMeasure(truth, clusters), 0.0, 1e-12);
+}
+
+TEST(Metrics, VMeasureOversplitLosesCompleteness)
+{
+    std::vector<int> truth = {0, 0, 0, 0};
+    std::vector<int> clusters = {0, 1, 2, 3};
+    EXPECT_NEAR(ml::homogeneity(truth, clusters), 1.0, 1e-12);
+    EXPECT_NEAR(ml::completeness(truth, clusters), 0.0, 1e-12);
+}
+
+TEST(Metrics, VMeasureMonotoneInClusterQuality)
+{
+    std::vector<int> truth = {0, 0, 0, 1, 1, 1};
+    std::vector<int> good = {0, 0, 0, 1, 1, 1};
+    std::vector<int> noisy = {0, 0, 1, 1, 1, 0};
+    EXPECT_GT(ml::vMeasure(truth, good), ml::vMeasure(truth, noisy));
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the MLP: shapes, training convergence, determinism.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+#include "ml/mlp.hpp"
+
+namespace ml = homunculus::ml;
+namespace hm = homunculus::math;
+
+namespace {
+
+/** Two gaussian blobs, linearly separable with margin. */
+ml::Dataset
+makeBlobs(std::size_t n, std::uint64_t seed, double separation = 3.0)
+{
+    homunculus::common::Rng rng(seed);
+    ml::Dataset data;
+    data.x = hm::Matrix(n, 2);
+    data.y.resize(n);
+    data.numClasses = 2;
+    for (std::size_t i = 0; i < n; ++i) {
+        int label = static_cast<int>(i % 2);
+        double cx = label == 0 ? -separation / 2 : separation / 2;
+        data.x(i, 0) = rng.gaussian(cx, 0.7);
+        data.x(i, 1) = rng.gaussian(label == 0 ? -1.0 : 1.0, 0.7);
+        data.y[i] = label;
+    }
+    return data;
+}
+
+/** XOR-style dataset: not linearly separable. */
+ml::Dataset
+makeXor(std::size_t n, std::uint64_t seed)
+{
+    homunculus::common::Rng rng(seed);
+    ml::Dataset data;
+    data.x = hm::Matrix(n, 2);
+    data.y.resize(n);
+    data.numClasses = 2;
+    for (std::size_t i = 0; i < n; ++i) {
+        double a = rng.uniform(-1, 1);
+        double b = rng.uniform(-1, 1);
+        data.x(i, 0) = a;
+        data.x(i, 1) = b;
+        data.y[i] = (a * b > 0) ? 1 : 0;
+    }
+    return data;
+}
+
+}  // namespace
+
+TEST(MlpConfig, ParamCountFormula)
+{
+    ml::MlpConfig config;
+    config.inputDim = 7;
+    config.hiddenLayers = {10, 10, 5};
+    config.numClasses = 2;
+    // 7*10+10 + 10*10+10 + 10*5+5 + 5*2+2 = 80+110+55+12 = 257.
+    EXPECT_EQ(config.paramCount(), 257u);
+    EXPECT_EQ(config.layerDims(),
+              (std::vector<std::size_t>{7, 10, 10, 5, 2}));
+}
+
+TEST(MlpConfig, NoHiddenLayersIsLogisticRegression)
+{
+    ml::MlpConfig config;
+    config.inputDim = 4;
+    config.numClasses = 3;
+    EXPECT_EQ(config.paramCount(), 4u * 3u + 3u);
+}
+
+TEST(Mlp, PredictShapes)
+{
+    ml::MlpConfig config;
+    config.inputDim = 2;
+    config.hiddenLayers = {4};
+    config.numClasses = 2;
+    ml::Mlp mlp(config);
+    auto data = makeBlobs(10, 1);
+    auto proba = mlp.predictProba(data.x);
+    EXPECT_EQ(proba.rows(), 10u);
+    EXPECT_EQ(proba.cols(), 2u);
+    auto labels = mlp.predict(data.x);
+    EXPECT_EQ(labels.size(), 10u);
+}
+
+TEST(Mlp, SoftmaxRowsSumToOne)
+{
+    ml::MlpConfig config;
+    config.inputDim = 2;
+    config.hiddenLayers = {6};
+    config.numClasses = 3;
+    ml::Mlp mlp(config);
+    hm::Matrix x(5, 2, 0.3);
+    auto proba = mlp.predictProba(x);
+    for (std::size_t r = 0; r < proba.rows(); ++r) {
+        double total = 0.0;
+        for (std::size_t c = 0; c < proba.cols(); ++c) {
+            total += proba(r, c);
+            EXPECT_GE(proba(r, c), 0.0);
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+}
+
+TEST(Mlp, LearnsLinearlySeparableBlobs)
+{
+    auto train = makeBlobs(400, 2);
+    auto test = makeBlobs(200, 3);
+    ml::MlpConfig config;
+    config.inputDim = 2;
+    config.hiddenLayers = {8};
+    config.numClasses = 2;
+    config.epochs = 40;
+    ml::Mlp mlp(config);
+    mlp.train(train);
+    EXPECT_GT(ml::accuracy(test.y, mlp.predict(test.x)), 0.95);
+}
+
+TEST(Mlp, LearnsXorWithHiddenLayer)
+{
+    auto train = makeXor(600, 4);
+    auto test = makeXor(300, 5);
+    ml::MlpConfig config;
+    config.inputDim = 2;
+    config.hiddenLayers = {16, 8};
+    config.numClasses = 2;
+    config.epochs = 80;
+    config.learningRate = 0.01;
+    ml::Mlp mlp(config);
+    mlp.train(train);
+    EXPECT_GT(ml::accuracy(test.y, mlp.predict(test.x)), 0.9);
+}
+
+TEST(Mlp, TrainingReducesLoss)
+{
+    auto data = makeBlobs(300, 6);
+    ml::MlpConfig config;
+    config.inputDim = 2;
+    config.hiddenLayers = {8};
+    config.numClasses = 2;
+    config.epochs = 30;
+    ml::Mlp mlp(config);
+    double before = mlp.loss(data);
+    mlp.train(data);
+    EXPECT_LT(mlp.loss(data), before);
+}
+
+TEST(Mlp, DeterministicGivenSeed)
+{
+    auto data = makeBlobs(200, 7);
+    ml::MlpConfig config;
+    config.inputDim = 2;
+    config.hiddenLayers = {6};
+    config.numClasses = 2;
+    config.epochs = 10;
+    config.seed = 99;
+    ml::Mlp a(config), b(config);
+    a.train(data);
+    b.train(data);
+    for (std::size_t l = 0; l < a.weights().size(); ++l)
+        for (std::size_t i = 0; i < a.weights()[l].size(); ++i)
+            EXPECT_DOUBLE_EQ(a.weights()[l].data()[i],
+                             b.weights()[l].data()[i]);
+}
+
+TEST(Mlp, SgdFallbackAlsoLearns)
+{
+    auto data = makeBlobs(400, 8);
+    ml::MlpConfig config;
+    config.inputDim = 2;
+    config.hiddenLayers = {8};
+    config.numClasses = 2;
+    config.epochs = 60;
+    config.useAdam = false;
+    config.learningRate = 0.05;
+    ml::Mlp mlp(config);
+    mlp.train(data);
+    EXPECT_GT(ml::accuracy(data.y, mlp.predict(data.x)), 0.9);
+}
+
+TEST(Mlp, SetParametersRoundTrip)
+{
+    ml::MlpConfig config;
+    config.inputDim = 2;
+    config.hiddenLayers = {3};
+    config.numClasses = 2;
+    ml::Mlp mlp(config);
+    auto weights = mlp.weights();
+    auto biases = mlp.biases();
+    weights[0](0, 0) = 42.0;
+    mlp.setParameters(weights, biases);
+    EXPECT_DOUBLE_EQ(mlp.weights()[0](0, 0), 42.0);
+}
+
+TEST(Mlp, ActivationNamesRoundTrip)
+{
+    for (auto act : {ml::Activation::kRelu, ml::Activation::kTanh,
+                     ml::Activation::kSigmoid}) {
+        EXPECT_EQ(ml::activationFromName(ml::activationName(act)), act);
+    }
+    EXPECT_THROW(ml::activationFromName("bogus"), std::runtime_error);
+}
+
+TEST(Mlp, TanhActivationTrains)
+{
+    auto data = makeBlobs(300, 10);
+    ml::MlpConfig config;
+    config.inputDim = 2;
+    config.hiddenLayers = {8};
+    config.numClasses = 2;
+    config.activation = ml::Activation::kTanh;
+    config.epochs = 40;
+    ml::Mlp mlp(config);
+    mlp.train(data);
+    EXPECT_GT(ml::accuracy(data.y, mlp.predict(data.x)), 0.9);
+}

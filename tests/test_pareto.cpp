@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the Pareto front and multi-objective BO mode.
+ */
+#include <gtest/gtest.h>
+
+#include "opt/bayes_opt.hpp"
+#include "opt/pareto.hpp"
+
+namespace ho = homunculus::opt;
+
+namespace {
+
+ho::ParetoPoint
+point(double objective, double cost)
+{
+    ho::ParetoPoint p;
+    p.objective = objective;
+    p.cost = cost;
+    return p;
+}
+
+}  // namespace
+
+TEST(Pareto, DominationDefinition)
+{
+    EXPECT_TRUE(ho::dominates(point(0.9, 10), point(0.8, 20)));
+    EXPECT_TRUE(ho::dominates(point(0.9, 10), point(0.9, 20)));
+    EXPECT_TRUE(ho::dominates(point(0.9, 10), point(0.8, 10)));
+    EXPECT_FALSE(ho::dominates(point(0.9, 10), point(0.9, 10)));  // equal.
+    EXPECT_FALSE(ho::dominates(point(0.9, 20), point(0.8, 10)));  // trade.
+}
+
+TEST(Pareto, InsertKeepsOnlyNonDominated)
+{
+    ho::ParetoFront front;
+    EXPECT_TRUE(front.insert(point(0.5, 50)));
+    EXPECT_TRUE(front.insert(point(0.8, 80)));   // trade-off: kept.
+    EXPECT_TRUE(front.insert(point(0.3, 10)));   // cheap: kept.
+    EXPECT_EQ(front.size(), 3u);
+
+    // Dominates the 0.5/50 point: evicts it.
+    EXPECT_TRUE(front.insert(point(0.6, 40)));
+    EXPECT_EQ(front.size(), 3u);
+
+    // Dominated by 0.6/40: rejected.
+    EXPECT_FALSE(front.insert(point(0.55, 45)));
+    EXPECT_EQ(front.size(), 3u);
+}
+
+TEST(Pareto, DuplicateCoordinatesRejected)
+{
+    ho::ParetoFront front;
+    EXPECT_TRUE(front.insert(point(0.5, 5)));
+    EXPECT_FALSE(front.insert(point(0.5, 5)));
+}
+
+TEST(Pareto, SortedByCostIsAscendingAndObjectiveAscending)
+{
+    ho::ParetoFront front;
+    front.insert(point(0.9, 90));
+    front.insert(point(0.5, 20));
+    front.insert(point(0.7, 50));
+    auto sorted = front.sortedByCost();
+    ASSERT_EQ(sorted.size(), 3u);
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        EXPECT_GT(sorted[i].cost, sorted[i - 1].cost);
+        // On a clean front, higher cost must buy higher objective.
+        EXPECT_GT(sorted[i].objective, sorted[i - 1].objective);
+    }
+}
+
+TEST(Pareto, HypervolumeKnownValue)
+{
+    ho::ParetoFront front;
+    front.insert(point(0.5, 2.0));
+    front.insert(point(1.0, 4.0));
+    // Reference (0, 6): rect1 = (6-2)*(0.5-0) = 2; rect2 = (6-4)*(1-0.5)=1.
+    EXPECT_NEAR(front.hypervolume(0.0, 6.0), 3.0, 1e-12);
+}
+
+TEST(Pareto, HypervolumeGrowsWithBetterPoints)
+{
+    ho::ParetoFront a, b;
+    a.insert(point(0.5, 3.0));
+    b.insert(point(0.5, 3.0));
+    b.insert(point(0.9, 5.0));
+    EXPECT_GT(b.hypervolume(0.0, 10.0), a.hypervolume(0.0, 10.0));
+}
+
+TEST(Pareto, ScalarizeEndpoints)
+{
+    // weight 1: pure objective; weight 0: pure (negative) cost.
+    EXPECT_NEAR(ho::scalarize(0.8, 30, 0.0, 1.0, 0.0, 100.0, 1.0), 0.8,
+                1e-12);
+    EXPECT_NEAR(ho::scalarize(0.8, 30, 0.0, 1.0, 0.0, 100.0, 0.0), -0.3,
+                1e-12);
+}
+
+TEST(MultiObjectiveBo, FrontCoversTheTradeOff)
+{
+    // Synthetic trade-off: objective = x, cost = x^2 (higher quality is
+    // quadratically more expensive). Every x is Pareto-optimal, so the
+    // front should spread across the range rather than cluster at max x.
+    auto objective = [](const ho::Configuration &config) {
+        double x = config.real("x");
+        ho::EvalResult result;
+        result.objective = x;
+        result.feasible = true;
+        result.metrics["cost"] = x * x;
+        return result;
+    };
+    ho::SearchSpace space;
+    space.addReal("x", 0.0, 1.0);
+
+    ho::BoConfig config;
+    config.numInitSamples = 8;
+    config.numIterations = 20;
+    config.costMetricKey = "cost";
+    ho::BayesianOptimizer optimizer(space, config);
+    auto result = optimizer.optimize(objective);
+
+    ASSERT_GE(result.front.size(), 5u);
+    auto sorted = result.front.sortedByCost();
+    EXPECT_LT(sorted.front().objective, 0.5);  // a cheap point exists.
+    EXPECT_GT(sorted.back().objective, 0.8);   // a high-quality point too.
+}
+
+TEST(MultiObjectiveBo, FrontOnlyHoldsFeasiblePoints)
+{
+    auto objective = [](const ho::Configuration &config) {
+        double x = config.real("x");
+        ho::EvalResult result;
+        result.objective = x;
+        result.feasible = x < 0.5;
+        result.metrics["cost"] = x;
+        return result;
+    };
+    ho::SearchSpace space;
+    space.addReal("x", 0.0, 1.0);
+
+    ho::BoConfig config;
+    config.numInitSamples = 6;
+    config.numIterations = 10;
+    config.costMetricKey = "cost";
+    ho::BayesianOptimizer optimizer(space, config);
+    auto result = optimizer.optimize(objective);
+    for (const auto &p : result.front.points())
+        EXPECT_LT(p.objective, 0.5);
+}
+
+TEST(MultiObjectiveBo, SingleObjectiveModeLeavesFrontEmpty)
+{
+    auto objective = [](const ho::Configuration &config) {
+        ho::EvalResult result;
+        result.objective = config.real("x");
+        result.feasible = true;
+        return result;
+    };
+    ho::SearchSpace space;
+    space.addReal("x", 0.0, 1.0);
+    ho::BoConfig config;
+    config.numInitSamples = 3;
+    config.numIterations = 3;
+    ho::BayesianOptimizer optimizer(space, config);
+    auto result = optimizer.optimize(objective);
+    EXPECT_TRUE(result.front.empty());
+}

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Robustness / failure-injection suite.
+ *
+ * Parsers and simulators face adversarial inputs in a real deployment;
+ * these tests fuzz the packet parser with random and bit-flipped
+ * buffers, feed degenerate data to the loaders and models, and verify
+ * the documented error behavior (clean nullopt / exception, never UB).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "data/flowmarker.hpp"
+#include "data/loaders.hpp"
+#include "ir/model_ir.hpp"
+#include "ml/mlp.hpp"
+#include "net/feature_extract.hpp"
+#include "opt/search_space.hpp"
+
+namespace hc = homunculus::common;
+namespace hn = homunculus::net;
+namespace hd = homunculus::data;
+namespace ml = homunculus::ml;
+namespace hi = homunculus::ir;
+namespace hm = homunculus::math;
+namespace ho = homunculus::opt;
+
+TEST(Fuzz, PacketParserSurvivesRandomBuffers)
+{
+    hc::Rng rng(1);
+    for (int trial = 0; trial < 2000; ++trial) {
+        auto size = static_cast<std::size_t>(rng.uniformInt(0, 200));
+        std::vector<std::uint8_t> buffer(size);
+        for (auto &byte : buffer)
+            byte = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+        // Must never crash; almost always rejects (checksum).
+        auto parsed = hn::parse(buffer);
+        if (parsed) {
+            // If it parsed, the wire round-trip must agree.
+            EXPECT_LE(parsed->wireSize(), buffer.size());
+        }
+    }
+}
+
+TEST(Fuzz, PacketParserSurvivesBitFlips)
+{
+    hn::RawPacket packet;
+    packet.ipv4.protocol = hn::kProtoUdp;
+    hn::UdpHeader udp;
+    udp.srcPort = 1000;
+    udp.dstPort = 2000;
+    packet.udp = udp;
+    packet.payload.assign(40, 0x55);
+    auto pristine = serialize(packet);
+
+    hc::Rng rng(2);
+    std::size_t accepted = 0;
+    for (int trial = 0; trial < 1000; ++trial) {
+        auto bytes = pristine;
+        auto pos = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(bytes.size()) - 1));
+        bytes[pos] ^= static_cast<std::uint8_t>(
+            1 << rng.uniformInt(0, 7));
+        if (hn::parse(bytes))
+            ++accepted;
+    }
+    // Flips inside the IPv4 header are caught by the checksum; flips in
+    // payload/transport are legitimately accepted. Never a crash.
+    EXPECT_GT(accepted, 0u);
+    EXPECT_LT(accepted, 1000u);
+}
+
+TEST(Fuzz, FeatureExtractorNeverProducesNonFinite)
+{
+    hc::Rng rng(3);
+    hn::FeatureExtractor extractor;
+    for (int trial = 0; trial < 300; ++trial) {
+        hn::RawPacket packet;
+        packet.ipv4.ttl = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+        packet.ipv4.tos = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+        if (rng.bernoulli(0.5)) {
+            packet.ipv4.protocol = hn::kProtoTcp;
+            packet.tcp = hn::TcpHeader{};
+        } else {
+            packet.ipv4.protocol = hn::kProtoUdp;
+            packet.udp = hn::UdpHeader{};
+        }
+        packet.payload.resize(
+            static_cast<std::size_t>(rng.uniformInt(0, 1400)));
+        for (auto &byte : packet.payload)
+            byte = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+        for (double f : extractor.extract(packet)) {
+            EXPECT_TRUE(std::isfinite(f));
+        }
+    }
+}
+
+TEST(Robustness, CsvRejectsHostileInputsCleanly)
+{
+    EXPECT_THROW(hc::parseCsv("a,b\nx,y\n", true), std::runtime_error);
+    EXPECT_THROW(hc::parseCsv("1,2\n3,4,5\n", false), std::runtime_error);
+    EXPECT_THROW(hd::datasetFromCsv("", false), std::runtime_error);
+    EXPECT_THROW(hd::datasetFromCsv("1,-1\n", false), std::runtime_error);
+    // Whitespace-only content.
+    EXPECT_THROW(hd::datasetFromCsv("   \n  \n", false),
+                 std::runtime_error);
+    // Header-only is an empty dataset.
+    EXPECT_THROW(hd::datasetFromCsv("a,b\n", true), std::runtime_error);
+}
+
+TEST(Robustness, ExecuteIrHandlesExtremeFeatureValues)
+{
+    ml::MlpConfig config;
+    config.inputDim = 4;
+    config.hiddenLayers = {6};
+    config.numClasses = 3;
+    ml::Mlp mlp(config);
+    auto ir = hi::lowerMlp(mlp, hc::FixedPointFormat::q88(), "m");
+
+    // Saturating fixed point must absorb infinities of input magnitude.
+    for (double magnitude : {1e3, 1e6, 1e9, -1e9}) {
+        std::vector<double> features(4, magnitude);
+        int label = hi::executeIr(ir, features);
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, 3);
+    }
+}
+
+TEST(Robustness, MlpRejectsMisshapenInputs)
+{
+    ml::MlpConfig config;
+    config.inputDim = 3;
+    config.hiddenLayers = {4};
+    config.numClasses = 2;
+    ml::Mlp mlp(config);
+    hm::Matrix wrong_width(5, 2, 0.0);
+    EXPECT_DEATH(mlp.predict(wrong_width), "width mismatch");
+}
+
+TEST(Robustness, DatasetValidationCatchesCorruption)
+{
+    ml::Dataset data;
+    data.x = hm::Matrix(4, 2, 1.0);
+    data.y = {0, 1, 0};  // one label short.
+    data.numClasses = 2;
+    EXPECT_THROW(data.validate(), std::runtime_error);
+
+    data.y = {0, 1, 0, 5};  // out-of-range label.
+    EXPECT_THROW(data.validate(), std::runtime_error);
+
+    data.y = {0, 1, 0, 1};
+    data.featureNames = {"only_one"};  // width mismatch.
+    EXPECT_THROW(data.validate(), std::runtime_error);
+}
+
+TEST(Robustness, SearchSpaceEncodeUnknownCategoricalFallsBackToZero)
+{
+    ho::SearchSpace space;
+    space.addCategorical("act", {"relu", "tanh"});
+    ho::Configuration config;
+    config.set("act", std::string("swish"));  // not in the option list.
+    auto row = space.encode(config);
+    EXPECT_DOUBLE_EQ(row[0], 0.0);
+}
+
+TEST(Robustness, QuantizedTreeHandlesThresholdSaturation)
+{
+    // A tree whose threshold exceeds the Q8.8 range must still classify
+    // deterministically after saturation.
+    hi::ModelIr ir;
+    ir.kind = hi::ModelKind::kDecisionTree;
+    ir.inputDim = 1;
+    ir.numClasses = 2;
+    ir.treeDepth = 1;
+    hi::IrTreeNode root;
+    root.isLeaf = false;
+    root.feature = 0;
+    root.threshold = hc::FixedPointFormat::q88().quantize(1e9);  // max.
+    root.left = 1;
+    root.right = 2;
+    hi::IrTreeNode left, right;
+    left.classLabel = 0;
+    right.classLabel = 1;
+    ir.treeNodes = {root, left, right};
+    ir.validate();
+
+    // Everything representable compares <= saturated max -> class 0.
+    EXPECT_EQ(hi::executeIr(ir, {0.0}), 0);
+    EXPECT_EQ(hi::executeIr(ir, {100.0}), 0);
+    EXPECT_EQ(hi::executeIr(ir, {1e12}), 0);
+}
+
+TEST(Robustness, EmptyFlowVectorRejectedByBuilders)
+{
+    EXPECT_THROW(hd::buildFlowLevelDataset(
+                     {}, hd::homunculusCompressedConfig()),
+                 std::runtime_error);
+    EXPECT_THROW(hd::buildPerPacketDataset(
+                     {}, hd::homunculusCompressedConfig()),
+                 std::runtime_error);
+}

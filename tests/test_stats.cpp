@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for scalar statistics helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.hpp"
+
+namespace hm = homunculus::math;
+
+TEST(Stats, MeanVarianceStddev)
+{
+    std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(hm::mean(v), 5.0);
+    EXPECT_NEAR(hm::variance(v), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(hm::stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, EmptyAndDegenerateInputs)
+{
+    EXPECT_DOUBLE_EQ(hm::mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(hm::variance({1.0}), 0.0);
+}
+
+TEST(Stats, MedianAndQuantiles)
+{
+    std::vector<double> v = {3, 1, 2};
+    EXPECT_DOUBLE_EQ(hm::median(v), 2.0);
+    EXPECT_DOUBLE_EQ(hm::quantile({1, 2, 3, 4}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(hm::quantile({1, 2, 3, 4}, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(hm::quantile({0, 10}, 0.25), 2.5);
+}
+
+TEST(Stats, MinMax)
+{
+    std::vector<double> v = {3, -1, 2};
+    EXPECT_DOUBLE_EQ(hm::minValue(v), -1.0);
+    EXPECT_DOUBLE_EQ(hm::maxValue(v), 3.0);
+}
+
+TEST(Stats, EntropyUniformIsLogN)
+{
+    EXPECT_NEAR(hm::entropy({1, 1, 1, 1}), std::log(4.0), 1e-12);
+    EXPECT_DOUBLE_EQ(hm::entropy({5, 0, 0}), 0.0);
+    EXPECT_DOUBLE_EQ(hm::entropy({}), 0.0);
+}
+
+TEST(Stats, NormalPdfCdfKnownValues)
+{
+    EXPECT_NEAR(hm::normalPdf(0.0), 0.3989422804, 1e-9);
+    EXPECT_NEAR(hm::normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(hm::normalCdf(1.96), 0.975, 1e-3);
+    EXPECT_NEAR(hm::normalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(Stats, PearsonCorrelation)
+{
+    std::vector<double> a = {1, 2, 3, 4};
+    std::vector<double> b = {2, 4, 6, 8};
+    EXPECT_NEAR(hm::pearson(a, b), 1.0, 1e-12);
+    std::vector<double> c = {8, 6, 4, 2};
+    EXPECT_NEAR(hm::pearson(a, c), -1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(hm::pearson(a, {1, 1, 1, 1}), 0.0);
+}
+
+TEST(Stats, HistogramBinningAndEdges)
+{
+    std::vector<double> v = {0.0, 0.5, 0.99, 1.0, 2.0};
+    auto h = hm::histogram(v, 0.0, 2.0, 2);
+    ASSERT_EQ(h.size(), 2u);
+    EXPECT_EQ(h[0], 3u);  // 0.0, 0.5, 0.99
+    EXPECT_EQ(h[1], 2u);  // 1.0, 2.0 (top edge lands in last bin)
+}
+
+TEST(Stats, HistogramIgnoresOutOfRange)
+{
+    auto h = hm::histogram({-1.0, 5.0, 0.5}, 0.0, 1.0, 1);
+    EXPECT_EQ(h[0], 1u);
+}

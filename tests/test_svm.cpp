@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the linear SVM.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+#include "ml/svm.hpp"
+
+namespace ml = homunculus::ml;
+namespace hm = homunculus::math;
+
+namespace {
+
+ml::Dataset
+makeSeparable(std::size_t n, int classes, std::uint64_t seed)
+{
+    homunculus::common::Rng rng(seed);
+    ml::Dataset data;
+    data.x = hm::Matrix(n, 2);
+    data.y.resize(n);
+    data.numClasses = classes;
+    for (std::size_t i = 0; i < n; ++i) {
+        int label = static_cast<int>(i % static_cast<std::size_t>(classes));
+        double angle = 2.0 * 3.14159265 * label / classes;
+        data.x(i, 0) = 4.0 * std::cos(angle) + rng.gaussian(0, 0.4);
+        data.x(i, 1) = 4.0 * std::sin(angle) + rng.gaussian(0, 0.4);
+        data.y[i] = label;
+    }
+    return data;
+}
+
+}  // namespace
+
+TEST(LinearSvm, LearnsBinarySeparableData)
+{
+    auto data = makeSeparable(300, 2, 1);
+    ml::LinearSvm svm(ml::SvmConfig{});
+    svm.train(data);
+    EXPECT_GT(ml::accuracy(data.y, svm.predict(data.x)), 0.95);
+}
+
+TEST(LinearSvm, LearnsMulticlassOneVsRest)
+{
+    auto data = makeSeparable(600, 4, 2);
+    ml::SvmConfig config;
+    config.epochs = 80;
+    ml::LinearSvm svm(config);
+    svm.train(data);
+    EXPECT_GT(ml::accuracy(data.y, svm.predict(data.x)), 0.9);
+}
+
+TEST(LinearSvm, DecisionFunctionShape)
+{
+    auto data = makeSeparable(100, 3, 3);
+    ml::LinearSvm svm(ml::SvmConfig{});
+    svm.train(data);
+    auto scores = svm.decisionFunction(data.x);
+    EXPECT_EQ(scores.rows(), 100u);
+    EXPECT_EQ(scores.cols(), 3u);
+}
+
+TEST(LinearSvm, ParamCountMatchesShape)
+{
+    auto data = makeSeparable(60, 3, 4);
+    ml::LinearSvm svm(ml::SvmConfig{});
+    svm.train(data);
+    EXPECT_EQ(svm.paramCount(), 3u * (2u + 1u));
+}
+
+TEST(LinearSvm, DeterministicGivenSeed)
+{
+    auto data = makeSeparable(150, 2, 5);
+    ml::SvmConfig config;
+    config.seed = 42;
+    ml::LinearSvm a(config), b(config);
+    a.train(data);
+    b.train(data);
+    for (std::size_t c = 0; c < 2; ++c)
+        for (std::size_t f = 0; f < 2; ++f)
+            EXPECT_DOUBLE_EQ(a.weights()(c, f), b.weights()(c, f));
+}
+
+TEST(LinearSvm, TrainingLossDecreasesFromStart)
+{
+    auto data = makeSeparable(300, 2, 6);
+    ml::SvmConfig one_epoch;
+    one_epoch.epochs = 1;
+    ml::LinearSvm early(one_epoch);
+    double loss_early = early.train(data);
+
+    ml::SvmConfig many_epochs;
+    many_epochs.epochs = 50;
+    ml::LinearSvm late(many_epochs);
+    double loss_late = late.train(data);
+    EXPECT_LT(loss_late, loss_early);
+}
+
+TEST(LinearSvm, RegularizationShrinksWeights)
+{
+    auto data = makeSeparable(200, 2, 7);
+    ml::SvmConfig weak;
+    weak.regularization = 1e-6;
+    ml::SvmConfig strong;
+    strong.regularization = 0.5;
+    ml::LinearSvm svm_weak(weak), svm_strong(strong);
+    svm_weak.train(data);
+    svm_strong.train(data);
+
+    auto norm = [](const hm::Matrix &w) {
+        double total = 0.0;
+        for (double v : w.data())
+            total += v * v;
+        return total;
+    };
+    EXPECT_LT(norm(svm_strong.weights()), norm(svm_weak.weights()));
+}
+
+TEST(LinearSvm, PredictBeforeTrainPanics)
+{
+    ml::LinearSvm svm(ml::SvmConfig{});
+    hm::Matrix x(1, 2, 0.0);
+    EXPECT_DEATH(svm.predict(x), "decisionFunction before train");
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for decision trees and random forests.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+
+namespace ml = homunculus::ml;
+namespace hm = homunculus::math;
+
+namespace {
+
+ml::Dataset
+makeAxisAligned(std::size_t n, std::uint64_t seed)
+{
+    homunculus::common::Rng rng(seed);
+    ml::Dataset data;
+    data.x = hm::Matrix(n, 2);
+    data.y.resize(n);
+    data.numClasses = 2;
+    for (std::size_t i = 0; i < n; ++i) {
+        data.x(i, 0) = rng.uniform(0, 10);
+        data.x(i, 1) = rng.uniform(0, 10);
+        data.y[i] = (data.x(i, 0) > 5.0) ? 1 : 0;
+    }
+    return data;
+}
+
+/** Nonlinear regression target for the forest surrogate tests. */
+void
+makeRegression(std::size_t n, std::uint64_t seed, hm::Matrix &x,
+               std::vector<double> &y)
+{
+    homunculus::common::Rng rng(seed);
+    x = hm::Matrix(n, 2);
+    y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(-3, 3);
+        x(i, 1) = rng.uniform(-3, 3);
+        y[i] = std::sin(x(i, 0)) + 0.5 * x(i, 1);
+    }
+}
+
+}  // namespace
+
+TEST(DecisionTree, LearnsAxisAlignedSplit)
+{
+    auto data = makeAxisAligned(300, 1);
+    ml::DecisionTreeClassifier tree(ml::TreeConfig{});
+    tree.train(data);
+    EXPECT_GT(ml::accuracy(data.y, tree.predict(data.x)), 0.98);
+    // A single threshold on feature 0 suffices: shallow tree expected.
+    EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(DecisionTree, RespectsMaxDepth)
+{
+    auto data = makeAxisAligned(400, 2);
+    // Make labels noisy so the tree wants depth.
+    for (std::size_t i = 0; i < data.y.size(); i += 7)
+        data.y[i] ^= 1;
+    ml::TreeConfig config;
+    config.maxDepth = 2;
+    ml::DecisionTreeClassifier tree(config);
+    tree.train(data);
+    EXPECT_LE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, NodeAndLeafCountsConsistent)
+{
+    auto data = makeAxisAligned(200, 3);
+    ml::DecisionTreeClassifier tree(ml::TreeConfig{});
+    tree.train(data);
+    // Binary tree: nodes = 2 * leaves - 1.
+    EXPECT_EQ(tree.nodeCount(), 2 * tree.leafCount() - 1);
+}
+
+TEST(DecisionTree, PredictProbaSumsToOne)
+{
+    auto data = makeAxisAligned(150, 4);
+    ml::DecisionTreeClassifier tree(ml::TreeConfig{});
+    tree.train(data);
+    auto probs = tree.predictProbaPoint(data.x.row(0));
+    double total = 0.0;
+    for (double p : probs)
+        total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DecisionTree, PureLeafStopsSplitting)
+{
+    ml::Dataset data;
+    data.x = hm::Matrix::fromRows({{1}, {2}, {3}, {4}});
+    data.y = {0, 0, 0, 0};
+    data.numClasses = 2;
+    ml::DecisionTreeClassifier tree(ml::TreeConfig{});
+    tree.train(data);
+    EXPECT_EQ(tree.nodeCount(), 1u);
+    EXPECT_EQ(tree.depth(), 0u);
+}
+
+TEST(RegressionTree, FitsSmoothFunction)
+{
+    hm::Matrix x;
+    std::vector<double> y;
+    makeRegression(500, 5, x, y);
+    ml::TreeConfig config;
+    config.maxDepth = 10;
+    ml::DecisionTreeRegressor tree(config);
+    tree.train(x, y);
+    double sse = 0.0;
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        double err = tree.predictPoint(x.row(i)) - y[i];
+        sse += err * err;
+    }
+    EXPECT_LT(sse / static_cast<double>(x.rows()), 0.05);
+}
+
+TEST(RegressionTree, ConstantTargetYieldsSingleLeaf)
+{
+    hm::Matrix x = hm::Matrix::fromRows({{1}, {2}, {3}});
+    std::vector<double> y = {4.0, 4.0, 4.0};
+    ml::DecisionTreeRegressor tree(ml::TreeConfig{});
+    tree.train(x, y);
+    EXPECT_EQ(tree.nodeCount(), 1u);
+    EXPECT_DOUBLE_EQ(tree.predictPoint({9.0}), 4.0);
+}
+
+TEST(RandomForest, RegressorBeatsMeanPredictor)
+{
+    hm::Matrix x;
+    std::vector<double> y;
+    makeRegression(400, 6, x, y);
+    ml::ForestConfig config;
+    config.numTrees = 20;
+    ml::RandomForestRegressor forest(config);
+    forest.train(x, y);
+
+    double mean_y = 0.0;
+    for (double v : y)
+        mean_y += v;
+    mean_y /= static_cast<double>(y.size());
+
+    double sse_forest = 0.0, sse_mean = 0.0;
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        double err = forest.predictPoint(x.row(i)) - y[i];
+        sse_forest += err * err;
+        sse_mean += (mean_y - y[i]) * (mean_y - y[i]);
+    }
+    EXPECT_LT(sse_forest, 0.3 * sse_mean);
+}
+
+TEST(RandomForest, VarianceIsNonNegativeAndInformative)
+{
+    hm::Matrix x;
+    std::vector<double> y;
+    makeRegression(300, 7, x, y);
+    ml::ForestConfig config;
+    config.numTrees = 15;
+    ml::RandomForestRegressor forest(config);
+    forest.train(x, y);
+
+    // In-distribution point: finite variance.
+    auto pred_in = forest.predictWithVariance({0.0, 0.0});
+    EXPECT_GE(pred_in.variance, 0.0);
+    // Far out-of-distribution: trees disagree at least as much on average.
+    auto pred_out = forest.predictWithVariance({100.0, -100.0});
+    EXPECT_GE(pred_out.variance, 0.0);
+}
+
+TEST(RandomForest, ClassifierLearnsAndVotes)
+{
+    auto data = makeAxisAligned(300, 8);
+    ml::ForestConfig config;
+    config.numTrees = 15;
+    ml::RandomForestClassifier forest(config);
+    forest.train(data);
+    EXPECT_GT(ml::accuracy(data.y, forest.predict(data.x)), 0.95);
+
+    auto probs = forest.predictProbaPoint(data.x.row(0));
+    double total = 0.0;
+    for (double p : probs)
+        total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RandomForest, DeterministicGivenSeed)
+{
+    hm::Matrix x;
+    std::vector<double> y;
+    makeRegression(200, 9, x, y);
+    ml::ForestConfig config;
+    config.numTrees = 8;
+    config.seed = 31;
+    ml::RandomForestRegressor a(config), b(config);
+    a.train(x, y);
+    b.train(x, y);
+    for (std::size_t i = 0; i < 20; ++i)
+        EXPECT_DOUBLE_EQ(a.predictPoint(x.row(i)), b.predictPoint(x.row(i)));
+}

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * homc — the Homunculus command-line compiler driver.
+ *
+ * Compiles one of the built-in applications (or a CSV dataset) for a
+ * chosen data-plane target and writes the generated platform program.
+ *
+ * Usage:
+ *   homc --app ad|tc|bd            built-in synthetic application
+ *   homc --train t.csv --test e.csv   or: bring your own CSV data
+ *        [--platform taurus|tofino|fpga]   target (default taurus)
+ *        [--algorithms dnn,svm,kmeans,decision_tree]
+ *        [--init N] [--iters N]    search budget (default 5 / 15)
+ *        [--grid N]                Taurus grid side (default 16)
+ *        [--tables N]              MAT stage budget (default 12)
+ *        [--throughput G] [--latency NS]   performance envelope
+ *        [--seed N]                determinism seed
+ *        [--out FILE]              write the generated program here
+ *        [--save FILE]             write the compiled model artifact
+ *        [--pareto cus|mus|mat_tables]     multi-objective cost metric
+ */
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench_common.hpp"
+#include "common/string_util.hpp"
+#include "data/loaders.hpp"
+#include "ir/serialize.hpp"
+
+namespace {
+
+using namespace homunculus;
+
+struct CliOptions
+{
+    std::string app;
+    std::string trainCsv, testCsv;
+    std::string platform = "taurus";
+    std::string algorithms;
+    std::string outPath;
+    std::string savePath;
+    std::string paretoMetric;
+    std::size_t init = 5;
+    std::size_t iters = 15;
+    std::size_t grid = 16;
+    std::size_t tables = 12;
+    double throughputGpps = 1.0;
+    double latencyNs = 500.0;
+    std::uint64_t seed = bench::kBenchSeed;
+};
+
+void
+printUsage()
+{
+    std::cout <<
+        "homc — Homunculus data-plane ML compiler\n"
+        "  --app ad|tc|bd           built-in application\n"
+        "  --train FILE --test FILE CSV data (last column = label)\n"
+        "  --platform taurus|tofino|fpga\n"
+        "  --algorithms LIST        comma-separated family pool\n"
+        "  --init N --iters N       search budget\n"
+        "  --grid N                 Taurus grid side\n"
+        "  --tables N               MAT stage budget\n"
+        "  --throughput GPPS --latency NS\n"
+        "  --pareto METRIC          multi-objective cost (cus|mus|...)\n"
+        "  --seed N --out FILE --save ARTIFACT\n";
+}
+
+bool
+parseArgs(int argc, char **argv, CliOptions &options)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            return false;
+        if (!common::startsWith(arg, "--") || i + 1 >= argc) {
+            std::cerr << "homc: bad argument '" << arg << "'\n";
+            return false;
+        }
+        flags[arg.substr(2)] = argv[++i];
+    }
+
+    auto take = [&](const char *name, std::string &into) {
+        auto it = flags.find(name);
+        if (it != flags.end())
+            into = it->second;
+    };
+    auto take_size = [&](const char *name, std::size_t &into) {
+        auto it = flags.find(name);
+        if (it != flags.end())
+            into = static_cast<std::size_t>(std::stoull(it->second));
+    };
+    take("app", options.app);
+    take("train", options.trainCsv);
+    take("test", options.testCsv);
+    take("platform", options.platform);
+    take("algorithms", options.algorithms);
+    take("out", options.outPath);
+    take("save", options.savePath);
+    take("pareto", options.paretoMetric);
+    take_size("init", options.init);
+    take_size("iters", options.iters);
+    take_size("grid", options.grid);
+    take_size("tables", options.tables);
+    if (flags.count("throughput"))
+        options.throughputGpps = std::stod(flags["throughput"]);
+    if (flags.count("latency"))
+        options.latencyNs = std::stod(flags["latency"]);
+    if (flags.count("seed"))
+        options.seed = std::stoull(flags["seed"]);
+
+    if (options.app.empty() && options.trainCsv.empty()) {
+        std::cerr << "homc: need --app or --train/--test\n";
+        return false;
+    }
+    return true;
+}
+
+core::ModelSpec
+buildSpec(const CliOptions &options)
+{
+    core::ModelSpec spec;
+    if (!options.app.empty()) {
+        if (options.app == "ad") {
+            spec = bench::appSpec(bench::App::kAd);
+        } else if (options.app == "tc") {
+            spec = bench::appSpec(bench::App::kTc);
+        } else if (options.app == "bd") {
+            spec = bench::appSpec(bench::App::kBd);
+        } else {
+            throw std::runtime_error("unknown --app '" + options.app + "'");
+        }
+        spec.algorithms.clear();  // CLI pool decides below.
+    } else {
+        spec.name = "csv_model";
+        spec.optimizationMetric = core::Metric::kF1;
+        spec.dataLoader = data::csvLoader(options.trainCsv, options.testCsv,
+                                          /*has_header=*/true);
+    }
+
+    if (!options.algorithms.empty()) {
+        for (const auto &name :
+             common::split(options.algorithms, ',')) {
+            std::string trimmed = common::trim(name);
+            if (trimmed == "dnn")
+                spec.algorithms.push_back(core::Algorithm::kDnn);
+            else if (trimmed == "svm")
+                spec.algorithms.push_back(core::Algorithm::kSvm);
+            else if (trimmed == "kmeans")
+                spec.algorithms.push_back(core::Algorithm::kKMeans);
+            else if (trimmed == "decision_tree")
+                spec.algorithms.push_back(core::Algorithm::kDecisionTree);
+            else
+                throw std::runtime_error("unknown algorithm '" + trimmed +
+                                         "'");
+        }
+    }
+    return spec;
+}
+
+core::PlatformHandle
+buildPlatform(const CliOptions &options)
+{
+    core::ResourceBudget budget;
+    if (options.platform == "taurus") {
+        budget.gridRows = options.grid;
+        budget.gridCols = options.grid;
+        auto handle = core::Platforms::taurus();
+        handle.constrain({options.throughputGpps, options.latencyNs},
+                         budget);
+        return handle;
+    }
+    if (options.platform == "tofino") {
+        budget.matTables = options.tables;
+        backends::MatConfig config;
+        config.numTables = options.tables;
+        auto handle = core::Platforms::tofino(config);
+        handle.constrain({options.throughputGpps, options.latencyNs},
+                         budget);
+        return handle;
+    }
+    if (options.platform == "fpga")
+        return core::Platforms::fpga();
+    throw std::runtime_error("unknown --platform '" + options.platform +
+                             "'");
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions options;
+    if (!parseArgs(argc, argv, options)) {
+        printUsage();
+        return 2;
+    }
+
+    try {
+        core::ModelSpec spec = buildSpec(options);
+        core::PlatformHandle platform = buildPlatform(options);
+        platform.schedule(spec);
+
+        core::GenerateOptions gen_options;
+        gen_options.bo.numInitSamples = options.init;
+        gen_options.bo.numIterations = options.iters;
+        gen_options.bo.costMetricKey = options.paretoMetric;
+        gen_options.seed = options.seed;
+
+        std::cout << "homc: compiling '" << spec.name << "' for "
+                  << platform.platform().name() << " ("
+                  << options.init + options.iters << " evaluations)\n";
+        auto result = core::generate(platform, gen_options);
+        const auto &model = result.models.front();
+
+        std::cout << "winner    : " << core::algorithmName(model.algorithm)
+                  << " (" << model.model.paramCount() << " params)\n"
+                  << "objective : " << model.objective << " ("
+                  << core::metricName(spec.optimizationMetric) << ")\n"
+                  << "resources : " << model.report.summary() << "\n";
+
+        if (!options.paretoMetric.empty() &&
+            !model.searchHistory.front.empty()) {
+            std::cout << "pareto front (" << options.paretoMetric
+                      << " vs objective):\n";
+            for (const auto &point :
+                 model.searchHistory.front.sortedByCost()) {
+                std::cout << "  " << point.cost << " -> "
+                          << point.objective << "\n";
+            }
+        }
+
+        if (!options.savePath.empty()) {
+            ir::saveModel(options.savePath, model.model);
+            std::cout << "artifact  : " << options.savePath << "\n";
+        }
+        if (!options.outPath.empty()) {
+            std::ofstream out(options.outPath);
+            if (!out)
+                throw std::runtime_error("cannot write " + options.outPath);
+            out << model.code;
+            std::cout << "program   : " << options.outPath << " ("
+                      << model.code.size() << " bytes)\n";
+        }
+    } catch (const std::exception &error) {
+        std::cerr << "homc: " << error.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
