@@ -167,10 +167,10 @@ paperTaurus()
     return handle;
 }
 
-core::GenerateOptions
+core::CompileOptions
 searchBudget(std::size_t init, std::size_t iterations)
 {
-    core::GenerateOptions options;
+    core::CompileOptions options;
     options.bo.numInitSamples = init;
     options.bo.numIterations = iterations;
     options.seed = kBenchSeed;

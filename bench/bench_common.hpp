@@ -58,9 +58,13 @@ core::CandidateEvaluation trainBaseline(App app, const ml::DataSplit &split,
 /** The paper's Taurus target: 16x16 grid, 1 GPkt/s, 500 ns. */
 core::PlatformHandle paperTaurus();
 
-/** Search options used by the table benches (paper-scale-ish budget). */
-core::GenerateOptions searchBudget(std::size_t init = 5,
-                                   std::size_t iterations = 15);
+/**
+ * Search options used by the table benches (paper-scale-ish budget).
+ * Returned as the session API's CompileOptions; pass to core::Compiler
+ * or core::searchSpec().
+ */
+core::CompileOptions searchBudget(std::size_t init = 5,
+                                  std::size_t iterations = 15);
 
 /** Print a "paper reported vs. measured" footnote line. */
 void printPaperNote(const std::string &note);

@@ -46,7 +46,7 @@ BM_BoIteration(benchmark::State &state)
     auto split = spec.dataLoader();
     for (auto _ : state) {
         auto options = searchBudget(2, 1);
-        auto model = core::searchModel(spec, platform, options, split);
+        auto model = core::searchSpec(spec, platform, options, split).value();
         benchmark::DoNotOptimize(model.objective);
     }
 }
@@ -64,7 +64,7 @@ main(int argc, char **argv)
     core::ModelSpec spec = appSpec(App::kAd);
     auto split = spec.dataLoader();
     auto options = searchBudget(5, 20);
-    auto generated = core::searchModel(spec, platform, options, split);
+    auto generated = core::searchSpec(spec, platform, options, split).value();
 
     const auto &history = generated.searchHistory.history;
     common::TablePrinter table(

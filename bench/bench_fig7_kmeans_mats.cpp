@@ -38,7 +38,7 @@ searchWithBudget(std::size_t tables, const ml::DataSplit &split)
     spec.dataLoader = [split] { return split; };
 
     auto options = searchBudget(3, 6);
-    return core::searchModel(spec, platform, options, split);
+    return core::searchSpec(spec, platform, options, split).value();
 }
 
 void

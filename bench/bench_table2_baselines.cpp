@@ -67,7 +67,7 @@ runApp(App app, std::vector<Row> &rows)
                            split.train.numFeatures(), baseline));
 
     auto options = searchBudget(5, 15);
-    auto generated = core::searchModel(spec, platform, options, split);
+    auto generated = core::searchSpec(spec, platform, options, split).value();
     core::CandidateEvaluation hom;
     hom.model = generated.model;
     hom.report = generated.report;

@@ -36,7 +36,7 @@ searchOn(const ml::DataSplit &split, const std::string &name)
     spec.name = name;
     spec.dataLoader = [split] { return split; };
     auto options = searchBudget(4, 8);
-    return core::searchModel(spec, platform, options, split);
+    return core::searchSpec(spec, platform, options, split).value();
 }
 
 void

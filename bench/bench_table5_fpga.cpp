@@ -72,7 +72,7 @@ main(int argc, char **argv)
 
         auto taurus = paperTaurus();
         auto options = searchBudget(4, 10);
-        auto generated = core::searchModel(spec, taurus, options, split);
+        auto generated = core::searchSpec(spec, taurus, options, split).value();
         auto hom_report = fpga.estimate(generated.model);
 
         auto add = [&](const std::string &name,

@@ -14,8 +14,8 @@
 #include <iostream>
 
 #include "backends/mapreduce_sim.hpp"
+#include "core/compiler.hpp"
 #include "core/design_space.hpp"
-#include "core/generate.hpp"
 #include "data/anomaly_generator.hpp"
 #include "ml/metrics.hpp"
 
@@ -39,7 +39,7 @@ main()
     };
 
     auto platform = core::Platforms::taurus();
-    platform.constrain({1.0, 500.0}, {16, 16, {}});
+    platform.constrain({1.0, 500.0}, {16, 16});
 
     // ---- Stage 1: candidate selection (paper §3.2.1) -------------------
     ml::DataSplit split = spec.dataLoader();
@@ -61,10 +61,16 @@ main()
 
     // ---- Stage 3: BO-guided search (paper §3.2.3-4) ---------------------
     spec.algorithms = {core::Algorithm::kDnn};
-    core::GenerateOptions options;
+    core::CompileOptions options;
     options.bo.numInitSamples = 4;
     options.bo.numIterations = 10;
-    auto generated = core::searchModel(spec, platform, options, split);
+    auto outcome = core::searchSpec(spec, platform, options, split);
+    if (!outcome.isOk()) {
+        std::cerr << "search failed: " << outcome.status().toString()
+                  << "\n";
+        return 1;
+    }
+    const core::GeneratedModel &generated = outcome.value();
 
     std::cout << "search trace (F1 / feasible / CUs):\n";
     for (const auto &record : generated.searchHistory.history) {

@@ -12,8 +12,8 @@
  */
 #include <iostream>
 
+#include "core/compiler.hpp"
 #include "core/fusion.hpp"
-#include "core/generate.hpp"
 #include "data/anomaly_generator.hpp"
 #include "data/iot_traffic_generator.hpp"
 
@@ -44,14 +44,22 @@ main()
 
     // ---- Schedule both sequentially and in parallel. ---------------------
     auto platform = core::Platforms::taurus();
-    platform.constrain({1.0, 500.0}, {16, 16, {}});
+    platform.constrain({1.0, 500.0}, {16, 16});
     platform.schedule(ad > tc);          // inline AD before TC.
     platform.schedule(ad | tc);          // independent parallel apps.
 
-    core::GenerateOptions options;
+    core::CompileOptions options;
     options.bo.numInitSamples = 3;
     options.bo.numIterations = 5;
-    auto result = core::generate(platform, options);
+    options.jobs = 2;
+    core::Compiler compiler(options);
+    auto compiled = compiler.compile(platform);
+    if (!compiled.isOk()) {
+        std::cerr << "compile failed: " << compiled.status().toString()
+                  << "\n";
+        return 1;
+    }
+    const core::CompileReport &result = compiled.value();
 
     for (std::size_t i = 0; i < result.scheduleResources.size(); ++i) {
         const auto &resources = result.scheduleResources[i];
@@ -82,9 +90,10 @@ main()
     fused_spec.name = "ad_fused";
     fused_spec.dataLoader = [fused] { return fused; };
     auto fused_platform = core::Platforms::taurus();
-    fused_platform.constrain({1.0, 500.0}, {16, 16, {}});
-    auto fused_model = core::searchModel(fused_spec, fused_platform,
-                                         options, fused);
+    fused_platform.constrain({1.0, 500.0}, {16, 16});
+    auto fused_model =
+        core::searchSpec(fused_spec, fused_platform, options, fused)
+            .value();
     std::cout << "fused model: " << fused_model.model.paramCount()
               << " params, F1 " << fused_model.objective << ", "
               << fused_model.report.summary() << "\n";

@@ -4,15 +4,16 @@
  *
  * Declares an anomaly-detection model (F1 objective, DNN family), targets
  * a Taurus switch constrained to 1 GPkt/s / 500 ns on a 16x16 grid,
- * schedules the single model, and lets Homunculus search, train, check
- * feasibility, and emit the Spatial program.
+ * schedules the single model, and compiles it with the staged Compiler
+ * session API — observing each stage (loadData -> selectFamilies ->
+ * searchFamilies -> pickWinner -> emit) as it completes.
  *
  * Run: ./quickstart
  */
 #include <iostream>
 #include <sstream>
 
-#include "core/generate.hpp"
+#include "core/compiler.hpp"
 #include "data/anomaly_generator.hpp"
 
 int
@@ -38,20 +39,38 @@ main()
     // --- Platforms.Taurus() with performance + resource constraints. ---
     core::PlatformHandle platform = core::Platforms::taurus();
     platform.constrain({/*minThroughputGpps=*/1.0, /*maxLatencyNs=*/500.0},
-                       {/*gridRows=*/16, /*gridCols=*/16, /*matTables=*/{}});
+                       {/*gridRows=*/16, /*gridCols=*/16});
 
-    // --- Schedule the model and generate code. --------------------------
+    // --- Schedule the model and compile. --------------------------------
     platform.schedule(model);
 
-    core::GenerateOptions options;
+    core::CompileOptions options;
     options.bo.numInitSamples = 4;
     options.bo.numIterations = 8;
+    options.jobs = 2;  // family searches run on a small thread pool.
+    options.observer = [](const core::ProgressEvent &event) {
+        // Stage transitions only; per-evaluation events stay quiet.
+        if (event.stage != core::Stage::kSearchFamilies)
+            std::cout << "  [" << core::stageName(event.stage) << "] "
+                      << event.specName << " " << event.message << "\n";
+        else if (event.evalsDone == event.evalsTotal)
+            std::cout << "  [searchFamilies] " << event.specName << "/"
+                      << event.family << " done (" << event.evalsTotal
+                      << " evaluations)\n";
+    };
 
-    core::GenerationResult result = core::generate(platform, options);
-    const core::GeneratedModel *generated = result.find("anomaly_detection");
+    std::cout << "=== Homunculus quickstart ===\n";
+    core::Compiler compiler(options);
+    core::Result<core::CompileReport> result = compiler.compile(platform);
+    if (!result.isOk()) {
+        std::cerr << "compile failed: " << result.status().toString()
+                  << "\n";
+        return 1;
+    }
+    const core::GeneratedModel *generated =
+        result->find("anomaly_detection");
 
-    std::cout << "=== Homunculus quickstart ===\n"
-              << "algorithm : " << core::algorithmName(generated->algorithm)
+    std::cout << "algorithm : " << core::algorithmName(generated->algorithm)
               << "\n"
               << "F1 score  : " << generated->objective << "\n"
               << "params    : " << generated->model.paramCount() << "\n"

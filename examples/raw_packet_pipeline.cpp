@@ -12,7 +12,7 @@
  */
 #include <iostream>
 
-#include "core/generate.hpp"
+#include "core/compiler.hpp"
 #include "ml/metrics.hpp"
 #include "ml/preprocess.hpp"
 #include "net/feature_extract.hpp"
@@ -48,11 +48,12 @@ main()
     spec.dataLoader = [split] { return split; };
 
     auto platform = core::Platforms::taurus();
-    platform.constrain({1.0, 500.0}, {16, 16, {}});
-    core::GenerateOptions options;
+    platform.constrain({1.0, 500.0}, {16, 16});
+    core::CompileOptions options;
     options.bo.numInitSamples = 4;
     options.bo.numIterations = 8;
-    auto generated = core::searchModel(spec, platform, options, split);
+    auto generated =
+        core::searchSpec(spec, platform, options, split).value();
 
     std::cout << "winner: " << generated.model.paramCount() << " params, "
               << generated.report.summary() << "\n"

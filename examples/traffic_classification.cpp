@@ -13,7 +13,7 @@
  */
 #include <iostream>
 
-#include "core/generate.hpp"
+#include "core/compiler.hpp"
 #include "data/iot_traffic_generator.hpp"
 
 namespace {
@@ -39,12 +39,19 @@ compileUnderBudget(std::size_t tables)
     };
     platform.schedule(spec);
 
-    core::GenerateOptions options;
+    core::CompileOptions options;
     options.bo.numInitSamples = 4;
     options.bo.numIterations = 8;
+    options.jobs = 2;  // kmeans/svm/tree searches run concurrently.
 
-    auto result = core::generate(platform, options);
-    const auto *model = result.find(spec.name);
+    core::Compiler compiler(options);
+    auto result = compiler.compile(platform);
+    if (!result.isOk()) {
+        std::cerr << "compile failed: " << result.status().toString()
+                  << "\n";
+        return;
+    }
+    const auto *model = result->find(spec.name);
 
     std::cout << "--- budget: " << tables << " MATs ---\n"
               << "winning family : "

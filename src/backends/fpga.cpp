@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "backends/registry.hpp"
 #include "backends/spatial_codegen.hpp"
 #include "common/string_util.hpp"
 
@@ -79,11 +80,28 @@ FpgaPlatform::estimate(const ir::ModelIr &model) const
                        pipeline_cycles / config_.clockGhz;
     report.throughputGpps = config_.lineRateGpps;
 
+    bool capped = config_.lutBudgetPercent < 100.0 ||
+                  config_.ffBudgetPercent < 100.0 ||
+                  config_.bramBudgetPercent < 100.0;
     report.feasible = true;
-    if (report.lutPercent > 100.0 || report.ffPercent > 100.0 ||
-        report.bramPercent > 100.0) {
+    if (report.lutPercent > config_.lutBudgetPercent ||
+        report.ffPercent > config_.ffBudgetPercent ||
+        report.bramPercent > config_.bramBudgetPercent) {
         report.feasible = false;
-        report.infeasibleReason = "FPGA resource utilization above 100%";
+        report.infeasibleReason =
+            capped ? common::format(
+                         "FPGA utilization above budget (LUT %.2f/%.2f%% "
+                         "FF %.2f/%.2f%% BRAM %.2f/%.2f%%)",
+                         report.lutPercent, config_.lutBudgetPercent,
+                         report.ffPercent, config_.ffBudgetPercent,
+                         report.bramPercent, config_.bramBudgetPercent)
+                   : "FPGA resource utilization above 100%";
+    } else if (config_.powerBudgetWatts > 0.0 &&
+               report.powerWatts > config_.powerBudgetWatts) {
+        report.feasible = false;
+        report.infeasibleReason = common::format(
+            "board power %.3f W above %.3f W budget", report.powerWatts,
+            config_.powerBudgetWatts);
     } else if (report.throughputGpps < constraints_.minThroughputGpps) {
         report.feasible = false;
         report.infeasibleReason = "line rate below required throughput";
@@ -109,6 +127,47 @@ FpgaPlatform::generateCode(const ir::ModelIr &model) const
 {
     SpatialCodegen codegen;
     return codegen.generate(model);
+}
+
+PlatformPtr
+FpgaPlatform::withBudget(const ResourceBudget &budget) const
+{
+    if (!budget.fpgaLutPercent && !budget.fpgaFfPercent &&
+        !budget.fpgaBramPercent && !budget.fpgaPowerWatts)
+        return nullptr;
+    FpgaConfig config = config_;
+    if (budget.fpgaLutPercent)
+        config.lutBudgetPercent = *budget.fpgaLutPercent;
+    if (budget.fpgaFfPercent)
+        config.ffBudgetPercent = *budget.fpgaFfPercent;
+    if (budget.fpgaBramPercent)
+        config.bramBudgetPercent = *budget.fpgaBramPercent;
+    if (budget.fpgaPowerWatts)
+        config.powerBudgetWatts = *budget.fpgaPowerWatts;
+    auto rebuilt = std::make_shared<FpgaPlatform>(config);
+    rebuilt->setConstraints(constraints_);
+    return rebuilt;
+}
+
+bool
+registerFpgaBackend()
+{
+    return BackendRegistry::instance().registerFactory(
+        "fpga", [](const BackendParams &params) -> PlatformPtr {
+            if (const auto *config =
+                    std::any_cast<FpgaConfig>(&params.typedConfig))
+                return std::make_shared<FpgaPlatform>(*config);
+            FpgaConfig config;
+            config.lutBudgetPercent =
+                params.numberOr("lut_budget", config.lutBudgetPercent);
+            config.ffBudgetPercent =
+                params.numberOr("ff_budget", config.ffBudgetPercent);
+            config.bramBudgetPercent =
+                params.numberOr("bram_budget", config.bramBudgetPercent);
+            config.powerBudgetWatts =
+                params.numberOr("power_budget", config.powerBudgetWatts);
+            return std::make_shared<FpgaPlatform>(config);
+        });
 }
 
 }  // namespace homunculus::backends

@@ -43,6 +43,14 @@ struct FpgaConfig
     double clockGhz = 0.25;
     double cmacLatencyNs = 250.0;    ///< CMAC + AXI ingress/egress.
     double lineRateGpps = 0.148;     ///< 100 GbE at min-size packets.
+
+    // Operator budget caps (ResourceBudget / Alchemy `constrain`).
+    // Utilization above a cap makes the mapping infeasible; 100% / 0 W
+    // leave the fabric uncapped.
+    double lutBudgetPercent = 100.0;
+    double ffBudgetPercent = 100.0;
+    double bramBudgetPercent = 100.0;
+    double powerBudgetWatts = 0.0;   ///< 0 = unlimited board power.
 };
 
 /** The FPGA backend. */
@@ -61,10 +69,15 @@ class FpgaPlatform : public Platform
     /** The loopback (shell-only) report — Table 5's baseline row. */
     ResourceReport loopbackReport() const;
 
+    PlatformPtr withBudget(const ResourceBudget &budget) const override;
+
     const FpgaConfig &config() const { return config_; }
 
   private:
     FpgaConfig config_;
 };
+
+/** Self-registration hook ("fpga"); idempotent. */
+bool registerFpgaBackend();
 
 }  // namespace homunculus::backends

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "backends/p4_codegen.hpp"
+#include "backends/registry.hpp"
 #include "common/string_util.hpp"
 
 namespace homunculus::backends {
@@ -105,6 +106,45 @@ MatPlatform::generateCode(const ir::ModelIr &model) const
 {
     P4Codegen codegen(config_.binsPerFeature);
     return codegen.generate(model);
+}
+
+PlatformPtr
+MatPlatform::withBudget(const ResourceBudget &budget) const
+{
+    if (!budget.matTables && !budget.matEntriesPerTable)
+        return nullptr;
+    MatConfig config = config_;
+    if (budget.matTables)
+        config.numTables = *budget.matTables;
+    if (budget.matEntriesPerTable)
+        config.entriesPerTable = *budget.matEntriesPerTable;
+    auto rebuilt = std::make_shared<MatPlatform>(config);
+    rebuilt->setConstraints(constraints_);
+    return rebuilt;
+}
+
+bool
+registerMatBackend()
+{
+    auto factory = [](const BackendParams &params) -> PlatformPtr {
+        if (const auto *config =
+                std::any_cast<MatConfig>(&params.typedConfig))
+            return std::make_shared<MatPlatform>(*config);
+        MatConfig config;
+        config.numTables = params.sizeOr("tables", config.numTables);
+        config.entriesPerTable =
+            params.sizeOr("entries", config.entriesPerTable);
+        config.binsPerFeature =
+            params.sizeOr("bins", config.binsPerFeature);
+        return std::make_shared<MatPlatform>(config);
+    };
+    bool tofino = BackendRegistry::instance().registerFactory("tofino",
+                                                              factory);
+    // The platform's self-reported name is "tofino-mat"; register both so
+    // lookups by either spelling resolve.
+    bool alias = BackendRegistry::instance().registerFactory("tofino-mat",
+                                                             factory);
+    return tofino && alias;
 }
 
 }  // namespace homunculus::backends

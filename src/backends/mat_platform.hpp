@@ -45,10 +45,15 @@ class MatPlatform : public Platform
     /** Compile the IIsy pipeline for a model (shared with evaluate()). */
     MatPipeline compile(const ir::ModelIr &model) const;
 
+    PlatformPtr withBudget(const ResourceBudget &budget) const override;
+
     const MatConfig &config() const { return config_; }
 
   private:
     MatConfig config_;
 };
+
+/** Self-registration hook ("tofino" + "tofino-mat"); idempotent. */
+bool registerMatBackend();
 
 }  // namespace homunculus::backends

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,23 @@ namespace homunculus::backends {
 
 /** Families of models a platform can accept at all. */
 enum class AlgorithmSupport { kSupported, kUnsupported };
+
+/**
+ * Resource limits the operator can cap a platform to (Alchemy's
+ * `constrain`). Every field is optional; each backend honors the knobs
+ * that describe its fabric and ignores the rest.
+ */
+struct ResourceBudget
+{
+    std::optional<std::size_t> gridRows;   ///< Taurus grid rows.
+    std::optional<std::size_t> gridCols;   ///< Taurus grid cols.
+    std::optional<std::size_t> matTables;  ///< MAT stage budget.
+    std::optional<std::size_t> matEntriesPerTable;  ///< MAT entry budget.
+    std::optional<double> fpgaLutPercent;   ///< FPGA LUT utilization cap.
+    std::optional<double> fpgaFfPercent;    ///< FPGA FF utilization cap.
+    std::optional<double> fpgaBramPercent;  ///< FPGA BRAM utilization cap.
+    std::optional<double> fpgaPowerWatts;   ///< FPGA board power cap.
+};
 
 /** Abstract backend target. */
 class Platform
@@ -47,6 +65,18 @@ class Platform
 
     /** Emit the platform program implementing the model. */
     virtual std::string generateCode(const ir::ModelIr &model) const = 0;
+
+    /**
+     * Rebuild this platform with the budget's relevant caps applied
+     * (current constraints carry over). Returns nullptr when no field of
+     * @p budget concerns this backend, meaning "keep the instance as-is".
+     */
+    virtual std::shared_ptr<Platform>
+    withBudget(const ResourceBudget &budget) const
+    {
+        (void)budget;
+        return nullptr;
+    }
 
     /** The operator-specified performance envelope. */
     const PerfConstraints &constraints() const { return constraints_; }

@@ -1,0 +1,126 @@
+#include "backends/registry.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "backends/fpga.hpp"
+#include "backends/mat_platform.hpp"
+#include "backends/taurus.hpp"
+
+namespace homunculus::backends {
+
+double
+BackendParams::numberOr(const std::string &key, double fallback) const
+{
+    auto it = numeric.find(key);
+    return it == numeric.end() ? fallback : it->second;
+}
+
+std::size_t
+BackendParams::sizeOr(const std::string &key, std::size_t fallback) const
+{
+    auto it = numeric.find(key);
+    if (it == numeric.end() || it->second < 0.0)
+        return fallback;
+    return static_cast<std::size_t>(it->second);
+}
+
+BackendRegistry &
+BackendRegistry::instance()
+{
+    static BackendRegistry registry;
+    return registry;
+}
+
+bool
+BackendRegistry::registerFactory(const std::string &name,
+                                 BackendFactory factory)
+{
+    if (name.empty() || !factory)
+        return false;
+    // Builtins claim their names first, so an early plugin registration
+    // can never shadow "taurus" & co. (the guard below keeps the hooks'
+    // own registerFactory calls from recursing back here).
+    registerBuiltinBackends();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return factories_.emplace(name, std::move(factory)).second;
+}
+
+bool
+BackendRegistry::unregisterFactory(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return factories_.erase(name) > 0;
+}
+
+bool
+BackendRegistry::contains(const std::string &name) const
+{
+    registerBuiltinBackends();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return factories_.count(name) > 0;
+}
+
+std::vector<std::string>
+BackendRegistry::names() const
+{
+    registerBuiltinBackends();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &[name, factory] : factories_)
+        out.push_back(name);
+    return out;  // std::map iteration is already sorted.
+}
+
+PlatformPtr
+BackendRegistry::create(const std::string &name,
+                        const BackendParams &params) const
+{
+    registerBuiltinBackends();
+    BackendFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = factories_.find(name);
+        if (it == factories_.end())
+            return nullptr;
+        factory = it->second;
+    }
+    return factory(params);
+}
+
+std::string
+BackendRegistry::unknownTargetMessage(const std::string &name) const
+{
+    std::string known;
+    for (const auto &target : names()) {
+        if (!known.empty())
+            known += ", ";
+        known += target;
+    }
+    return "unknown platform '" + name + "'; known platforms: " + known;
+}
+
+void
+registerBuiltinBackends()
+{
+    // Fast path once registration finished. Concurrent first calls may
+    // both run the hooks; duplicate registrations are rejected anyway.
+    static std::atomic<bool> done{false};
+    if (done.load(std::memory_order_acquire))
+        return;
+    thread_local bool registering = false;
+    if (registering)
+        return;
+    registering = true;
+    // Referencing the per-backend hooks here also forces their object
+    // files into any link that uses the registry, so the factories exist
+    // even when nothing else names the concrete classes.
+    registerTaurusBackend();
+    registerMatBackend();
+    registerFpgaBackend();
+    registering = false;
+    done.store(true, std::memory_order_release);
+}
+
+}  // namespace homunculus::backends

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * BackendRegistry: the string-keyed factory table every target resolves
+ * through.
+ *
+ * `Platforms::taurus()`, `homc --platform`, and the benches all create
+ * backends by name here, so adding a platform means registering one
+ * factory — no edits to core/. The built-in backends self-register (each
+ * concrete backend .cpp exposes a registerXxxBackend() hook the registry
+ * pulls in lazily); out-of-tree backends call registerFactory() from
+ * their own initialization.
+ *
+ * Factories receive a BackendParams: either a typed config object
+ * (TaurusConfig, MatConfig, FpgaConfig — passed via std::any by the
+ * typed Platforms::* constructors) or generic numeric knobs such as
+ * "grid_rows" / "tables" that CLI-style callers can set without knowing
+ * the concrete config type.
+ */
+#pragma once
+
+#include <any>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backends/platform.hpp"
+
+namespace homunculus::backends {
+
+/** Construction inputs a factory may honor. */
+struct BackendParams
+{
+    /** Generic knobs ("grid_rows", "grid_cols", "tables", "entries"…). */
+    std::map<std::string, double> numeric;
+    /** Optional concrete config (TaurusConfig etc.); wins over numeric. */
+    std::any typedConfig;
+
+    double numberOr(const std::string &key, double fallback) const;
+    std::size_t sizeOr(const std::string &key, std::size_t fallback) const;
+};
+
+using BackendFactory = std::function<PlatformPtr(const BackendParams &)>;
+
+/** Process-wide, thread-safe name -> factory table. */
+class BackendRegistry
+{
+  public:
+    static BackendRegistry &instance();
+
+    /** Add a factory. @return false (and no change) on a duplicate name. */
+    bool registerFactory(const std::string &name, BackendFactory factory);
+
+    /** Remove a factory. @return false when the name is unknown. */
+    bool unregisterFactory(const std::string &name);
+
+    bool contains(const std::string &name) const;
+
+    /** Registered target names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Build a platform; nullptr when @p name is not registered. */
+    PlatformPtr create(const std::string &name,
+                       const BackendParams &params = {}) const;
+
+    /** "unknown platform 'x'; known platforms: fpga, taurus, …" */
+    std::string unknownTargetMessage(const std::string &name) const;
+
+  private:
+    BackendRegistry() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, BackendFactory> factories_;
+};
+
+/**
+ * Register the built-in backends (idempotent; duplicates are no-ops).
+ * create()/names()/contains() call this lazily, so consumers never see a
+ * registry without the in-tree targets.
+ */
+void registerBuiltinBackends();
+
+}  // namespace homunculus::backends

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "backends/mapreduce_sim.hpp"
+#include "backends/registry.hpp"
 #include "backends/spatial_codegen.hpp"
 #include "common/string_util.hpp"
 
@@ -158,6 +159,37 @@ TaurusPlatform::generateCode(const ir::ModelIr &model) const
 {
     SpatialCodegen codegen;
     return codegen.generate(model);
+}
+
+PlatformPtr
+TaurusPlatform::withBudget(const ResourceBudget &budget) const
+{
+    if (!budget.gridRows && !budget.gridCols)
+        return nullptr;
+    TaurusConfig config = config_;
+    if (budget.gridRows)
+        config.gridRows = *budget.gridRows;
+    if (budget.gridCols)
+        config.gridCols = *budget.gridCols;
+    auto rebuilt = std::make_shared<TaurusPlatform>(config);
+    rebuilt->setConstraints(constraints_);
+    return rebuilt;
+}
+
+bool
+registerTaurusBackend()
+{
+    return BackendRegistry::instance().registerFactory(
+        "taurus", [](const BackendParams &params) -> PlatformPtr {
+            if (const auto *config =
+                    std::any_cast<TaurusConfig>(&params.typedConfig))
+                return std::make_shared<TaurusPlatform>(*config);
+            TaurusConfig config;
+            config.gridRows = params.sizeOr("grid_rows", config.gridRows);
+            config.gridCols = params.sizeOr("grid_cols", config.gridCols);
+            config.clockGhz = params.numberOr("clock_ghz", config.clockGhz);
+            return std::make_shared<TaurusPlatform>(config);
+        });
 }
 
 }  // namespace homunculus::backends

@@ -67,11 +67,15 @@ class TaurusPlatform : public Platform
     std::vector<int> evaluate(const ir::ModelIr &model,
                               const math::Matrix &x) const override;
     std::string generateCode(const ir::ModelIr &model) const override;
+    PlatformPtr withBudget(const ResourceBudget &budget) const override;
 
     const TaurusConfig &config() const { return config_; }
 
   private:
     TaurusConfig config_;
 };
+
+/** Self-registration hook ("taurus"); idempotent. */
+bool registerTaurusBackend();
 
 }  // namespace homunculus::backends

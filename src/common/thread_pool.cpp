@@ -1,0 +1,83 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace homunculus::common {
+
+std::size_t
+effectiveJobs(std::size_t jobs)
+{
+    if (jobs != 0)
+        return jobs;
+    std::size_t hardware = std::thread::hardware_concurrency();
+    return hardware == 0 ? 1 : hardware;
+}
+
+void
+parallelFor(std::size_t jobs, std::size_t count,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    jobs = effectiveJobs(jobs);
+
+    std::vector<std::string> errors(count);
+    // char, not bool: vector<bool> packs bits, and concurrent writes to
+    // neighboring indices would race.
+    std::vector<char> failed(count, 0);
+
+    auto run_index = [&](std::size_t index) {
+        try {
+            fn(index);
+        } catch (const std::exception &error) {
+            errors[index] = error.what();
+            failed[index] = 1;
+        } catch (...) {
+            errors[index] = "unknown exception";
+            failed[index] = 1;
+        }
+    };
+
+    if (jobs <= 1 || count == 1) {
+        // Same contract as the threaded path: every index runs, the
+        // lowest-index failure is rethrown afterwards.
+        for (std::size_t i = 0; i < count; ++i)
+            run_index(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            for (;;) {
+                std::size_t index = next.fetch_add(1);
+                if (index >= count)
+                    return;
+                run_index(index);
+            }
+        };
+
+        std::vector<std::thread> threads;
+        std::size_t num_threads = jobs < count ? jobs : count;
+        threads.reserve(num_threads);
+        try {
+            for (std::size_t t = 0; t < num_threads; ++t)
+                threads.emplace_back(worker);
+        } catch (...) {
+            // Thread creation failed (e.g. RLIMIT_NPROC): drain what was
+            // spawned before rethrowing, or their destructors terminate.
+            for (auto &thread : threads)
+                thread.join();
+            throw;
+        }
+        for (auto &thread : threads)
+            thread.join();
+    }
+
+    for (std::size_t i = 0; i < count; ++i)
+        if (failed[i])
+            throw std::runtime_error(errors[i]);
+}
+
+}  // namespace homunculus::common

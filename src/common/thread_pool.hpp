@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Minimal worker pool for the compile path's parallel family searches.
+ *
+ * parallelFor() fans an index range out over a fixed number of threads
+ * with an atomic work-stealing counter. Tasks must not share mutable
+ * state; exceptions are captured per index and the lowest-index one is
+ * rethrown after every worker joins, so failure behavior is deterministic
+ * regardless of scheduling.
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace homunculus::common {
+
+/** Threads to use for @p jobs (0 = one per hardware thread). */
+std::size_t effectiveJobs(std::size_t jobs);
+
+/**
+ * Run fn(0..count-1) across up to @p jobs threads. With jobs <= 1 the
+ * calls happen inline on the caller's thread. Blocks until every index
+ * completed; rethrows the lowest-index captured exception, if any.
+ */
+void parallelFor(std::size_t jobs, std::size_t count,
+                 const std::function<void(std::size_t)> &fn);
+
+}  // namespace homunculus::common

@@ -195,29 +195,18 @@ void
 PlatformHandle::constrain(const backends::PerfConstraints &perf,
                           const ResourceBudget &resources)
 {
-    platform_->setConstraints(perf);
     budget_ = resources;
 
-    // Resource budgets reshape the concrete platform where applicable.
-    if (auto *taurus = dynamic_cast<backends::TaurusPlatform *>(
-            platform_.get())) {
-        backends::TaurusConfig config = taurus->config();
-        if (resources.gridRows)
-            config.gridRows = *resources.gridRows;
-        if (resources.gridCols)
-            config.gridCols = *resources.gridCols;
-        auto rebuilt = std::make_shared<backends::TaurusPlatform>(config);
-        rebuilt->setConstraints(perf);
-        platform_ = rebuilt;
-    } else if (auto *mat = dynamic_cast<backends::MatPlatform *>(
-                   platform_.get())) {
-        backends::MatConfig config = mat->config();
-        if (resources.matTables)
-            config.numTables = *resources.matTables;
-        auto rebuilt = std::make_shared<backends::MatPlatform>(config);
-        rebuilt->setConstraints(perf);
-        platform_ = rebuilt;
-    }
+    // Copy first: callers commonly pass platform().constraints(), and
+    // replacing platform_ below would leave @p perf dangling.
+    backends::PerfConstraints envelope = perf;
+
+    // Each backend applies the budget fields that describe its fabric
+    // (Taurus grid, MAT tables/entries, FPGA utilization/power caps) and
+    // returns a reshaped instance; nullptr means nothing applied.
+    if (backends::PlatformPtr rebuilt = platform_->withBudget(resources))
+        platform_ = std::move(rebuilt);
+    platform_->setConstraints(envelope);
 }
 
 void
@@ -234,23 +223,50 @@ PlatformHandle::schedule(ScheduleNode node)
 
 namespace Platforms {
 
+namespace {
+
+PlatformHandle
+fromRegistry(const std::string &name, std::any typed_config)
+{
+    backends::BackendParams params;
+    params.typedConfig = std::move(typed_config);
+    backends::PlatformPtr platform =
+        backends::BackendRegistry::instance().create(name, params);
+    if (!platform)
+        throw std::runtime_error(
+            backends::BackendRegistry::instance().unknownTargetMessage(
+                name));
+    return PlatformHandle(std::move(platform));
+}
+
+}  // namespace
+
 PlatformHandle
 taurus(backends::TaurusConfig config)
 {
-    return PlatformHandle(
-        std::make_shared<backends::TaurusPlatform>(config));
+    return fromRegistry("taurus", config);
 }
 
 PlatformHandle
 tofino(backends::MatConfig config)
 {
-    return PlatformHandle(std::make_shared<backends::MatPlatform>(config));
+    return fromRegistry("tofino", config);
 }
 
 PlatformHandle
 fpga(backends::FpgaConfig config)
 {
-    return PlatformHandle(std::make_shared<backends::FpgaPlatform>(config));
+    return fromRegistry("fpga", config);
+}
+
+Result<PlatformHandle>
+byName(const std::string &name, const backends::BackendParams &params)
+{
+    auto &registry = backends::BackendRegistry::instance();
+    backends::PlatformPtr platform = registry.create(name, params);
+    if (!platform)
+        return Status::notFound(registry.unknownTargetMessage(name));
+    return PlatformHandle(std::move(platform));
 }
 
 }  // namespace Platforms

@@ -27,7 +27,9 @@
 #include "backends/fpga.hpp"
 #include "backends/mat_platform.hpp"
 #include "backends/platform.hpp"
+#include "backends/registry.hpp"
 #include "backends/taurus.hpp"
+#include "core/status.hpp"
 #include "data/loaders.hpp"
 
 namespace homunculus::core {
@@ -112,13 +114,12 @@ ScheduleNode operator|(const ModelSpec &lhs, const ModelSpec &rhs);
 ScheduleNode operator|(ScheduleNode lhs, const ModelSpec &rhs);
 ScheduleNode operator|(ScheduleNode lhs, ScheduleNode rhs);
 
-/** Resource limits the operator can cap a platform to. */
-struct ResourceBudget
-{
-    std::optional<std::size_t> gridRows;   ///< Taurus rows.
-    std::optional<std::size_t> gridCols;   ///< Taurus cols.
-    std::optional<std::size_t> matTables;  ///< MAT stage budget.
-};
+/**
+ * Resource limits the operator can cap a platform to. Lives with the
+ * backend interface (each Platform applies its own fields via
+ * Platform::withBudget); aliased here for the Alchemy surface.
+ */
+using ResourceBudget = backends::ResourceBudget;
 
 /** A declared target device plus its constraints and schedule. */
 class PlatformHandle
@@ -147,7 +148,11 @@ class PlatformHandle
     ResourceBudget budget_;
 };
 
-/** Factory namespace mirroring the paper's `Platforms` class. */
+/**
+ * Factory namespace mirroring the paper's `Platforms` class. Every
+ * factory — typed or by name — resolves through the BackendRegistry, so
+ * registering a new backend makes it available everywhere at once.
+ */
 namespace Platforms {
 
 /** A Taurus switch with the given MapReduce grid. */
@@ -158,6 +163,13 @@ PlatformHandle tofino(backends::MatConfig config = {});
 
 /** An FPGA SmartNIC / accelerator card. */
 PlatformHandle fpga(backends::FpgaConfig config = {});
+
+/**
+ * Resolve any registered backend by name ("taurus", "tofino", "fpga",
+ * or a plugin's). NOT_FOUND Statuses list the known names.
+ */
+Result<PlatformHandle> byName(const std::string &name,
+                              const backends::BackendParams &params = {});
 
 }  // namespace Platforms
 

@@ -2,11 +2,17 @@
 
 #include <stdexcept>
 
-#include "common/logging.hpp"
-#include "common/string_util.hpp"
-#include "core/design_space.hpp"
-
 namespace homunculus::core {
+
+CompileOptions
+GenerateOptions::toCompileOptions() const
+{
+    CompileOptions options;
+    options.bo = bo;
+    options.seed = seed;
+    options.emitCode = emitCode;
+    return options;
+}
 
 const GeneratedModel *
 GenerationResult::find(const std::string &spec_name) const
@@ -17,110 +23,33 @@ GenerationResult::find(const std::string &spec_name) const
     return nullptr;
 }
 
+GenerationResult
+generate(PlatformHandle &platform, const GenerateOptions &options)
+{
+    Compiler compiler(options.toCompileOptions());
+    Result<CompileReport> compiled = compiler.compile(platform);
+    if (!compiled.isOk())
+        throw std::runtime_error("generate: " +
+                                 compiled.status().toString());
+
+    GenerationResult result;
+    result.models = std::move(compiled.value().models);
+    result.scheduleResources =
+        std::move(compiled.value().scheduleResources);
+    result.success = !result.models.empty();
+    return result;
+}
+
 GeneratedModel
 searchModel(const ModelSpec &spec, PlatformHandle &platform,
             const GenerateOptions &options, const ml::DataSplit &split)
 {
-    const backends::Platform &target = platform.platform();
-    std::vector<Algorithm> candidates = selectCandidates(
-        spec, target, split.train.numFeatures(), split.train.numClasses);
-    if (candidates.empty())
-        throw std::runtime_error("generate: no feasible algorithm family "
-                                 "for spec '" + spec.name + "' on " +
-                                 target.name());
-
-    GeneratedModel winner;
-    winner.specName = spec.name;
-    bool have_winner = false;
-
-    // "Parallel candidate runs" (paper §3.2.1): each family gets an
-    // independent optimization run; the final selection is the best
-    // feasible result across families.
-    for (Algorithm algorithm : candidates) {
-        opt::SearchSpace space = buildDesignSpace(algorithm, spec, target);
-
-        // Cache the best evaluation per family so the winner's IR does
-        // not need retraining after the search.
-        CandidateEvaluation family_best;
-        bool family_has_best = false;
-
-        opt::ObjectiveFn objective =
-            [&](const opt::Configuration &config) -> opt::EvalResult {
-            CandidateEvaluation evaluation = evaluateCandidate(
-                algorithm, config, spec, split, target, options.seed);
-            bool better =
-                evaluation.report.feasible &&
-                (!family_has_best ||
-                 evaluation.objective > family_best.objective);
-            if (better) {
-                family_best = evaluation;
-                family_has_best = true;
-            }
-            return toEvalResult(evaluation);
-        };
-
-        opt::BoConfig bo_config = options.bo;
-        bo_config.seed = options.seed ^
-                         (0x9E37ull * (static_cast<std::uint64_t>(
-                                           algorithmKind(algorithm)) + 1));
-        opt::BayesianOptimizer optimizer(space, bo_config);
-        opt::BoResult search = optimizer.optimize(objective);
-
-        winner.perAlgorithm[algorithmName(algorithm)] = search;
-        if (search.foundFeasible && family_has_best &&
-            (!have_winner || family_best.objective > winner.objective)) {
-            winner.algorithm = algorithm;
-            winner.model = family_best.model;
-            winner.report = family_best.report;
-            winner.objective = family_best.objective;
-            winner.searchHistory = search;
-            have_winner = true;
-        }
-        HOM_LOG(kInfo, "generate")
-            << spec.name << "/" << algorithmName(algorithm)
-            << (search.foundFeasible
-                    ? common::format(": best %s=%.4f",
-                                     metricName(spec.optimizationMetric)
-                                         .c_str(),
-                                     search.bestResult.objective)
-                    : std::string(": no feasible configuration"));
-    }
-
-    if (!have_winner)
-        throw std::runtime_error("generate: no feasible model found for "
-                                 "spec '" + spec.name + "'");
-    if (options.emitCode)
-        winner.code = target.generateCode(winner.model);
-    return winner;
-}
-
-GenerationResult
-generate(PlatformHandle &platform, const GenerateOptions &options)
-{
-    GenerationResult result;
-    std::map<std::string, backends::ResourceReport> reports;
-
-    for (const ScheduleNode &schedule : platform.schedules()) {
-        for (const ModelSpec *spec : schedule.leafSpecs()) {
-            if (!spec || !spec->dataLoader)
-                throw std::runtime_error(
-                    "generate: scheduled spec lacks a data loader");
-            if (result.find(spec->name) != nullptr)
-                continue;  // identical spec reused across the DAG.
-            ml::DataSplit split = spec->dataLoader();
-            GeneratedModel model =
-                searchModel(*spec, platform, options, split);
-            reports[model.specName] = model.report;
-            result.models.push_back(std::move(model));
-        }
-    }
-
-    for (const ScheduleNode &schedule : platform.schedules())
-        result.scheduleResources.push_back(
-            composeResources(schedule, reports));
-
-    result.success = !result.models.empty();
-    return result;
+    Result<GeneratedModel> outcome =
+        searchSpec(spec, platform, options.toCompileOptions(), split);
+    if (!outcome.isOk())
+        throw std::runtime_error("generate: " +
+                                 outcome.status().toString());
+    return std::move(outcome.value());
 }
 
 }  // namespace homunculus::core

@@ -1,24 +1,23 @@
 /**
  * @file
- * The Homunculus compiler driver (paper Figure 2, bottom-to-top flow).
+ * Legacy one-shot compiler driver — a thin compatibility shim over the
+ * staged Compiler / CompileSession API (see compiler.hpp).
  *
- * generate() runs the full pipeline for every schedule attached to a
- * platform: load the spec's data, select candidate algorithm families,
- * build each family's design space, run constrained Bayesian optimization
- * (training + backend feasibility per evaluation), select the best
- * feasible model across families, and emit the platform program.
+ * generate() still runs the full pipeline for every schedule attached to
+ * a platform and either returns a GenerationResult or throws
+ * std::runtime_error, exactly as it always has; internally it opens a
+ * CompileSession and converts error Statuses back into exceptions. New
+ * code should prefer core::Compiler, which exposes the stages, progress
+ * observation, cancellation, Status diagnostics, and the parallel
+ * family-search pool.
  */
 #pragma once
 
-#include <map>
-
-#include "core/alchemy.hpp"
-#include "core/schedule.hpp"
-#include "core/trainer.hpp"
+#include "core/compiler.hpp"
 
 namespace homunculus::core {
 
-/** Knobs of one generate() run. */
+/** Knobs of one generate() run (subset of CompileOptions). */
 struct GenerateOptions
 {
     opt::BoConfig bo;            ///< per-candidate-family search budget.
@@ -30,20 +29,9 @@ struct GenerateOptions
         bo.numInitSamples = 5;
         bo.numIterations = 15;
     }
-};
 
-/** The winning artifact for one scheduled model spec. */
-struct GeneratedModel
-{
-    std::string specName;
-    Algorithm algorithm = Algorithm::kDnn;
-    ir::ModelIr model;
-    backends::ResourceReport report;
-    double objective = 0.0;       ///< metric on the test partition.
-    std::string code;             ///< emitted platform program.
-    opt::BoResult searchHistory;  ///< winning family's BO trace.
-    /** Every family's trace, keyed by algorithm name (regret plots). */
-    std::map<std::string, opt::BoResult> perAlgorithm;
+    /** The session options this legacy bundle maps onto. */
+    CompileOptions toCompileOptions() const;
 };
 
 /** The outcome of compiling one platform's schedules. */
@@ -58,13 +46,16 @@ struct GenerationResult
     const GeneratedModel *find(const std::string &spec_name) const;
 };
 
-/** Run the compiler for everything scheduled on @p platform. */
+/**
+ * Run the compiler for everything scheduled on @p platform.
+ * @throws std::runtime_error on any compile-stage failure.
+ */
 GenerationResult generate(PlatformHandle &platform,
                           const GenerateOptions &options = {});
 
 /**
- * Search a single spec on a platform — the inner loop of generate(),
- * exposed for experiments that sweep specs without full schedules.
+ * Search a single spec on a platform — legacy form of core::searchSpec()
+ * that throws instead of returning a Result.
  */
 GeneratedModel searchModel(const ModelSpec &spec, PlatformHandle &platform,
                            const GenerateOptions &options,

@@ -43,6 +43,12 @@ BayesianOptimizer::optimize(const ObjectiveFn &objective)
     std::vector<int> feasibility;  // 1 = feasible.
     const bool multi_objective = !config_.costMetricKey.empty();
 
+    const std::size_t planned_evals =
+        config_.numInitSamples + config_.numIterations;
+    auto stop_requested = [&] {
+        return config_.shouldStop && config_.shouldStop();
+    };
+
     auto record_eval = [&](const Configuration &config,
                            const EvalResult &eval, bool warmup) {
         encoded.push_back(space_.encode(config));
@@ -78,16 +84,26 @@ BayesianOptimizer::optimize(const ObjectiveFn &objective)
         record.bestSoFar = result.foundFeasible ? best : 0.0;
         record.fromWarmup = warmup;
         result.history.push_back(std::move(record));
+        if (config_.onEvaluation)
+            config_.onEvaluation(result.history.size(), planned_evals);
     };
 
     // --- Phase 1: uniform random sampling (paper §5 initialization). ----
     for (std::size_t i = 0; i < config_.numInitSamples; ++i) {
+        if (stop_requested()) {
+            result.cancelled = true;
+            return result;
+        }
         Configuration config = space_.sample(rng);
         record_eval(config, objective(config), true);
     }
 
     // --- Phase 2: surrogate-guided iterations. ---------------------------
     for (std::size_t iter = 0; iter < config_.numIterations; ++iter) {
+        if (stop_requested()) {
+            result.cancelled = true;
+            return result;
+        }
         // Random scalarization (multi-objective mode): redraw the
         // objective/cost trade-off weight every iteration so successive
         // iterations chase different regions of the Pareto front.

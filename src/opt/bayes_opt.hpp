@@ -53,6 +53,20 @@ struct BoConfig
      * and reports the Pareto front of feasible evaluations.
      */
     std::string costMetricKey;
+
+    /**
+     * Cooperative cancellation: polled before every black-box evaluation.
+     * When it returns true the run stops, marks the result cancelled, and
+     * returns the partial trace. NOTE: when the optimizer runs inside a
+     * parallel compile session, these hooks fire concurrently from pool
+     * worker threads (unlike the session's serialized ProgressObserver)
+     * — they must be thread-safe.
+     */
+    std::function<bool()> shouldStop;
+
+    /** Progress hook: (evaluations completed, evaluations planned).
+     *  Same threading caveat as shouldStop. */
+    std::function<void(std::size_t, std::size_t)> onEvaluation;
 };
 
 /** One step of the optimization trace (regret-plot material). */
@@ -68,6 +82,7 @@ struct BoRecord
 struct BoResult
 {
     bool foundFeasible = false;
+    bool cancelled = false;  ///< BoConfig::shouldStop ended the run early.
     Configuration bestConfig;
     EvalResult bestResult;
     std::vector<BoRecord> history;

@@ -139,6 +139,75 @@ TEST(Alchemy, PlatformHandleConstrainReshapesMat)
     EXPECT_EQ(mat->config().numTables, 5u);
 }
 
+TEST(Alchemy, ConstrainCapsMatEntriesBudget)
+{
+    auto handle = hcore::Platforms::tofino();
+    hcore::ResourceBudget budget;
+    budget.matTables = 6;
+    budget.matEntriesPerTable = 128;
+    handle.constrain({1.0, 600.0}, budget);
+    const auto *mat =
+        dynamic_cast<const hb::MatPlatform *>(&handle.platform());
+    ASSERT_NE(mat, nullptr);
+    EXPECT_EQ(mat->config().numTables, 6u);
+    EXPECT_EQ(mat->config().entriesPerTable, 128u);
+    EXPECT_DOUBLE_EQ(handle.platform().constraints().maxLatencyNs, 600.0);
+}
+
+TEST(Alchemy, ConstrainCapsFpgaBudgets)
+{
+    // Regression: budgets used to reshape only Taurus grids and MAT
+    // tables; FPGA caps were silently dropped.
+    auto handle = hcore::Platforms::fpga();
+    hcore::ResourceBudget budget;
+    budget.fpgaLutPercent = 6.0;
+    budget.fpgaFfPercent = 8.0;
+    budget.fpgaPowerWatts = 40.0;
+    handle.constrain(handle.platform().constraints(), budget);
+
+    const auto *fpga =
+        dynamic_cast<const hb::FpgaPlatform *>(&handle.platform());
+    ASSERT_NE(fpga, nullptr);
+    EXPECT_DOUBLE_EQ(fpga->config().lutBudgetPercent, 6.0);
+    EXPECT_DOUBLE_EQ(fpga->config().ffBudgetPercent, 8.0);
+    EXPECT_DOUBLE_EQ(fpga->config().powerBudgetWatts, 40.0);
+
+    // A model whose LUT usage exceeds the 6% cap must now be rejected
+    // even though it fits the physical device with room to spare.
+    homunculus::ir::ModelIr ir;
+    ir.kind = homunculus::ir::ModelKind::kMlp;
+    ir.inputDim = 20;
+    homunculus::ir::QuantizedLayer layer;
+    layer.inputDim = 20;
+    layer.outputDim = 20;
+    layer.weights.assign(400, 1);
+    layer.biases.assign(20, 1);
+    ir.layers.push_back(layer);
+
+    auto capped = fpga->estimate(ir);
+    EXPECT_FALSE(capped.feasible);
+    EXPECT_NE(capped.infeasibleReason.find("budget"), std::string::npos);
+
+    auto uncapped = hcore::Platforms::fpga();
+    auto report = uncapped.platform().estimate(ir);
+    EXPECT_TRUE(report.feasible);
+}
+
+TEST(Alchemy, ConstrainIgnoresIrrelevantBudgetFields)
+{
+    // A MAT/FPGA budget on a Taurus handle leaves the platform instance
+    // untouched (no rebuild) while still applying the perf envelope.
+    auto handle = hcore::Platforms::taurus();
+    const auto *before = &handle.platform();
+    hcore::ResourceBudget budget;
+    budget.matTables = 4;
+    budget.fpgaLutPercent = 10.0;
+    handle.constrain({2.0, 250.0}, budget);
+    EXPECT_EQ(&handle.platform(), before);
+    EXPECT_DOUBLE_EQ(handle.platform().constraints().minThroughputGpps,
+                     2.0);
+}
+
 TEST(Alchemy, NamesRoundTrip)
 {
     for (auto algorithm : hcore::allAlgorithms())

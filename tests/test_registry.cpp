@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the BackendRegistry: built-in self-registration, typed and
+ * numeric construction params, duplicate/unknown handling, and plugin
+ * registration without touching core/.
+ */
+#include <gtest/gtest.h>
+
+#include "backends/fpga.hpp"
+#include "backends/mat_platform.hpp"
+#include "backends/registry.hpp"
+#include "backends/taurus.hpp"
+#include "core/alchemy.hpp"
+
+namespace hb = homunculus::backends;
+namespace hcore = homunculus::core;
+
+TEST(Registry, BuiltinsSelfRegister)
+{
+    auto &registry = hb::BackendRegistry::instance();
+    for (const char *name : {"taurus", "tofino", "tofino-mat", "fpga"})
+        EXPECT_TRUE(registry.contains(name)) << name;
+
+    auto names = registry.names();
+    EXPECT_GE(names.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, CreateByName)
+{
+    auto &registry = hb::BackendRegistry::instance();
+    auto taurus = registry.create("taurus");
+    ASSERT_NE(taurus, nullptr);
+    EXPECT_EQ(taurus->name(), "taurus");
+
+    auto fpga = registry.create("fpga");
+    ASSERT_NE(fpga, nullptr);
+    EXPECT_EQ(fpga->name(), "fpga");
+}
+
+TEST(Registry, NumericKnobsConfigureTheBackend)
+{
+    hb::BackendParams params;
+    params.numeric["tables"] = 5;
+    params.numeric["entries"] = 256;
+    auto platform = hb::BackendRegistry::instance().create("tofino", params);
+    ASSERT_NE(platform, nullptr);
+    const auto *mat = dynamic_cast<const hb::MatPlatform *>(platform.get());
+    ASSERT_NE(mat, nullptr);
+    EXPECT_EQ(mat->config().numTables, 5u);
+    EXPECT_EQ(mat->config().entriesPerTable, 256u);
+
+    params = {};
+    params.numeric["grid_rows"] = 4;
+    params.numeric["grid_cols"] = 8;
+    platform = hb::BackendRegistry::instance().create("taurus", params);
+    const auto *taurus =
+        dynamic_cast<const hb::TaurusPlatform *>(platform.get());
+    ASSERT_NE(taurus, nullptr);
+    EXPECT_EQ(taurus->config().gridRows, 4u);
+    EXPECT_EQ(taurus->config().gridCols, 8u);
+}
+
+TEST(Registry, TypedConfigWinsOverNumericKnobs)
+{
+    hb::TaurusConfig config;
+    config.gridRows = 3;
+    config.gridCols = 5;
+    hb::BackendParams params;
+    params.typedConfig = config;
+    params.numeric["grid_rows"] = 12;  // ignored: typed config wins.
+    auto platform = hb::BackendRegistry::instance().create("taurus", params);
+    const auto *taurus =
+        dynamic_cast<const hb::TaurusPlatform *>(platform.get());
+    ASSERT_NE(taurus, nullptr);
+    EXPECT_EQ(taurus->config().gridRows, 3u);
+    EXPECT_EQ(taurus->config().gridCols, 5u);
+}
+
+TEST(Registry, UnknownNameReturnsNullAndListsKnownNames)
+{
+    auto &registry = hb::BackendRegistry::instance();
+    EXPECT_EQ(registry.create("netronome"), nullptr);
+    std::string message = registry.unknownTargetMessage("netronome");
+    EXPECT_NE(message.find("netronome"), std::string::npos);
+    EXPECT_NE(message.find("taurus"), std::string::npos);
+    EXPECT_NE(message.find("fpga"), std::string::npos);
+}
+
+TEST(Registry, DuplicateRegistrationIsRejected)
+{
+    auto &registry = hb::BackendRegistry::instance();
+    bool added = registry.registerFactory(
+        "taurus", [](const hb::BackendParams &) -> hb::PlatformPtr {
+            return nullptr;
+        });
+    EXPECT_FALSE(added);
+    // The original factory must be intact.
+    EXPECT_NE(registry.create("taurus"), nullptr);
+}
+
+TEST(Registry, BuiltinRegistrationHooksAreIdempotent)
+{
+    // A second direct call must not clobber or duplicate anything.
+    hb::registerBuiltinBackends();
+    hb::registerBuiltinBackends();
+    auto names = hb::BackendRegistry::instance().names();
+    EXPECT_EQ(std::count(names.begin(), names.end(), "taurus"), 1);
+}
+
+TEST(Registry, PluginBackendPlugsInWithoutTouchingCore)
+{
+    auto &registry = hb::BackendRegistry::instance();
+    ASSERT_TRUE(registry.registerFactory(
+        "test-smartnic", [](const hb::BackendParams &params) {
+            hb::FpgaConfig config;
+            config.lineRateGpps = params.numberOr("line_rate", 0.2);
+            return std::make_shared<hb::FpgaPlatform>(config);
+        }));
+
+    // Resolvable through the same paths as the built-ins.
+    auto handle = hcore::Platforms::byName("test-smartnic");
+    ASSERT_TRUE(handle.isOk());
+    EXPECT_EQ(handle->platform().name(), "fpga");
+
+    EXPECT_TRUE(registry.unregisterFactory("test-smartnic"));
+    EXPECT_FALSE(registry.contains("test-smartnic"));
+    EXPECT_FALSE(registry.unregisterFactory("test-smartnic"));
+}
+
+TEST(Registry, PlatformsByNameReportsNotFound)
+{
+    auto handle = hcore::Platforms::byName("no-such-target");
+    ASSERT_FALSE(handle.isOk());
+    EXPECT_EQ(handle.status().code(), hcore::StatusCode::kNotFound);
+    EXPECT_NE(handle.status().message().find("known platforms"),
+              std::string::npos);
+}

@@ -4,13 +4,18 @@
  *
  * Compiles one of the built-in applications (or a CSV dataset) for a
  * chosen data-plane target and writes the generated platform program.
+ * Targets resolve through the BackendRegistry, so any registered
+ * platform — built-in or plugin — is addressable via --platform.
  *
  * Usage:
  *   homc --app ad|tc|bd            built-in synthetic application
  *   homc --train t.csv --test e.csv   or: bring your own CSV data
- *        [--platform taurus|tofino|fpga]   target (default taurus)
+ *        [--platform NAME]         target (default taurus); see
+ *                                  --list-platforms for the known names
  *        [--algorithms dnn,svm,kmeans,decision_tree]
  *        [--init N] [--iters N]    search budget (default 5 / 15)
+ *        [--jobs N]                parallel family searches (default 1;
+ *                                  0 = one per hardware thread)
  *        [--grid N]                Taurus grid side (default 16)
  *        [--tables N]              MAT stage budget (default 12)
  *        [--throughput G] [--latency NS]   performance envelope
@@ -18,12 +23,15 @@
  *        [--out FILE]              write the generated program here
  *        [--save FILE]             write the compiled model artifact
  *        [--pareto cus|mus|mat_tables]     multi-objective cost metric
+ *        [--progress]              print per-stage progress events
+ *   homc --list-platforms          enumerate the backend registry
  */
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 
+#include "backends/registry.hpp"
 #include "bench_common.hpp"
 #include "common/string_util.hpp"
 #include "data/loaders.hpp"
@@ -44,10 +52,15 @@ struct CliOptions
     std::string paretoMetric;
     std::size_t init = 5;
     std::size_t iters = 15;
+    std::size_t jobs = 1;
     std::size_t grid = 16;
     std::size_t tables = 12;
     double throughputGpps = 1.0;
     double latencyNs = 500.0;
+    bool throughputSet = false;
+    bool latencySet = false;
+    bool listPlatforms = false;
+    bool progress = false;
     std::uint64_t seed = bench::kBenchSeed;
 };
 
@@ -58,13 +71,16 @@ printUsage()
         "homc — Homunculus data-plane ML compiler\n"
         "  --app ad|tc|bd           built-in application\n"
         "  --train FILE --test FILE CSV data (last column = label)\n"
-        "  --platform taurus|tofino|fpga\n"
+        "  --platform NAME          target backend (see --list-platforms)\n"
+        "  --list-platforms         enumerate registered backends\n"
         "  --algorithms LIST        comma-separated family pool\n"
         "  --init N --iters N       search budget\n"
+        "  --jobs N                 parallel family searches (0 = #cores)\n"
         "  --grid N                 Taurus grid side\n"
         "  --tables N               MAT stage budget\n"
         "  --throughput GPPS --latency NS\n"
         "  --pareto METRIC          multi-objective cost (cus|mus|...)\n"
+        "  --progress               print compile-stage progress\n"
         "  --seed N --out FILE --save ARTIFACT\n";
 }
 
@@ -76,6 +92,14 @@ parseArgs(int argc, char **argv, CliOptions &options)
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h")
             return false;
+        if (arg == "--list-platforms") {
+            options.listPlatforms = true;
+            continue;
+        }
+        if (arg == "--progress") {
+            options.progress = true;
+            continue;
+        }
         if (!common::startsWith(arg, "--") || i + 1 >= argc) {
             std::cerr << "homc: bad argument '" << arg << "'\n";
             return false;
@@ -103,15 +127,22 @@ parseArgs(int argc, char **argv, CliOptions &options)
     take("pareto", options.paretoMetric);
     take_size("init", options.init);
     take_size("iters", options.iters);
+    take_size("jobs", options.jobs);
     take_size("grid", options.grid);
     take_size("tables", options.tables);
-    if (flags.count("throughput"))
+    if (flags.count("throughput")) {
         options.throughputGpps = std::stod(flags["throughput"]);
-    if (flags.count("latency"))
+        options.throughputSet = true;
+    }
+    if (flags.count("latency")) {
         options.latencyNs = std::stod(flags["latency"]);
+        options.latencySet = true;
+    }
     if (flags.count("seed"))
         options.seed = std::stoull(flags["seed"]);
 
+    if (options.listPlatforms)
+        return true;
     if (options.app.empty() && options.trainCsv.empty()) {
         std::cerr << "homc: need --app or --train/--test\n";
         return false;
@@ -161,31 +192,32 @@ buildSpec(const CliOptions &options)
     return spec;
 }
 
-core::PlatformHandle
+core::Result<core::PlatformHandle>
 buildPlatform(const CliOptions &options)
 {
+    core::Result<core::PlatformHandle> handle =
+        core::Platforms::byName(options.platform);
+    if (!handle.isOk())
+        return handle;
+
+    // --grid/--tables flow through the ResourceBudget alone; each
+    // backend applies the fields that describe its fabric and ignores
+    // the rest.
     core::ResourceBudget budget;
-    if (options.platform == "taurus") {
-        budget.gridRows = options.grid;
-        budget.gridCols = options.grid;
-        auto handle = core::Platforms::taurus();
-        handle.constrain({options.throughputGpps, options.latencyNs},
-                         budget);
-        return handle;
-    }
-    if (options.platform == "tofino") {
-        budget.matTables = options.tables;
-        backends::MatConfig config;
-        config.numTables = options.tables;
-        auto handle = core::Platforms::tofino(config);
-        handle.constrain({options.throughputGpps, options.latencyNs},
-                         budget);
-        return handle;
-    }
-    if (options.platform == "fpga")
-        return core::Platforms::fpga();
-    throw std::runtime_error("unknown --platform '" + options.platform +
-                             "'");
+    budget.gridRows = options.grid;
+    budget.gridCols = options.grid;
+    budget.matTables = options.tables;
+
+    // Every backend ships its own default envelope (the FPGA NIC path,
+    // for instance, tolerates far more latency than a switch ASIC); only
+    // override the parts the user asked for.
+    backends::PerfConstraints perf = handle->platform().constraints();
+    if (options.throughputSet)
+        perf.minThroughputGpps = options.throughputGpps;
+    if (options.latencySet)
+        perf.maxLatencyNs = options.latencyNs;
+    handle->constrain(perf, budget);
+    return handle;
 }
 
 }  // namespace
@@ -199,22 +231,59 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (options.listPlatforms) {
+        for (const auto &name : backends::BackendRegistry::instance().names())
+            std::cout << name << "\n";
+        return 0;
+    }
+
     try {
         core::ModelSpec spec = buildSpec(options);
-        core::PlatformHandle platform = buildPlatform(options);
-        platform.schedule(spec);
+        core::Result<core::PlatformHandle> platform =
+            buildPlatform(options);
+        if (!platform.isOk()) {
+            std::cerr << "homc: " << platform.status().message() << "\n";
+            return 2;
+        }
+        platform->schedule(spec);
 
-        core::GenerateOptions gen_options;
-        gen_options.bo.numInitSamples = options.init;
-        gen_options.bo.numIterations = options.iters;
-        gen_options.bo.costMetricKey = options.paretoMetric;
-        gen_options.seed = options.seed;
+        core::CompileOptions compile_options;
+        compile_options.bo.numInitSamples = options.init;
+        compile_options.bo.numIterations = options.iters;
+        compile_options.bo.costMetricKey = options.paretoMetric;
+        compile_options.seed = options.seed;
+        compile_options.jobs = options.jobs;
+        if (options.progress) {
+            compile_options.observer =
+                [](const core::ProgressEvent &event) {
+                    std::cout << "[" << core::stageName(event.stage) << "] "
+                              << event.specName;
+                    if (!event.family.empty())
+                        std::cout << "/" << event.family << " "
+                                  << event.evalsDone << "/"
+                                  << event.evalsTotal;
+                    if (!event.message.empty())
+                        std::cout << " " << event.message;
+                    std::cout << "\n";
+                };
+        }
 
         std::cout << "homc: compiling '" << spec.name << "' for "
-                  << platform.platform().name() << " ("
-                  << options.init + options.iters << " evaluations)\n";
-        auto result = core::generate(platform, gen_options);
-        const auto &model = result.models.front();
+                  << platform->platform().name() << " ("
+                  << options.init + options.iters << " evaluations, "
+                  << (options.jobs == 0 ? std::string("auto")
+                                        : std::to_string(options.jobs))
+                  << " jobs)\n";
+
+        core::Compiler compiler(compile_options);
+        core::Result<core::CompileReport> compiled =
+            compiler.compile(platform.value());
+        if (!compiled.isOk()) {
+            std::cerr << "homc: compile failed: "
+                      << compiled.status().toString() << "\n";
+            return 1;
+        }
+        const auto &model = compiled->models.front();
 
         std::cout << "winner    : " << core::algorithmName(model.algorithm)
                   << " (" << model.model.paramCount() << " params)\n"
