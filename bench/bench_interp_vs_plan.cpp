@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Interpreter vs ExecutablePlan batch-inference throughput, per family
+ * (google-benchmark). The acceptance bar for the compile-then-execute
+ * refactor: the plan must deliver >= 3x the scalar interpreter's rows/sec
+ * on MLP inference at batch >= 1024. `items_per_second` in the report is
+ * classified rows per second.
+ *
+ * Models are random quantized IRs at paper-plausible sizes (hundreds to a
+ * few thousand parameters — they must fit a switch pipeline); inference
+ * cost does not depend on the weight values, so training is skipped.
+ */
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "ir/exec_plan.hpp"
+#include "ir/model_ir.hpp"
+
+using namespace homunculus;
+
+namespace {
+
+std::int32_t
+randomWord(common::Rng &rng)
+{
+    return static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
+}
+
+math::Matrix
+randomFeatures(std::size_t rows, std::size_t cols)
+{
+    common::Rng rng(7);
+    math::Matrix x(rows, cols);
+    for (double &v : x.data())
+        v = rng.uniform(-8.0, 8.0);
+    return x;
+}
+
+/** The AD-like baseline shape: 16 -> 32 -> 32 -> 2. */
+ir::ModelIr
+mlpModel()
+{
+    common::Rng rng(11);
+    ir::ModelIr model;
+    model.kind = ir::ModelKind::kMlp;
+    model.inputDim = 16;
+    model.numClasses = 2;
+    std::size_t prev = 16;
+    for (std::size_t width : {std::size_t{32}, std::size_t{32},
+                              std::size_t{2}}) {
+        ir::QuantizedLayer layer;
+        layer.inputDim = prev;
+        layer.outputDim = width;
+        layer.weights.resize(prev * width);
+        layer.biases.resize(width);
+        for (auto &w : layer.weights)
+            w = randomWord(rng);
+        for (auto &b : layer.biases)
+            b = randomWord(rng);
+        model.layers.push_back(std::move(layer));
+        prev = width;
+    }
+    model.validate();
+    return model;
+}
+
+ir::ModelIr
+kmeansModel()
+{
+    common::Rng rng(13);
+    ir::ModelIr model;
+    model.kind = ir::ModelKind::kKMeans;
+    model.inputDim = 16;
+    model.numClasses = 8;
+    for (int c = 0; c < 8; ++c) {
+        std::vector<std::int32_t> centroid(16);
+        for (auto &v : centroid)
+            v = randomWord(rng);
+        model.centroids.push_back(std::move(centroid));
+    }
+    model.validate();
+    return model;
+}
+
+ir::ModelIr
+svmModel()
+{
+    common::Rng rng(17);
+    ir::ModelIr model;
+    model.kind = ir::ModelKind::kSvm;
+    model.inputDim = 16;
+    model.numClasses = 4;
+    for (int c = 0; c < 4; ++c) {
+        std::vector<std::int32_t> weights(16);
+        for (auto &v : weights)
+            v = randomWord(rng);
+        model.svmWeights.push_back(std::move(weights));
+        model.svmBiases.push_back(randomWord(rng));
+    }
+    model.validate();
+    return model;
+}
+
+ir::ModelIr
+treeModel()
+{
+    common::Rng rng(19);
+    ir::ModelIr model;
+    model.kind = ir::ModelKind::kDecisionTree;
+    model.inputDim = 16;
+    model.numClasses = 3;
+    model.treeDepth = 8;
+    std::function<int(std::size_t)> build = [&](std::size_t level) -> int {
+        int index = static_cast<int>(model.treeNodes.size());
+        model.treeNodes.emplace_back();
+        if (level == 8) {
+            model.treeNodes[static_cast<std::size_t>(index)].classLabel =
+                static_cast<int>(rng.uniformInt(0, 2));
+            return index;
+        }
+        auto &node = model.treeNodes[static_cast<std::size_t>(index)];
+        node.isLeaf = false;
+        node.feature = static_cast<std::size_t>(rng.uniformInt(0, 15));
+        node.threshold = randomWord(rng);
+        int left = build(level + 1);
+        int right = build(level + 1);
+        model.treeNodes[static_cast<std::size_t>(index)].left = left;
+        model.treeNodes[static_cast<std::size_t>(index)].right = right;
+        return index;
+    };
+    build(0);
+    model.validate();
+    return model;
+}
+
+/** The legacy path: scalar interpreter re-walked per row (incl. the
+ *  per-row heap copy every pre-plan caller paid). */
+void
+interpBench(benchmark::State &state, const ir::ModelIr &model)
+{
+    auto batch = static_cast<std::size_t>(state.range(0));
+    auto x = randomFeatures(batch, model.inputDim);
+    for (auto _ : state) {
+        int last = 0;
+        for (std::size_t r = 0; r < x.rows(); ++r)
+            last = ir::executeIr(model, x.row(r));
+        benchmark::DoNotOptimize(last);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(batch));
+}
+
+/** The compiled path: one plan reused across the batch. */
+void
+planBench(benchmark::State &state, const ir::ModelIr &model)
+{
+    auto batch = static_cast<std::size_t>(state.range(0));
+    auto x = randomFeatures(batch, model.inputDim);
+    auto plan = ir::ExecutablePlan::compile(model);
+    for (auto _ : state) {
+        auto labels = plan.run(x);
+        benchmark::DoNotOptimize(labels.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(batch));
+}
+
+void
+BM_InterpMlp(benchmark::State &state)
+{
+    interpBench(state, mlpModel());
+}
+void
+BM_PlanMlp(benchmark::State &state)
+{
+    planBench(state, mlpModel());
+}
+void
+BM_InterpKMeans(benchmark::State &state)
+{
+    interpBench(state, kmeansModel());
+}
+void
+BM_PlanKMeans(benchmark::State &state)
+{
+    planBench(state, kmeansModel());
+}
+void
+BM_InterpSvm(benchmark::State &state)
+{
+    interpBench(state, svmModel());
+}
+void
+BM_PlanSvm(benchmark::State &state)
+{
+    planBench(state, svmModel());
+}
+void
+BM_InterpTree(benchmark::State &state)
+{
+    interpBench(state, treeModel());
+}
+void
+BM_PlanTree(benchmark::State &state)
+{
+    planBench(state, treeModel());
+}
+
+}  // namespace
+
+BENCHMARK(BM_InterpMlp)->Arg(64)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_PlanMlp)->Arg(64)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_InterpKMeans)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_PlanKMeans)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_InterpSvm)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_PlanSvm)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_InterpTree)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_PlanTree)->Arg(1024)->Arg(4096);
+
+BENCHMARK_MAIN();

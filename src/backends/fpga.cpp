@@ -114,14 +114,6 @@ FpgaPlatform::estimate(const ir::ModelIr &model) const
     return report;
 }
 
-std::vector<int>
-FpgaPlatform::evaluate(const ir::ModelIr &model, const math::Matrix &x) const
-{
-    // The FPGA executes the same fixed-point artifact as Taurus; the
-    // reference executor defines those semantics.
-    return ir::executeIrBatch(model, x);
-}
-
 std::string
 FpgaPlatform::generateCode(const ir::ModelIr &model) const
 {

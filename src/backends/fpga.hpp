@@ -62,8 +62,8 @@ class FpgaPlatform : public Platform
     std::string name() const override { return "fpga"; }
     AlgorithmSupport supports(ir::ModelKind kind) const override;
     ResourceReport estimate(const ir::ModelIr &model) const override;
-    std::vector<int> evaluate(const ir::ModelIr &model,
-                              const math::Matrix &x) const override;
+    // evaluate(): the FPGA executes the same fixed-point artifact as the
+    // reference semantics, so the plan-backed Platform default applies.
     std::string generateCode(const ir::ModelIr &model) const override;
 
     /** The loopback (shell-only) report — Table 5's baseline row. */

@@ -1,5 +1,7 @@
 #include "backends/mapreduce_sim.hpp"
 
+#include "ir/exec_plan.hpp"
+
 namespace homunculus::backends {
 
 MapReduceSimulator::MapReduceSimulator(TaurusConfig config) : config_(config)
@@ -11,6 +13,8 @@ MapReduceSimulator::runPacket(const ir::ModelIr &model,
                               const std::vector<double> &features) const
 {
     PacketSimResult result;
+    // One-off packets stay on the scalar interpreter: compiling a plan
+    // per call would cost more than it saves. Streams compile once.
     result.label = ir::executeIr(model, features);
     result.cycles = taurusMappingCost(config_, model).fillCycles;
     return result;
@@ -22,9 +26,9 @@ MapReduceSimulator::runStream(const ir::ModelIr &model,
 {
     TaurusMappingCost cost = taurusMappingCost(config_, model);
     StreamSimResult result;
-    result.labels.reserve(x.rows());
-    for (std::size_t i = 0; i < x.rows(); ++i)
-        result.labels.push_back(ir::executeIr(model, x.row(i)));
+    // Compile the model once for the whole stream; the plan executes the
+    // batch without the per-packet row copies the interpreter path paid.
+    result.labels = ir::ExecutablePlan::compile(model).run(x);
 
     double n = static_cast<double>(x.rows());
     result.totalCycles = n > 0 ? cost.fillCycles + (n - 1.0) * cost.ii : 0.0;

@@ -5,9 +5,9 @@
  * Substitution (see DESIGN.md): stands in for the SARA/Tungsten
  * cycle-accurate toolchain the paper uses for feasibility testing. The
  * simulator executes the *quantized* model (same fixed-point semantics as
- * ir::executeIr) while accounting cycles with the same per-layer cost
- * model the mapper uses, so functional results and timing verdicts come
- * from one artifact.
+ * ir::executeIr, via a once-compiled ir::ExecutablePlan) while accounting
+ * cycles with the same per-layer cost model the mapper uses, so
+ * functional results and timing verdicts come from one artifact.
  */
 #pragma once
 

@@ -170,8 +170,33 @@ MatPipeline::process(const std::vector<double> &features) const
 {
     if (features.size() != inputDim_)
         throw std::runtime_error("MatPipeline: feature width mismatch");
-    std::vector<std::int32_t> q = format_.quantizeVector(features);
+    std::vector<std::int32_t> quantized = format_.quantizeVector(features);
     std::vector<std::int64_t> accumulators(numClasses_, 0);
+    return walk(quantized.data(), accumulators.data());
+}
+
+std::vector<int>
+MatPipeline::processBatch(const math::Matrix &x) const
+{
+    if (x.rows() > 0 && x.cols() != inputDim_)
+        throw std::runtime_error("MatPipeline: feature width mismatch");
+    std::vector<int> labels(x.rows());
+
+    // Hoist the per-packet scratch out of the row loop; rows are read in
+    // place and quantized through the shared batched quantizer.
+    std::vector<std::int32_t> quantized(inputDim_);
+    std::vector<std::int64_t> accumulators(numClasses_);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        format_.quantizeInto(x.rowPtr(r), quantized.data(), inputDim_);
+        std::fill(accumulators.begin(), accumulators.end(), 0);
+        labels[r] = walk(quantized.data(), accumulators.data());
+    }
+    return labels;
+}
+
+int
+MatPipeline::walk(const std::int32_t *q, std::int64_t *accumulators) const
+{
     std::int32_t state = 0;   // tree traversal node id.
     int label = 0;
     bool label_written = false;
@@ -180,7 +205,7 @@ MatPipeline::process(const std::vector<double> &features) const
         switch (table.kind) {
           case MatStageKind::kDistance: {
             std::int64_t dist = 0;
-            for (std::size_t f = 0; f < q.size(); ++f) {
+            for (std::size_t f = 0; f < inputDim_; ++f) {
                 std::int64_t d = static_cast<std::int64_t>(q[f]) -
                                  table.centroid[f];
                 dist += d * d;
@@ -192,7 +217,7 @@ MatPipeline::process(const std::vector<double> &features) const
             std::int32_t key = q[table.keyField];
             for (const MatEntry &entry : table.entries) {
                 if (key >= entry.lo && key <= entry.hi) {
-                    for (std::size_t c = 0; c < accumulators.size(); ++c)
+                    for (std::size_t c = 0; c < numClasses_; ++c)
                         accumulators[c] += entry.classContribution[c];
                     break;  // first-match semantics, entries are disjoint.
                 }
@@ -232,7 +257,7 @@ MatPipeline::process(const std::vector<double> &features) const
 
         if (table.fusedSelect && !label_written) {
             std::size_t best = 0;
-            for (std::size_t c = 1; c < accumulators.size(); ++c) {
+            for (std::size_t c = 1; c < numClasses_; ++c) {
                 bool better = table.selectMin
                                   ? accumulators[c] < accumulators[best]
                                   : accumulators[c] > accumulators[best];

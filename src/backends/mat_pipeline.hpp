@@ -86,6 +86,14 @@ class MatPipeline
     /** Per-packet pipeline walk; returns the classified label. */
     int process(const std::vector<double> &features) const;
 
+    /**
+     * Batched walk over a feature matrix: quantization buffers and class
+     * accumulators are hoisted out of the per-packet loop, and rows are
+     * read in place (no per-row copies). Labels are identical to calling
+     * process() on each row.
+     */
+    std::vector<int> processBatch(const math::Matrix &x) const;
+
     std::size_t numTables() const { return tables_.size(); }
     std::size_t totalEntries() const;
     const std::vector<MatTable> &tables() const { return tables_; }
@@ -96,6 +104,11 @@ class MatPipeline
         : format_(format)
     {
     }
+
+    /** The table walk over an already-quantized packet; @p accumulators
+     *  must hold numClasses zeros on entry. */
+    int walk(const std::int32_t *quantized,
+             std::int64_t *accumulators) const;
 
     std::vector<MatTable> tables_;
     common::FixedPointFormat format_;

@@ -94,11 +94,9 @@ MatPlatform::estimate(const ir::ModelIr &model) const
 std::vector<int>
 MatPlatform::evaluate(const ir::ModelIr &model, const math::Matrix &x) const
 {
-    MatPipeline pipeline = compile(model);
-    std::vector<int> out(x.rows());
-    for (std::size_t i = 0; i < x.rows(); ++i)
-        out[i] = pipeline.process(x.row(i));
-    return out;
+    // Compile the MAT program once, then walk the whole batch; labels
+    // match per-row process() exactly.
+    return compile(model).processBatch(x);
 }
 
 std::string

@@ -1,8 +1,17 @@
 #include "backends/platform.hpp"
 
 #include "common/string_util.hpp"
+#include "ir/exec_plan.hpp"
 
 namespace homunculus::backends {
+
+std::vector<int>
+Platform::evaluate(const ir::ModelIr &model, const math::Matrix &x) const
+{
+    // Compile once, run batched: the plan replays the reference
+    // interpreter's fixed-point semantics bit-for-bit.
+    return ir::ExecutablePlan::compile(model).run(x);
+}
 
 std::string
 ResourceReport::summary() const

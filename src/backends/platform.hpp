@@ -58,10 +58,13 @@ class Platform
 
     /**
      * Execute the deployed (quantized) model on the platform's simulator.
+     * The default compiles the model into an ir::ExecutablePlan and runs
+     * the batched reference fixed-point semantics; backends whose fabric
+     * executes differently (e.g. MAT range-match binning) override it.
      * @return predicted class per row of @p x
      */
     virtual std::vector<int> evaluate(const ir::ModelIr &model,
-                                      const math::Matrix &x) const = 0;
+                                      const math::Matrix &x) const;
 
     /** Emit the platform program implementing the model. */
     virtual std::string generateCode(const ir::ModelIr &model) const = 0;

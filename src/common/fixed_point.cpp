@@ -79,6 +79,20 @@ FixedPointFormat::multiply(std::int32_t a, std::int32_t b) const
     return saturate(product);
 }
 
+void
+FixedPointFormat::quantizeInto(const double *values, std::int32_t *out,
+                               std::size_t count,
+                               std::size_t out_stride) const
+{
+    // ldexp(1, n) is the exact power of two pow() would produce, minus
+    // the transcendental-call cost; llround + saturate match quantize().
+    double scale = std::ldexp(1.0, fracBits_);
+    for (std::size_t i = 0; i < count; ++i)
+        out[i * out_stride] =
+            saturate(static_cast<std::int64_t>(
+                std::llround(values[i] * scale)));
+}
+
 std::vector<std::int32_t>
 FixedPointFormat::quantizeVector(const std::vector<double> &values) const
 {

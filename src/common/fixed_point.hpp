@@ -55,6 +55,16 @@ class FixedPointFormat
     std::vector<std::int32_t> quantizeVector(
         const std::vector<double> &values) const;
 
+    /**
+     * Quantize @p count reals into a caller-owned buffer, writing
+     * @p out[i * out_stride]. This is the one batched quantizer every
+     * hot path (ExecutablePlan, MatPipeline::processBatch) must share:
+     * element results are bit-identical to quantize(), with the scale
+     * hoisted out of the element loop.
+     */
+    void quantizeInto(const double *values, std::int32_t *out,
+                      std::size_t count, std::size_t out_stride = 1) const;
+
     /** Mean absolute quantization error over a vector of reals. */
     double meanAbsError(const std::vector<double> &values) const;
 

@@ -197,6 +197,37 @@ foldSearchOutcomes(const ModelSpec &spec,
     return Status::ok();
 }
 
+/**
+ * Run the emit-stage IR pass pipeline on a winning model and refresh its
+ * resource report (passes only ever shrink the artifact, so a feasible
+ * model stays feasible). Predictions — and therefore the reported
+ * objective — are bit-identical across every registered pass.
+ */
+Status
+runEmitPasses(const CompileOptions &options,
+              const backends::Platform &target, GeneratedModel &model)
+{
+    try {
+        ir::PassManager passes;
+        if (options.emitPasses.empty()) {
+            passes = ir::PassManager::optimizationPipeline();
+        } else {
+            for (const std::string &name : options.emitPasses)
+                passes.append(name);  // throws naming the known passes.
+        }
+        if (options.passDump)
+            passes.setDumpHook(options.passDump);
+        if (passes.run(model.model))
+            model.report = target.estimate(model.model);
+    } catch (const std::exception &error) {
+        Status status = Status::invalidArgument(
+            "emit passes failed for spec '" + model.specName + "'");
+        status.withContext(error.what());
+        return status;
+    }
+    return Status::ok();
+}
+
 /** Backend codegen with exceptions converted to an INTERNAL Status. */
 Status
 emitModelCode(const backends::Platform &target, GeneratedModel &model)
@@ -514,18 +545,21 @@ CompileSession::emit()
     if (Status status = checkCancelled("emit"); !status)
         return status;
 
-    if (options_.emitCode) {
-        const backends::Platform &target = platform_.platform();
-        for (GeneratedModel &model : report_.models) {
+    const backends::Platform &target = platform_.platform();
+    for (GeneratedModel &model : report_.models) {
+        if (Status status = runEmitPasses(options_, target, model); !status)
+            return status;
+        if (options_.emitCode) {
             if (Status status = emitModelCode(target, model); !status)
                 return status;
-            ProgressEvent event;
-            event.stage = Stage::kEmit;
-            event.specName = model.specName;
-            event.message =
-                common::format("%zu bytes", model.code.size());
-            notify(event);
         }
+        ProgressEvent event;
+        event.stage = Stage::kEmit;
+        event.specName = model.specName;
+        event.message = common::format("%zu passes, %zu bytes",
+                                       model.model.passes.size(),
+                                       model.code.size());
+        notify(event);
     }
 
     completed_ = Stage::kEmit;
@@ -609,9 +643,17 @@ searchSpec(const ModelSpec &spec, PlatformHandle &platform,
             "compilation cancelled during family search");
 
     Result<GeneratedModel> winner = pickWinnerFromSearches(spec, searches);
-    if (winner.isOk() && options.emitCode)
-        if (Status status = emitModelCode(target, winner.value()); !status)
+    if (winner.isOk()) {
+        // Same emit contract as CompileSession::emit(): pass pipeline,
+        // refreshed report, then codegen.
+        if (Status status = runEmitPasses(options, target, winner.value());
+            !status)
             return status;
+        if (options.emitCode)
+            if (Status status = emitModelCode(target, winner.value());
+                !status)
+                return status;
+    }
     return winner;
 }
 

@@ -33,6 +33,7 @@
 #include "core/schedule.hpp"
 #include "core/status.hpp"
 #include "core/trainer.hpp"
+#include "ir/passes.hpp"
 
 namespace homunculus::core {
 
@@ -98,6 +99,17 @@ struct CompileOptions
     ProgressObserver observer;   ///< optional stage/search callback.
     CancellationToken cancelToken;  ///< cancel from any thread.
 
+    /**
+     * IR passes the emit stage runs on every winning model before code
+     * generation (homc --passes). Empty selects the default
+     * ir::PassManager::optimizationPipeline(); names must be registered
+     * in the ir::PassRegistry or emit() fails with INVALID_ARGUMENT.
+     * Every registered pass preserves predictions bit-for-bit, so the
+     * reported objective still describes the emitted artifact.
+     */
+    std::vector<std::string> emitPasses;
+    ir::PassDumpHook passDump;   ///< fired after each emit-stage pass.
+
     CompileOptions()
     {
         bo.numInitSamples = 5;
@@ -159,7 +171,12 @@ class CompileSession
     Status searchFamilies();
     /** Stage 4: best feasible model across families, per spec. */
     Status pickWinner();
-    /** Stage 5: backend code generation (skipped when !emitCode). */
+    /**
+     * Stage 5: run the IR pass pipeline (CompileOptions::emitPasses or
+     * the default optimization pipeline) on every winning model,
+     * refresh its resource report, then generate backend code (codegen
+     * skipped when !emitCode).
+     */
     Status emit();
 
     /** Drive every remaining stage in order; stops at the first error. */

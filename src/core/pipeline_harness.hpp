@@ -8,6 +8,10 @@
  * software twin of the paper's end-to-end testbed (§5.2): MoonGen
  * replays traffic through the switch + bump-in-the-wire FPGA; here a
  * packet vector replays through parser + extractor + backend simulator.
+ *
+ * Classification is a single batched Platform::evaluate per replay: the
+ * backend compiles the model once (an ir::ExecutablePlan on plan-backed
+ * platforms) and streams the whole feature matrix through it.
  */
 #pragma once
 

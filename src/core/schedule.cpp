@@ -58,12 +58,30 @@ composeResources(
 
 namespace {
 
-/** Execute one row through the DAG; returns (features', label). */
-std::pair<std::vector<double>, int>
-executeRow(const ScheduleNode &node,
-           const std::map<std::string, ir::ModelIr> &models,
-           const backends::Platform &platform,
-           const std::vector<double> &features)
+/**
+ * Batched DAG execution result. `features` is populated only by
+ * sequential nodes (whose internal IoMaps may transform the feature
+ * matrix); model leaves and parallel nodes pass their input through
+ * unchanged, which callers read from their own copy instead of paying a
+ * matrix copy per leaf.
+ */
+struct BatchResult
+{
+    math::Matrix features;     ///< set iff the node is kSequential.
+    std::vector<int> labels;   ///< final label per row.
+};
+
+/**
+ * Execute the DAG over a whole batch at once so each model node issues
+ * one batched Platform::evaluate (plan-compiled once per node) instead
+ * of a 1-row evaluation per packet. Per-row labels are identical to the
+ * historical row-at-a-time walk because every backend classifies rows
+ * independently.
+ */
+BatchResult
+executeNode(const ScheduleNode &node,
+            const std::map<std::string, ir::ModelIr> &models,
+            const backends::Platform &platform, const math::Matrix &x)
 {
     switch (node.kind) {
       case ScheduleNode::Kind::kModel: {
@@ -71,36 +89,45 @@ executeRow(const ScheduleNode &node,
         if (it == models.end())
             throw std::runtime_error("executeSchedule: missing model for " +
                                      node.spec->name);
-        math::Matrix row(1, features.size());
-        for (std::size_t c = 0; c < features.size(); ++c)
-            row(0, c) = features[c];
-        int label = platform.evaluate(it->second, row).front();
-        return {features, label};
+        return {{}, platform.evaluate(it->second, x)};
       }
       case ScheduleNode::Kind::kSequential: {
-        std::vector<double> current = features;
-        int label = 0;
+        math::Matrix current = x;
+        std::vector<int> labels(x.rows(), 0);
         for (std::size_t i = 0; i < node.children.size(); ++i) {
-            auto [out_features, out_label] =
-                executeRow(node.children[i], models, platform, current);
-            label = out_label;
-            if (i + 1 < node.children.size())
-                current = node.ioMap.mapper(out_features, out_label);
+            const ScheduleNode &child = node.children[i];
+            BatchResult result = executeNode(child, models, platform,
+                                             current);
+            labels = std::move(result.labels);
+            if (i + 1 < node.children.size()) {
+                // Apply the node's IoMap between stages, row by row (the
+                // mapper is a scalar contract; the models stay batched).
+                // A sequential child hands its internally-mapped features
+                // forward; every other child passes its input through.
+                const math::Matrix &outgoing =
+                    child.kind == ScheduleNode::Kind::kSequential
+                        ? result.features
+                        : current;
+                std::vector<std::vector<double>> mapped;
+                mapped.reserve(outgoing.rows());
+                for (std::size_t r = 0; r < outgoing.rows(); ++r)
+                    mapped.push_back(
+                        node.ioMap.mapper(outgoing.row(r), labels[r]));
+                current = math::Matrix::fromRows(mapped);
+            }
         }
-        return {current, label};
+        return {std::move(current), std::move(labels)};
       }
       case ScheduleNode::Kind::kParallel: {
-        int label = 0;
-        for (const auto &child : node.children) {
-            auto [out_features, out_label] =
-                executeRow(child, models, platform, features);
-            (void)out_features;
-            label = out_label;  // last branch's verdict, by convention.
-        }
-        return {features, label};
+        // Branches each see the original features; the last branch's
+        // verdict wins, by convention.
+        std::vector<int> labels(x.rows(), 0);
+        for (const auto &child : node.children)
+            labels = executeNode(child, models, platform, x).labels;
+        return {{}, std::move(labels)};
       }
     }
-    return {features, 0};
+    return {{}, std::vector<int>(x.rows(), 0)};
 }
 
 }  // namespace
@@ -110,10 +137,9 @@ executeSchedule(const ScheduleNode &node,
                 const std::map<std::string, ir::ModelIr> &models,
                 const backends::Platform &platform, const math::Matrix &x)
 {
-    std::vector<int> labels(x.rows());
-    for (std::size_t i = 0; i < x.rows(); ++i)
-        labels[i] = executeRow(node, models, platform, x.row(i)).second;
-    return labels;
+    if (x.rows() == 0)
+        return {};
+    return executeNode(node, models, platform, x).labels;
 }
 
 }  // namespace homunculus::core

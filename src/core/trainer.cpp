@@ -126,6 +126,10 @@ evaluateCandidate(Algorithm algorithm, const opt::Configuration &config,
 
     evaluation.report = platform.estimate(evaluation.model);
     if (evaluation.report.feasible) {
+        // One batched evaluate per candidate: the backend compiles the
+        // model once (ir::ExecutablePlan on plan-backed platforms, a MAT
+        // program on tofino) and reuses it across the whole partition —
+        // this is the innermost loop of the black-box search (§3.2.4).
         std::vector<int> predicted =
             platform.evaluate(evaluation.model, split.test.x);
         evaluation.objective = scoreMetric(spec.optimizationMetric,

@@ -1,0 +1,449 @@
+#include "ir/exec_plan.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace homunculus::ir {
+
+namespace {
+
+/** Rows quantized together so layer weights stay hot across the block. */
+constexpr std::size_t kRowBlock = 32;
+
+/** Saturate to the format's raw range (same math as FixedPointFormat). */
+inline std::int32_t
+saturateRaw(std::int64_t raw, std::int64_t raw_min, std::int64_t raw_max)
+{
+    if (raw > raw_max)
+        raw = raw_max;
+    if (raw < raw_min)
+        raw = raw_min;
+    return static_cast<std::int32_t>(raw);
+}
+
+}  // namespace
+
+ExecutablePlan
+ExecutablePlan::compile(const ModelIr &model)
+{
+    model.validate();
+
+    ExecutablePlan plan;
+    plan.kind_ = model.kind;
+    plan.inputDim_ = model.inputDim;
+    plan.numClasses_ = model.numClasses;
+    plan.format_ = model.format;
+    plan.fracBits_ = model.format.fracBits();
+    int total_bits = model.format.totalBits();
+    plan.rawMax_ = (std::int64_t{1} << (total_bits - 1)) - 1;
+    plan.rawMin_ = -(std::int64_t{1} << (total_bits - 1));
+    plan.narrow_ = total_bits <= 16;
+
+    switch (model.kind) {
+      case ModelKind::kMlp: {
+        plan.maxWidth_ = model.inputDim;
+        for (const QuantizedLayer &layer : model.layers) {
+            Layer compiled;
+            compiled.inputDim = layer.inputDim;
+            compiled.outputDim = layer.outputDim;
+            compiled.biases = layer.biases;
+            compiled.weightsT.resize(layer.inputDim * layer.outputDim);
+            for (std::size_t in = 0; in < layer.inputDim; ++in)
+                for (std::size_t out = 0; out < layer.outputDim; ++out)
+                    compiled.weightsT[out * layer.inputDim + in] =
+                        layer.weights[in * layer.outputDim + out];
+            plan.maxWidth_ = std::max(plan.maxWidth_, layer.outputDim);
+            plan.layers_.push_back(std::move(compiled));
+        }
+        // Hidden activations as one clamp window: ReLU's max(acc, 0) is
+        // clamp(acc, 0, rawMax) because acc is already saturated.
+        switch (model.activation) {
+          case ml::Activation::kRelu:
+            plan.actLo_ = 0;
+            plan.actHi_ = static_cast<std::int32_t>(plan.rawMax_);
+            break;
+          case ml::Activation::kTanh:
+            plan.actLo_ = model.format.quantize(-1.0);
+            plan.actHi_ = model.format.quantize(1.0);
+            break;
+          case ml::Activation::kSigmoid:
+            plan.actLo_ = model.format.quantize(0.0);
+            plan.actHi_ = model.format.quantize(1.0);
+            break;
+        }
+        break;
+      }
+      case ModelKind::kKMeans: {
+        plan.numCentroids_ = model.centroids.size();
+        plan.centroids_.reserve(plan.numCentroids_ * model.inputDim);
+        for (const auto &centroid : model.centroids)
+            plan.centroids_.insert(plan.centroids_.end(), centroid.begin(),
+                                   centroid.end());
+        break;
+      }
+      case ModelKind::kSvm: {
+        plan.svmWeights_.reserve(model.svmWeights.size() * model.inputDim);
+        for (const auto &weights : model.svmWeights)
+            plan.svmWeights_.insert(plan.svmWeights_.end(), weights.begin(),
+                                    weights.end());
+        plan.svmBiases_.assign(model.svmBiases.begin(),
+                               model.svmBiases.end());
+        break;
+      }
+      case ModelKind::kDecisionTree: {
+        std::size_t n = model.treeNodes.size();
+        plan.nodeFeature_.resize(n);
+        plan.nodeThreshold_.resize(n);
+        plan.nodeLeft_.resize(n);
+        plan.nodeRight_.resize(n);
+        plan.nodeLabel_.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const IrTreeNode &node = model.treeNodes[i];
+            plan.nodeFeature_[i] = static_cast<std::int32_t>(node.feature);
+            plan.nodeThreshold_[i] = node.threshold;
+            plan.nodeLeft_[i] = node.isLeaf ? -1 : node.left;
+            plan.nodeRight_[i] = node.isLeaf ? -1 : node.right;
+            plan.nodeLabel_[i] = node.classLabel;
+        }
+        break;
+      }
+    }
+    return plan;
+}
+
+void
+ExecutablePlan::runMlpBatchNarrow(const math::Matrix &x,
+                                  std::vector<int> &labels) const
+{
+    // The blocked int32 GEMM kernel for formats of <= 16 total bits (the
+    // Q8.8 default). kLanes rows are processed together in a lane-major
+    // interleaved layout (element `in` of lane `l` lives at
+    // in * kLanes + l), which makes the lane loop stride-1 so the
+    // compiler can keep the accumulators in one vector register. With a
+    // narrow format every |raw| <= 2^15, so a weight * activation product
+    // fits int32 exactly and the whole MAC — product, renormalizing
+    // shift, both saturations — runs in int32 lanes. Each lane still
+    // replays the interpreter's exact saturating term order, so labels
+    // are bit-identical to executeIr.
+    constexpr std::size_t kLanes = 8;
+    const auto raw_min = static_cast<std::int32_t>(rawMin_);
+    const auto raw_max = static_cast<std::int32_t>(rawMax_);
+    const int frac = fracBits_;
+    const std::int32_t act_lo = actLo_;
+    const std::int32_t act_hi = actHi_;
+    std::vector<std::int32_t> quantized(kLanes * inputDim_);
+    std::vector<std::int32_t> act_a(kLanes * maxWidth_);
+    std::vector<std::int32_t> act_b(kLanes * maxWidth_);
+
+    std::size_t base = 0;
+    for (; base + kLanes <= x.rows(); base += kLanes) {
+        for (std::size_t lane = 0; lane < kLanes; ++lane)
+            format_.quantizeInto(x.rowPtr(base + lane), &quantized[lane],
+                                 inputDim_, kLanes);
+
+        const std::int32_t *current = quantized.data();
+        std::int32_t *front = act_a.data();
+        std::int32_t *back = act_b.data();
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+            const Layer &layer = layers_[l];
+            bool hidden = l + 1 < layers_.size();
+            for (std::size_t out = 0; out < layer.outputDim; ++out) {
+                const std::int32_t *w = &layer.weightsT[out * layer.inputDim];
+                std::int32_t acc[kLanes];
+                for (std::size_t lane = 0; lane < kLanes; ++lane)
+                    acc[lane] = layer.biases[out];
+                for (std::size_t in = 0; in < layer.inputDim; ++in) {
+                    const std::int32_t weight = w[in];
+                    const std::int32_t *iv = current + in * kLanes;
+                    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+                        std::int32_t product = (iv[lane] * weight) >> frac;
+                        product = std::min(std::max(product, raw_min),
+                                           raw_max);
+                        std::int32_t sum = acc[lane] + product;
+                        acc[lane] = std::min(std::max(sum, raw_min),
+                                             raw_max);
+                    }
+                }
+                std::int32_t *ov = front + out * kLanes;
+                if (hidden) {
+                    for (std::size_t lane = 0; lane < kLanes; ++lane)
+                        ov[lane] = std::min(std::max(acc[lane], act_lo),
+                                            act_hi);
+                } else {
+                    for (std::size_t lane = 0; lane < kLanes; ++lane)
+                        ov[lane] = acc[lane];
+                }
+            }
+            current = front;
+            std::swap(front, back);
+        }
+
+        std::size_t width = layers_.back().outputDim;
+        for (std::size_t lane = 0; lane < kLanes; ++lane) {
+            std::size_t best = 0;
+            for (std::size_t c = 1; c < width; ++c)
+                if (current[c * kLanes + lane] >
+                    current[best * kLanes + lane])
+                    best = c;
+            labels[base + lane] = static_cast<int>(best);
+        }
+    }
+
+    if (base < x.rows()) {
+        Scratch scratch;
+        scratch.quantized.resize(inputDim_);
+        for (; base < x.rows(); ++base) {
+            quantizeRow(x.rowPtr(base), scratch.quantized.data());
+            labels[base] = inferMlp(scratch.quantized.data(), scratch);
+        }
+    }
+}
+
+void
+ExecutablePlan::runMlpBatchWide(const math::Matrix &x,
+                                std::vector<int> &labels) const
+{
+    // Generic-format path: same blocked structure, int64 arithmetic.
+    // Rows are blocked so each layer's transposed weights are reused
+    // while resident in cache; kLanes independent saturating-MAC chains
+    // interleave to fill the pipeline.
+    constexpr std::size_t kLanes = 4;
+    std::vector<std::int32_t> quantized(kRowBlock * inputDim_);
+    std::vector<std::int32_t> act_a(kRowBlock * maxWidth_);
+    std::vector<std::int32_t> act_b(kRowBlock * maxWidth_);
+    for (std::size_t block_base = 0; block_base < x.rows();
+         block_base += kRowBlock) {
+        std::size_t block = std::min(kRowBlock, x.rows() - block_base);
+        for (std::size_t i = 0; i < block; ++i)
+            quantizeRow(x.rowPtr(block_base + i), &quantized[i * inputDim_]);
+
+        const std::int32_t *current = quantized.data();
+        std::size_t current_width = inputDim_;
+        std::int32_t *front = act_a.data();
+        std::int32_t *back = act_b.data();
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+            const Layer &layer = layers_[l];
+            bool hidden = l + 1 < layers_.size();
+            std::size_t i = 0;
+            for (; i + kLanes <= block; i += kLanes) {
+                const std::int32_t *in_rows = current + i * current_width;
+                std::int32_t *out_rows = front + i * layer.outputDim;
+                for (std::size_t out = 0; out < layer.outputDim; ++out) {
+                    const std::int32_t *w =
+                        &layer.weightsT[out * layer.inputDim];
+                    std::int32_t acc[kLanes];
+                    for (std::size_t lane = 0; lane < kLanes; ++lane)
+                        acc[lane] = layer.biases[out];
+                    for (std::size_t in = 0; in < layer.inputDim; ++in) {
+                        std::int64_t weight = w[in];
+                        for (std::size_t lane = 0; lane < kLanes; ++lane) {
+                            std::int64_t product =
+                                in_rows[lane * current_width + in] * weight;
+                            product >>= fracBits_;
+                            std::int32_t term =
+                                saturateRaw(product, rawMin_, rawMax_);
+                            acc[lane] = saturateRaw(
+                                static_cast<std::int64_t>(acc[lane]) + term,
+                                rawMin_, rawMax_);
+                        }
+                    }
+                    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+                        std::int32_t a = acc[lane];
+                        if (hidden)
+                            a = std::clamp(a, actLo_, actHi_);
+                        out_rows[lane * layer.outputDim + out] = a;
+                    }
+                }
+            }
+            for (; i < block; ++i) {
+                const std::int32_t *in_row = current + i * current_width;
+                std::int32_t *out_row = front + i * layer.outputDim;
+                for (std::size_t out = 0; out < layer.outputDim; ++out) {
+                    const std::int32_t *w =
+                        &layer.weightsT[out * layer.inputDim];
+                    std::int32_t acc = layer.biases[out];
+                    for (std::size_t in = 0; in < layer.inputDim; ++in) {
+                        std::int64_t product =
+                            static_cast<std::int64_t>(in_row[in]) * w[in];
+                        product >>= fracBits_;
+                        std::int32_t term =
+                            saturateRaw(product, rawMin_, rawMax_);
+                        acc = saturateRaw(
+                            static_cast<std::int64_t>(acc) + term,
+                            rawMin_, rawMax_);
+                    }
+                    if (hidden)
+                        acc = std::clamp(acc, actLo_, actHi_);
+                    out_row[out] = acc;
+                }
+            }
+            current = front;
+            current_width = layer.outputDim;
+            std::swap(front, back);
+        }
+
+        for (std::size_t i = 0; i < block; ++i) {
+            const std::int32_t *scores = current + i * current_width;
+            std::size_t best = 0;
+            for (std::size_t c = 1; c < current_width; ++c)
+                if (scores[c] > scores[best])
+                    best = c;
+            labels[block_base + i] = static_cast<int>(best);
+        }
+    }
+}
+
+void
+ExecutablePlan::quantizeRow(const double *row, std::int32_t *out) const
+{
+    format_.quantizeInto(row, out, inputDim_);
+}
+
+int
+ExecutablePlan::inferMlp(const std::int32_t *q, Scratch &scratch) const
+{
+    scratch.actA.resize(maxWidth_);
+    scratch.actB.resize(maxWidth_);
+    const std::int32_t *current = q;
+    std::int32_t *front = scratch.actA.data();
+    std::int32_t *back = scratch.actB.data();
+
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        bool hidden = l + 1 < layers_.size();
+        for (std::size_t out = 0; out < layer.outputDim; ++out) {
+            const std::int32_t *w = &layer.weightsT[out * layer.inputDim];
+            std::int32_t acc = layer.biases[out];
+            for (std::size_t in = 0; in < layer.inputDim; ++in) {
+                std::int64_t product =
+                    static_cast<std::int64_t>(current[in]) * w[in];
+                product >>= fracBits_;
+                std::int32_t term = saturateRaw(product, rawMin_, rawMax_);
+                acc = saturateRaw(static_cast<std::int64_t>(acc) + term,
+                                  rawMin_, rawMax_);
+            }
+            if (hidden)
+                acc = std::clamp(acc, actLo_, actHi_);
+            front[out] = acc;
+        }
+        current = front;
+        std::swap(front, back);
+    }
+
+    std::size_t width = layers_.back().outputDim;
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < width; ++c)
+        if (current[c] > current[best])
+            best = c;
+    return static_cast<int>(best);
+}
+
+int
+ExecutablePlan::inferKMeans(const std::int32_t *q) const
+{
+    std::int64_t best_dist = std::numeric_limits<std::int64_t>::max();
+    int best = 0;
+    const std::int32_t *centroid = centroids_.data();
+    for (std::size_t c = 0; c < numCentroids_; ++c) {
+        std::int64_t dist = 0;
+        for (std::size_t f = 0; f < inputDim_; ++f) {
+            std::int64_t d =
+                static_cast<std::int64_t>(q[f]) - centroid[f];
+            dist += d * d;
+        }
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = static_cast<int>(c);
+        }
+        centroid += inputDim_;
+    }
+    return best;
+}
+
+int
+ExecutablePlan::inferSvm(const std::int32_t *q) const
+{
+    std::int64_t best_score = std::numeric_limits<std::int64_t>::min();
+    int best = 0;
+    const std::int32_t *weights = svmWeights_.data();
+    for (std::size_t c = 0; c < svmBiases_.size(); ++c) {
+        std::int64_t score = svmBiases_[c];
+        for (std::size_t f = 0; f < inputDim_; ++f) {
+            std::int64_t product =
+                static_cast<std::int64_t>(q[f]) * weights[f];
+            product >>= fracBits_;
+            score += saturateRaw(product, rawMin_, rawMax_);
+        }
+        if (score > best_score) {
+            best_score = score;
+            best = static_cast<int>(c);
+        }
+        weights += inputDim_;
+    }
+    return best;
+}
+
+int
+ExecutablePlan::inferTree(const std::int32_t *q) const
+{
+    std::size_t index = 0;
+    while (nodeLeft_[index] >= 0) {
+        bool go_left = q[nodeFeature_[index]] <= nodeThreshold_[index];
+        index = static_cast<std::size_t>(go_left ? nodeLeft_[index]
+                                                 : nodeRight_[index]);
+    }
+    return nodeLabel_[index];
+}
+
+int
+ExecutablePlan::inferRow(const std::int32_t *q, Scratch &scratch) const
+{
+    switch (kind_) {
+      case ModelKind::kMlp: return inferMlp(q, scratch);
+      case ModelKind::kKMeans: return inferKMeans(q);
+      case ModelKind::kSvm: return inferSvm(q);
+      case ModelKind::kDecisionTree: return inferTree(q);
+    }
+    return 0;
+}
+
+std::vector<int>
+ExecutablePlan::run(const math::Matrix &x) const
+{
+    if (x.rows() > 0 && x.cols() != inputDim_)
+        throw std::runtime_error("ExecutablePlan: feature width mismatch");
+    std::vector<int> labels(x.rows());
+    if (x.rows() == 0)
+        return labels;
+
+    if (kind_ == ModelKind::kMlp && narrow_) {
+        runMlpBatchNarrow(x, labels);
+        return labels;
+    }
+    if (kind_ == ModelKind::kMlp) {
+        runMlpBatchWide(x, labels);
+        return labels;
+    }
+
+    Scratch scratch;
+    scratch.quantized.resize(inputDim_);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        quantizeRow(x.rowPtr(r), scratch.quantized.data());
+        labels[r] = inferRow(scratch.quantized.data(), scratch);
+    }
+    return labels;
+}
+
+int
+ExecutablePlan::runRow(const double *features, std::size_t width) const
+{
+    if (width != inputDim_)
+        throw std::runtime_error("ExecutablePlan: feature width mismatch");
+    Scratch scratch;
+    scratch.quantized.resize(inputDim_);
+    quantizeRow(features, scratch.quantized.data());
+    return inferRow(scratch.quantized.data(), scratch);
+}
+
+}  // namespace homunculus::ir

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * ExecutablePlan: a ModelIr compiled once into flat, cache-friendly
+ * buffers for batched fixed-point inference.
+ *
+ * The scalar reference interpreter (ir::executeIr) re-walks the ModelIr
+ * struct graph per row: it heap-copies the feature row, re-quantizes it
+ * through pow()-per-element calls, allocates a fresh activation vector
+ * per layer, and strides across out-major weight storage. Black-box
+ * candidate scoring (paper §3.2.3–§3.2.4) runs that loop over the whole
+ * test partition for every search candidate, making IR execution the
+ * innermost loop of the compiler.
+ *
+ * An ExecutablePlan lowers the ModelIr once into contiguous storage —
+ * transposed (out x in) int32 layer weights for unit-stride MLP dot
+ * products, flattened centroid/class-weight blocks with fused
+ * distance/arg-min and score/arg-max loops, and structure-of-arrays tree
+ * nodes for branch-light array-indexed traversal — then processes a whole
+ * math::Matrix in row blocks with zero per-row allocation.
+ *
+ * The semantics contract: ExecutablePlan::run() is bit-identical to
+ * per-row ir::executeIr() for every model family and format. It replays
+ * the exact saturating add/multiply sequence of the interpreter (term
+ * order included), so the accuracy the compiler reports is still the
+ * accuracy of the deployed quantized artifact
+ * (tests/test_exec_plan.cpp holds the two implementations together).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/model_ir.hpp"
+#include "math/matrix.hpp"
+
+namespace homunculus::ir {
+
+/** A compiled, immutable inference plan for one ModelIr. */
+class ExecutablePlan
+{
+  public:
+    /** One-time compilation; validates the model first. */
+    static ExecutablePlan compile(const ModelIr &model);
+
+    /** Batched inference over a feature matrix (one label per row). */
+    std::vector<int> run(const math::Matrix &x) const;
+
+    /** Single-row inference (compatibility path; still allocation-free
+     *  beyond one scratch buffer). @p width must equal inputDim(). */
+    int runRow(const double *features, std::size_t width) const;
+
+    ModelKind kind() const { return kind_; }
+    std::size_t inputDim() const { return inputDim_; }
+    int numClasses() const { return numClasses_; }
+
+  private:
+    ExecutablePlan() = default;
+
+    /** Transposed dense layer: weightsT[out * inputDim + in]. */
+    struct Layer
+    {
+        std::size_t inputDim = 0;
+        std::size_t outputDim = 0;
+        std::vector<std::int32_t> weightsT;
+        std::vector<std::int32_t> biases;
+    };
+
+    /** Scratch buffers reused across rows of one run() call. */
+    struct Scratch
+    {
+        std::vector<std::int32_t> quantized;
+        std::vector<std::int32_t> actA;
+        std::vector<std::int32_t> actB;
+    };
+
+    void quantizeRow(const double *row, std::int32_t *out) const;
+    /** Blocked int32 GEMM over interleaved lanes (formats <= 16 bits). */
+    void runMlpBatchNarrow(const math::Matrix &x,
+                           std::vector<int> &labels) const;
+    /** Generic-format blocked batch path (int64 arithmetic). */
+    void runMlpBatchWide(const math::Matrix &x,
+                         std::vector<int> &labels) const;
+    int inferRow(const std::int32_t *q, Scratch &scratch) const;
+    int inferMlp(const std::int32_t *q, Scratch &scratch) const;
+    int inferKMeans(const std::int32_t *q) const;
+    int inferSvm(const std::int32_t *q) const;
+    int inferTree(const std::int32_t *q) const;
+
+    ModelKind kind_ = ModelKind::kMlp;
+    std::size_t inputDim_ = 0;
+    int numClasses_ = 2;
+
+    // Fixed-point constants hoisted out of the per-element hot path.
+    common::FixedPointFormat format_ = common::FixedPointFormat::q88();
+    int fracBits_ = 8;
+    std::int64_t rawMax_ = 0;    ///< saturation bounds of the format.
+    std::int64_t rawMin_ = 0;
+    bool narrow_ = true;         ///< format <= 16 bits: int32 MACs exact.
+
+    // --- MLP ------------------------------------------------------------
+    std::vector<Layer> layers_;
+    std::int32_t actLo_ = 0;     ///< hidden-activation clamp window;
+    std::int32_t actHi_ = 0;     ///< ReLU is clamp(acc, 0, rawMax).
+    std::size_t maxWidth_ = 0;   ///< widest activation vector.
+
+    // --- KMeans: k x d centroid block, fused distance/arg-min -----------
+    std::vector<std::int32_t> centroids_;
+    std::size_t numCentroids_ = 0;
+
+    // --- SVM: classes x d weight block, fused score/arg-max -------------
+    std::vector<std::int32_t> svmWeights_;
+    std::vector<std::int64_t> svmBiases_;
+
+    // --- Decision tree: structure-of-arrays nodes (left < 0 == leaf) ----
+    std::vector<std::int32_t> nodeFeature_;
+    std::vector<std::int32_t> nodeThreshold_;
+    std::vector<std::int32_t> nodeLeft_;
+    std::vector<std::int32_t> nodeRight_;
+    std::vector<std::int32_t> nodeLabel_;
+};
+
+}  // namespace homunculus::ir

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <limits>
 #include <stdexcept>
+
+#include "ir/exec_plan.hpp"
+#include "ir/passes.hpp"
 
 namespace homunculus::ir {
 
@@ -125,66 +127,24 @@ ModelIr
 lowerMlp(const ml::Mlp &mlp, const common::FixedPointFormat &format,
          const std::string &name)
 {
-    ModelIr ir;
-    ir.kind = ModelKind::kMlp;
-    ir.name = name;
-    ir.format = format;
-    ir.inputDim = mlp.config().inputDim;
-    ir.numClasses = mlp.config().numClasses;
-    ir.activation = mlp.config().activation;
-
-    for (std::size_t l = 0; l < mlp.weights().size(); ++l) {
-        const math::Matrix &w = mlp.weights()[l];
-        QuantizedLayer layer;
-        layer.inputDim = w.rows();
-        layer.outputDim = w.cols();
-        layer.weights = format.quantizeVector(w.data());
-        layer.biases = format.quantizeVector(mlp.biases()[l]);
-        ir.layers.push_back(std::move(layer));
-    }
-    ir.validate();
-    return ir;
+    return PassManager::loweringPipeline().lower(stageMlp(mlp, name),
+                                                 format);
 }
 
 ModelIr
 lowerKMeans(const ml::KMeans &kmeans, const common::FixedPointFormat &format,
             const std::string &name, std::size_t input_dim)
 {
-    ModelIr ir;
-    ir.kind = ModelKind::kKMeans;
-    ir.name = name;
-    ir.format = format;
-    ir.inputDim = input_dim;
-    ir.numClasses = static_cast<int>(kmeans.centroids().rows());
-    for (std::size_t c = 0; c < kmeans.centroids().rows(); ++c)
-        ir.centroids.push_back(
-            format.quantizeVector(kmeans.centroids().row(c)));
-    // A 1-cluster model still validates with numClasses >= 2 semantics:
-    // clamp to 2 so downstream class vectors are well-formed.
-    ir.numClasses = std::max(ir.numClasses, 2);
-    while (ir.centroids.size() < 2)
-        ir.centroids.push_back(ir.centroids.front());
-    ir.validate();
-    return ir;
+    return PassManager::loweringPipeline().lower(
+        stageKMeans(kmeans, name, input_dim), format);
 }
 
 ModelIr
 lowerSvm(const ml::LinearSvm &svm, const common::FixedPointFormat &format,
          const std::string &name, std::size_t input_dim)
 {
-    ModelIr ir;
-    ir.kind = ModelKind::kSvm;
-    ir.name = name;
-    ir.format = format;
-    ir.inputDim = input_dim;
-    ir.numClasses = svm.numClasses();
-    for (int c = 0; c < svm.numClasses(); ++c) {
-        auto cu = static_cast<std::size_t>(c);
-        ir.svmWeights.push_back(format.quantizeVector(svm.weights().row(cu)));
-        ir.svmBiases.push_back(format.quantize(svm.biases()[cu]));
-    }
-    ir.validate();
-    return ir;
+    return PassManager::loweringPipeline().lower(
+        stageSvm(svm, name, input_dim), format);
 }
 
 ModelIr
@@ -192,40 +152,8 @@ lowerDecisionTree(const ml::DecisionTreeClassifier &tree,
                   const common::FixedPointFormat &format,
                   const std::string &name, std::size_t input_dim)
 {
-    ModelIr ir;
-    ir.kind = ModelKind::kDecisionTree;
-    ir.name = name;
-    ir.format = format;
-    ir.inputDim = input_dim;
-    ir.numClasses = tree.numClasses();
-    ir.treeDepth = tree.depth();
-
-    // Breadth-independent recursive flatten; children appended after the
-    // parent so node 0 is always the root.
-    std::function<int(const ml::TreeNode *)> flatten =
-        [&](const ml::TreeNode *node) -> int {
-        int index = static_cast<int>(ir.treeNodes.size());
-        ir.treeNodes.emplace_back();
-        ir.treeNodes[static_cast<std::size_t>(index)].isLeaf = node->isLeaf;
-        ir.treeNodes[static_cast<std::size_t>(index)].classLabel =
-            node->classLabel;
-        if (!node->isLeaf) {
-            ir.treeNodes[static_cast<std::size_t>(index)].feature =
-                node->feature;
-            ir.treeNodes[static_cast<std::size_t>(index)].threshold =
-                format.quantize(node->threshold);
-            int left = flatten(node->left.get());
-            int right = flatten(node->right.get());
-            ir.treeNodes[static_cast<std::size_t>(index)].left = left;
-            ir.treeNodes[static_cast<std::size_t>(index)].right = right;
-        }
-        return index;
-    };
-    if (!tree.root())
-        throw std::runtime_error("lowerDecisionTree: untrained tree");
-    flatten(tree.root());
-    ir.validate();
-    return ir;
+    return PassManager::loweringPipeline().lower(
+        stageDecisionTree(tree, name, input_dim), format);
 }
 
 namespace {
@@ -351,10 +279,7 @@ executeIr(const ModelIr &ir, const std::vector<double> &features)
 std::vector<int>
 executeIrBatch(const ModelIr &ir, const math::Matrix &x)
 {
-    std::vector<int> out(x.rows());
-    for (std::size_t i = 0; i < x.rows(); ++i)
-        out[i] = executeIr(ir, x.row(i));
-    return out;
+    return ExecutablePlan::compile(ir).run(x);
 }
 
 }  // namespace homunculus::ir

@@ -78,6 +78,13 @@ struct ModelIr
     std::vector<IrTreeNode> treeNodes;  ///< node 0 is the root.
     std::size_t treeDepth = 0;
 
+    /**
+     * Audit trail of the lowering passes that produced this artifact, in
+     * execution order (see ir/passes.hpp). Serialized with the artifact
+     * (format v2) so a deployed model records how it was lowered.
+     */
+    std::vector<std::string> passes;
+
     /** Total stored parameter count (weights + biases or equivalents). */
     std::size_t paramCount() const;
 
@@ -91,7 +98,13 @@ struct ModelIr
     void validate() const;
 };
 
-/** Lower a trained MLP to IR, quantizing weights into @p format. */
+/**
+ * Lower a trained MLP to IR, quantizing weights into @p format.
+ *
+ * All lower*() entry points stage the trained model into the float domain
+ * and run ir::PassManager::loweringPipeline() (quantize + validate); see
+ * ir/passes.hpp for the pipeline machinery and the optimization passes.
+ */
 ModelIr lowerMlp(const ml::Mlp &mlp, const common::FixedPointFormat &format,
                  const std::string &name);
 
@@ -113,10 +126,18 @@ ModelIr lowerDecisionTree(const ml::DecisionTreeClassifier &tree,
 /**
  * Reference fixed-point executor for the IR — the semantics every backend
  * simulator must agree with. Returns the predicted class for one input.
+ *
+ * This is the scalar reference interpreter. Hot paths should compile an
+ * ir::ExecutablePlan instead (bit-identical, batched, allocation-free);
+ * tests/test_exec_plan.cpp holds the two together.
  */
 int executeIr(const ModelIr &ir, const std::vector<double> &features);
 
-/** Batch form of executeIr over a feature matrix. */
+/**
+ * Batch form of executeIr over a feature matrix. Thin shim over
+ * ir::ExecutablePlan (compile once, run batched) — kept so existing
+ * callers get the batched path without changes.
+ */
 std::vector<int> executeIrBatch(const ModelIr &ir, const math::Matrix &x);
 
 }  // namespace homunculus::ir

@@ -11,7 +11,9 @@ namespace homunculus::ir {
 namespace {
 
 constexpr const char *kMagic = "homunculus-ir";
-constexpr const char *kVersion = "v1";
+// v2 adds the optional `passes ...` lowering-audit line; v1 artifacts
+// (no passes metadata) remain parseable.
+constexpr const char *kVersion = "v2";
 
 ModelKind
 kindFromName(const std::string &name)
@@ -61,6 +63,12 @@ serializeModel(const ModelIr &model)
         << "num_classes " << model.numClasses << "\n"
         << "format " << model.format.integerBits() << " "
         << model.format.fracBits() << "\n";
+    if (!model.passes.empty()) {
+        out << "passes";
+        for (const std::string &pass : model.passes)
+            out << " " << pass;
+        out << "\n";
+    }
 
     switch (model.kind) {
       case ModelKind::kMlp: {
@@ -103,8 +111,10 @@ deserializeModel(const std::string &text)
     std::istringstream in(text);
     std::string line;
 
-    if (!std::getline(in, line) ||
-        common::trim(line) != std::string(kMagic) + " " + kVersion)
+    std::string header = std::getline(in, line) ? common::trim(line)
+                                                : std::string();
+    if (header != std::string(kMagic) + " v2" &&
+        header != std::string(kMagic) + " v1")
         throw std::runtime_error("ir: bad artifact header");
 
     ModelIr model;
@@ -136,6 +146,9 @@ deserializeModel(const std::string &text)
             format_frac = std::stoi(tokens.at(2));
             model.format = common::FixedPointFormat(format_int,
                                                     format_frac);
+        } else if (tag == "passes") {
+            for (std::size_t i = 1; i < tokens.size(); ++i)
+                model.passes.push_back(tokens[i]);
         } else if (tag == "activation") {
             model.activation = ml::activationFromName(tokens.at(1));
         } else if (tag == "layer") {

@@ -8,13 +8,15 @@
  * (versioned, self-describing, diff-friendly) so compiled models can be
  * cached, shipped, and re-deployed without re-running the search.
  *
- * Format sketch:
- *   homunculus-ir v1
+ * Format sketch (v2; v1 — identical minus the `passes` line — still
+ * parses):
+ *   homunculus-ir v2
  *   kind dnn
  *   name anomaly_detection
  *   input_dim 7
  *   num_classes 2
  *   format 8 8
+ *   passes quantize validate
  *   activation relu
  *   layer 7 16
  *   weights <112 ints...>

@@ -23,8 +23,14 @@
  *        [--out FILE]              write the generated program here
  *        [--save FILE]             write the compiled model artifact
  *        [--pareto cus|mus|mat_tables]     multi-objective cost metric
+ *        [--passes LIST]           emit-stage IR passes (default:
+ *                                  the optimization pipeline); see
+ *                                  --list-passes for the known names
+ *        [--dump-ir[=PASS]]        print the artifact after each emit
+ *                                  pass (or only after PASS)
  *        [--progress]              print per-stage progress events
  *   homc --list-platforms          enumerate the backend registry
+ *   homc --list-passes             enumerate the IR pass registry
  */
 #include <fstream>
 #include <iostream>
@@ -35,6 +41,7 @@
 #include "bench_common.hpp"
 #include "common/string_util.hpp"
 #include "data/loaders.hpp"
+#include "ir/passes.hpp"
 #include "ir/serialize.hpp"
 
 namespace {
@@ -50,6 +57,9 @@ struct CliOptions
     std::string outPath;
     std::string savePath;
     std::string paretoMetric;
+    std::string passes;
+    std::string dumpPass;   ///< dump filter; empty = every pass.
+    bool dumpIr = false;
     std::size_t init = 5;
     std::size_t iters = 15;
     std::size_t jobs = 1;
@@ -61,6 +71,7 @@ struct CliOptions
     bool latencySet = false;
     bool listPlatforms = false;
     bool progress = false;
+    bool listPasses = false;
     std::uint64_t seed = bench::kBenchSeed;
 };
 
@@ -80,6 +91,9 @@ printUsage()
         "  --tables N               MAT stage budget\n"
         "  --throughput GPPS --latency NS\n"
         "  --pareto METRIC          multi-objective cost (cus|mus|...)\n"
+        "  --passes LIST            emit-stage IR passes (--list-passes)\n"
+        "  --dump-ir[=PASS]         print the IR after each emit pass\n"
+        "  --list-passes            enumerate registered IR passes\n"
         "  --progress               print compile-stage progress\n"
         "  --seed N --out FILE --save ARTIFACT\n";
 }
@@ -96,8 +110,21 @@ parseArgs(int argc, char **argv, CliOptions &options)
             options.listPlatforms = true;
             continue;
         }
+        if (arg == "--list-passes") {
+            options.listPasses = true;
+            continue;
+        }
         if (arg == "--progress") {
             options.progress = true;
+            continue;
+        }
+        if (arg == "--dump-ir") {
+            options.dumpIr = true;
+            continue;
+        }
+        if (common::startsWith(arg, "--dump-ir=")) {
+            options.dumpIr = true;
+            options.dumpPass = arg.substr(std::string("--dump-ir=").size());
             continue;
         }
         if (!common::startsWith(arg, "--") || i + 1 >= argc) {
@@ -125,6 +152,7 @@ parseArgs(int argc, char **argv, CliOptions &options)
     take("out", options.outPath);
     take("save", options.savePath);
     take("pareto", options.paretoMetric);
+    take("passes", options.passes);
     take_size("init", options.init);
     take_size("iters", options.iters);
     take_size("jobs", options.jobs);
@@ -141,7 +169,7 @@ parseArgs(int argc, char **argv, CliOptions &options)
     if (flags.count("seed"))
         options.seed = std::stoull(flags["seed"]);
 
-    if (options.listPlatforms)
+    if (options.listPlatforms || options.listPasses)
         return true;
     if (options.app.empty() && options.trainCsv.empty()) {
         std::cerr << "homc: need --app or --train/--test\n";
@@ -220,6 +248,25 @@ buildPlatform(const CliOptions &options)
     return handle;
 }
 
+/** Registry-aware pass-name check, mirroring the --list-platforms style. */
+bool
+knownPass(const std::string &name)
+{
+    return ir::PassRegistry::instance().find(name) != nullptr;
+}
+
+std::string
+knownPassList()
+{
+    std::string joined;
+    for (const auto &name : ir::PassRegistry::instance().names()) {
+        if (!joined.empty())
+            joined += ", ";
+        joined += name;
+    }
+    return joined;
+}
+
 }  // namespace
 
 int
@@ -235,6 +282,29 @@ main(int argc, char **argv)
         for (const auto &name : backends::BackendRegistry::instance().names())
             std::cout << name << "\n";
         return 0;
+    }
+    if (options.listPasses) {
+        for (const auto &name : ir::PassRegistry::instance().names()) {
+            const ir::PassInfo *pass = ir::PassRegistry::instance().find(name);
+            std::cout << name << "  " << pass->description << "\n";
+        }
+        return 0;
+    }
+
+    if (!options.passes.empty()) {
+        for (const auto &name : common::split(options.passes, ',')) {
+            std::string trimmed = common::trim(name);
+            if (!knownPass(trimmed)) {
+                std::cerr << "homc: unknown pass '" << trimmed
+                          << "' (known passes: " << knownPassList() << ")\n";
+                return 2;
+            }
+        }
+    }
+    if (!options.dumpPass.empty() && !knownPass(options.dumpPass)) {
+        std::cerr << "homc: unknown pass '" << options.dumpPass
+                  << "' (known passes: " << knownPassList() << ")\n";
+        return 2;
     }
 
     try {
@@ -253,6 +323,22 @@ main(int argc, char **argv)
         compile_options.bo.costMetricKey = options.paretoMetric;
         compile_options.seed = options.seed;
         compile_options.jobs = options.jobs;
+        if (!options.passes.empty()) {
+            for (const auto &name : common::split(options.passes, ','))
+                compile_options.emitPasses.push_back(common::trim(name));
+        }
+        if (options.dumpIr) {
+            std::string filter = options.dumpPass;
+            compile_options.passDump =
+                [filter](const std::string &pass_name,
+                         const ir::ModelIr &model) {
+                    if (!filter.empty() && filter != pass_name)
+                        return;
+                    std::cout << "-- ir for '" << model.name
+                              << "' after pass " << pass_name << " --\n"
+                              << ir::serializeModel(model);
+                };
+        }
         if (options.progress) {
             compile_options.observer =
                 [](const core::ProgressEvent &event) {
