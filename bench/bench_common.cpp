@@ -1,7 +1,11 @@
 #include "bench_common.hpp"
 
+#include <fstream>
+#include <functional>
 #include <iostream>
 
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
 #include "ml/metrics.hpp"
 #include "ml/preprocess.hpp"
 
@@ -181,6 +185,189 @@ void
 printPaperNote(const std::string &note)
 {
     std::cout << "  [paper] " << note << "\n";
+}
+
+namespace {
+
+std::int32_t
+randomWord(common::Rng &rng)
+{
+    return static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
+}
+
+}  // namespace
+
+ir::ModelIr
+benchMlpIr()
+{
+    common::Rng rng(11);
+    ir::ModelIr model;
+    model.kind = ir::ModelKind::kMlp;
+    model.inputDim = 16;
+    model.numClasses = 2;
+    std::size_t prev = 16;
+    for (std::size_t width : {std::size_t{32}, std::size_t{32},
+                              std::size_t{2}}) {
+        ir::QuantizedLayer layer;
+        layer.inputDim = prev;
+        layer.outputDim = width;
+        layer.weights.resize(prev * width);
+        layer.biases.resize(width);
+        for (auto &w : layer.weights)
+            w = randomWord(rng);
+        for (auto &b : layer.biases)
+            b = randomWord(rng);
+        model.layers.push_back(std::move(layer));
+        prev = width;
+    }
+    model.validate();
+    return model;
+}
+
+ir::ModelIr
+benchKMeansIr()
+{
+    common::Rng rng(13);
+    ir::ModelIr model;
+    model.kind = ir::ModelKind::kKMeans;
+    model.inputDim = 16;
+    model.numClasses = 8;
+    for (int c = 0; c < 8; ++c) {
+        std::vector<std::int32_t> centroid(16);
+        for (auto &v : centroid)
+            v = randomWord(rng);
+        model.centroids.push_back(std::move(centroid));
+    }
+    model.validate();
+    return model;
+}
+
+ir::ModelIr
+benchSvmIr()
+{
+    common::Rng rng(17);
+    ir::ModelIr model;
+    model.kind = ir::ModelKind::kSvm;
+    model.inputDim = 16;
+    model.numClasses = 4;
+    for (int c = 0; c < 4; ++c) {
+        std::vector<std::int32_t> weights(16);
+        for (auto &v : weights)
+            v = randomWord(rng);
+        model.svmWeights.push_back(std::move(weights));
+        model.svmBiases.push_back(randomWord(rng));
+    }
+    model.validate();
+    return model;
+}
+
+ir::ModelIr
+benchTreeIr()
+{
+    common::Rng rng(19);
+    ir::ModelIr model;
+    model.kind = ir::ModelKind::kDecisionTree;
+    model.inputDim = 16;
+    model.numClasses = 3;
+    model.treeDepth = 8;
+    std::function<int(std::size_t)> build = [&](std::size_t level) -> int {
+        int index = static_cast<int>(model.treeNodes.size());
+        model.treeNodes.emplace_back();
+        if (level == 8) {
+            model.treeNodes[static_cast<std::size_t>(index)].classLabel =
+                static_cast<int>(rng.uniformInt(0, 2));
+            return index;
+        }
+        auto &node = model.treeNodes[static_cast<std::size_t>(index)];
+        node.isLeaf = false;
+        node.feature = static_cast<std::size_t>(rng.uniformInt(0, 15));
+        node.threshold = randomWord(rng);
+        int left = build(level + 1);
+        int right = build(level + 1);
+        model.treeNodes[static_cast<std::size_t>(index)].left = left;
+        model.treeNodes[static_cast<std::size_t>(index)].right = right;
+        return index;
+    };
+    build(0);
+    model.validate();
+    return model;
+}
+
+math::Matrix
+benchFeatures(std::size_t rows, std::size_t cols)
+{
+    common::Rng rng(7);
+    math::Matrix x(rows, cols);
+    for (double &v : x.data())
+        v = rng.uniform(-8.0, 8.0);
+    return x;
+}
+
+namespace {
+
+/** JSON string escaping for bench/metric names (quotes + backslashes). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+}  // namespace
+
+void
+BenchJson::add(const std::string &name,
+               const std::vector<std::pair<std::string, double>> &metrics)
+{
+    records_.push_back({name, metrics});
+}
+
+bool
+BenchJson::write(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "bench: cannot write JSON to '" << path << "'\n";
+        return false;
+    }
+    out << "{\n  \"benchmarks\": [\n";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+        const Record &record = records_[r];
+        out << "    {\"name\": \"" << jsonEscape(record.name) << "\"";
+        for (const auto &[metric, value] : record.metrics)
+            out << ", \"" << jsonEscape(metric) << "\": "
+                << common::format("%.8g", value);
+        out << "}" << (r + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "bench: wrote " << records_.size() << " records to "
+              << path << "\n";
+    return true;
+}
+
+std::string
+extractJsonPath(int &argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) != "--json")
+            continue;
+        if (i + 1 >= argc) {
+            std::cerr << "bench: --json needs a path\n";
+            return "";
+        }
+        std::string path = argv[i + 1];
+        for (int j = i; j + 2 < argc; ++j)
+            argv[j] = argv[j + 2];
+        argc -= 2;
+        return path;
+    }
+    return "";
 }
 
 }  // namespace homunculus::bench

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/generate.hpp"
 #include "data/anomaly_generator.hpp"
@@ -68,5 +70,54 @@ core::CompileOptions searchBudget(std::size_t init = 5,
 
 /** Print a "paper reported vs. measured" footnote line. */
 void printPaperNote(const std::string &note);
+
+/**
+ * Random quantized IRs at paper-plausible sizes (hundreds to a few
+ * thousand parameters — they must fit a switch pipeline) for the
+ * throughput benches; inference cost does not depend on the weight
+ * values, so training is skipped. One per family:
+ * MLP 16 -> 32 -> 32 -> 2 (the AD-like baseline shape), 8-centroid
+ * KMeans, 4-class SVM, depth-8 complete tree — all on 16 features.
+ */
+ir::ModelIr benchMlpIr();
+ir::ModelIr benchKMeansIr();
+ir::ModelIr benchSvmIr();
+ir::ModelIr benchTreeIr();
+
+/** Random feature matrix for the bench models (16 columns). */
+math::Matrix benchFeatures(std::size_t rows, std::size_t cols);
+
+/**
+ * Machine-readable bench output. Benches accept `--json PATH`
+ * (extractJsonPath strips it from argv before the bench library parses
+ * the rest), collect one flat record per measurement, and write a single
+ * JSON document: {"benchmarks": [{"name": ..., <metric>: <number>,
+ * ...}]}. CI runs the throughput benches with --json and uploads the
+ * files, so the repo's perf trajectory is tracked per commit.
+ */
+class BenchJson
+{
+  public:
+    /** Add one record: a name plus (metric, value) pairs. */
+    void add(const std::string &name,
+             const std::vector<std::pair<std::string, double>> &metrics);
+
+    bool empty() const { return records_.empty(); }
+
+    /** Serialize all records; returns false (and prints to stderr) when
+     *  the file cannot be written. */
+    bool write(const std::string &path) const;
+
+  private:
+    struct Record
+    {
+        std::string name;
+        std::vector<std::pair<std::string, double>> metrics;
+    };
+    std::vector<Record> records_;
+};
+
+/** Find and remove "--json PATH" from argv; returns PATH or "". */
+std::string extractJsonPath(int &argc, char **argv);
 
 }  // namespace homunculus::bench

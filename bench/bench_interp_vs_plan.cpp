@@ -14,6 +14,7 @@
 
 #include <functional>
 
+#include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "ir/exec_plan.hpp"
 #include "ir/model_ir.hpp"
@@ -22,118 +23,11 @@ using namespace homunculus;
 
 namespace {
 
-std::int32_t
-randomWord(common::Rng &rng)
-{
-    return static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
-}
-
-math::Matrix
-randomFeatures(std::size_t rows, std::size_t cols)
-{
-    common::Rng rng(7);
-    math::Matrix x(rows, cols);
-    for (double &v : x.data())
-        v = rng.uniform(-8.0, 8.0);
-    return x;
-}
-
-/** The AD-like baseline shape: 16 -> 32 -> 32 -> 2. */
-ir::ModelIr
-mlpModel()
-{
-    common::Rng rng(11);
-    ir::ModelIr model;
-    model.kind = ir::ModelKind::kMlp;
-    model.inputDim = 16;
-    model.numClasses = 2;
-    std::size_t prev = 16;
-    for (std::size_t width : {std::size_t{32}, std::size_t{32},
-                              std::size_t{2}}) {
-        ir::QuantizedLayer layer;
-        layer.inputDim = prev;
-        layer.outputDim = width;
-        layer.weights.resize(prev * width);
-        layer.biases.resize(width);
-        for (auto &w : layer.weights)
-            w = randomWord(rng);
-        for (auto &b : layer.biases)
-            b = randomWord(rng);
-        model.layers.push_back(std::move(layer));
-        prev = width;
-    }
-    model.validate();
-    return model;
-}
-
-ir::ModelIr
-kmeansModel()
-{
-    common::Rng rng(13);
-    ir::ModelIr model;
-    model.kind = ir::ModelKind::kKMeans;
-    model.inputDim = 16;
-    model.numClasses = 8;
-    for (int c = 0; c < 8; ++c) {
-        std::vector<std::int32_t> centroid(16);
-        for (auto &v : centroid)
-            v = randomWord(rng);
-        model.centroids.push_back(std::move(centroid));
-    }
-    model.validate();
-    return model;
-}
-
-ir::ModelIr
-svmModel()
-{
-    common::Rng rng(17);
-    ir::ModelIr model;
-    model.kind = ir::ModelKind::kSvm;
-    model.inputDim = 16;
-    model.numClasses = 4;
-    for (int c = 0; c < 4; ++c) {
-        std::vector<std::int32_t> weights(16);
-        for (auto &v : weights)
-            v = randomWord(rng);
-        model.svmWeights.push_back(std::move(weights));
-        model.svmBiases.push_back(randomWord(rng));
-    }
-    model.validate();
-    return model;
-}
-
-ir::ModelIr
-treeModel()
-{
-    common::Rng rng(19);
-    ir::ModelIr model;
-    model.kind = ir::ModelKind::kDecisionTree;
-    model.inputDim = 16;
-    model.numClasses = 3;
-    model.treeDepth = 8;
-    std::function<int(std::size_t)> build = [&](std::size_t level) -> int {
-        int index = static_cast<int>(model.treeNodes.size());
-        model.treeNodes.emplace_back();
-        if (level == 8) {
-            model.treeNodes[static_cast<std::size_t>(index)].classLabel =
-                static_cast<int>(rng.uniformInt(0, 2));
-            return index;
-        }
-        auto &node = model.treeNodes[static_cast<std::size_t>(index)];
-        node.isLeaf = false;
-        node.feature = static_cast<std::size_t>(rng.uniformInt(0, 15));
-        node.threshold = randomWord(rng);
-        int left = build(level + 1);
-        int right = build(level + 1);
-        model.treeNodes[static_cast<std::size_t>(index)].left = left;
-        model.treeNodes[static_cast<std::size_t>(index)].right = right;
-        return index;
-    };
-    build(0);
-    model.validate();
-    return model;
-}
+using homunculus::bench::benchFeatures;
+using homunculus::bench::benchKMeansIr;
+using homunculus::bench::benchMlpIr;
+using homunculus::bench::benchSvmIr;
+using homunculus::bench::benchTreeIr;
 
 /** The legacy path: scalar interpreter re-walked per row (incl. the
  *  per-row heap copy every pre-plan caller paid). */
@@ -141,7 +35,7 @@ void
 interpBench(benchmark::State &state, const ir::ModelIr &model)
 {
     auto batch = static_cast<std::size_t>(state.range(0));
-    auto x = randomFeatures(batch, model.inputDim);
+    auto x = benchFeatures(batch, model.inputDim);
     for (auto _ : state) {
         int last = 0;
         for (std::size_t r = 0; r < x.rows(); ++r)
@@ -157,7 +51,7 @@ void
 planBench(benchmark::State &state, const ir::ModelIr &model)
 {
     auto batch = static_cast<std::size_t>(state.range(0));
-    auto x = randomFeatures(batch, model.inputDim);
+    auto x = benchFeatures(batch, model.inputDim);
     auto plan = ir::ExecutablePlan::compile(model);
     for (auto _ : state) {
         auto labels = plan.run(x);
@@ -170,42 +64,42 @@ planBench(benchmark::State &state, const ir::ModelIr &model)
 void
 BM_InterpMlp(benchmark::State &state)
 {
-    interpBench(state, mlpModel());
+    interpBench(state, benchMlpIr());
 }
 void
 BM_PlanMlp(benchmark::State &state)
 {
-    planBench(state, mlpModel());
+    planBench(state, benchMlpIr());
 }
 void
 BM_InterpKMeans(benchmark::State &state)
 {
-    interpBench(state, kmeansModel());
+    interpBench(state, benchKMeansIr());
 }
 void
 BM_PlanKMeans(benchmark::State &state)
 {
-    planBench(state, kmeansModel());
+    planBench(state, benchKMeansIr());
 }
 void
 BM_InterpSvm(benchmark::State &state)
 {
-    interpBench(state, svmModel());
+    interpBench(state, benchSvmIr());
 }
 void
 BM_PlanSvm(benchmark::State &state)
 {
-    planBench(state, svmModel());
+    planBench(state, benchSvmIr());
 }
 void
 BM_InterpTree(benchmark::State &state)
 {
-    interpBench(state, treeModel());
+    interpBench(state, benchTreeIr());
 }
 void
 BM_PlanTree(benchmark::State &state)
 {
-    planBench(state, treeModel());
+    planBench(state, benchTreeIr());
 }
 
 }  // namespace
@@ -219,4 +113,50 @@ BENCHMARK(BM_PlanSvm)->Arg(1024)->Arg(4096);
 BENCHMARK(BM_InterpTree)->Arg(1024)->Arg(4096);
 BENCHMARK(BM_PlanTree)->Arg(1024)->Arg(4096);
 
-BENCHMARK_MAIN();
+namespace {
+
+/** Console output as usual, plus a flat rows/s record per run so --json
+ *  can persist the interp-vs-plan trajectory (bench_common::BenchJson). */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(runs);
+        for (const Run &run : runs) {
+            // Keying on the items_per_second counter (instead of the
+            // error/skipped state) keeps this portable across the
+            // benchmark 1.7 -> 1.8 Run API change: errored or skipped
+            // runs never set the counter.
+            auto items = run.counters.find("items_per_second");
+            if (run.run_type != Run::RT_Iteration ||
+                items == run.counters.end())
+                continue;
+            json.add(run.benchmark_name(),
+                     {{"real_time_s",
+                       run.GetAdjustedRealTime() /
+                           benchmark::GetTimeUnitMultiplier(run.time_unit)},
+                      {"rows_per_sec",
+                       static_cast<double>(items->second)}});
+        }
+    }
+
+    homunculus::bench::BenchJson json;
+};
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = homunculus::bench::extractJsonPath(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    JsonCaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (!json_path.empty() && !reporter.json.write(json_path))
+        return 1;
+    return 0;
+}

@@ -22,13 +22,16 @@ MapReduceSimulator::runPacket(const ir::ModelIr &model,
 
 StreamSimResult
 MapReduceSimulator::runStream(const ir::ModelIr &model,
-                              const math::Matrix &x) const
+                              const math::Matrix &x,
+                              const EvalOptions &options) const
 {
     TaurusMappingCost cost = taurusMappingCost(config_, model);
     StreamSimResult result;
     // Compile the model once for the whole stream; the plan executes the
-    // batch without the per-packet row copies the interpreter path paid.
-    result.labels = ir::ExecutablePlan::compile(model).run(x);
+    // batch without the per-packet row copies the interpreter path paid,
+    // sharded across options.jobs host cores (labels are bit-identical
+    // at any width) and skipping re-quantization via the caller's cache.
+    result.labels = runPlanBacked(model, x, options);
 
     double n = static_cast<double>(x.rows());
     result.totalCycles = n > 0 ? cost.fillCycles + (n - 1.0) * cost.ii : 0.0;

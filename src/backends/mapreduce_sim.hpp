@@ -44,9 +44,13 @@ class MapReduceSimulator
     PacketSimResult runPacket(const ir::ModelIr &model,
                               const std::vector<double> &features) const;
 
-    /** Pipelined stream: packets enter every II cycles after fill. */
+    /** Pipelined stream: packets enter every II cycles after fill.
+     *  @p options controls host-side execution only (row-shard width,
+     *  quantization reuse); labels and cycle accounting are identical
+     *  for every value. */
     StreamSimResult runStream(const ir::ModelIr &model,
-                              const math::Matrix &x) const;
+                              const math::Matrix &x,
+                              const EvalOptions &options = {}) const;
 
     const TaurusConfig &config() const { return config_; }
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+
 namespace homunculus::backends {
 
 std::size_t
@@ -176,21 +178,59 @@ MatPipeline::process(const std::vector<double> &features) const
 }
 
 std::vector<int>
-MatPipeline::processBatch(const math::Matrix &x) const
+MatPipeline::processBatch(const math::Matrix &x, std::size_t jobs,
+                          const ir::QuantizedMatrix *pre_quantized) const
 {
     if (x.rows() > 0 && x.cols() != inputDim_)
         throw std::runtime_error("MatPipeline: feature width mismatch");
     std::vector<int> labels(x.rows());
+    if (x.rows() == 0)
+        return labels;
 
-    // Hoist the per-packet scratch out of the row loop; rows are read in
-    // place and quantized through the shared batched quantizer.
-    std::vector<std::int32_t> quantized(inputDim_);
-    std::vector<std::int64_t> accumulators(numClasses_);
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-        format_.quantizeInto(x.rowPtr(r), quantized.data(), inputDim_);
-        std::fill(accumulators.begin(), accumulators.end(), 0);
-        labels[r] = walk(quantized.data(), accumulators.data());
-    }
+    // A pre-quantized view is usable only when it matches this
+    // pipeline's format and shape; otherwise quantize per row as before.
+    if (pre_quantized != nullptr &&
+        (pre_quantized->rows() != x.rows() ||
+         pre_quantized->cols() != x.cols() ||
+         pre_quantized->format().integerBits() != format_.integerBits() ||
+         pre_quantized->format().fracBits() != format_.fracBits()))
+        pre_quantized = nullptr;
+
+    // Per-worker scratch (quantization buffer + class accumulators),
+    // hoisted out of the per-packet loop; rows are read in place. The
+    // walk is per-row independent, so row shards stitch deterministically
+    // into labels at any jobs width. No separate inline cutoff: a batch
+    // of at most kWalkChunkRows rows yields a single chunk, which
+    // parallelForChunks runs inline on the caller's thread anyway.
+    constexpr std::size_t kWalkChunkRows = 1024;
+    std::size_t workers = common::effectiveJobs(jobs);
+    struct WalkScratch
+    {
+        std::vector<std::int32_t> quantized;
+        std::vector<std::int64_t> accumulators;
+    };
+    std::vector<WalkScratch> scratches(workers);
+    common::parallelForChunks(
+        workers, x.rows(), kWalkChunkRows,
+        [&](std::size_t begin, std::size_t end, std::size_t worker) {
+            WalkScratch &scratch = scratches[worker];
+            scratch.quantized.resize(inputDim_);
+            scratch.accumulators.resize(numClasses_);
+            for (std::size_t r = begin; r < end; ++r) {
+                const std::int32_t *q;
+                if (pre_quantized != nullptr) {
+                    q = pre_quantized->rowPtr(r);
+                } else {
+                    format_.quantizeInto(x.rowPtr(r),
+                                         scratch.quantized.data(),
+                                         inputDim_);
+                    q = scratch.quantized.data();
+                }
+                std::fill(scratch.accumulators.begin(),
+                          scratch.accumulators.end(), 0);
+                labels[r] = walk(q, scratch.accumulators.data());
+            }
+        });
     return labels;
 }
 

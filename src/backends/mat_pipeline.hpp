@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "ir/exec_plan.hpp"
 #include "ir/model_ir.hpp"
 
 namespace homunculus::backends {
@@ -88,11 +89,16 @@ class MatPipeline
 
     /**
      * Batched walk over a feature matrix: quantization buffers and class
-     * accumulators are hoisted out of the per-packet loop, and rows are
-     * read in place (no per-row copies). Labels are identical to calling
-     * process() on each row.
+     * accumulators are hoisted out of the per-packet loop, rows are read
+     * in place (no per-row copies), and the row loop shards across up to
+     * @p jobs threads (0 = one per hardware thread) — the walk is
+     * per-row independent, so labels are identical to calling process()
+     * on each row at any width. @p pre_quantized, when non-null and in
+     * this pipeline's format, skips input quantization entirely.
      */
-    std::vector<int> processBatch(const math::Matrix &x) const;
+    std::vector<int> processBatch(
+        const math::Matrix &x, std::size_t jobs = 1,
+        const ir::QuantizedMatrix *pre_quantized = nullptr) const;
 
     std::size_t numTables() const { return tables_.size(); }
     std::size_t totalEntries() const;

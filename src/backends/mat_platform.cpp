@@ -5,6 +5,7 @@
 #include "backends/p4_codegen.hpp"
 #include "backends/registry.hpp"
 #include "common/string_util.hpp"
+#include "runtime/quant_cache.hpp"
 
 namespace homunculus::backends {
 
@@ -92,11 +93,17 @@ MatPlatform::estimate(const ir::ModelIr &model) const
 }
 
 std::vector<int>
-MatPlatform::evaluate(const ir::ModelIr &model, const math::Matrix &x) const
+MatPlatform::evaluate(const ir::ModelIr &model, const math::Matrix &x,
+                      const EvalOptions &options) const
 {
-    // Compile the MAT program once, then walk the whole batch; labels
-    // match per-row process() exactly.
-    return compile(model).processBatch(x);
+    // Compile the MAT program once, then walk the whole batch sharded
+    // across options.jobs cores; labels match per-row process() exactly.
+    // A quantization cache bound to this matrix lets the walk skip
+    // re-quantizing the partition when the model's format was seen.
+    const ir::QuantizedMatrix *pre = nullptr;
+    if (options.quantCache != nullptr && options.quantCache->covers(x))
+        pre = &options.quantCache->get(model.format);
+    return compile(model).processBatch(x, options.jobs, pre);
 }
 
 std::string

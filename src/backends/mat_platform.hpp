@@ -39,7 +39,8 @@ class MatPlatform : public Platform
     AlgorithmSupport supports(ir::ModelKind kind) const override;
     ResourceReport estimate(const ir::ModelIr &model) const override;
     std::vector<int> evaluate(const ir::ModelIr &model,
-                              const math::Matrix &x) const override;
+                              const math::Matrix &x,
+                              const EvalOptions &options = {}) const override;
     std::string generateCode(const ir::ModelIr &model) const override;
 
     /** Compile the IIsy pipeline for a model (shared with evaluate()). */

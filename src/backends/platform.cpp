@@ -2,15 +2,32 @@
 
 #include "common/string_util.hpp"
 #include "ir/exec_plan.hpp"
+#include "runtime/inference_engine.hpp"
+#include "runtime/quant_cache.hpp"
 
 namespace homunculus::backends {
 
 std::vector<int>
-Platform::evaluate(const ir::ModelIr &model, const math::Matrix &x) const
+runPlanBacked(const ir::ModelIr &model, const math::Matrix &x,
+              const EvalOptions &options)
 {
-    // Compile once, run batched: the plan replays the reference
-    // interpreter's fixed-point semantics bit-for-bit.
-    return ir::ExecutablePlan::compile(model).run(x);
+    // Compile once, run batched (sharded across options.jobs cores): the
+    // plan replays the reference interpreter's fixed-point semantics
+    // bit-for-bit at any shard width.
+    runtime::EngineOptions engine_options;
+    engine_options.jobs = options.jobs;
+    runtime::InferenceEngine engine(ir::ExecutablePlan::compile(model),
+                                    engine_options);
+    if (options.quantCache != nullptr && options.quantCache->covers(x))
+        return engine.run(options.quantCache->get(model.format));
+    return engine.run(x);
+}
+
+std::vector<int>
+Platform::evaluate(const ir::ModelIr &model, const math::Matrix &x,
+                   const EvalOptions &options) const
+{
+    return runPlanBacked(model, x, options);
 }
 
 std::string

@@ -19,6 +19,10 @@
 #include "backends/resource_report.hpp"
 #include "ir/model_ir.hpp"
 
+namespace homunculus::runtime {
+class QuantCache;
+}
+
 namespace homunculus::backends {
 
 /** Families of models a platform can accept at all. */
@@ -41,6 +45,35 @@ struct ResourceBudget
     std::optional<double> fpgaPowerWatts;   ///< FPGA board power cap.
 };
 
+/**
+ * Host-side execution knobs for Platform::evaluate. The model semantics
+ * never change — these only control how fast the simulator gets through
+ * a batch: @c jobs shards rows across cores (runtime::InferenceEngine),
+ * and @c quantCache lets repeated evaluations of one partition skip
+ * re-quantizing it when the model's format was already seen (candidate
+ * scoring inside the Bayesian search). Both default to off.
+ */
+struct EvalOptions
+{
+    /** Row-shard width (0 = one per hardware thread, 1 = inline). */
+    std::size_t jobs = 1;
+    /** Optional format-keyed quantization cache; used only when it is
+     *  bound to the exact matrix being evaluated. */
+    const runtime::QuantCache *quantCache = nullptr;
+};
+
+/**
+ * The plan-backed execution every non-MAT simulator shares: compile the
+ * model into an ir::ExecutablePlan once, shard the batch across
+ * @p options.jobs cores, and reuse @p options.quantCache when it covers
+ * @p x. Platform::evaluate's default and the Taurus stream simulator
+ * both dispatch through here so the cache-eligibility and sharding
+ * rules cannot drift apart.
+ */
+std::vector<int> runPlanBacked(const ir::ModelIr &model,
+                               const math::Matrix &x,
+                               const EvalOptions &options);
+
 /** Abstract backend target. */
 class Platform
 {
@@ -59,12 +92,16 @@ class Platform
     /**
      * Execute the deployed (quantized) model on the platform's simulator.
      * The default compiles the model into an ir::ExecutablePlan and runs
-     * the batched reference fixed-point semantics; backends whose fabric
-     * executes differently (e.g. MAT range-match binning) override it.
+     * the batched reference fixed-point semantics — sharded across
+     * @p options.jobs cores and reusing @p options.quantCache when set;
+     * backends whose fabric executes differently (e.g. MAT range-match
+     * binning) override it and honor the same knobs. Predictions are
+     * identical for every EvalOptions value.
      * @return predicted class per row of @p x
      */
     virtual std::vector<int> evaluate(const ir::ModelIr &model,
-                                      const math::Matrix &x) const;
+                                      const math::Matrix &x,
+                                      const EvalOptions &options = {}) const;
 
     /** Emit the platform program implementing the model. */
     virtual std::string generateCode(const ir::ModelIr &model) const = 0;

@@ -148,10 +148,11 @@ TaurusPlatform::estimate(const ir::ModelIr &model) const
 }
 
 std::vector<int>
-TaurusPlatform::evaluate(const ir::ModelIr &model, const math::Matrix &x) const
+TaurusPlatform::evaluate(const ir::ModelIr &model, const math::Matrix &x,
+                         const EvalOptions &options) const
 {
     MapReduceSimulator sim(config_);
-    return sim.runStream(model, x).labels;
+    return sim.runStream(model, x, options).labels;
 }
 
 std::string

@@ -17,22 +17,32 @@ effectiveJobs(std::size_t jobs)
     return hardware == 0 ? 1 : hardware;
 }
 
+namespace {
+
+/**
+ * Shared fan-out engine: run task(0..num_tasks-1) over up to @p jobs
+ * threads with an atomic work-stealing counter and deterministic error
+ * reporting (every task runs; the lowest-index captured exception is
+ * rethrown after all workers join). parallelFor and parallelForChunks
+ * both dispatch through here so their contracts cannot drift.
+ * @p task receives (task_index, worker_id).
+ */
 void
-parallelFor(std::size_t jobs, std::size_t count,
-            const std::function<void(std::size_t)> &fn)
+runTasks(std::size_t jobs, std::size_t num_tasks,
+         const std::function<void(std::size_t, std::size_t)> &task)
 {
-    if (count == 0)
+    if (num_tasks == 0)
         return;
     jobs = effectiveJobs(jobs);
 
-    std::vector<std::string> errors(count);
+    std::vector<std::string> errors(num_tasks);
     // char, not bool: vector<bool> packs bits, and concurrent writes to
     // neighboring indices would race.
-    std::vector<char> failed(count, 0);
+    std::vector<char> failed(num_tasks, 0);
 
-    auto run_index = [&](std::size_t index) {
+    auto run_task = [&](std::size_t index, std::size_t worker) {
         try {
-            fn(index);
+            task(index, worker);
         } catch (const std::exception &error) {
             errors[index] = error.what();
             failed[index] = 1;
@@ -42,28 +52,28 @@ parallelFor(std::size_t jobs, std::size_t count,
         }
     };
 
-    if (jobs <= 1 || count == 1) {
-        // Same contract as the threaded path: every index runs, the
+    if (jobs <= 1 || num_tasks == 1) {
+        // Same contract as the threaded path: every task runs, the
         // lowest-index failure is rethrown afterwards.
-        for (std::size_t i = 0; i < count; ++i)
-            run_index(i);
+        for (std::size_t i = 0; i < num_tasks; ++i)
+            run_task(i, 0);
     } else {
         std::atomic<std::size_t> next{0};
-        auto worker = [&] {
+        auto worker = [&](std::size_t worker_id) {
             for (;;) {
                 std::size_t index = next.fetch_add(1);
-                if (index >= count)
+                if (index >= num_tasks)
                     return;
-                run_index(index);
+                run_task(index, worker_id);
             }
         };
 
         std::vector<std::thread> threads;
-        std::size_t num_threads = jobs < count ? jobs : count;
+        std::size_t num_threads = jobs < num_tasks ? jobs : num_tasks;
         threads.reserve(num_threads);
         try {
             for (std::size_t t = 0; t < num_threads; ++t)
-                threads.emplace_back(worker);
+                threads.emplace_back(worker, t);
         } catch (...) {
             // Thread creation failed (e.g. RLIMIT_NPROC): drain what was
             // spawned before rethrowing, or their destructors terminate.
@@ -75,9 +85,38 @@ parallelFor(std::size_t jobs, std::size_t count,
             thread.join();
     }
 
-    for (std::size_t i = 0; i < count; ++i)
+    for (std::size_t i = 0; i < num_tasks; ++i)
         if (failed[i])
             throw std::runtime_error(errors[i]);
+}
+
+}  // namespace
+
+void
+parallelFor(std::size_t jobs, std::size_t count,
+            const std::function<void(std::size_t)> &fn)
+{
+    runTasks(jobs, count,
+             [&fn](std::size_t index, std::size_t) { fn(index); });
+}
+
+void
+parallelForChunks(std::size_t jobs, std::size_t count,
+                  std::size_t chunk_size, const ChunkFn &fn)
+{
+    if (count == 0)
+        return;
+    if (chunk_size == 0)
+        throw std::invalid_argument("parallelForChunks: chunk_size == 0");
+    std::size_t num_chunks = (count + chunk_size - 1) / chunk_size;
+    runTasks(jobs, num_chunks,
+             [&](std::size_t chunk, std::size_t worker) {
+                 std::size_t begin = chunk * chunk_size;
+                 std::size_t end = begin + chunk_size;
+                 if (end > count)
+                     end = count;
+                 fn(begin, end, worker);
+             });
 }
 
 }  // namespace homunculus::common

@@ -1,12 +1,19 @@
 /**
  * @file
- * Minimal worker pool for the compile path's parallel family searches.
+ * Minimal worker pool for the compile path's parallel family searches
+ * and the runtime's sharded batch inference.
  *
  * parallelFor() fans an index range out over a fixed number of threads
  * with an atomic work-stealing counter. Tasks must not share mutable
  * state; exceptions are captured per index and the lowest-index one is
  * rethrown after every worker joins, so failure behavior is deterministic
  * regardless of scheduling.
+ *
+ * parallelForChunks() is the coarse-grained sibling for fine-grained
+ * loops (row sharding, per-packet work): it hands each worker a
+ * contiguous [begin, end) range plus a stable worker id, so one dispatch
+ * amortizes over thousands of elements and callers can keep per-worker
+ * scratch arenas instead of per-element ones.
  */
 #pragma once
 
@@ -25,5 +32,27 @@ std::size_t effectiveJobs(std::size_t jobs);
  */
 void parallelFor(std::size_t jobs, std::size_t count,
                  const std::function<void(std::size_t)> &fn);
+
+/**
+ * Chunked range callback: a contiguous slice [begin, end) of the index
+ * space plus the id (0 <= worker < workers) of the worker running it.
+ * The worker id is stable across every chunk that worker processes, so
+ * callers can index per-worker scratch arenas with it.
+ */
+using ChunkFn =
+    std::function<void(std::size_t begin, std::size_t end,
+                       std::size_t worker)>;
+
+/**
+ * Run fn over [0, count) in contiguous chunks of up to @p chunk_size
+ * indices, work-stolen across up to @p jobs threads. One dispatch per
+ * chunk (not per index), so fine-grained loops don't pay per-index
+ * std::function overhead. With jobs <= 1 (or a single chunk) the chunks
+ * run inline, in order, with worker id 0. Blocks until every chunk
+ * completed; rethrows the lowest-chunk captured exception, if any.
+ * An exception inside fn abandons the rest of that chunk only.
+ */
+void parallelForChunks(std::size_t jobs, std::size_t count,
+                       std::size_t chunk_size, const ChunkFn &fn);
 
 }  // namespace homunculus::common

@@ -6,6 +6,7 @@
 #include "common/string_util.hpp"
 #include "common/thread_pool.hpp"
 #include "core/design_space.hpp"
+#include "runtime/quant_cache.hpp"
 
 namespace homunculus::core {
 
@@ -45,6 +46,7 @@ FamilySearch
 searchOneFamily(Algorithm algorithm, const ModelSpec &spec,
                 const backends::Platform &target, const ml::DataSplit &split,
                 const CompileOptions &options,
+                const backends::EvalOptions &eval,
                 const std::function<bool()> &should_stop,
                 const std::function<void(std::size_t, std::size_t)>
                     &on_evaluation)
@@ -59,7 +61,8 @@ searchOneFamily(Algorithm algorithm, const ModelSpec &spec,
         opt::ObjectiveFn objective =
             [&](const opt::Configuration &config) -> opt::EvalResult {
             CandidateEvaluation evaluation = evaluateCandidate(
-                algorithm, config, spec, split, target, options.seed);
+                algorithm, config, spec, split, target, options.seed,
+                eval);
             bool better =
                 evaluation.report.feasible &&
                 (!out.hasBest || evaluation.objective > out.best.objective);
@@ -113,6 +116,8 @@ struct FamilyWork
     const ml::DataSplit *split = nullptr;
     Algorithm algorithm = Algorithm::kDnn;
     FamilySearch *slot = nullptr;
+    /** The spec's shared test-partition quantization cache (optional). */
+    const runtime::QuantCache *quantCache = nullptr;
 };
 
 /**
@@ -145,9 +150,12 @@ runFamilySearches(const std::vector<FamilyWork> &work,
                 event.evalsTotal = total;
                 notify(event);
             };
+            backends::EvalOptions eval;
+            eval.jobs = options.inferJobs;
+            eval.quantCache = item.quantCache;
             *item.slot = searchOneFamily(item.algorithm, *item.spec,
                                          target, *item.split, options,
-                                         should_stop, progress);
+                                         eval, should_stop, progress);
         });
 }
 
@@ -475,9 +483,16 @@ CompileSession::searchFamilies()
     std::vector<FamilyWork> work;
     for (auto &state : specs_) {
         state.searches.assign(state.candidates.size(), {});
+        // One quantization cache per spec, shared across its family
+        // searches: candidates with the same FixedPointFormat reuse one
+        // quantized view of the test partition (thread-safe; see
+        // runtime::QuantCache).
+        state.quantCache =
+            std::make_shared<runtime::QuantCache>(state.split.test.x);
         for (std::size_t f = 0; f < state.candidates.size(); ++f)
             work.push_back({state.spec, &state.split,
-                            state.candidates[f], &state.searches[f]});
+                            state.candidates[f], &state.searches[f],
+                            state.quantCache.get()});
     }
     runFamilySearches(work, platform_.platform(), options_,
                       [this](const ProgressEvent &event) {
@@ -629,11 +644,13 @@ searchSpec(const ModelSpec &spec, PlatformHandle &platform,
             options.observer(event);
         };
 
+    runtime::QuantCache quant_cache(split.test.x);
     std::vector<FamilySearch> searches(candidates.size());
     std::vector<FamilyWork> work;
     work.reserve(candidates.size());
     for (std::size_t i = 0; i < candidates.size(); ++i)
-        work.push_back({&spec, &split, candidates[i], &searches[i]});
+        work.push_back({&spec, &split, candidates[i], &searches[i],
+                        &quant_cache});
     runFamilySearches(work, target, options, notify);
 
     if (Status status = foldSearchOutcomes(spec, searches); !status)

@@ -35,6 +35,10 @@
 #include "core/trainer.hpp"
 #include "ir/passes.hpp"
 
+namespace homunculus::runtime {
+class QuantCache;
+}
+
 namespace homunculus::core {
 
 /** Pipeline stages, in execution order. */
@@ -96,6 +100,15 @@ struct CompileOptions
     std::uint64_t seed = 9;      ///< training/search determinism.
     bool emitCode = true;        ///< run the backend code generator.
     std::size_t jobs = 1;        ///< family-search pool width (0 = #cores).
+    /**
+     * Row-shard width for scoring each candidate on its test partition
+     * (0 = one per hardware thread, 1 = inline). Orthogonal to `jobs`:
+     * `jobs` parallelizes across family searches, `inferJobs`
+     * parallelizes inside one candidate's evaluate — useful when specs
+     * have few families but large test partitions. Results are
+     * bit-identical at any width.
+     */
+    std::size_t inferJobs = 1;
     ProgressObserver observer;   ///< optional stage/search callback.
     CancellationToken cancelToken;  ///< cancel from any thread.
 
@@ -213,6 +226,9 @@ class CompileSession
         ml::DataSplit split;
         std::vector<Algorithm> candidates;
         std::vector<FamilySearch> searches;  ///< candidate order.
+        /** Per-format quantized views of split.test.x, shared by every
+         *  family search of this spec (see runtime::QuantCache). */
+        std::shared_ptr<runtime::QuantCache> quantCache;
     };
 
     Status requireStage(Stage expected, const char *stage_name) const;

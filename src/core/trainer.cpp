@@ -104,7 +104,8 @@ trainTree(const opt::Configuration &config, const ModelSpec &spec,
 CandidateEvaluation
 evaluateCandidate(Algorithm algorithm, const opt::Configuration &config,
                   const ModelSpec &spec, const ml::DataSplit &split,
-                  const backends::Platform &platform, std::uint64_t seed)
+                  const backends::Platform &platform, std::uint64_t seed,
+                  const backends::EvalOptions &eval)
 {
     auto started = std::chrono::steady_clock::now();
 
@@ -130,8 +131,10 @@ evaluateCandidate(Algorithm algorithm, const opt::Configuration &config,
         // model once (ir::ExecutablePlan on plan-backed platforms, a MAT
         // program on tofino) and reuses it across the whole partition —
         // this is the innermost loop of the black-box search (§3.2.4).
+        // eval shards the partition across cores and reuses the spec's
+        // per-format quantization cache without changing the score.
         std::vector<int> predicted =
-            platform.evaluate(evaluation.model, split.test.x);
+            platform.evaluate(evaluation.model, split.test.x, eval);
         evaluation.objective = scoreMetric(spec.optimizationMetric,
                                            split.test.y, predicted,
                                            split.test.numClasses);

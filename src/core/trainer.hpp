@@ -37,13 +37,16 @@ struct CandidateEvaluation
  * @param split train/test data
  * @param platform the backend target
  * @param seed training determinism seed
+ * @param eval host-side execution knobs for the scoring pass (row-shard
+ *        width, per-format quantization cache); never changes the score
  */
 CandidateEvaluation evaluateCandidate(Algorithm algorithm,
                                       const opt::Configuration &config,
                                       const ModelSpec &spec,
                                       const ml::DataSplit &split,
                                       const backends::Platform &platform,
-                                      std::uint64_t seed);
+                                      std::uint64_t seed,
+                                      const backends::EvalOptions &eval = {});
 
 /** Adapt a CandidateEvaluation into the optimizer's EvalResult. */
 opt::EvalResult toEvalResult(const CandidateEvaluation &evaluation);

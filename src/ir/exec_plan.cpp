@@ -1,6 +1,7 @@
 #include "ir/exec_plan.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
@@ -23,6 +24,19 @@ saturateRaw(std::int64_t raw, std::int64_t raw_min, std::int64_t raw_max)
 }
 
 }  // namespace
+
+// -------------------------------------------------------- QuantizedMatrix
+
+QuantizedMatrix::QuantizedMatrix(const math::Matrix &x,
+                                 const common::FixedPointFormat &format)
+    : format_(format), rows_(x.rows()), cols_(x.cols())
+{
+    data_.resize(rows_ * cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        format_.quantizeInto(x.rowPtr(r), data_.data() + r * cols_, cols_);
+}
+
+// --------------------------------------------------------- ExecutablePlan
 
 ExecutablePlan
 ExecutablePlan::compile(const ModelIr &model)
@@ -113,8 +127,11 @@ ExecutablePlan::compile(const ModelIr &model)
 }
 
 void
-ExecutablePlan::runMlpBatchNarrow(const math::Matrix &x,
-                                  std::vector<int> &labels) const
+ExecutablePlan::runMlpRangeNarrow(const math::Matrix *x,
+                                  const QuantizedMatrix *qx,
+                                  std::size_t row_begin,
+                                  std::size_t row_end, int *labels,
+                                  Scratch &scratch) const
 {
     // The blocked int32 GEMM kernel for formats of <= 16 total bits (the
     // Q8.8 default). kLanes rows are processed together in a lane-major
@@ -125,26 +142,36 @@ ExecutablePlan::runMlpBatchNarrow(const math::Matrix &x,
     // fits int32 exactly and the whole MAC — product, renormalizing
     // shift, both saturations — runs in int32 lanes. Each lane still
     // replays the interpreter's exact saturating term order, so labels
-    // are bit-identical to executeIr.
+    // are bit-identical to executeIr regardless of where a shard's lane
+    // groups fall.
     constexpr std::size_t kLanes = 8;
     const auto raw_min = static_cast<std::int32_t>(rawMin_);
     const auto raw_max = static_cast<std::int32_t>(rawMax_);
     const int frac = fracBits_;
     const std::int32_t act_lo = actLo_;
     const std::int32_t act_hi = actHi_;
-    std::vector<std::int32_t> quantized(kLanes * inputDim_);
-    std::vector<std::int32_t> act_a(kLanes * maxWidth_);
-    std::vector<std::int32_t> act_b(kLanes * maxWidth_);
+    scratch.quantized.resize(kLanes * inputDim_);
+    scratch.actA.resize(kLanes * maxWidth_);
+    scratch.actB.resize(kLanes * maxWidth_);
+    std::int32_t *quantized = scratch.quantized.data();
 
-    std::size_t base = 0;
-    for (; base + kLanes <= x.rows(); base += kLanes) {
-        for (std::size_t lane = 0; lane < kLanes; ++lane)
-            format_.quantizeInto(x.rowPtr(base + lane), &quantized[lane],
-                                 inputDim_, kLanes);
+    std::size_t base = row_begin;
+    for (; base + kLanes <= row_end; base += kLanes) {
+        if (qx != nullptr) {
+            for (std::size_t lane = 0; lane < kLanes; ++lane) {
+                const std::int32_t *q = qx->rowPtr(base + lane);
+                for (std::size_t in = 0; in < inputDim_; ++in)
+                    quantized[in * kLanes + lane] = q[in];
+            }
+        } else {
+            for (std::size_t lane = 0; lane < kLanes; ++lane)
+                format_.quantizeInto(x->rowPtr(base + lane),
+                                     &quantized[lane], inputDim_, kLanes);
+        }
 
-        const std::int32_t *current = quantized.data();
-        std::int32_t *front = act_a.data();
-        std::int32_t *back = act_b.data();
+        const std::int32_t *current = quantized;
+        std::int32_t *front = scratch.actA.data();
+        std::int32_t *back = scratch.actB.data();
         for (std::size_t l = 0; l < layers_.size(); ++l) {
             const Layer &layer = layers_[l];
             bool hidden = l + 1 < layers_.size();
@@ -186,42 +213,53 @@ ExecutablePlan::runMlpBatchNarrow(const math::Matrix &x,
                 if (current[c * kLanes + lane] >
                     current[best * kLanes + lane])
                     best = c;
-            labels[base + lane] = static_cast<int>(best);
+            labels[base + lane - row_begin] = static_cast<int>(best);
         }
     }
 
-    if (base < x.rows()) {
-        Scratch scratch;
-        scratch.quantized.resize(inputDim_);
-        for (; base < x.rows(); ++base) {
-            quantizeRow(x.rowPtr(base), scratch.quantized.data());
-            labels[base] = inferMlp(scratch.quantized.data(), scratch);
+    for (; base < row_end; ++base) {
+        const std::int32_t *q;
+        if (qx != nullptr) {
+            q = qx->rowPtr(base);
+        } else {
+            quantizeRow(x->rowPtr(base), quantized);
+            q = quantized;
         }
+        labels[base - row_begin] = inferMlp(q, scratch);
     }
 }
 
 void
-ExecutablePlan::runMlpBatchWide(const math::Matrix &x,
-                                std::vector<int> &labels) const
+ExecutablePlan::runMlpRangeWide(const math::Matrix *x,
+                                const QuantizedMatrix *qx,
+                                std::size_t row_begin, std::size_t row_end,
+                                int *labels, Scratch &scratch) const
 {
     // Generic-format path: same blocked structure, int64 arithmetic.
     // Rows are blocked so each layer's transposed weights are reused
     // while resident in cache; kLanes independent saturating-MAC chains
-    // interleave to fill the pipeline.
+    // interleave to fill the pipeline. Pre-quantized input is consumed
+    // in place (the QuantizedMatrix is row-major contiguous).
     constexpr std::size_t kLanes = 4;
-    std::vector<std::int32_t> quantized(kRowBlock * inputDim_);
-    std::vector<std::int32_t> act_a(kRowBlock * maxWidth_);
-    std::vector<std::int32_t> act_b(kRowBlock * maxWidth_);
-    for (std::size_t block_base = 0; block_base < x.rows();
+    scratch.quantized.resize(kRowBlock * inputDim_);
+    scratch.actA.resize(kRowBlock * maxWidth_);
+    scratch.actB.resize(kRowBlock * maxWidth_);
+    for (std::size_t block_base = row_begin; block_base < row_end;
          block_base += kRowBlock) {
-        std::size_t block = std::min(kRowBlock, x.rows() - block_base);
-        for (std::size_t i = 0; i < block; ++i)
-            quantizeRow(x.rowPtr(block_base + i), &quantized[i * inputDim_]);
+        std::size_t block = std::min(kRowBlock, row_end - block_base);
+        const std::int32_t *current;
+        if (qx != nullptr) {
+            current = qx->rowPtr(block_base);
+        } else {
+            for (std::size_t i = 0; i < block; ++i)
+                quantizeRow(x->rowPtr(block_base + i),
+                            &scratch.quantized[i * inputDim_]);
+            current = scratch.quantized.data();
+        }
 
-        const std::int32_t *current = quantized.data();
         std::size_t current_width = inputDim_;
-        std::int32_t *front = act_a.data();
-        std::int32_t *back = act_b.data();
+        std::int32_t *front = scratch.actA.data();
+        std::int32_t *back = scratch.actB.data();
         for (std::size_t l = 0; l < layers_.size(); ++l) {
             const Layer &layer = layers_[l];
             bool hidden = l + 1 < layers_.size();
@@ -289,7 +327,7 @@ ExecutablePlan::runMlpBatchWide(const math::Matrix &x,
             for (std::size_t c = 1; c < current_width; ++c)
                 if (scores[c] > scores[best])
                     best = c;
-            labels[block_base + i] = static_cast<int>(best);
+            labels[block_base + i - row_begin] = static_cast<int>(best);
         }
     }
 }
@@ -303,8 +341,10 @@ ExecutablePlan::quantizeRow(const double *row, std::int32_t *out) const
 int
 ExecutablePlan::inferMlp(const std::int32_t *q, Scratch &scratch) const
 {
-    scratch.actA.resize(maxWidth_);
-    scratch.actB.resize(maxWidth_);
+    if (scratch.actA.size() < maxWidth_)
+        scratch.actA.resize(maxWidth_);
+    if (scratch.actB.size() < maxWidth_)
+        scratch.actB.resize(maxWidth_);
     const std::int32_t *current = q;
     std::int32_t *front = scratch.actA.data();
     std::int32_t *back = scratch.actB.data();
@@ -408,42 +448,105 @@ ExecutablePlan::inferRow(const std::int32_t *q, Scratch &scratch) const
     return 0;
 }
 
+void
+ExecutablePlan::checkRange(std::size_t rows, std::size_t cols,
+                           std::size_t row_begin, std::size_t row_end) const
+{
+    if (rows > 0 && cols != inputDim_)
+        throw std::runtime_error("ExecutablePlan: feature width mismatch");
+    if (row_begin > row_end || row_end > rows)
+        throw std::runtime_error("ExecutablePlan: row range out of bounds");
+}
+
+void
+ExecutablePlan::runRangeImpl(const math::Matrix *x,
+                             const QuantizedMatrix *qx,
+                             std::size_t row_begin, std::size_t row_end,
+                             int *labels, Scratch &scratch) const
+{
+    if (row_begin == row_end)
+        return;
+
+    if (kind_ == ModelKind::kMlp && narrow_) {
+        runMlpRangeNarrow(x, qx, row_begin, row_end, labels, scratch);
+        return;
+    }
+    if (kind_ == ModelKind::kMlp) {
+        runMlpRangeWide(x, qx, row_begin, row_end, labels, scratch);
+        return;
+    }
+
+    if (scratch.quantized.size() < inputDim_)
+        scratch.quantized.resize(inputDim_);
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+        const std::int32_t *q;
+        if (qx != nullptr) {
+            q = qx->rowPtr(r);
+        } else {
+            quantizeRow(x->rowPtr(r), scratch.quantized.data());
+            q = scratch.quantized.data();
+        }
+        labels[r - row_begin] = inferRow(q, scratch);
+    }
+}
+
+void
+ExecutablePlan::runRange(const math::Matrix &x, std::size_t row_begin,
+                         std::size_t row_end, int *labels,
+                         Scratch &scratch) const
+{
+    checkRange(x.rows(), x.cols(), row_begin, row_end);
+    runRangeImpl(&x, nullptr, row_begin, row_end, labels, scratch);
+}
+
+void
+ExecutablePlan::runRange(const QuantizedMatrix &x, std::size_t row_begin,
+                         std::size_t row_end, int *labels,
+                         Scratch &scratch) const
+{
+    if (x.format().integerBits() != format_.integerBits() ||
+        x.format().fracBits() != format_.fracBits())
+        throw std::runtime_error(
+            "ExecutablePlan: quantized matrix format mismatch");
+    checkRange(x.rows(), x.cols(), row_begin, row_end);
+    runRangeImpl(nullptr, &x, row_begin, row_end, labels, scratch);
+}
+
 std::vector<int>
 ExecutablePlan::run(const math::Matrix &x) const
 {
-    if (x.rows() > 0 && x.cols() != inputDim_)
-        throw std::runtime_error("ExecutablePlan: feature width mismatch");
     std::vector<int> labels(x.rows());
-    if (x.rows() == 0)
-        return labels;
-
-    if (kind_ == ModelKind::kMlp && narrow_) {
-        runMlpBatchNarrow(x, labels);
-        return labels;
-    }
-    if (kind_ == ModelKind::kMlp) {
-        runMlpBatchWide(x, labels);
-        return labels;
-    }
-
     Scratch scratch;
-    scratch.quantized.resize(inputDim_);
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-        quantizeRow(x.rowPtr(r), scratch.quantized.data());
-        labels[r] = inferRow(scratch.quantized.data(), scratch);
-    }
+    runRange(x, 0, x.rows(), labels.data(), scratch);
     return labels;
+}
+
+std::vector<int>
+ExecutablePlan::run(const QuantizedMatrix &x) const
+{
+    std::vector<int> labels(x.rows());
+    Scratch scratch;
+    runRange(x, 0, x.rows(), labels.data(), scratch);
+    return labels;
+}
+
+int
+ExecutablePlan::runRow(const double *features, std::size_t width,
+                       Scratch &scratch) const
+{
+    if (width != inputDim_)
+        throw std::runtime_error("ExecutablePlan: feature width mismatch");
+    if (scratch.quantized.size() < inputDim_)
+        scratch.quantized.resize(inputDim_);
+    quantizeRow(features, scratch.quantized.data());
+    return inferRow(scratch.quantized.data(), scratch);
 }
 
 int
 ExecutablePlan::runRow(const double *features, std::size_t width) const
 {
-    if (width != inputDim_)
-        throw std::runtime_error("ExecutablePlan: feature width mismatch");
     Scratch scratch;
-    scratch.quantized.resize(inputDim_);
-    quantizeRow(features, scratch.quantized.data());
-    return inferRow(scratch.quantized.data(), scratch);
+    return runRow(features, width, scratch);
 }
 
 }  // namespace homunculus::ir

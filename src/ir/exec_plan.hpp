@@ -18,12 +18,24 @@
  * nodes for branch-light array-indexed traversal — then processes a whole
  * math::Matrix in row blocks with zero per-row allocation.
  *
- * The semantics contract: ExecutablePlan::run() is bit-identical to
- * per-row ir::executeIr() for every model family and format. It replays
- * the exact saturating add/multiply sequence of the interpreter (term
- * order included), so the accuracy the compiler reports is still the
- * accuracy of the deployed quantized artifact
- * (tests/test_exec_plan.cpp holds the two implementations together).
+ * Execution entry points compose for the multi-core serving runtime
+ * (runtime::InferenceEngine):
+ *  - run() processes a whole matrix on the calling thread;
+ *  - runRange() processes a contiguous row shard into caller storage
+ *    with a caller-owned Scratch arena, so N workers can execute one
+ *    shared immutable plan concurrently (the plan itself is never
+ *    mutated after compile());
+ *  - a QuantizedMatrix overload skips input quantization entirely when
+ *    the caller already holds the matrix in the plan's Q-format (the
+ *    compile session caches one per format across search candidates).
+ *
+ * The semantics contract: every entry point is bit-identical to per-row
+ * ir::executeIr() for every model family and format. It replays the
+ * exact saturating add/multiply sequence of the interpreter (term order
+ * included), so the accuracy the compiler reports is still the accuracy
+ * of the deployed quantized artifact, at any shard width
+ * (tests/test_exec_plan.cpp and tests/test_inference_engine.cpp hold
+ * the implementations together).
  */
 #pragma once
 
@@ -35,23 +47,97 @@
 
 namespace homunculus::ir {
 
+/**
+ * A feature matrix held in a fixed-point format's raw words: the result
+ * of FixedPointFormat::quantizeInto over every row of a double matrix,
+ * row-major. Quantization is the row-independent front half of every
+ * plan execution, so candidate scoring caches one QuantizedMatrix per
+ * format and shares it across all candidates with that format
+ * (runtime::QuantCache) — values are bit-identical to the words the
+ * plan would produce internally.
+ */
+class QuantizedMatrix
+{
+  public:
+    QuantizedMatrix() = default;
+
+    /** Quantize every row of @p x into @p format raw words. */
+    QuantizedMatrix(const math::Matrix &x,
+                    const common::FixedPointFormat &format);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    const common::FixedPointFormat &format() const { return format_; }
+
+    const std::int32_t *rowPtr(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+  private:
+    common::FixedPointFormat format_ = common::FixedPointFormat::q88();
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<std::int32_t> data_;
+};
+
 /** A compiled, immutable inference plan for one ModelIr. */
 class ExecutablePlan
 {
   public:
+    /**
+     * Reusable per-caller scratch buffers. One run()/runRange() call
+     * resizes these on first use and then executes allocation-free;
+     * keeping one Scratch per worker thread (or per long-lived caller)
+     * makes repeated executions allocation-free too. A Scratch must not
+     * be shared between concurrent calls.
+     */
+    struct Scratch
+    {
+        std::vector<std::int32_t> quantized;
+        std::vector<std::int32_t> actA;
+        std::vector<std::int32_t> actB;
+    };
+
     /** One-time compilation; validates the model first. */
     static ExecutablePlan compile(const ModelIr &model);
 
     /** Batched inference over a feature matrix (one label per row). */
     std::vector<int> run(const math::Matrix &x) const;
 
-    /** Single-row inference (compatibility path; still allocation-free
-     *  beyond one scratch buffer). @p width must equal inputDim(). */
+    /** Batched inference over a pre-quantized matrix (format and width
+     *  must match the plan's). */
+    std::vector<int> run(const QuantizedMatrix &x) const;
+
+    /**
+     * Inference over the row shard [row_begin, row_end) of @p x, writing
+     * labels[i - row_begin] for each row i. @p scratch is caller-owned
+     * (see Scratch); the plan itself stays immutable, so any number of
+     * threads may execute disjoint shards of one plan concurrently.
+     */
+    void runRange(const math::Matrix &x, std::size_t row_begin,
+                  std::size_t row_end, int *labels,
+                  Scratch &scratch) const;
+
+    /** Shard execution over a pre-quantized matrix (skips quantization;
+     *  @p x.format() must equal the plan's format). */
+    void runRange(const QuantizedMatrix &x, std::size_t row_begin,
+                  std::size_t row_end, int *labels,
+                  Scratch &scratch) const;
+
+    /** Single-row inference into a caller-owned scratch: allocation-free
+     *  after the scratch's first use. @p width must equal inputDim(). */
+    int runRow(const double *features, std::size_t width,
+               Scratch &scratch) const;
+
+    /** Single-row convenience overload with a transient scratch (one
+     *  allocation per call; prefer the Scratch overload in loops). */
     int runRow(const double *features, std::size_t width) const;
 
     ModelKind kind() const { return kind_; }
     std::size_t inputDim() const { return inputDim_; }
     int numClasses() const { return numClasses_; }
+    const common::FixedPointFormat &format() const { return format_; }
 
   private:
     ExecutablePlan() = default;
@@ -65,21 +151,22 @@ class ExecutablePlan
         std::vector<std::int32_t> biases;
     };
 
-    /** Scratch buffers reused across rows of one run() call. */
-    struct Scratch
-    {
-        std::vector<std::int32_t> quantized;
-        std::vector<std::int32_t> actA;
-        std::vector<std::int32_t> actB;
-    };
-
     void quantizeRow(const double *row, std::int32_t *out) const;
-    /** Blocked int32 GEMM over interleaved lanes (formats <= 16 bits). */
-    void runMlpBatchNarrow(const math::Matrix &x,
-                           std::vector<int> &labels) const;
-    /** Generic-format blocked batch path (int64 arithmetic). */
-    void runMlpBatchWide(const math::Matrix &x,
-                         std::vector<int> &labels) const;
+    /** Blocked int32 GEMM over interleaved lanes (formats <= 16 bits).
+     *  @p quantized_rows is the pre-quantized matrix when non-null. */
+    void runMlpRangeNarrow(const math::Matrix *x,
+                           const QuantizedMatrix *qx,
+                           std::size_t row_begin, std::size_t row_end,
+                           int *labels, Scratch &scratch) const;
+    /** Generic-format blocked range path (int64 arithmetic). */
+    void runMlpRangeWide(const math::Matrix *x, const QuantizedMatrix *qx,
+                         std::size_t row_begin, std::size_t row_end,
+                         int *labels, Scratch &scratch) const;
+    void runRangeImpl(const math::Matrix *x, const QuantizedMatrix *qx,
+                      std::size_t row_begin, std::size_t row_end,
+                      int *labels, Scratch &scratch) const;
+    void checkRange(std::size_t rows, std::size_t cols,
+                    std::size_t row_begin, std::size_t row_end) const;
     int inferRow(const std::int32_t *q, Scratch &scratch) const;
     int inferMlp(const std::int32_t *q, Scratch &scratch) const;
     int inferKMeans(const std::int32_t *q) const;

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * QuantCache: per-format quantized views of one feature matrix.
+ *
+ * Candidate scoring quantizes the spec's test partition on every
+ * Platform::evaluate call — thousands of pow()-free but still O(rows x
+ * cols) conversions per search, all identical whenever candidates share
+ * a FixedPointFormat (today every family lowers to Q8.8, so a whole
+ * search re-quantizes one matrix hundreds of times). A QuantCache binds
+ * to one matrix and memoizes its ir::QuantizedMatrix per format.
+ *
+ * Thread-safety: get() is safe from concurrent family-search workers;
+ * the first caller for a format quantizes under the lock, later callers
+ * get the cached reference (std::map nodes are address-stable, so the
+ * reference outlives any further inserts). Bit-exactness is guaranteed
+ * by construction — QuantizedMatrix uses the same quantizeInto kernel
+ * the plan uses internally — and pinned by a differential test.
+ */
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "ir/exec_plan.hpp"
+
+namespace homunculus::runtime {
+
+/** Format-keyed quantization cache bound to one feature matrix. */
+class QuantCache
+{
+  public:
+    /** Bind to @p x; the matrix must outlive the cache and not change. */
+    explicit QuantCache(const math::Matrix &x) : x_(&x) {}
+
+    QuantCache(const QuantCache &) = delete;
+    QuantCache &operator=(const QuantCache &) = delete;
+
+    /** Whether @p x is the matrix this cache is bound to (by identity —
+     *  callers pass the same partition object to every evaluate). */
+    bool covers(const math::Matrix &x) const { return &x == x_; }
+
+    /** The quantized view for @p format (computed on first use). */
+    const ir::QuantizedMatrix &get(
+        const common::FixedPointFormat &format) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto key = std::make_pair(format.integerBits(), format.fracBits());
+        auto it = cache_.find(key);
+        if (it == cache_.end())
+            it = cache_.emplace(key, ir::QuantizedMatrix(*x_, format))
+                     .first;
+        return it->second;
+    }
+
+    /** Number of distinct formats quantized so far. */
+    std::size_t entries() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return cache_.size();
+    }
+
+  private:
+    const math::Matrix *x_;
+    mutable std::mutex mutex_;
+    /** Keyed by (integerBits, fracBits). */
+    mutable std::map<std::pair<int, int>, ir::QuantizedMatrix> cache_;
+};
+
+}  // namespace homunculus::runtime

@@ -16,6 +16,9 @@
  *        [--init N] [--iters N]    search budget (default 5 / 15)
  *        [--jobs N]                parallel family searches (default 1;
  *                                  0 = one per hardware thread)
+ *        [--infer-jobs N]          row-shard width for candidate scoring
+ *                                  and --replay inference (default 1;
+ *                                  0 = one per hardware thread)
  *        [--grid N]                Taurus grid side (default 16)
  *        [--tables N]              MAT stage budget (default 12)
  *        [--throughput G] [--latency NS]   performance envelope
@@ -29,9 +32,19 @@
  *        [--dump-ir[=PASS]]        print the artifact after each emit
  *                                  pass (or only after PASS)
  *        [--progress]              print per-stage progress events
+ *        [--replay TRACE]          serving mode: after compiling, replay
+ *                                  a packet trace through the winner via
+ *                                  the streaming runtime. TRACE is
+ *                                  iot:N (N synthetic IoT packets) or a
+ *                                  file of hex-encoded frames, one per
+ *                                  line. Reports rows/s and p50/p99
+ *                                  micro-batch latency.
+ *        [--replay-batch N]        replay micro-batch rows (default 1024)
+ *        [--replay-raw]            skip feature standardization on replay
  *   homc --list-platforms          enumerate the backend registry
  *   homc --list-passes             enumerate the IR pass registry
  */
+#include <cctype>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -43,6 +56,7 @@
 #include "data/loaders.hpp"
 #include "ir/passes.hpp"
 #include "ir/serialize.hpp"
+#include "runtime/stream_harness.hpp"
 
 namespace {
 
@@ -59,10 +73,14 @@ struct CliOptions
     std::string paretoMetric;
     std::string passes;
     std::string dumpPass;   ///< dump filter; empty = every pass.
+    std::string replay;     ///< iot:N or a hex-frame trace file.
+    std::size_t replayBatch = 1024;
+    bool replayRaw = false;
     bool dumpIr = false;
     std::size_t init = 5;
     std::size_t iters = 15;
     std::size_t jobs = 1;
+    std::size_t inferJobs = 1;
     std::size_t grid = 16;
     std::size_t tables = 12;
     double throughputGpps = 1.0;
@@ -87,6 +105,12 @@ printUsage()
         "  --algorithms LIST        comma-separated family pool\n"
         "  --init N --iters N       search budget\n"
         "  --jobs N                 parallel family searches (0 = #cores)\n"
+        "  --infer-jobs N           row-shard width for scoring + replay\n"
+        "                           (0 = #cores)\n"
+        "  --replay TRACE           serving mode: replay iot:N or a\n"
+        "                           hex-frame file through the winner\n"
+        "  --replay-batch N         replay micro-batch rows (default 1024)\n"
+        "  --replay-raw             skip feature standardization on replay\n"
         "  --grid N                 Taurus grid side\n"
         "  --tables N               MAT stage budget\n"
         "  --throughput GPPS --latency NS\n"
@@ -122,6 +146,10 @@ parseArgs(int argc, char **argv, CliOptions &options)
             options.dumpIr = true;
             continue;
         }
+        if (arg == "--replay-raw") {
+            options.replayRaw = true;
+            continue;
+        }
         if (common::startsWith(arg, "--dump-ir=")) {
             options.dumpIr = true;
             options.dumpPass = arg.substr(std::string("--dump-ir=").size());
@@ -153,9 +181,12 @@ parseArgs(int argc, char **argv, CliOptions &options)
     take("save", options.savePath);
     take("pareto", options.paretoMetric);
     take("passes", options.passes);
+    take("replay", options.replay);
+    take_size("replay-batch", options.replayBatch);
     take_size("init", options.init);
     take_size("iters", options.iters);
     take_size("jobs", options.jobs);
+    take_size("infer-jobs", options.inferJobs);
     take_size("grid", options.grid);
     take_size("tables", options.tables);
     if (flags.count("throughput")) {
@@ -248,6 +279,122 @@ buildPlatform(const CliOptions &options)
     return handle;
 }
 
+/** Decode one hex-encoded frame line (whitespace tolerated). */
+std::vector<std::uint8_t>
+decodeHexFrame(const std::string &line)
+{
+    std::string hex;
+    hex.reserve(line.size());
+    for (char c : line)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            hex.push_back(c);
+    if (hex.size() % 2 != 0)
+        throw std::runtime_error("hex frame has odd digit count");
+    std::vector<std::uint8_t> bytes(hex.size() / 2);
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        bytes[i] = static_cast<std::uint8_t>(
+            std::stoul(hex.substr(2 * i, 2), nullptr, 16));
+    return bytes;
+}
+
+/**
+ * Load --replay's trace as wire frames: "iot:N" generates N synthetic
+ * IoT packets (serialized, so the replay exercises the full parse path),
+ * anything else is a file of hex-encoded frames, one per line.
+ */
+std::vector<std::vector<std::uint8_t>>
+loadReplayTrace(const std::string &trace)
+{
+    std::vector<std::vector<std::uint8_t>> frames;
+    if (common::startsWith(trace, "iot:")) {
+        net::IotPacketConfig config;
+        config.numPackets = std::stoull(trace.substr(4));
+        config.seed = bench::kBenchSeed ^ 0x5EAFull;
+        for (const auto &labeled : net::generateIotPackets(config))
+            frames.push_back(net::serialize(labeled.packet));
+        return frames;
+    }
+    std::ifstream in(trace);
+    if (!in)
+        throw std::runtime_error("cannot read trace file '" + trace + "'");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (common::trim(line).empty())
+            continue;
+        frames.push_back(decodeHexFrame(line));
+    }
+    return frames;
+}
+
+/** Serving mode: replay a trace through the winner on the streaming
+ *  runtime and print rows/s + micro-batch latency percentiles. */
+void
+runReplay(const CliOptions &options, const homunculus::ir::ModelIr &model)
+{
+    auto frames = loadReplayTrace(options.replay);
+    std::cout << "\nreplay    : " << options.replay << " ("
+              << frames.size() << " frames, batch "
+              << options.replayBatch << ", "
+              << (options.inferJobs == 0
+                      ? std::string("auto")
+                      : std::to_string(options.inferJobs))
+              << " infer jobs)\n";
+
+    runtime::EngineOptions engine_options;
+    engine_options.jobs = options.inferJobs;
+    // The operator already sized the micro-batch with --replay-batch;
+    // shard every batch rather than second-guessing with the engine's
+    // default inline threshold (sub-256-row batches still run inline
+    // because they produce a single shard).
+    engine_options.minRowsToShard = 1;
+    net::FeatureExtractor extractor;
+
+    std::optional<ml::StandardScaler> scaler;
+    if (!options.replayRaw) {
+        // The training-time scaler is not part of the artifact, so
+        // standardize with statistics of the trace itself — the deployed
+        // approximation; throughput/latency do not depend on it
+        // (--replay-raw turns it off).
+        std::vector<std::vector<double>> rows;
+        for (const auto &frame : frames)
+            if (auto features = extractor.extractFromWire(frame))
+                rows.push_back(std::move(*features));
+        if (!rows.empty()) {
+            math::Matrix m(rows.size(), rows.front().size());
+            for (std::size_t r = 0; r < rows.size(); ++r)
+                for (std::size_t c = 0; c < rows[r].size(); ++c)
+                    m(r, c) = rows[r][c];
+            ml::StandardScaler fitted;
+            fitted.fit(m);
+            scaler = std::move(fitted);
+        }
+    }
+
+    runtime::StreamConfig stream_config;
+    stream_config.batchRows = options.replayBatch;
+    runtime::StreamHarness harness(
+        runtime::InferenceEngine::fromModel(model, engine_options),
+        extractor, std::move(scaler), stream_config);
+    runtime::StreamStats stats = harness.replayWire(frames);
+
+    std::map<int, std::size_t> verdict_counts;
+    for (int verdict : stats.verdicts)
+        ++verdict_counts[verdict];
+    std::cout << common::format(
+        "served    : %zu/%zu packets in %zu batches, %.0f rows/s\n",
+        stats.rowsClassified, stats.packetsOffered, stats.batches,
+        stats.rowsPerSec);
+    std::cout << common::format(
+        "latency   : p50 %.1f us / p99 %.1f us per batch "
+        "(extract %.3fs, infer %.3fs, wall %.3fs)\n",
+        stats.p50BatchLatencyUs, stats.p99BatchLatencyUs,
+        stats.extractSeconds, stats.inferSeconds, stats.wallSeconds);
+    std::cout << "verdicts  :";
+    for (const auto &[verdict, count] : verdict_counts)
+        std::cout << " class " << verdict << " x" << count;
+    std::cout << "\n";
+}
+
 /** Registry-aware pass-name check, mirroring the --list-platforms style. */
 bool
 knownPass(const std::string &name)
@@ -323,6 +470,7 @@ main(int argc, char **argv)
         compile_options.bo.costMetricKey = options.paretoMetric;
         compile_options.seed = options.seed;
         compile_options.jobs = options.jobs;
+        compile_options.inferJobs = options.inferJobs;
         if (!options.passes.empty()) {
             for (const auto &name : common::split(options.passes, ','))
                 compile_options.emitPasses.push_back(common::trim(name));
@@ -400,6 +548,8 @@ main(int argc, char **argv)
             std::cout << "program   : " << options.outPath << " ("
                       << model.code.size() << " bytes)\n";
         }
+        if (!options.replay.empty())
+            runReplay(options, model.model);
     } catch (const std::exception &error) {
         std::cerr << "homc: " << error.what() << "\n";
         return 1;
