@@ -85,6 +85,8 @@ loadBd()
     ml::StandardScaler scaler;
     split.train.x = scaler.fitTransform(split.train.x);
     split.test.x = scaler.transform(split.test.x);
+    split.scalerMeans = scaler.means();
+    split.scalerStds = scaler.stddevs();
     return split;
 }
 

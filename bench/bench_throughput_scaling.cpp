@@ -29,6 +29,7 @@
 
 #include "bench_common.hpp"
 #include "common/string_util.hpp"
+#include "math/stats.hpp"
 #include "runtime/inference_engine.hpp"
 
 using namespace homunculus;
@@ -44,17 +45,6 @@ struct Measurement
     double p99Ms = 0.0;
     std::size_t iterations = 0;
 };
-
-double
-percentileMs(std::vector<double> samples_ms, double p)
-{
-    if (samples_ms.empty())
-        return 0.0;
-    std::sort(samples_ms.begin(), samples_ms.end());
-    auto rank = static_cast<std::size_t>(
-        std::llround(p * static_cast<double>(samples_ms.size() - 1)));
-    return samples_ms[rank];
-}
 
 /**
  * Time repeated engine.run(x) calls: warm up once, then measure until
@@ -86,8 +76,8 @@ measure(const runtime::InferenceEngine &engine, const math::Matrix &x,
     out.iterations = samples_ms.size();
     out.rowsPerSec = static_cast<double>(x.rows()) *
                      static_cast<double>(samples_ms.size()) / total_seconds;
-    out.p50Ms = percentileMs(samples_ms, 0.50);
-    out.p99Ms = percentileMs(samples_ms, 0.99);
+    out.p50Ms = math::percentileNearestRank(samples_ms, 0.50);
+    out.p99Ms = math::percentileNearestRank(samples_ms, 0.99);
     return out;
 }
 

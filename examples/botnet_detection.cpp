@@ -56,6 +56,9 @@ main()
     ml::StandardScaler scaler;
     split.train.x = scaler.fitTransform(split.train.x);
     split.test.x = scaler.transform(split.test.x);
+    // Record the fit so the artifact carries true scaler provenance.
+    split.scalerMeans = scaler.means();
+    split.scalerStds = scaler.stddevs();
 
     core::ModelSpec spec;
     spec.name = "botnet_detection";

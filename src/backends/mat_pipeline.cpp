@@ -2,11 +2,115 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
+#include "runtime/executor.hpp"
 
 namespace homunculus::backends {
+
+namespace {
+
+/**
+ * Bucketized entry lookup for range tables (the SVM feature bins):
+ * binary-search the storage-ordered hi bounds for the first entry
+ * ending at or above key, then confirm its lo. `rangeIndexed`
+ * guarantees lo and hi are both non-decreasing in storage order, so
+ * that entry is exactly the linear first match: every earlier entry
+ * ends below key, and if this one starts above key, so does every
+ * later one — touching bins (shared boundary points) resolve to the
+ * earlier bin, as the linear scan does.
+ */
+const MatEntry *
+findRangeEntry(const MatTable &table, std::int32_t key)
+{
+    auto it = std::lower_bound(table.orderedHi.begin(),
+                               table.orderedHi.end(), key);
+    if (it == table.orderedHi.end())
+        return nullptr;  // key above every entry's hi.
+    const MatEntry &entry =
+        table.entries[static_cast<std::size_t>(
+            it - table.orderedHi.begin())];
+    return entry.lo <= key ? &entry : nullptr;
+}
+
+/** The [begin, end) span of sortedOrder whose entries match @p key
+ *  exactly (lo == hi == key — the tree state groups), original entry
+ *  order preserved by the stable sort. */
+std::pair<std::size_t, std::size_t>
+findExactGroup(const MatTable &table, std::int32_t key)
+{
+    auto range = std::equal_range(table.sortedLo.begin(),
+                                  table.sortedLo.end(), key);
+    return {static_cast<std::size_t>(range.first - table.sortedLo.begin()),
+            static_cast<std::size_t>(range.second -
+                                     table.sortedLo.begin())};
+}
+
+void
+buildLookupIndex(MatTable &table)
+{
+    std::size_t n = table.entries.size();
+    table.orderedHi.clear();
+    table.sortedLo.clear();
+    table.sortedOrder.clear();
+    table.rangeIndexed = false;
+    table.groupIndexed = false;
+
+    // Only the index this stage kind's walk consults is built (and
+    // kept); distance/select stages do no entry lookups at all.
+    if (table.kind == MatStageKind::kAccumulate) {
+        // Range index: usable when lo and hi are both non-decreasing
+        // in storage order (the compile* factories install bins in
+        // ascending order, so this holds for every generated table).
+        table.rangeIndexed = true;
+        table.orderedHi.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            table.orderedHi[i] = table.entries[i].hi;
+            if (i > 0 &&
+                (table.entries[i].lo < table.entries[i - 1].lo ||
+                 table.entries[i].hi < table.entries[i - 1].hi))
+                table.rangeIndexed = false;
+        }
+        if (!table.rangeIndexed)
+            table.orderedHi.clear();  // linear fallback; drop the index.
+    } else if (table.kind == MatStageKind::kTreeLevel) {
+        // Exact-match group index: usable when every entry is a point
+        // match (the tree state entries); the stable sort keeps each
+        // state group's entries in original order, so the group scan
+        // reproduces the linear first-match exactly.
+        table.groupIndexed = true;
+        for (const MatEntry &entry : table.entries)
+            if (entry.lo != entry.hi) {
+                table.groupIndexed = false;
+                break;
+            }
+        if (table.groupIndexed) {
+            table.sortedOrder.resize(n);
+            std::iota(table.sortedOrder.begin(), table.sortedOrder.end(),
+                      0u);
+            std::stable_sort(
+                table.sortedOrder.begin(), table.sortedOrder.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                    return table.entries[a].lo < table.entries[b].lo;
+                });
+            table.sortedLo.resize(n);
+            for (std::size_t i = 0; i < n; ++i)
+                table.sortedLo[i] =
+                    table.entries[table.sortedOrder[i]].lo;
+        }
+    }
+}
+
+}  // namespace
+
+void
+MatPipeline::buildLookupIndexes()
+{
+    for (MatTable &table : tables_)
+        buildLookupIndex(table);
+}
 
 std::size_t
 MatPipeline::totalEntries() const
@@ -42,6 +146,7 @@ MatPipeline::compileKMeans(const ir::ModelIr &model)
         }
         pipeline.tables_.push_back(std::move(table));
     }
+    pipeline.buildLookupIndexes();
     return pipeline;
 }
 
@@ -94,6 +199,7 @@ MatPipeline::compileSvm(const ir::ModelIr &model,
         }
         pipeline.tables_.push_back(std::move(table));
     }
+    pipeline.buildLookupIndexes();
     return pipeline;
 }
 
@@ -164,6 +270,7 @@ MatPipeline::compileTree(const ir::ModelIr &model)
         }
         pipeline.tables_.push_back(std::move(table));
     }
+    pipeline.buildLookupIndexes();
     return pipeline;
 }
 
@@ -174,12 +281,24 @@ MatPipeline::process(const std::vector<double> &features) const
         throw std::runtime_error("MatPipeline: feature width mismatch");
     std::vector<std::int32_t> quantized = format_.quantizeVector(features);
     std::vector<std::int64_t> accumulators(numClasses_, 0);
-    return walk(quantized.data(), accumulators.data());
+    return walk(quantized.data(), accumulators.data(), /*use_index=*/true);
+}
+
+int
+MatPipeline::processLinear(const std::vector<double> &features) const
+{
+    if (features.size() != inputDim_)
+        throw std::runtime_error("MatPipeline: feature width mismatch");
+    std::vector<std::int32_t> quantized = format_.quantizeVector(features);
+    std::vector<std::int64_t> accumulators(numClasses_, 0);
+    return walk(quantized.data(), accumulators.data(),
+                /*use_index=*/false);
 }
 
 std::vector<int>
 MatPipeline::processBatch(const math::Matrix &x, std::size_t jobs,
-                          const ir::QuantizedMatrix *pre_quantized) const
+                          const ir::QuantizedMatrix *pre_quantized,
+                          runtime::Executor *executor) const
 {
     if (x.rows() > 0 && x.cols() != inputDim_)
         throw std::runtime_error("MatPipeline: feature width mismatch");
@@ -203,14 +322,17 @@ MatPipeline::processBatch(const math::Matrix &x, std::size_t jobs,
     // of at most kWalkChunkRows rows yields a single chunk, which
     // parallelForChunks runs inline on the caller's thread anyway.
     constexpr std::size_t kWalkChunkRows = 1024;
-    std::size_t workers = common::effectiveJobs(jobs);
+    runtime::Executor &pool = executor != nullptr
+                                  ? *executor
+                                  : runtime::Executor::processDefault();
+    std::size_t workers = pool.resolve(jobs);
     struct WalkScratch
     {
         std::vector<std::int32_t> quantized;
         std::vector<std::int64_t> accumulators;
     };
     std::vector<WalkScratch> scratches(workers);
-    common::parallelForChunks(
+    pool.runChunks(
         workers, x.rows(), kWalkChunkRows,
         [&](std::size_t begin, std::size_t end, std::size_t worker) {
             WalkScratch &scratch = scratches[worker];
@@ -228,18 +350,45 @@ MatPipeline::processBatch(const math::Matrix &x, std::size_t jobs,
                 }
                 std::fill(scratch.accumulators.begin(),
                           scratch.accumulators.end(), 0);
-                labels[r] = walk(q, scratch.accumulators.data());
+                labels[r] = walk(q, scratch.accumulators.data(),
+                                 /*use_index=*/true);
             }
         });
     return labels;
 }
 
 int
-MatPipeline::walk(const std::int32_t *q, std::int64_t *accumulators) const
+MatPipeline::walk(const std::int32_t *q, std::int64_t *accumulators,
+                  bool use_index) const
 {
     std::int32_t state = 0;   // tree traversal node id.
     int label = 0;
     bool label_written = false;
+
+    // One tree-level entry against the packet: a leaf entry writes the
+    // label, a comparison entry advances the state when its polarity
+    // matches. Returns true when the entry consumed the packet (the
+    // level's first-match break).
+    auto applyTreeEntry = [&](const MatEntry &entry) {
+        if (entry.labelWrite >= 0 && entry.classContribution.empty()) {
+            label = entry.labelWrite;
+            label_written = true;
+            return true;
+        }
+        // Comparison entry: payload = [threshold, is_le, feature].
+        std::int64_t threshold = entry.classContribution[0];
+        bool is_le = entry.classContribution[1] == 1;
+        auto feature =
+            static_cast<std::size_t>(entry.classContribution[2]);
+        bool cmp = q[feature] <= threshold;
+        if (cmp == is_le) {
+            state = entry.nextState;
+            // A next state pointing at a leaf resolves on the next
+            // level's leaf entry.
+            return true;
+        }
+        return false;
+    };
 
     for (const MatTable &table : tables_) {
         switch (table.kind) {
@@ -255,37 +404,39 @@ MatPipeline::walk(const std::int32_t *q, std::int64_t *accumulators) const
           }
           case MatStageKind::kAccumulate: {
             std::int32_t key = q[table.keyField];
-            for (const MatEntry &entry : table.entries) {
-                if (key >= entry.lo && key <= entry.hi) {
-                    for (std::size_t c = 0; c < numClasses_; ++c)
-                        accumulators[c] += entry.classContribution[c];
-                    break;  // first-match semantics, entries are disjoint.
+            const MatEntry *match = nullptr;
+            if (use_index && table.rangeIndexed) {
+                match = findRangeEntry(table, key);
+            } else {
+                for (const MatEntry &entry : table.entries) {
+                    if (key >= entry.lo && key <= entry.hi) {
+                        match = &entry;  // first-match semantics.
+                        break;
+                    }
                 }
             }
+            if (match != nullptr)
+                for (std::size_t c = 0; c < numClasses_; ++c)
+                    accumulators[c] += match->classContribution[c];
             break;
           }
           case MatStageKind::kTreeLevel: {
             if (label_written)
                 break;  // packet already classified at a shallower leaf.
-            for (const MatEntry &entry : table.entries) {
-                if (state < entry.lo || state > entry.hi)
-                    continue;
-                if (entry.labelWrite >= 0 && entry.classContribution.empty()) {
-                    label = entry.labelWrite;
-                    label_written = true;
-                    break;
-                }
-                // Comparison entry: payload = [threshold, is_le, feature].
-                std::int64_t threshold = entry.classContribution[0];
-                bool is_le = entry.classContribution[1] == 1;
-                auto feature = static_cast<std::size_t>(
-                    entry.classContribution[2]);
-                bool cmp = q[feature] <= threshold;
-                if (cmp == is_le) {
-                    state = entry.nextState;
-                    // A next state pointing at a leaf resolves on the next
-                    // level's leaf entry.
-                    break;
+            if (use_index && table.groupIndexed) {
+                // State matches are exact ([lo, lo] entries), so the
+                // index narrows the scan to this state's entry group.
+                auto [begin, end] = findExactGroup(table, state);
+                for (std::size_t i = begin; i < end; ++i)
+                    if (applyTreeEntry(
+                            table.entries[table.sortedOrder[i]]))
+                        break;
+            } else {
+                for (const MatEntry &entry : table.entries) {
+                    if (state < entry.lo || state > entry.hi)
+                        continue;
+                    if (applyTreeEntry(entry))
+                        break;
                 }
             }
             break;

@@ -33,6 +33,10 @@
 #include "ir/exec_plan.hpp"
 #include "ir/model_ir.hpp"
 
+namespace homunculus::runtime {
+class Executor;
+}
+
 namespace homunculus::backends {
 
 /** A range-match entry: [lo, hi] on the stage key -> action payload. */
@@ -72,6 +76,40 @@ struct MatTable
     /** Whether this table also performs the final selection. */
     bool fusedSelect = false;
     bool selectMin = false;  ///< fused selection polarity.
+
+    /**
+     * Bucketized lookup indexes over the entries (built once at compile
+     * time) so the per-packet walk binary-searches sorted entry bounds
+     * instead of scanning linearly. Only the index this table's stage
+     * kind consults is built — accumulate stages the range index, tree
+     * levels the group index, distance/select stages neither. Entry
+     * storage order is untouched (codegen and capacity accounting see
+     * the installed order), and an index is used only when its
+     * verification proved it reproduces the linear first-match
+     * semantics exactly; tables that fail verification keep the linear
+     * walk (and carry no index data).
+     *
+     * Range index (the accumulate stages — SVM feature bins):
+     * `orderedHi` mirrors the entries' hi bounds in storage order;
+     * `rangeIndexed` is set when both lo and hi are non-decreasing in
+     * storage order. Then the first entry whose hi >= key is the first
+     * possible match in original order (every earlier entry ends below
+     * key, every later one starts at or above this one), even for bins
+     * that share boundary points.
+     */
+    std::vector<std::int32_t> orderedHi;
+    bool rangeIndexed = false;
+
+    /**
+     * Exact-match group index (the tree-level stages): entry positions
+     * stable-sorted ascending by lo plus the sorted keys, so a state's
+     * whole entry group is found by binary search and scanned in
+     * original order. Requires every entry exact (lo == hi);
+     * `groupIndexed` is set when that verifies.
+     */
+    std::vector<std::int32_t> sortedLo;
+    std::vector<std::uint32_t> sortedOrder;
+    bool groupIndexed = false;
 };
 
 /** A compiled MAT program plus the packet-walk interpreter. */
@@ -88,17 +126,28 @@ class MatPipeline
     int process(const std::vector<double> &features) const;
 
     /**
+     * Reference walk using the linear first-match entry scan — the
+     * semantic spec the bucketized binary-search index must reproduce
+     * bit-for-bit (differential-tested against process()). Not a hot
+     * path; exists so the index can always be checked against the
+     * original table semantics.
+     */
+    int processLinear(const std::vector<double> &features) const;
+
+    /**
      * Batched walk over a feature matrix: quantization buffers and class
      * accumulators are hoisted out of the per-packet loop, rows are read
      * in place (no per-row copies), and the row loop shards across up to
-     * @p jobs threads (0 = one per hardware thread) — the walk is
+     * @p jobs threads (0 = one per hardware thread) on @p executor
+     * (nullptr = the process-default runtime::Executor) — the walk is
      * per-row independent, so labels are identical to calling process()
      * on each row at any width. @p pre_quantized, when non-null and in
      * this pipeline's format, skips input quantization entirely.
      */
     std::vector<int> processBatch(
         const math::Matrix &x, std::size_t jobs = 1,
-        const ir::QuantizedMatrix *pre_quantized = nullptr) const;
+        const ir::QuantizedMatrix *pre_quantized = nullptr,
+        runtime::Executor *executor = nullptr) const;
 
     std::size_t numTables() const { return tables_.size(); }
     std::size_t totalEntries() const;
@@ -112,9 +161,15 @@ class MatPipeline
     }
 
     /** The table walk over an already-quantized packet; @p accumulators
-     *  must hold numClasses zeros on entry. */
-    int walk(const std::int32_t *quantized,
-             std::int64_t *accumulators) const;
+     *  must hold numClasses zeros on entry. @p use_index selects the
+     *  bucketized binary-search entry lookup (process) or the linear
+     *  reference scan (processLinear); results are identical. */
+    int walk(const std::int32_t *quantized, std::int64_t *accumulators,
+             bool use_index) const;
+
+    /** Build every table's lookup index; called by the compile*
+     *  factories after the entries are installed. */
+    void buildLookupIndexes();
 
     std::vector<MatTable> tables_;
     common::FixedPointFormat format_;

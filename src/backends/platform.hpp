@@ -20,6 +20,7 @@
 #include "ir/model_ir.hpp"
 
 namespace homunculus::runtime {
+class Executor;
 class QuantCache;
 }
 
@@ -60,6 +61,10 @@ struct EvalOptions
     /** Optional format-keyed quantization cache; used only when it is
      *  bound to the exact matrix being evaluated. */
     const runtime::QuantCache *quantCache = nullptr;
+    /** Worker pool the shards run on (nullptr = the process-default
+     *  runtime::Executor); compile-time search and serving-time
+     *  inference share one pool instead of competing spawns. */
+    runtime::Executor *executor = nullptr;
 };
 
 /**

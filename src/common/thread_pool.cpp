@@ -1,122 +1,37 @@
 #include "common/thread_pool.hpp"
 
-#include <atomic>
-#include <stdexcept>
-#include <string>
-#include <thread>
-#include <vector>
+// The implementation lives in runtime::Executor (a persistent worker
+// pool); these entry points are kept as the stable, dependency-light
+// dispatch API the rest of the tree calls. The upward include is
+// deliberate: common/ owns the interface, runtime/ owns the pool.
+#include "runtime/executor.hpp"
 
 namespace homunculus::common {
 
 std::size_t
 effectiveJobs(std::size_t jobs)
 {
-    if (jobs != 0)
-        return jobs;
-    std::size_t hardware = std::thread::hardware_concurrency();
-    return hardware == 0 ? 1 : hardware;
+    // A jobs value of 0 resolves in exactly one place — the process
+    // default executor — so every call site agrees on the width and
+    // nested parallel sections cannot each re-derive (and multiply)
+    // the hardware thread count.
+    return runtime::Executor::processDefault().resolve(jobs);
 }
-
-namespace {
-
-/**
- * Shared fan-out engine: run task(0..num_tasks-1) over up to @p jobs
- * threads with an atomic work-stealing counter and deterministic error
- * reporting (every task runs; the lowest-index captured exception is
- * rethrown after all workers join). parallelFor and parallelForChunks
- * both dispatch through here so their contracts cannot drift.
- * @p task receives (task_index, worker_id).
- */
-void
-runTasks(std::size_t jobs, std::size_t num_tasks,
-         const std::function<void(std::size_t, std::size_t)> &task)
-{
-    if (num_tasks == 0)
-        return;
-    jobs = effectiveJobs(jobs);
-
-    std::vector<std::string> errors(num_tasks);
-    // char, not bool: vector<bool> packs bits, and concurrent writes to
-    // neighboring indices would race.
-    std::vector<char> failed(num_tasks, 0);
-
-    auto run_task = [&](std::size_t index, std::size_t worker) {
-        try {
-            task(index, worker);
-        } catch (const std::exception &error) {
-            errors[index] = error.what();
-            failed[index] = 1;
-        } catch (...) {
-            errors[index] = "unknown exception";
-            failed[index] = 1;
-        }
-    };
-
-    if (jobs <= 1 || num_tasks == 1) {
-        // Same contract as the threaded path: every task runs, the
-        // lowest-index failure is rethrown afterwards.
-        for (std::size_t i = 0; i < num_tasks; ++i)
-            run_task(i, 0);
-    } else {
-        std::atomic<std::size_t> next{0};
-        auto worker = [&](std::size_t worker_id) {
-            for (;;) {
-                std::size_t index = next.fetch_add(1);
-                if (index >= num_tasks)
-                    return;
-                run_task(index, worker_id);
-            }
-        };
-
-        std::vector<std::thread> threads;
-        std::size_t num_threads = jobs < num_tasks ? jobs : num_tasks;
-        threads.reserve(num_threads);
-        try {
-            for (std::size_t t = 0; t < num_threads; ++t)
-                threads.emplace_back(worker, t);
-        } catch (...) {
-            // Thread creation failed (e.g. RLIMIT_NPROC): drain what was
-            // spawned before rethrowing, or their destructors terminate.
-            for (auto &thread : threads)
-                thread.join();
-            throw;
-        }
-        for (auto &thread : threads)
-            thread.join();
-    }
-
-    for (std::size_t i = 0; i < num_tasks; ++i)
-        if (failed[i])
-            throw std::runtime_error(errors[i]);
-}
-
-}  // namespace
 
 void
 parallelFor(std::size_t jobs, std::size_t count,
             const std::function<void(std::size_t)> &fn)
 {
-    runTasks(jobs, count,
-             [&fn](std::size_t index, std::size_t) { fn(index); });
+    runtime::Executor::processDefault().run(
+        jobs, count, [&fn](std::size_t index, std::size_t) { fn(index); });
 }
 
 void
 parallelForChunks(std::size_t jobs, std::size_t count,
                   std::size_t chunk_size, const ChunkFn &fn)
 {
-    if (count == 0)
-        return;
-    if (chunk_size == 0)
-        throw std::invalid_argument("parallelForChunks: chunk_size == 0");
-    std::size_t num_chunks = (count + chunk_size - 1) / chunk_size;
-    runTasks(jobs, num_chunks,
-             [&](std::size_t chunk, std::size_t worker) {
-                 std::size_t begin = chunk * chunk_size;
-                 std::size_t end = begin + chunk_size;
-                 if (end > count)
-                     end = count;
-                 fn(begin, end, worker);
-             });
+    runtime::Executor::processDefault().runChunks(jobs, count, chunk_size,
+                                                  fn);
 }
 
 }  // namespace homunculus::common

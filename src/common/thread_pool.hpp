@@ -1,13 +1,19 @@
 /**
  * @file
- * Minimal worker pool for the compile path's parallel family searches
- * and the runtime's sharded batch inference.
+ * Parallel dispatch API for the compile path's family searches and the
+ * runtime's sharded batch inference.
  *
- * parallelFor() fans an index range out over a fixed number of threads
+ * Both entry points are thin shims over the process-default
+ * runtime::Executor — one long-lived worker pool shared by every caller
+ * — so a dispatch costs a queue handoff, not a per-call thread spawn.
+ * A dispatch issued from inside a pool worker (nested parallelism) runs
+ * inline on that worker instead of fanning out again.
+ *
+ * parallelFor() fans an index range out over up to @p jobs participants
  * with an atomic work-stealing counter. Tasks must not share mutable
  * state; exceptions are captured per index and the lowest-index one is
- * rethrown after every worker joins, so failure behavior is deterministic
- * regardless of scheduling.
+ * rethrown after the dispatch completes, so failure behavior is
+ * deterministic regardless of scheduling.
  *
  * parallelForChunks() is the coarse-grained sibling for fine-grained
  * loops (row sharding, per-packet work): it hands each worker a
@@ -22,7 +28,9 @@
 
 namespace homunculus::common {
 
-/** Threads to use for @p jobs (0 = one per hardware thread). */
+/** Participants to use for @p jobs: 0 resolves to the process-default
+ *  executor's parallelism (one per hardware thread) — the single place
+ *  that resolution happens. */
 std::size_t effectiveJobs(std::size_t jobs);
 
 /**

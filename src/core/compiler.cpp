@@ -4,8 +4,8 @@
 
 #include "common/logging.hpp"
 #include "common/string_util.hpp"
-#include "common/thread_pool.hpp"
 #include "core/design_space.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/quant_cache.hpp"
 
 namespace homunculus::core {
@@ -135,8 +135,12 @@ runFamilySearches(const std::vector<FamilyWork> &work,
 {
     CancellationToken token = options.cancelToken;
     auto should_stop = [token] { return token.cancelRequested(); };
-    common::parallelFor(
-        options.jobs, work.size(), [&](std::size_t index) {
+    runtime::Executor &pool =
+        options.executor != nullptr ? *options.executor
+                                    : runtime::Executor::processDefault();
+    pool.run(
+        options.jobs, work.size(),
+        [&](std::size_t index, std::size_t) {
             const FamilyWork &item = work[index];
             auto progress = [&notify, &item](std::size_t done,
                                              std::size_t total) {
@@ -153,6 +157,7 @@ runFamilySearches(const std::vector<FamilyWork> &work,
             backends::EvalOptions eval;
             eval.jobs = options.inferJobs;
             eval.quantCache = item.quantCache;
+            eval.executor = options.executor;
             *item.slot = searchOneFamily(item.algorithm, *item.spec,
                                          target, *item.split, options,
                                          eval, should_stop, progress);

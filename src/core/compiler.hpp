@@ -36,6 +36,7 @@
 #include "ir/passes.hpp"
 
 namespace homunculus::runtime {
+class Executor;
 class QuantCache;
 }
 
@@ -109,6 +110,16 @@ struct CompileOptions
      * bit-identical at any width.
      */
     std::size_t inferJobs = 1;
+    /**
+     * Worker pool the session dispatches on — both the `jobs`-wide
+     * family-search fan-out and every candidate's `inferJobs`-wide
+     * scoring shards (threaded down through EvalOptions). nullptr means
+     * the process-default runtime::Executor, which serving-time
+     * inference shares too, so search and serving draw from one
+     * long-lived pool instead of competing spawns. Results never depend
+     * on the pool.
+     */
+    runtime::Executor *executor = nullptr;
     ProgressObserver observer;   ///< optional stage/search callback.
     CancellationToken cancelToken;  ///< cancel from any thread.
 

@@ -125,6 +125,15 @@ evaluateCandidate(Algorithm algorithm, const opt::Configuration &config,
         break;
     }
 
+    // Scaler provenance: the split's training-time standardization (when
+    // the loader recorded one) ships inside the artifact, so serving
+    // reapplies the exact transform instead of refitting on traffic.
+    // Recorded even when empty — "trained on raw features" is a
+    // statement too, and keeps serving from inventing a scaler.
+    evaluation.model.scalerMeans = split.scalerMeans;
+    evaluation.model.scalerStds = split.scalerStds;
+    evaluation.model.scalerRecorded = true;
+
     evaluation.report = platform.estimate(evaluation.model);
     if (evaluation.report.feasible) {
         // One batched evaluate per candidate: the backend compiles the

@@ -73,6 +73,16 @@ ModelIr::validate() const
         throw std::runtime_error("ModelIr: inputDim is zero");
     if (numClasses < 2)
         throw std::runtime_error("ModelIr: numClasses must be >= 2");
+    if (!scalerMeans.empty() || !scalerStds.empty()) {
+        if (scalerMeans.size() != inputDim ||
+            scalerStds.size() != inputDim)
+            throw std::runtime_error(
+                "ModelIr: scaler moment width != inputDim");
+        for (double sd : scalerStds)
+            if (!(sd > 0.0))
+                throw std::runtime_error(
+                    "ModelIr: scaler std must be positive");
+    }
     switch (kind) {
       case ModelKind::kMlp: {
         if (layers.empty())

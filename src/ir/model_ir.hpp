@@ -85,6 +85,25 @@ struct ModelIr
      */
     std::vector<std::string> passes;
 
+    /**
+     * Training-time StandardScaler moments. Serialized with the
+     * artifact (format v3) so the serving path applies (x - mean) / std
+     * with the exact statistics the model was trained against instead
+     * of refitting them on live traffic.
+     *
+     * `scalerRecorded` says the compile pipeline stated the scaler
+     * provenance either way: moments present = standardized training,
+     * absent = the model was genuinely trained on raw features
+     * (serialized as `scaler_none`). Both false/empty = a legacy
+     * pre-v3 artifact whose provenance is unknown — only then may
+     * serving fall back to refitting on the trace.
+     */
+    std::vector<double> scalerMeans;
+    std::vector<double> scalerStds;
+    bool scalerRecorded = false;
+
+    bool hasScaler() const { return !scalerMeans.empty(); }
+
     /** Total stored parameter count (weights + biases or equivalents). */
     std::size_t paramCount() const;
 

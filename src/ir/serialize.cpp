@@ -1,5 +1,6 @@
 #include "ir/serialize.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -11,9 +12,11 @@ namespace homunculus::ir {
 namespace {
 
 constexpr const char *kMagic = "homunculus-ir";
-// v2 adds the optional `passes ...` lowering-audit line; v1 artifacts
-// (no passes metadata) remain parseable.
-constexpr const char *kVersion = "v2";
+// v3 adds the optional `scaler_means`/`scaler_stds` provenance lines
+// (the training-time StandardScaler, so serving stops refitting
+// statistics on the trace); v2 added the optional `passes ...`
+// lowering-audit line. v1 and v2 artifacts remain parseable.
+constexpr const char *kVersion = "v3";
 
 ModelKind
 kindFromName(const std::string &name)
@@ -49,6 +52,31 @@ readInts(const std::vector<std::string> &tokens, std::size_t from)
     return values;
 }
 
+void
+writeDoubles(std::ostringstream &out, const char *tag,
+             const std::vector<double> &values)
+{
+    out << tag;
+    char buffer[40];
+    for (double v : values) {
+        // %.17g round-trips every IEEE double exactly, so the stored
+        // scaler reproduces training-time transforms bit-for-bit.
+        std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+        out << " " << buffer;
+    }
+    out << "\n";
+}
+
+std::vector<double>
+readDoubles(const std::vector<std::string> &tokens, std::size_t from)
+{
+    std::vector<double> values;
+    values.reserve(tokens.size() - from);
+    for (std::size_t i = from; i < tokens.size(); ++i)
+        values.push_back(std::stod(tokens[i]));
+    return values;
+}
+
 }  // namespace
 
 std::string
@@ -68,6 +96,14 @@ serializeModel(const ModelIr &model)
         for (const std::string &pass : model.passes)
             out << " " << pass;
         out << "\n";
+    }
+    if (model.hasScaler()) {
+        writeDoubles(out, "scaler_means", model.scalerMeans);
+        writeDoubles(out, "scaler_stds", model.scalerStds);
+    } else if (model.scalerRecorded) {
+        // Provenance stated either way: this model was trained on raw
+        // features, so serving must not invent a scaler for it.
+        out << "scaler_none\n";
     }
 
     switch (model.kind) {
@@ -113,7 +149,8 @@ deserializeModel(const std::string &text)
 
     std::string header = std::getline(in, line) ? common::trim(line)
                                                 : std::string();
-    if (header != std::string(kMagic) + " v2" &&
+    if (header != std::string(kMagic) + " v3" &&
+        header != std::string(kMagic) + " v2" &&
         header != std::string(kMagic) + " v1")
         throw std::runtime_error("ir: bad artifact header");
 
@@ -149,6 +186,14 @@ deserializeModel(const std::string &text)
         } else if (tag == "passes") {
             for (std::size_t i = 1; i < tokens.size(); ++i)
                 model.passes.push_back(tokens[i]);
+        } else if (tag == "scaler_means") {
+            model.scalerMeans = readDoubles(tokens, 1);
+            model.scalerRecorded = true;
+        } else if (tag == "scaler_stds") {
+            model.scalerStds = readDoubles(tokens, 1);
+            model.scalerRecorded = true;
+        } else if (tag == "scaler_none") {
+            model.scalerRecorded = true;
         } else if (tag == "activation") {
             model.activation = ml::activationFromName(tokens.at(1));
         } else if (tag == "layer") {

@@ -8,15 +8,17 @@
  * (versioned, self-describing, diff-friendly) so compiled models can be
  * cached, shipped, and re-deployed without re-running the search.
  *
- * Format sketch (v2; v1 — identical minus the `passes` line — still
- * parses):
- *   homunculus-ir v2
+ * Format sketch (v3; v2 — identical minus the `scaler_*` lines — and
+ * v1 — additionally minus the `passes` line — still parse):
+ *   homunculus-ir v3
  *   kind dnn
  *   name anomaly_detection
  *   input_dim 7
  *   num_classes 2
  *   format 8 8
  *   passes quantize validate
+ *   scaler_means <7 doubles...>
+ *   scaler_stds <7 doubles...>
  *   activation relu
  *   layer 7 16
  *   weights <112 ints...>

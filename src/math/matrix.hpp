@@ -47,6 +47,19 @@ class Matrix
     std::vector<double> &data() { return data_; }
     const std::vector<double> &data() const { return data_; }
 
+    /**
+     * Change the row count in place, keeping existing rows and the
+     * underlying capacity — shrinking (and re-growing within capacity)
+     * never reallocates, which is what lets per-batch consumers reuse
+     * one buffer across varying batch sizes. New rows are
+     * zero-initialized.
+     */
+    void resizeRows(std::size_t rows)
+    {
+        data_.resize(rows * cols_);
+        rows_ = rows;
+    }
+
     /** Pointer to the start of row @p r. */
     double *rowPtr(std::size_t r) { return data_.data() + r * cols_; }
     const double *rowPtr(std::size_t r) const

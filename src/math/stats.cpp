@@ -45,6 +45,18 @@ median(std::vector<double> values)
 }
 
 double
+percentileNearestRank(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    std::sort(values.begin(), values.end());
+    auto rank = static_cast<std::size_t>(
+        std::llround(p * static_cast<double>(values.size() - 1)));
+    return values[rank];
+}
+
+double
 quantile(std::vector<double> values, double q)
 {
     if (values.empty())

@@ -24,6 +24,14 @@ double median(std::vector<double> values);
 /** Linear-interpolated quantile in [0, 1] (copies and sorts). */
 double quantile(std::vector<double> values, double q);
 
+/**
+ * Nearest-rank percentile in [0, 1] (copies and sorts); 0 for an empty
+ * vector. The latency-reporting convention shared by the serving
+ * runtime and the benches — distinct from quantile()'s interpolation,
+ * so a reported p99 is always a latency that actually occurred.
+ */
+double percentileNearestRank(std::vector<double> values, double p);
+
 /** Min / max of a non-empty vector. */
 double minValue(const std::vector<double> &values);
 double maxValue(const std::vector<double> &values);

@@ -49,6 +49,23 @@ struct DataSplit
 {
     Dataset train;
     Dataset test;
+
+    /**
+     * Training-time StandardScaler moments, recorded when the loader
+     * standardized the features (empty otherwise). The compiler stamps
+     * these into every candidate's ModelIr (scaler provenance,
+     * homunculus-ir v3) so serving applies the exact training-time
+     * transform instead of refitting statistics on live traffic.
+     *
+     * Contract for loaders: empty moments assert the features are RAW.
+     * A loader that standardizes x itself MUST copy the fitted
+     * scaler's means()/stddevs() here (standardizeSplit does; see the
+     * examples for the manual pattern) — otherwise the emitted
+     * artifact records "trained on raw features" and serving will skip
+     * the transform the model actually needs.
+     */
+    std::vector<double> scalerMeans;
+    std::vector<double> scalerStds;
 };
 
 /**

@@ -41,6 +41,23 @@ StandardScaler::fitTransform(const math::Matrix &x)
     return transform(x);
 }
 
+StandardScaler
+StandardScaler::fromMoments(std::vector<double> means,
+                            std::vector<double> stddevs)
+{
+    if (means.empty() || means.size() != stddevs.size())
+        throw std::runtime_error(
+            "StandardScaler: moment vectors empty or mismatched");
+    for (double sd : stddevs)
+        if (!(sd > 0.0))
+            throw std::runtime_error(
+                "StandardScaler: stored std must be positive");
+    StandardScaler scaler;
+    scaler.means_ = std::move(means);
+    scaler.stddevs_ = std::move(stddevs);
+    return scaler;
+}
+
 void
 MinMaxScaler::fit(const math::Matrix &x)
 {
@@ -96,6 +113,10 @@ standardizeSplit(const DataSplit &split)
     DataSplit out = split;
     out.train.x = scaler.fitTransform(split.train.x);
     out.test.x = scaler.transform(split.test.x);
+    // Record the fit so downstream consumers (artifact serialization,
+    // serving) can reapply the exact training-time transform.
+    out.scalerMeans = scaler.means();
+    out.scalerStds = scaler.stddevs();
     return out;
 }
 

@@ -22,6 +22,14 @@ class StandardScaler
     /** Fit means and stddevs from @p x (columns with zero std use std=1). */
     void fit(const math::Matrix &x);
 
+    /**
+     * Rebuild a fitted scaler from stored moments (the ModelIr scaler
+     * provenance deserialized from an artifact). Sizes must match and
+     * every std must be positive; throws std::runtime_error otherwise.
+     */
+    static StandardScaler fromMoments(std::vector<double> means,
+                                      std::vector<double> stddevs);
+
     /** Apply the fitted transform. */
     math::Matrix transform(const math::Matrix &x) const;
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/thread_pool.hpp"
+#include "runtime/executor.hpp"
 
 namespace homunculus::runtime {
 
@@ -10,6 +10,13 @@ namespace {
 
 /** Smallest shard worth a dispatch; keeps stitching overhead trivial. */
 constexpr std::size_t kMinShardRows = 256;
+
+Executor &
+poolFor(const EngineOptions &options)
+{
+    return options.executor != nullptr ? *options.executor
+                                       : Executor::processDefault();
+}
 
 /**
  * Shard [0, rows) over the pool and execute via @p run_range, which is
@@ -20,11 +27,11 @@ constexpr std::size_t kMinShardRows = 256;
  */
 template <typename RunRange>
 void
-runSharded(std::size_t jobs, std::size_t rows, std::size_t shard_rows,
-           const RunRange &run_range)
+runSharded(Executor &pool, std::size_t jobs, std::size_t rows,
+           std::size_t shard_rows, const RunRange &run_range)
 {
     std::vector<ir::ExecutablePlan::Scratch> scratches(jobs);
-    common::parallelForChunks(
+    pool.runChunks(
         jobs, rows, shard_rows,
         [&](std::size_t begin, std::size_t end, std::size_t worker) {
             run_range(begin, end, scratches[worker]);
@@ -48,7 +55,7 @@ InferenceEngine::fromModel(const ir::ModelIr &model, EngineOptions options)
 std::size_t
 InferenceEngine::jobs() const
 {
-    return common::effectiveJobs(options_.jobs);
+    return poolFor(options_).resolve(options_.jobs);
 }
 
 std::size_t
@@ -75,7 +82,8 @@ InferenceEngine::run(const math::Matrix &x, int *labels) const
         plan_.runRange(x, 0, x.rows(), labels, scratch);
         return;
     }
-    runSharded(workers, x.rows(), shardRowsFor(x.rows()),
+    runSharded(poolFor(options_), workers, x.rows(),
+               shardRowsFor(x.rows()),
                [&](std::size_t begin, std::size_t end,
                    ir::ExecutablePlan::Scratch &scratch) {
                    plan_.runRange(x, begin, end, labels + begin, scratch);
@@ -91,7 +99,8 @@ InferenceEngine::run(const ir::QuantizedMatrix &x, int *labels) const
         plan_.runRange(x, 0, x.rows(), labels, scratch);
         return;
     }
-    runSharded(workers, x.rows(), shardRowsFor(x.rows()),
+    runSharded(poolFor(options_), workers, x.rows(),
+               shardRowsFor(x.rows()),
                [&](std::size_t begin, std::size_t end,
                    ir::ExecutablePlan::Scratch &scratch) {
                    plan_.runRange(x, begin, end, labels + begin, scratch);

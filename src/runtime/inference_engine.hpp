@@ -31,6 +31,8 @@
 
 namespace homunculus::runtime {
 
+class Executor;
+
 /** Execution knobs of an engine. */
 struct EngineOptions
 {
@@ -42,6 +44,9 @@ struct EngineOptions
     /** Upper bound on rows per shard (smaller shards balance better;
      *  the engine also never makes fewer than ~4 shards per worker). */
     std::size_t maxShardRows = 4096;
+    /** Worker pool to shard on (nullptr = the process-default
+     *  Executor). Labels never depend on the pool. */
+    Executor *executor = nullptr;
 };
 
 /** A compiled plan plus the parallel execution policy for it. */

@@ -1,0 +1,126 @@
+#include "runtime/request_queue.hpp"
+
+#include <algorithm>
+
+namespace homunculus::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+RequestQueue::RequestQueue(QueuePolicy policy) : policy_(policy)
+{
+    if (policy_.maxBatch == 0)
+        policy_.maxBatch = 1;
+}
+
+bool
+RequestQueue::push(Request request)
+{
+    bool notify = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_) {
+            ++counters_.rejectedClosed;
+            return false;
+        }
+        if (policy_.maxDepth != 0 && pending_.size() >= policy_.maxDepth) {
+            ++counters_.shed;
+            return false;
+        }
+        request.enqueuedAt = Clock::now();
+        pending_.push_back(std::move(request));
+        ++counters_.accepted;
+        // A consumer may be blocked on an empty queue (no deadline to
+        // wait for yet) or waiting for the size trigger.
+        notify = pending_.size() == 1 ||
+                 pending_.size() >= policy_.maxBatch;
+    }
+    if (notify)
+        readyCv_.notify_one();
+    return true;
+}
+
+RequestBatch
+RequestQueue::takeBatchLocked(FlushReason reason)
+{
+    RequestBatch batch;
+    batch.reason = reason;
+    std::size_t take = std::min(pending_.size(), policy_.maxBatch);
+    batch.requests.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+        batch.requests.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+    }
+    switch (reason) {
+      case FlushReason::kSize: ++counters_.sizeFlushes; break;
+      case FlushReason::kDeadline: ++counters_.deadlineFlushes; break;
+      case FlushReason::kDrain: ++counters_.drainFlushes; break;
+    }
+    return batch;
+}
+
+std::optional<RequestBatch>
+RequestQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (pending_.size() >= policy_.maxBatch || closed_) {
+            if (pending_.empty())
+                return std::nullopt;  // closed and drained.
+            return takeBatchLocked(pending_.size() >= policy_.maxBatch
+                                       ? FlushReason::kSize
+                                       : FlushReason::kDrain);
+        }
+
+        if (pending_.empty()) {
+            readyCv_.wait(lock);
+            continue;
+        }
+
+        // Rows pending but below the size trigger: wait out the oldest
+        // row's deadline, re-checking whenever new arrivals (or close)
+        // signal. A wakeup past the deadline flushes what is pending.
+        auto deadline =
+            pending_.front().enqueuedAt +
+            std::chrono::microseconds(policy_.maxDelayUs);
+        if (Clock::now() >= deadline)
+            return takeBatchLocked(FlushReason::kDeadline);
+        readyCv_.wait_until(lock, deadline);
+    }
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    readyCv_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+std::size_t
+RequestQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.size();
+}
+
+QueueCounters
+RequestQueue::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+}  // namespace homunculus::runtime

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * RequestQueue: bounded admission queue with size-or-deadline batching.
+ *
+ * The serving path's front door. StreamHarness replays a whole trace in
+ * fixed micro-batches — fine for throughput measurement, useless under
+ * live arrivals, where waiting to fill a batch makes tail latency
+ * unbounded at low load and unbounded queueing makes it unbounded at
+ * high load. This queue implements the standard serving answer to both
+ * (the batching policy of ASAP-style operator runtimes):
+ *
+ *  - size-or-deadline flush: a batch is released the moment it reaches
+ *    maxBatch rows OR the oldest queued request has waited maxDelay,
+ *    whichever comes first. Deadline flushes bound the queueing part of
+ *    p99 by ~maxDelay; size flushes keep throughput at high load.
+ *  - bounded-depth admission control: once maxDepth rows are queued,
+ *    further pushes are shed (counted, rejected at the door) instead of
+ *    growing an unbounded backlog — the system degrades by dropping,
+ *    not by serving everyone arbitrarily late.
+ *  - clean drain: close() stops admissions; pop() hands out the
+ *    remaining rows (final partial batch included) and then reports
+ *    exhaustion, so shutdown loses nothing that was admitted.
+ *
+ * Thread model: any number of producers push(); consumers pop() (one is
+ * typical — runtime::Server's batcher thread). All counters are
+ * internally synchronized.
+ */
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace homunculus::runtime {
+
+/** Batching + admission knobs. */
+struct QueuePolicy
+{
+    /** Flush when this many rows are pending (the size trigger). */
+    std::size_t maxBatch = 1024;
+    /** Flush when the oldest pending row has waited this long (the
+     *  deadline trigger), in microseconds. */
+    std::uint64_t maxDelayUs = 1000;
+    /** Admission bound: pushes beyond this many queued rows are shed
+     *  (0 = unbounded). */
+    std::size_t maxDepth = 8192;
+};
+
+/** One queued inference request. */
+struct Request
+{
+    std::uint64_t id = 0;               ///< caller-assigned ticket.
+    std::vector<double> features;       ///< one model-input row.
+    std::chrono::steady_clock::time_point enqueuedAt;  ///< set by push().
+};
+
+/** Why a batch was released. */
+enum class FlushReason { kSize, kDeadline, kDrain };
+
+/** One released batch. */
+struct RequestBatch
+{
+    std::vector<Request> requests;
+    FlushReason reason = FlushReason::kSize;
+};
+
+/** Monotonic counters (snapshot via RequestQueue::counters()). */
+struct QueueCounters
+{
+    std::uint64_t accepted = 0;         ///< rows admitted.
+    std::uint64_t shed = 0;             ///< rows rejected at maxDepth.
+    std::uint64_t rejectedClosed = 0;   ///< rows pushed after close().
+    std::uint64_t sizeFlushes = 0;
+    std::uint64_t deadlineFlushes = 0;
+    std::uint64_t drainFlushes = 0;
+};
+
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(QueuePolicy policy = {});
+
+    /**
+     * Admit one request (its enqueuedAt is stamped here). Returns false
+     * — and counts the row as shed/rejected — when the queue is at
+     * maxDepth or already closed; the request is not retained.
+     */
+    bool push(Request request);
+
+    /**
+     * Block until the policy releases a batch: maxBatch rows pending,
+     * the oldest pending row maxDelay old, or close() with rows left
+     * (drain; the final batch may be partial). Batches preserve arrival
+     * order. Returns nullopt once closed and fully drained.
+     */
+    std::optional<RequestBatch> pop();
+
+    /** Stop admissions; pending rows remain poppable (drain). */
+    void close();
+
+    bool closed() const;
+    std::size_t depth() const;        ///< rows currently queued.
+    QueueCounters counters() const;
+
+    const QueuePolicy &policy() const { return policy_; }
+
+  private:
+    /** Pop up to maxBatch pending rows as one batch, counting the
+     *  flush reason; requires the mutex held and pending_ non-empty. */
+    RequestBatch takeBatchLocked(FlushReason reason);
+
+    QueuePolicy policy_;
+    mutable std::mutex mutex_;
+    std::condition_variable readyCv_;   ///< consumers wait here.
+    std::deque<Request> pending_;
+    bool closed_ = false;
+    QueueCounters counters_;
+};
+
+}  // namespace homunculus::runtime

@@ -1,0 +1,188 @@
+#include "runtime/server.hpp"
+
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+#include "math/stats.hpp"
+
+namespace homunculus::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Reservoir capacity: exact percentiles below this many samples,
+ *  uniform estimates beyond — and bounded memory either way. */
+constexpr std::size_t kLatencyReservoirSize = 65536;
+
+}  // namespace
+
+void
+Server::LatencyReservoir::add(double value, common::Rng &rng)
+{
+    ++seen;
+    if (samples.size() < kLatencyReservoirSize) {
+        samples.push_back(value);
+        return;
+    }
+    // Algorithm R: replace a uniformly random slot with probability
+    // capacity/seen, keeping every observation equally likely to be
+    // retained.
+    auto slot = static_cast<std::uint64_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(seen) - 1));
+    if (slot < kLatencyReservoirSize)
+        samples[static_cast<std::size_t>(slot)] = value;
+}
+
+Server::Server(InferenceEngine engine, ServerConfig config,
+               VerdictFn on_verdict,
+               std::optional<ml::StandardScaler> scaler)
+    : engine_(std::move(engine)), config_(config),
+      onVerdict_(std::move(on_verdict)), scaler_(std::move(scaler)),
+      queue_(config.queue), startedAt_(Clock::now())
+{
+    if (scaler_ && !scaler_->fitted())
+        throw std::runtime_error("Server: scaler is not fitted");
+    if (scaler_ && scaler_->means().size() != engine_.plan().inputDim())
+        throw std::runtime_error("Server: scaler width does not match "
+                                 "the model");
+    batcher_ = std::thread([this] { serveLoop(); });
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+std::optional<std::uint64_t>
+Server::submit(std::vector<double> features)
+{
+    if (features.size() != engine_.plan().inputDim())
+        throw std::runtime_error(common::format(
+            "Server: row has %zu features, model expects %zu",
+            features.size(), engine_.plan().inputDim()));
+    if (scaler_) {
+        const std::vector<double> &means = scaler_->means();
+        const std::vector<double> &stds = scaler_->stddevs();
+        for (std::size_t c = 0; c < features.size(); ++c)
+            features[c] = (features[c] - means[c]) / stds[c];
+    }
+    Request request;
+    std::uint64_t id = nextId_.fetch_add(1);
+    request.id = id;
+    request.features = std::move(features);
+    if (!queue_.push(std::move(request)))
+        return std::nullopt;
+    return id;
+}
+
+std::optional<std::uint64_t>
+Server::submitPacket(const net::RawPacket &packet)
+{
+    if (engine_.plan().inputDim() != net::kNumTcFeatures)
+        throw std::runtime_error(common::format(
+            "Server: model expects %zu features but the packet "
+            "extractor emits %zu",
+            engine_.plan().inputDim(), net::kNumTcFeatures));
+    return submit(extractor_.extract(packet));
+}
+
+std::optional<std::uint64_t>
+Server::submitFrame(const std::vector<std::uint8_t> &frame)
+{
+    auto packet = net::parse(frame);
+    if (!packet) {
+        malformed_.fetch_add(1);
+        return std::nullopt;
+    }
+    return submitPacket(*packet);
+}
+
+void
+Server::serveLoop()
+{
+    const std::size_t dim = engine_.plan().inputDim();
+    // One buffer sized for the largest possible batch; deadline flushes
+    // release continuously varying batch sizes, and resizeRows keeps
+    // the capacity, so the hot loop never reallocates after the first
+    // full batch.
+    math::Matrix features(config_.queue.maxBatch, dim);
+    std::vector<int> labels;
+    labels.reserve(config_.queue.maxBatch);
+
+    while (std::optional<RequestBatch> batch = queue_.pop()) {
+        std::vector<Request> &requests = batch->requests;
+        const std::size_t rows = requests.size();
+        features.resizeRows(rows);
+        for (std::size_t r = 0; r < rows; ++r) {
+            double *row = features.rowPtr(r);
+            for (std::size_t c = 0; c < dim; ++c)
+                row[c] = requests[r].features[c];
+        }
+        labels.resize(rows);
+
+        auto started = Clock::now();
+        engine_.run(features, labels.data());
+        auto finished = Clock::now();
+        double batch_us =
+            std::chrono::duration<double, std::micro>(finished - started)
+                .count();
+
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++batches_;
+            rowsServed_ += rows;
+            batchLatenciesUs_.add(batch_us, reservoirRng_);
+            for (const Request &request : requests)
+                requestLatenciesUs_.add(
+                    std::chrono::duration<double, std::micro>(
+                        finished - request.enqueuedAt)
+                        .count(),
+                    reservoirRng_);
+        }
+        if (onVerdict_)
+            for (std::size_t r = 0; r < rows; ++r)
+                onVerdict_(requests[r], labels[r]);
+    }
+}
+
+ServerStats
+Server::stop()
+{
+    std::lock_guard<std::mutex> stop_lock(stopMutex_);
+    if (stopped_)
+        return finalStats_;
+
+    queue_.close();
+    if (batcher_.joinable())
+        batcher_.join();
+
+    ServerStats stats;
+    stats.queue = queue_.counters();
+    stats.malformedFrames =
+        static_cast<std::size_t>(malformed_.load());
+    stats.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - startedAt_).count();
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        stats.rowsServed = rowsServed_;
+        stats.batches = batches_;
+        stats.meanBatchRows =
+            batches_ > 0 ? static_cast<double>(rowsServed_) /
+                               static_cast<double>(batches_)
+                         : 0.0;
+        stats.p50BatchLatencyUs =
+            math::percentileNearestRank(batchLatenciesUs_.samples, 0.50);
+        stats.p99BatchLatencyUs =
+            math::percentileNearestRank(batchLatenciesUs_.samples, 0.99);
+        stats.p50RequestLatencyUs = math::percentileNearestRank(
+            requestLatenciesUs_.samples, 0.50);
+        stats.p99RequestLatencyUs = math::percentileNearestRank(
+            requestLatenciesUs_.samples, 0.99);
+    }
+    finalStats_ = stats;
+    stopped_ = true;
+    return finalStats_;
+}
+
+}  // namespace homunculus::runtime

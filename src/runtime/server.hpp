@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Server: asynchronous serving front-end over the inference runtime.
+ *
+ * The live-traffic counterpart of StreamHarness's trace replay. Callers
+ * submit individual rows or wire frames from any thread and get a
+ * ticket back immediately; a dedicated batcher thread drains a
+ * RequestQueue (size-or-deadline flush, bounded-depth admission — see
+ * request_queue.hpp), runs each released batch through the
+ * InferenceEngine (which shards it on the shared persistent
+ * runtime::Executor), and delivers verdicts through a callback. So the
+ * full pipeline is: admission -> batching policy -> one long-lived
+ * worker pool — no thread is created per request, per batch, or per
+ * dispatch after warm-up.
+ *
+ * Producer-side work stays on the producer: submitFrame() parses,
+ * extracts, and standardizes on the calling thread (the same split
+ * StreamHarness uses), so the batcher thread spends its time in the
+ * engine. Verdicts are bit-identical to running the same rows through
+ * ExecutablePlan in one call — batching never changes labels.
+ *
+ * stop() closes admissions, drains every admitted row (final partial
+ * batch included), joins the batcher, and returns the run's statistics;
+ * the destructor stops implicitly.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/preprocess.hpp"
+#include "net/feature_extract.hpp"
+#include "runtime/inference_engine.hpp"
+#include "runtime/request_queue.hpp"
+
+namespace homunculus::runtime {
+
+/** Serving knobs. */
+struct ServerConfig
+{
+    QueuePolicy queue;
+};
+
+/** Everything one serving run produced (valid after stop()). */
+struct ServerStats
+{
+    QueueCounters queue;             ///< admission/flush counters.
+    std::size_t rowsServed = 0;      ///< verdicts delivered.
+    std::size_t batches = 0;
+    std::size_t malformedFrames = 0; ///< submitFrame parse drops.
+    double meanBatchRows = 0.0;
+    /**
+     * Latency percentiles: exact for runs up to the sampling-reservoir
+     * capacity (64k batches / 64k requests), uniform-reservoir
+     * estimates beyond it — memory stays O(1) no matter how long the
+     * server lives.
+     */
+    double p50BatchLatencyUs = 0.0;  ///< engine time per batch.
+    double p99BatchLatencyUs = 0.0;
+    double p50RequestLatencyUs = 0.0;  ///< admission -> verdict.
+    double p99RequestLatencyUs = 0.0;
+    double wallSeconds = 0.0;          ///< construction -> stop().
+};
+
+class Server
+{
+  public:
+    /** Verdict delivery, invoked on the batcher thread once per request
+     *  after its batch completes. Must be fast and thread-safe. */
+    using VerdictFn =
+        std::function<void(const Request &request, int verdict)>;
+
+    /**
+     * Starts the batcher thread.
+     * @param engine compiled model + execution policy (jobs, pool)
+     * @param config batching/admission policy
+     * @param on_verdict optional verdict sink
+     * @param scaler optional fitted feature scaler applied to every
+     *        submitted row (the training-time one; see ModelIr scaler
+     *        provenance); nullopt serves raw features
+     */
+    explicit Server(InferenceEngine engine, ServerConfig config = {},
+                    VerdictFn on_verdict = {},
+                    std::optional<ml::StandardScaler> scaler =
+                        std::nullopt);
+
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Admit one feature row (extractor-domain values; the scaler, when
+     * bound, is applied here on the calling thread). Returns the
+     * request ticket, or nullopt when the row was shed by admission
+     * control or the server is stopping.
+     */
+    std::optional<std::uint64_t> submit(std::vector<double> features);
+
+    /** Parse a wire frame and admit it (malformed frames are counted
+     *  and dropped). The engine's model must consume the packet
+     *  extractor's schema. */
+    std::optional<std::uint64_t> submitFrame(
+        const std::vector<std::uint8_t> &frame);
+
+    /** Extract + admit an already-parsed packet. */
+    std::optional<std::uint64_t> submitPacket(const net::RawPacket &packet);
+
+    /** Close admissions, drain, join, and return the stats. Idempotent
+     *  (later calls return the same snapshot). */
+    ServerStats stop();
+
+    /** Rows currently queued (admission backlog). */
+    std::size_t depth() const { return queue_.depth(); }
+
+    const InferenceEngine &engine() const { return engine_; }
+    const ServerConfig &config() const { return config_; }
+
+  private:
+    void serveLoop();
+
+    InferenceEngine engine_;
+    ServerConfig config_;
+    VerdictFn onVerdict_;
+    std::optional<ml::StandardScaler> scaler_;
+    net::FeatureExtractor extractor_;
+    RequestQueue queue_;
+    std::thread batcher_;
+    std::atomic<std::uint64_t> nextId_{1};
+    std::atomic<std::uint64_t> malformed_{0};
+    std::chrono::steady_clock::time_point startedAt_;
+
+    /**
+     * Bounded uniform reservoir (Vitter's algorithm R): a long-lived
+     * server keeps O(1) latency-sample memory instead of one double
+     * per request forever. Touched only under statsMutex_.
+     */
+    struct LatencyReservoir
+    {
+        std::vector<double> samples;
+        std::uint64_t seen = 0;
+        void add(double value, common::Rng &rng);
+    };
+
+    /** Guards the reservoirs the batcher appends to. */
+    mutable std::mutex statsMutex_;
+    std::size_t rowsServed_ = 0;
+    std::size_t batches_ = 0;
+    LatencyReservoir batchLatenciesUs_;
+    LatencyReservoir requestLatenciesUs_;
+    common::Rng reservoirRng_{0x5E7Eull};
+
+    std::mutex stopMutex_;    ///< serializes stop() callers.
+    bool stopped_ = false;
+    ServerStats finalStats_;  ///< valid once stopped_.
+};
+
+}  // namespace homunculus::runtime

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <condition_variable>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "common/string_util.hpp"
+#include "math/stats.hpp"
 
 namespace homunculus::runtime {
 
@@ -20,18 +20,6 @@ double
 secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/** Nearest-rank percentile (p in [0, 1]) of unsorted samples. */
-double
-percentile(std::vector<double> samples, double p)
-{
-    if (samples.empty())
-        return 0.0;
-    std::sort(samples.begin(), samples.end());
-    auto rank = static_cast<std::size_t>(
-        std::llround(p * static_cast<double>(samples.size() - 1)));
-    return samples[rank];
 }
 
 }  // namespace
@@ -222,8 +210,10 @@ StreamHarness::replayParsed(const std::vector<net::RawPacket> &packets,
                            ? static_cast<double>(stats.rowsClassified) /
                                  stats.wallSeconds
                            : 0.0;
-    stats.p50BatchLatencyUs = percentile(latencies_us, 0.50);
-    stats.p99BatchLatencyUs = percentile(latencies_us, 0.99);
+    stats.p50BatchLatencyUs = math::percentileNearestRank(latencies_us,
+                                                          0.50);
+    stats.p99BatchLatencyUs = math::percentileNearestRank(latencies_us,
+                                                          0.99);
     return stats;
 }
 

@@ -442,7 +442,7 @@ TEST(Passes, SerializedArtifactRoundTripsPassMetadata)
     ASSERT_FALSE(model.passes.empty());
 
     std::string text = hi::serializeModel(model);
-    EXPECT_NE(text.find("homunculus-ir v2"), std::string::npos);
+    EXPECT_NE(text.find("homunculus-ir v3"), std::string::npos);
     EXPECT_NE(text.find("passes validate prune-dead"), std::string::npos);
 
     auto restored = hi::deserializeModel(text);

@@ -138,6 +138,88 @@ TEST(MatPipeline, TreeWalkMatchesReferenceExecutor)
             << "row " << i;
 }
 
+// ----------------------------------- bucketized binary-search entry walk
+
+TEST(MatPipeline, IndexedWalkMatchesLinearReferenceDifferentially)
+{
+    // The bucketized binary-search index (process / processBatch) must
+    // reproduce the linear first-match reference walk (processLinear)
+    // bit-for-bit on every family, including out-of-range keys that
+    // saturate into the outermost SVM bins.
+    hc::Rng rng(77);
+    auto random_rows = [&](std::size_t n, std::size_t d) {
+        hm::Matrix x(n, d);
+        for (double &v : x.data())
+            v = rng.uniform(-140.0, 140.0);
+        return x;
+    };
+
+    auto data = makeBlobs(300, 3, 11);
+    ml::LinearSvm svm(ml::SvmConfig{});
+    svm.train(data);
+    auto svm_ir = hi::lowerSvm(svm, hc::FixedPointFormat::q88(), "svm", 3);
+    ml::TreeConfig tree_config;
+    tree_config.maxDepth = 6;
+    ml::DecisionTreeClassifier tree(tree_config);
+    tree.train(data);
+    auto tree_ir =
+        hi::lowerDecisionTree(tree, hc::FixedPointFormat::q88(), "dt", 3);
+
+    std::vector<hb::MatPipeline> pipelines;
+    pipelines.push_back(hb::MatPipeline::compileSvm(svm_ir, 64));
+    pipelines.push_back(hb::MatPipeline::compileSvm(svm_ir, 7));
+    pipelines.push_back(hb::MatPipeline::compileTree(tree_ir));
+    pipelines.push_back(
+        hb::MatPipeline::compileKMeans(fitKMeansIr(data.x, 5)));
+
+    for (const auto &pipeline : pipelines) {
+        auto x = random_rows(500, 3);
+        auto batch = pipeline.processBatch(x);
+        for (std::size_t i = 0; i < x.rows(); ++i) {
+            int linear = pipeline.processLinear(x.row(i));
+            EXPECT_EQ(pipeline.process(x.row(i)), linear) << "row " << i;
+            EXPECT_EQ(batch[i], linear) << "row " << i;
+        }
+    }
+}
+
+TEST(MatPipeline, CompiledTablesCarryAVerifiedLookupIndex)
+{
+    auto data = makeBlobs(200, 2, 12);
+    ml::LinearSvm svm(ml::SvmConfig{});
+    svm.train(data);
+    auto ir = hi::lowerSvm(svm, hc::FixedPointFormat::q88(), "svm", 3);
+    auto pipeline = hb::MatPipeline::compileSvm(ir, 32);
+    for (const auto &table : pipeline.tables()) {
+        // SVM bins install in ascending order, so the range index
+        // verifies; they are ranges, so the exact-group index must not.
+        EXPECT_TRUE(table.rangeIndexed) << table.name;
+        EXPECT_FALSE(table.groupIndexed) << table.name;
+        ASSERT_EQ(table.orderedHi.size(), table.entries.size());
+        for (std::size_t i = 0; i < table.entries.size(); ++i)
+            EXPECT_EQ(table.orderedHi[i], table.entries[i].hi);
+    }
+
+    ml::TreeConfig tree_config;
+    tree_config.maxDepth = 4;
+    ml::DecisionTreeClassifier tree(tree_config);
+    tree.train(data);
+    auto tree_ir =
+        hi::lowerDecisionTree(tree, hc::FixedPointFormat::q88(), "dt", 3);
+    auto tree_pipeline = hb::MatPipeline::compileTree(tree_ir);
+    for (const auto &table : tree_pipeline.tables()) {
+        // Tree entries are exact state matches: the group index
+        // verifies, sorted ascending, permutation mapping back.
+        EXPECT_TRUE(table.groupIndexed) << table.name;
+        ASSERT_EQ(table.sortedLo.size(), table.entries.size());
+        for (std::size_t i = 1; i < table.sortedLo.size(); ++i)
+            EXPECT_LE(table.sortedLo[i - 1], table.sortedLo[i]);
+        for (std::size_t i = 0; i < table.sortedLo.size(); ++i)
+            EXPECT_EQ(table.sortedLo[i],
+                      table.entries[table.sortedOrder[i]].lo);
+    }
+}
+
 TEST(MatPlatform, DnnIsUnsupportedAndExplained)
 {
     hb::MatPlatform platform;

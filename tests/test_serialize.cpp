@@ -175,3 +175,78 @@ TEST(Serialize, RejectsUnknownTagsAndInvalidModels)
     EXPECT_THROW(hi::loadModel("/nonexistent/path/model.txt"),
                  std::runtime_error);
 }
+
+// ------------------------------------------- scaler provenance (ir v3)
+
+TEST(Serialize, ScalerMomentsRoundTripExactly)
+{
+    auto original = mlpIr(13);
+    original.scalerMeans = {1.5, -0.25, 3.141592653589793};
+    original.scalerStds = {0.5, 2.0, 1e-6};
+    original.validate();
+
+    std::string text = hi::serializeModel(original);
+    EXPECT_NE(text.find("homunculus-ir v3"), std::string::npos);
+    EXPECT_NE(text.find("scaler_means"), std::string::npos);
+    EXPECT_NE(text.find("scaler_stds"), std::string::npos);
+
+    auto restored = hi::deserializeModel(text);
+    ASSERT_TRUE(restored.hasScaler());
+    // %.17g serialization must round-trip every double bit-for-bit.
+    EXPECT_EQ(restored.scalerMeans, original.scalerMeans);
+    EXPECT_EQ(restored.scalerStds, original.scalerStds);
+}
+
+TEST(Serialize, ModelsWithoutScalerOmitTheLinesAndLegacyVersionsParse)
+{
+    auto original = mlpIr(17);
+    ASSERT_FALSE(original.hasScaler());
+    std::string text = hi::serializeModel(original);
+    EXPECT_EQ(text.find("scaler_"), std::string::npos);
+
+    // v1 and v2 artifacts (no scaler lines) still parse: rewrite the
+    // header of a fresh serialization to the older versions.
+    for (const char *version : {"v1", "v2"}) {
+        std::string legacy = text;
+        legacy.replace(legacy.find("v3"), 2, version);
+        auto restored = hi::deserializeModel(legacy);
+        EXPECT_FALSE(restored.hasScaler());
+        EXPECT_EQ(restored.paramCount(), original.paramCount());
+    }
+}
+
+TEST(Serialize, RawFeatureProvenanceRoundTripsAsScalerNone)
+{
+    // "Trained on raw features" is provenance too: recorded models
+    // without moments serialize a scaler_none marker, so serving can
+    // tell them apart from legacy artifacts (which may refit on the
+    // trace) — and never invents a scaler for them.
+    auto original = mlpIr(23);
+    original.scalerRecorded = true;
+    ASSERT_FALSE(original.hasScaler());
+
+    std::string text = hi::serializeModel(original);
+    EXPECT_NE(text.find("scaler_none"), std::string::npos);
+    auto restored = hi::deserializeModel(text);
+    EXPECT_TRUE(restored.scalerRecorded);
+    EXPECT_FALSE(restored.hasScaler());
+
+    // Legacy artifacts keep unknown provenance.
+    auto legacy = hi::deserializeModel(hi::serializeModel(mlpIr(23)));
+    EXPECT_FALSE(legacy.scalerRecorded);
+}
+
+TEST(Serialize, RejectsInconsistentScalerMoments)
+{
+    auto model = mlpIr(19);
+    model.scalerMeans = {1.0, 2.0};  // width 2 != inputDim 3.
+    model.scalerStds = {1.0, 1.0};
+    EXPECT_THROW(hi::serializeModel(model), std::runtime_error);
+
+    model.scalerMeans = {1.0, 2.0, 3.0};
+    model.scalerStds = {1.0, 0.0, 1.0};  // zero std.
+    EXPECT_THROW(hi::serializeModel(model), std::runtime_error);
+
+    model.scalerStds = {1.0, 1.0, 1.0};
+    EXPECT_NO_THROW(hi::serializeModel(model));
+}

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Tests for the async serving front-end: RequestQueue size/deadline
+ * flush and bounded-depth shedding, drain-on-close semantics, and
+ * runtime::Server end-to-end verdict correctness (batching never
+ * changes labels — verdicts are bit-identical to one plan run over the
+ * same rows). The producer/batcher handoffs run under TSAN in CI.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ir/exec_plan.hpp"
+#include "net/feature_extract.hpp"
+#include "net/packet.hpp"
+#include "runtime/request_queue.hpp"
+#include "runtime/server.hpp"
+
+namespace hc = homunculus::common;
+namespace hi = homunculus::ir;
+namespace hm = homunculus::math;
+namespace hn = homunculus::net;
+namespace hr = homunculus::runtime;
+namespace ml = homunculus::ml;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+hr::Request
+makeRequest(std::uint64_t id, std::size_t dim)
+{
+    hr::Request request;
+    request.id = id;
+    request.features.assign(dim, static_cast<double>(id));
+    return request;
+}
+
+/** A small MLP consuming the packet extractor's schema. */
+hi::ModelIr
+tcModel(std::uint64_t seed)
+{
+    hc::Rng rng(seed);
+    hi::ModelIr model;
+    model.kind = hi::ModelKind::kMlp;
+    model.inputDim = hn::kNumTcFeatures;
+    model.numClasses = 4;
+    std::size_t prev = model.inputDim;
+    for (std::size_t width : {std::size_t{10}, std::size_t{4}}) {
+        hi::QuantizedLayer layer;
+        layer.inputDim = prev;
+        layer.outputDim = width;
+        layer.weights.resize(prev * width);
+        layer.biases.resize(width);
+        for (auto &w : layer.weights)
+            w = static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
+        for (auto &b : layer.biases)
+            b = static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
+        model.layers.push_back(std::move(layer));
+        prev = width;
+    }
+    model.validate();
+    return model;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- RequestQueue
+
+TEST(RequestQueue, SizeFlushPreservesArrivalOrder)
+{
+    hr::QueuePolicy policy;
+    policy.maxBatch = 8;
+    policy.maxDelayUs = 60'000'000;  // deadline can't fire in this test.
+    hr::RequestQueue queue(policy);
+
+    for (std::uint64_t i = 0; i < 20; ++i)
+        EXPECT_TRUE(queue.push(makeRequest(i, 3)));
+
+    auto first = queue.pop();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->reason, hr::FlushReason::kSize);
+    ASSERT_EQ(first->requests.size(), 8u);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(first->requests[i].id, i);
+
+    auto second = queue.pop();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->requests.front().id, 8u);
+    EXPECT_EQ(queue.depth(), 4u);  // 4 rows below the size trigger left.
+    EXPECT_EQ(queue.counters().sizeFlushes, 2u);
+}
+
+TEST(RequestQueue, DeadlineFlushReleasesPartialBatch)
+{
+    hr::QueuePolicy policy;
+    policy.maxBatch = 1024;      // size trigger unreachable here.
+    policy.maxDelayUs = 20'000;  // 20 ms — CI-proof margin.
+    hr::RequestQueue queue(policy);
+
+    auto started = Clock::now();
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_TRUE(queue.push(makeRequest(i, 3)));
+    auto batch = queue.pop();
+    double waited_us = std::chrono::duration<double, std::micro>(
+                           Clock::now() - started)
+                           .count();
+
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->reason, hr::FlushReason::kDeadline);
+    EXPECT_EQ(batch->requests.size(), 5u);
+    // The flush must wait roughly maxDelay: not (much) less, and the
+    // upper bound is loose only to survive loaded CI machines.
+    EXPECT_GE(waited_us, 15'000.0);
+    EXPECT_LT(waited_us, 2'000'000.0);
+    EXPECT_EQ(queue.counters().deadlineFlushes, 1u);
+}
+
+TEST(RequestQueue, AdmissionControlShedsBeyondDepth)
+{
+    hr::QueuePolicy policy;
+    policy.maxBatch = 64;        // > depth: no size flush interferes.
+    policy.maxDelayUs = 60'000'000;
+    policy.maxDepth = 10;
+    hr::RequestQueue queue(policy);
+
+    std::size_t admitted = 0, shed = 0;
+    for (std::uint64_t i = 0; i < 25; ++i)
+        queue.push(makeRequest(i, 3)) ? ++admitted : ++shed;
+    EXPECT_EQ(admitted, 10u);
+    EXPECT_EQ(shed, 15u);
+    EXPECT_EQ(queue.depth(), 10u);
+    EXPECT_EQ(queue.counters().accepted, 10u);
+    EXPECT_EQ(queue.counters().shed, 15u);
+
+    // Draining reopens admission for new arrivals.
+    queue.close();
+    auto drained = queue.pop();
+    ASSERT_TRUE(drained.has_value());
+    EXPECT_EQ(drained->requests.size(), 10u);
+}
+
+TEST(RequestQueue, CloseDrainsEverythingThenReportsExhaustion)
+{
+    hr::QueuePolicy policy;
+    policy.maxBatch = 4;
+    policy.maxDelayUs = 60'000'000;
+    hr::RequestQueue queue(policy);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        EXPECT_TRUE(queue.push(makeRequest(i, 2)));
+    queue.close();
+    EXPECT_FALSE(queue.push(makeRequest(99, 2)));  // closed door.
+
+    // 10 rows at maxBatch 4: two full batches + a 2-row drain tail.
+    std::size_t rows = 0;
+    std::size_t batches = 0;
+    while (auto batch = queue.pop()) {
+        rows += batch->requests.size();
+        ++batches;
+        if (batch->requests.size() < 4)
+            EXPECT_EQ(batch->reason, hr::FlushReason::kDrain);
+    }
+    EXPECT_EQ(rows, 10u);
+    EXPECT_EQ(batches, 3u);
+    EXPECT_EQ(queue.counters().rejectedClosed, 1u);
+    EXPECT_FALSE(queue.pop().has_value());  // stays exhausted.
+}
+
+TEST(RequestQueue, ConsumerBlockedOnEmptyQueueWakesOnPushAndClose)
+{
+    hr::QueuePolicy policy;
+    policy.maxBatch = 2;
+    policy.maxDelayUs = 60'000'000;
+    hr::RequestQueue queue(policy);
+
+    std::thread producer([&queue] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        queue.push(makeRequest(1, 2));
+        queue.push(makeRequest(2, 2));
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        queue.close();
+    });
+    auto batch = queue.pop();          // blocks until the size flush.
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->requests.size(), 2u);
+    EXPECT_FALSE(queue.pop().has_value());  // wakes on close.
+    producer.join();
+}
+
+// ----------------------------------------------------------------- Server
+
+TEST(Server, VerdictsBitIdenticalToOnePlanRun)
+{
+    auto model = tcModel(17);
+    hc::Rng rng(23);
+    constexpr std::size_t kRows = 3000;
+    hm::Matrix features(kRows, model.inputDim);
+    for (double &v : features.data())
+        v = rng.uniform(-4.0, 4.0);
+
+    std::mutex verdict_mutex;
+    std::map<std::uint64_t, int> verdicts;
+    hr::ServerConfig config;
+    config.queue.maxBatch = 256;
+    config.queue.maxDelayUs = 500;
+    config.queue.maxDepth = 0;  // unbounded: no shedding in this test.
+    hr::EngineOptions engine_options;
+    engine_options.jobs = 2;
+    engine_options.minRowsToShard = 1;
+    hr::Server server(
+        hr::InferenceEngine::fromModel(model, engine_options), config,
+        [&](const hr::Request &request, int verdict) {
+            std::lock_guard<std::mutex> lock(verdict_mutex);
+            verdicts[request.id] = verdict;
+        });
+
+    std::vector<std::uint64_t> tickets(kRows);
+    for (std::size_t r = 0; r < kRows; ++r) {
+        auto ticket = server.submit(features.row(r));
+        ASSERT_TRUE(ticket.has_value());
+        tickets[r] = *ticket;
+    }
+    hr::ServerStats stats = server.stop();
+
+    EXPECT_EQ(stats.rowsServed, kRows);
+    EXPECT_EQ(stats.queue.accepted, kRows);
+    EXPECT_EQ(stats.queue.shed, 0u);
+    EXPECT_GT(stats.batches, 0u);
+    EXPECT_GE(stats.p99RequestLatencyUs, stats.p50RequestLatencyUs);
+
+    auto reference = hi::ExecutablePlan::compile(model).run(features);
+    ASSERT_EQ(verdicts.size(), kRows);
+    for (std::size_t r = 0; r < kRows; ++r)
+        EXPECT_EQ(verdicts.at(tickets[r]), reference[r]) << "row " << r;
+}
+
+TEST(Server, AppliesStoredScalerLikeTheTrainingTransform)
+{
+    auto model = tcModel(31);
+    model.scalerMeans.assign(model.inputDim, 2.0);
+    model.scalerStds.assign(model.inputDim, 0.5);
+    model.validate();
+
+    hc::Rng rng(37);
+    constexpr std::size_t kRows = 200;
+    hm::Matrix raw(kRows, model.inputDim);
+    for (double &v : raw.data())
+        v = rng.uniform(-3.0, 3.0);
+
+    std::mutex verdict_mutex;
+    std::map<std::uint64_t, int> verdicts;
+    hr::ServerConfig config;
+    config.queue.maxBatch = 64;
+    config.queue.maxDepth = 0;
+    hr::Server server(
+        hr::InferenceEngine::fromModel(model, {}), config,
+        [&](const hr::Request &request, int verdict) {
+            std::lock_guard<std::mutex> lock(verdict_mutex);
+            verdicts[request.id] = verdict;
+        },
+        ml::StandardScaler::fromMoments(model.scalerMeans,
+                                        model.scalerStds));
+
+    std::vector<std::uint64_t> tickets(kRows);
+    for (std::size_t r = 0; r < kRows; ++r)
+        tickets[r] = *server.submit(raw.row(r));
+    server.stop();
+
+    // Reference: scale manually, then run the plan once.
+    hm::Matrix scaled = raw;
+    for (std::size_t r = 0; r < kRows; ++r)
+        for (std::size_t c = 0; c < scaled.cols(); ++c)
+            scaled(r, c) = (scaled(r, c) - 2.0) / 0.5;
+    auto reference = hi::ExecutablePlan::compile(model).run(scaled);
+    for (std::size_t r = 0; r < kRows; ++r)
+        EXPECT_EQ(verdicts.at(tickets[r]), reference[r]);
+}
+
+TEST(Server, ShedsWhenDepthExceededAndCountsIt)
+{
+    auto model = tcModel(41);
+    hr::ServerConfig config;
+    // maxBatch above maxDepth and a long deadline: the batcher cannot
+    // flush before the burst fills the bounded queue, so the overflow
+    // deterministically sheds.
+    config.queue.maxBatch = 4096;
+    config.queue.maxDelayUs = 200'000;
+    config.queue.maxDepth = 32;
+    hr::Server server(hr::InferenceEngine::fromModel(model, {}), config);
+
+    std::size_t admitted = 0, shed = 0;
+    std::vector<double> row(model.inputDim, 1.0);
+    for (int i = 0; i < 100; ++i)
+        server.submit(row) ? ++admitted : ++shed;
+    hr::ServerStats stats = server.stop();
+
+    EXPECT_EQ(admitted, 32u);
+    EXPECT_EQ(shed, 68u);
+    EXPECT_EQ(stats.queue.shed, 68u);
+    EXPECT_EQ(stats.rowsServed, 32u);  // admitted rows all drain.
+}
+
+TEST(Server, WireFramesServeAndMalformedFramesDrop)
+{
+    auto model = tcModel(43);
+    hn::IotPacketConfig packet_config;
+    packet_config.numPackets = 300;
+    packet_config.seed = 7;
+
+    std::mutex verdict_mutex;
+    std::size_t delivered = 0;
+    hr::ServerConfig config;
+    config.queue.maxBatch = 128;
+    config.queue.maxDepth = 0;
+    hr::Server server(
+        hr::InferenceEngine::fromModel(model, {}), config,
+        [&](const hr::Request &, int) {
+            std::lock_guard<std::mutex> lock(verdict_mutex);
+            ++delivered;
+        });
+
+    for (const auto &labeled : hn::generateIotPackets(packet_config))
+        EXPECT_TRUE(
+            server.submitFrame(hn::serialize(labeled.packet)).has_value());
+    EXPECT_FALSE(server.submitFrame({0xde, 0xad}).has_value());
+
+    hr::ServerStats stats = server.stop();
+    EXPECT_EQ(stats.rowsServed, 300u);
+    EXPECT_EQ(stats.malformedFrames, 1u);
+    EXPECT_EQ(delivered, 300u);
+}
+
+TEST(Server, RejectsUnfittedOrMismatchedScalerAndBadRowWidth)
+{
+    auto model = tcModel(47);
+    EXPECT_THROW(hr::Server(hr::InferenceEngine::fromModel(model, {}),
+                            {}, {}, ml::StandardScaler()),
+                 std::runtime_error);
+
+    hr::Server server(hr::InferenceEngine::fromModel(model, {}), {});
+    EXPECT_THROW(server.submit(std::vector<double>(3, 0.0)),
+                 std::runtime_error);
+    server.stop();
+}

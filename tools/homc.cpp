@@ -40,15 +40,28 @@
  *                                  line. Reports rows/s and p50/p99
  *                                  micro-batch latency.
  *        [--replay-batch N]        replay micro-batch rows (default 1024)
- *        [--replay-raw]            skip feature standardization on replay
+ *        [--replay-raw]            skip feature standardization on
+ *                                  replay/serve
+ *        [--serve TRACE]           async serving mode: feed the trace
+ *                                  through the runtime::Server admission
+ *                                  queue (size-or-deadline batching,
+ *                                  bounded-depth shedding) and report
+ *                                  request/batch latency percentiles
+ *        [--serve-rate RPS]        open-loop arrival rate (0 = max)
+ *        [--serve-max-batch N]     flush at N rows (default 1024)
+ *        [--serve-max-delay-us N]  flush at N us queueing (default 1000)
+ *        [--serve-depth N]         shed beyond N queued rows (0 = inf)
  *   homc --list-platforms          enumerate the backend registry
  *   homc --list-passes             enumerate the IR pass registry
  */
 #include <cctype>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "backends/registry.hpp"
 #include "bench_common.hpp"
@@ -56,6 +69,7 @@
 #include "data/loaders.hpp"
 #include "ir/passes.hpp"
 #include "ir/serialize.hpp"
+#include "runtime/server.hpp"
 #include "runtime/stream_harness.hpp"
 
 namespace {
@@ -76,6 +90,11 @@ struct CliOptions
     std::string replay;     ///< iot:N or a hex-frame trace file.
     std::size_t replayBatch = 1024;
     bool replayRaw = false;
+    std::string serve;      ///< async-serving trace (iot:N or file).
+    double serveRate = 0.0;           ///< arrival rows/s (0 = max).
+    std::size_t serveMaxBatch = 1024;   ///< queue size trigger.
+    std::size_t serveMaxDelayUs = 1000; ///< queue deadline trigger.
+    std::size_t serveDepth = 8192;      ///< admission bound (0 = inf).
     bool dumpIr = false;
     std::size_t init = 5;
     std::size_t iters = 15;
@@ -111,6 +130,14 @@ printUsage()
         "                           hex-frame file through the winner\n"
         "  --replay-batch N         replay micro-batch rows (default 1024)\n"
         "  --replay-raw             skip feature standardization on replay\n"
+        "                           and --serve\n"
+        "  --serve TRACE            async serving mode: feed the trace\n"
+        "                           through the admission queue + \n"
+        "                           size-or-deadline batcher\n"
+        "  --serve-rate RPS         arrival rate, rows/s (0 = max speed)\n"
+        "  --serve-max-batch N      flush at N rows (default 1024)\n"
+        "  --serve-max-delay-us N   flush at N us queueing (default 1000)\n"
+        "  --serve-depth N          shed beyond N queued rows (0 = inf)\n"
         "  --grid N                 Taurus grid side\n"
         "  --tables N               MAT stage budget\n"
         "  --throughput GPPS --latency NS\n"
@@ -183,6 +210,12 @@ parseArgs(int argc, char **argv, CliOptions &options)
     take("passes", options.passes);
     take("replay", options.replay);
     take_size("replay-batch", options.replayBatch);
+    take("serve", options.serve);
+    take_size("serve-max-batch", options.serveMaxBatch);
+    take_size("serve-max-delay-us", options.serveMaxDelayUs);
+    take_size("serve-depth", options.serveDepth);
+    if (flags.count("serve-rate"))
+        options.serveRate = std::stod(flags["serve-rate"]);
     take_size("init", options.init);
     take_size("iters", options.iters);
     take_size("jobs", options.jobs);
@@ -326,6 +359,51 @@ loadReplayTrace(const std::string &trace)
     return frames;
 }
 
+/**
+ * Resolve the serving-time feature scaler. Artifacts since
+ * homunculus-ir v3 record the provenance either way: stored moments win,
+ * and a model recorded as trained on raw features is served raw — no
+ * scaler is invented for it. Only legacy artifacts (no provenance at
+ * all) fall back to refitting statistics on the trace itself, the old
+ * approximation. --replay-raw disables scaling entirely.
+ * @p provenance receives a printable description of the choice.
+ */
+std::optional<ml::StandardScaler>
+resolveServingScaler(const CliOptions &options,
+                     const homunculus::ir::ModelIr &model,
+                     const std::vector<std::vector<std::uint8_t>> &frames,
+                     std::string &provenance)
+{
+    if (options.replayRaw) {
+        provenance = "raw (unscaled)";
+        return std::nullopt;
+    }
+    if (model.hasScaler()) {
+        provenance = "artifact (training-time)";
+        return ml::StandardScaler::fromMoments(model.scalerMeans,
+                                               model.scalerStds);
+    }
+    if (model.scalerRecorded) {
+        provenance = "artifact (model trained on raw features)";
+        return std::nullopt;
+    }
+    provenance = "trace-refit (artifact predates ir v3)";
+    net::FeatureExtractor extractor;
+    std::vector<std::vector<double>> rows;
+    for (const auto &frame : frames)
+        if (auto features = extractor.extractFromWire(frame))
+            rows.push_back(std::move(*features));
+    if (rows.empty())
+        return std::nullopt;
+    math::Matrix m(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r)
+        for (std::size_t c = 0; c < rows[r].size(); ++c)
+            m(r, c) = rows[r][c];
+    ml::StandardScaler fitted;
+    fitted.fit(m);
+    return fitted;
+}
+
 /** Serving mode: replay a trace through the winner on the streaming
  *  runtime and print rows/s + micro-batch latency percentiles. */
 void
@@ -349,26 +427,10 @@ runReplay(const CliOptions &options, const homunculus::ir::ModelIr &model)
     engine_options.minRowsToShard = 1;
     net::FeatureExtractor extractor;
 
-    std::optional<ml::StandardScaler> scaler;
-    if (!options.replayRaw) {
-        // The training-time scaler is not part of the artifact, so
-        // standardize with statistics of the trace itself — the deployed
-        // approximation; throughput/latency do not depend on it
-        // (--replay-raw turns it off).
-        std::vector<std::vector<double>> rows;
-        for (const auto &frame : frames)
-            if (auto features = extractor.extractFromWire(frame))
-                rows.push_back(std::move(*features));
-        if (!rows.empty()) {
-            math::Matrix m(rows.size(), rows.front().size());
-            for (std::size_t r = 0; r < rows.size(); ++r)
-                for (std::size_t c = 0; c < rows[r].size(); ++c)
-                    m(r, c) = rows[r][c];
-            ml::StandardScaler fitted;
-            fitted.fit(m);
-            scaler = std::move(fitted);
-        }
-    }
+    std::string scaler_provenance;
+    std::optional<ml::StandardScaler> scaler =
+        resolveServingScaler(options, model, frames, scaler_provenance);
+    std::cout << "scaler    : " << scaler_provenance << "\n";
 
     runtime::StreamConfig stream_config;
     stream_config.batchRows = options.replayBatch;
@@ -389,6 +451,92 @@ runReplay(const CliOptions &options, const homunculus::ir::ModelIr &model)
         "(extract %.3fs, infer %.3fs, wall %.3fs)\n",
         stats.p50BatchLatencyUs, stats.p99BatchLatencyUs,
         stats.extractSeconds, stats.inferSeconds, stats.wallSeconds);
+    std::cout << "verdicts  :";
+    for (const auto &[verdict, count] : verdict_counts)
+        std::cout << " class " << verdict << " x" << count;
+    std::cout << "\n";
+}
+
+/**
+ * Async serving mode: feed the trace into runtime::Server as an
+ * open-loop arrival process at --serve-rate rows/s (0 = as fast as
+ * submission runs) and report admission, batching-policy, and latency
+ * statistics. Unlike --replay (whole trace, fixed micro-batches), this
+ * exercises the deadline-vs-size batcher and bounded-queue shedding.
+ */
+void
+runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
+{
+    auto frames = loadReplayTrace(options.serve);
+    std::cout << "\nserve     : " << options.serve << " ("
+              << frames.size() << " frames, maxBatch "
+              << options.serveMaxBatch << ", maxDelay "
+              << options.serveMaxDelayUs << " us, depth "
+              << options.serveDepth << ", rate "
+              << (options.serveRate <= 0.0
+                      ? std::string("max")
+                      : common::format("%.0f/s", options.serveRate))
+              << ")\n";
+
+    std::string scaler_provenance;
+    std::optional<ml::StandardScaler> scaler =
+        resolveServingScaler(options, model, frames, scaler_provenance);
+    std::cout << "scaler    : " << scaler_provenance << "\n";
+
+    runtime::EngineOptions engine_options;
+    engine_options.jobs = options.inferJobs;
+    engine_options.minRowsToShard = 1;
+
+    runtime::ServerConfig server_config;
+    server_config.queue.maxBatch = options.serveMaxBatch;
+    server_config.queue.maxDelayUs = options.serveMaxDelayUs;
+    server_config.queue.maxDepth = options.serveDepth;
+
+    std::mutex verdict_mutex;
+    std::map<int, std::size_t> verdict_counts;
+    runtime::Server server(
+        runtime::InferenceEngine::fromModel(model, engine_options),
+        server_config,
+        [&](const runtime::Request &, int verdict) {
+            std::lock_guard<std::mutex> lock(verdict_mutex);
+            ++verdict_counts[verdict];
+        },
+        std::move(scaler));
+
+    using Clock = std::chrono::steady_clock;
+    auto started = Clock::now();
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        if (options.serveRate > 0.0) {
+            // Open-loop pacing: submit frame i at its scheduled arrival
+            // time regardless of how the server is keeping up.
+            auto due = started + std::chrono::duration_cast<
+                                     Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         static_cast<double>(i) /
+                                         options.serveRate));
+            std::this_thread::sleep_until(due);
+        }
+        server.submitFrame(frames[i]);
+    }
+    runtime::ServerStats stats = server.stop();
+
+    std::cout << common::format(
+        "admitted  : %llu rows (%llu shed, %zu malformed) in %zu "
+        "batches (mean %.1f rows)\n",
+        static_cast<unsigned long long>(stats.queue.accepted),
+        static_cast<unsigned long long>(stats.queue.shed),
+        stats.malformedFrames, stats.batches, stats.meanBatchRows);
+    std::cout << common::format(
+        "flushes   : %llu size / %llu deadline / %llu drain\n",
+        static_cast<unsigned long long>(stats.queue.sizeFlushes),
+        static_cast<unsigned long long>(stats.queue.deadlineFlushes),
+        static_cast<unsigned long long>(stats.queue.drainFlushes));
+    std::cout << common::format(
+        "latency   : request p50 %.1f us / p99 %.1f us, batch infer "
+        "p50 %.1f us / p99 %.1f us (wall %.3fs)\n",
+        stats.p50RequestLatencyUs, stats.p99RequestLatencyUs,
+        stats.p50BatchLatencyUs, stats.p99BatchLatencyUs,
+        stats.wallSeconds);
     std::cout << "verdicts  :";
     for (const auto &[verdict, count] : verdict_counts)
         std::cout << " class " << verdict << " x" << count;
@@ -550,6 +698,8 @@ main(int argc, char **argv)
         }
         if (!options.replay.empty())
             runReplay(options, model.model);
+        if (!options.serve.empty())
+            runServe(options, model.model);
     } catch (const std::exception &error) {
         std::cerr << "homc: " << error.what() << "\n";
         return 1;
