@@ -21,6 +21,24 @@
  * deadline policy at sub-capacity load, request p99 stays bounded by
  * ~maxDelay (a small multiple — the bound is the point of the policy),
  * while the size-only policy's p99 blows up with the batch-fill time.
+ * This part runs the exact single-lane kShed configuration PR 4
+ * shipped, so its verdicts double as the no-regression check for the
+ * multi-lane queue redesign.
+ *
+ * Part 3 — two-lane QoS sweep: a probe lane (tight maxDelay, lane 0)
+ * and a bulk lane (full batches, lane 1) fed by two open-loop
+ * producers, the bulk one at ~1.2x capacity so its lane saturates with
+ * size flushes. Acceptance: the probe lane's request p99 stays bounded
+ * by ~its own maxDelay (plus one in-flight batch — strict priority
+ * cannot preempt the engine) even while the bulk lane is saturated.
+ *
+ * Part 4 — backpressure under 2x-capacity overload: the same single
+ * lane served in kShed vs kEarlyDrop mode. Shed keeps everything it
+ * admitted and serves it arbitrarily late (p99 grows with queue
+ * depth); early-drop sheds rows that already blew twice their delay
+ * budget at flush time, so the p99 of *served* rows stays bounded.
+ * Acceptance: early-drop served p99 within a small multiple of its
+ * drop threshold, and at least one row actually early-dropped.
  *
  * Usage: bench_serving [--json PATH]
  * (custom harness: the sweep needs open-loop pacing and direct control
@@ -119,7 +137,9 @@ struct SweepResult
 SweepResult
 sweepConfig(const ir::ModelIr &model, const math::Matrix &rows,
             double rate_rows_per_sec, const runtime::QueuePolicy &policy,
-            std::size_t engine_jobs)
+            std::size_t engine_jobs,
+            runtime::BackpressureMode mode =
+                runtime::BackpressureMode::kShed)
 {
     runtime::EngineOptions engine_options;
     engine_options.jobs = engine_jobs;
@@ -127,6 +147,7 @@ sweepConfig(const ir::ModelIr &model, const math::Matrix &rows,
 
     runtime::ServerConfig config;
     config.queue = policy;
+    config.backpressure = mode;
     std::atomic<std::size_t> delivered{0};
     runtime::Server server(
         runtime::InferenceEngine::fromModel(model, engine_options),
@@ -336,6 +357,182 @@ main(int argc, char **argv)
         }
     }
 
+    // ------------------------------------- part 3: two-lane QoS sweep ---
+    // A probe lane with a tight delay budget in front of a bulk lane
+    // that saturates the engine with full batches. Strict priority
+    // means a ready probe flush jumps every queued bulk batch; the only
+    // wait it cannot skip is the batch already inside the engine.
+    runtime::QueuePolicy probe_policy;
+    probe_policy.maxBatch = 64;
+    probe_policy.maxDelayUs = 500;
+    probe_policy.maxDepth = 8192;
+    runtime::QueuePolicy bulk_policy;
+    bulk_policy.maxBatch = 1024;
+    bulk_policy.maxDelayUs = 20'000;
+    bulk_policy.maxDepth = 16384;
+
+    double bulk_rate = capacity * 1.2;
+    double probe_rate = std::max(2'000.0, capacity * 0.02);
+    auto bulk_rows_wanted = static_cast<std::size_t>(
+        std::min(40'000.0, std::max(8'000.0, bulk_rate * 0.75)));
+    double lane_wall =
+        static_cast<double>(bulk_rows_wanted) / bulk_rate;
+    auto probe_rows_wanted = static_cast<std::size_t>(
+        std::max(200.0, probe_rate * lane_wall));
+    auto bulk_rows = bench::benchFeatures(bulk_rows_wanted,
+                                          model.inputDim);
+    auto probe_rows = bench::benchFeatures(probe_rows_wanted,
+                                           model.inputDim);
+
+    runtime::ServerStats lane_stats;
+    {
+        runtime::EngineOptions serve_engine_options;
+        serve_engine_options.jobs = jobs;
+        serve_engine_options.minRowsToShard = 1;
+        runtime::ServerConfig config;
+        config.queue = probe_policy;
+        config.extraLanes = {bulk_policy};
+        runtime::Server server(
+            runtime::InferenceEngine::fromModel(model,
+                                                serve_engine_options),
+            config);
+        // Two open-loop producers: bursty bulk at 1.2x capacity on a
+        // second thread, paced probes here.
+        std::thread bulk_producer([&] {
+            constexpr std::size_t kBurst = 32;
+            auto started = Clock::now();
+            for (std::size_t i = 0; i < bulk_rows.rows(); ++i) {
+                if (i % kBurst == 0) {
+                    auto due = started +
+                               std::chrono::duration_cast<
+                                   Clock::duration>(
+                                   std::chrono::duration<double>(
+                                       static_cast<double>(i) /
+                                       bulk_rate));
+                    std::this_thread::sleep_until(due);
+                }
+                server.submit(bulk_rows.row(i), 1);
+            }
+        });
+        auto started = Clock::now();
+        for (std::size_t i = 0; i < probe_rows.rows(); ++i) {
+            auto due = started + std::chrono::duration_cast<
+                                     Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         static_cast<double>(i) /
+                                         probe_rate));
+            std::this_thread::sleep_until(due);
+            server.submit(probe_rows.row(i), 0);
+        }
+        bulk_producer.join();
+        lane_stats = server.stop();
+    }
+
+    const runtime::LaneStats &probe_lane = lane_stats.lanes.at(0);
+    const runtime::LaneStats &bulk_lane = lane_stats.lanes.at(1);
+    std::cout << common::format(
+        "\n=== two-lane QoS: probe (maxDelay %llu us) vs bulk at 1.2x "
+        "capacity ===\n"
+        "probe lane  served %7zu  p50 %8.1f us  p99 %8.1f us\n"
+        "bulk  lane  served %7zu  p50 %8.1f us  p99 %8.1f us  "
+        "(%.1f-row batches, %llu size flushes, %llu shed)\n",
+        static_cast<unsigned long long>(probe_policy.maxDelayUs),
+        probe_lane.rowsServed, probe_lane.p50RequestLatencyUs,
+        probe_lane.p99RequestLatencyUs, bulk_lane.rowsServed,
+        bulk_lane.p50RequestLatencyUs, bulk_lane.p99RequestLatencyUs,
+        bulk_lane.batches > 0
+            ? static_cast<double>(bulk_lane.rowsServed) /
+                  static_cast<double>(bulk_lane.batches)
+            : 0.0,
+        static_cast<unsigned long long>(bulk_lane.queue.sizeFlushes),
+        static_cast<unsigned long long>(bulk_lane.queue.shed));
+
+    // The probe bound: its own deadline budget (small multiple for
+    // scheduler jitter) plus the one bulk batch that may already be in
+    // the engine when a probe flush becomes ready.
+    double probe_bound =
+        static_cast<double>(probe_policy.maxDelayUs) * 4.0 +
+        lane_stats.p99BatchLatencyUs + 2000.0;
+    bool probe_bounded =
+        probe_lane.p99RequestLatencyUs <= probe_bound &&
+        probe_lane.rowsServed > 0;
+    json.add("lanes/probe",
+             {{"p50_request_us", probe_lane.p50RequestLatencyUs},
+              {"p99_request_us", probe_lane.p99RequestLatencyUs},
+              {"rows_served",
+               static_cast<double>(probe_lane.rowsServed)},
+              {"bound_us", probe_bound},
+              {"max_delay_us",
+               static_cast<double>(probe_policy.maxDelayUs)}});
+    json.add("lanes/bulk",
+             {{"p50_request_us", bulk_lane.p50RequestLatencyUs},
+              {"p99_request_us", bulk_lane.p99RequestLatencyUs},
+              {"rows_served", static_cast<double>(bulk_lane.rowsServed)},
+              {"size_flushes",
+               static_cast<double>(bulk_lane.queue.sizeFlushes)},
+              {"shed", static_cast<double>(bulk_lane.queue.shed)}});
+
+    // --------------------- part 4: shed vs early-drop at 2x capacity ---
+    runtime::QueuePolicy overload_policy;
+    overload_policy.maxBatch = 256;
+    overload_policy.maxDelayUs = 1000;   // drop threshold = 2000 us.
+    overload_policy.maxDepth = 8192;     // deep: shed mode queues long.
+    double overload_rate = capacity * 2.0;
+    auto overload_rows_wanted = static_cast<std::size_t>(
+        std::min(40'000.0, std::max(8'000.0, overload_rate * 0.5)));
+    auto overload_rows = bench::benchFeatures(overload_rows_wanted,
+                                              model.inputDim);
+
+    SweepResult shed_result =
+        sweepConfig(model, overload_rows, overload_rate,
+                    overload_policy, jobs,
+                    runtime::BackpressureMode::kShed);
+    SweepResult drop_result =
+        sweepConfig(model, overload_rows, overload_rate,
+                    overload_policy, jobs,
+                    runtime::BackpressureMode::kEarlyDrop);
+
+    double drop_bound =
+        static_cast<double>(overload_policy.effectiveDropAfterUs()) *
+            4.0 +
+        drop_result.stats.p99BatchLatencyUs + 2000.0;
+    bool early_drop_bounded =
+        drop_result.stats.p99RequestLatencyUs <= drop_bound &&
+        drop_result.stats.rowsServed > 0 &&
+        drop_result.stats.queue.earlyDropped > 0;
+    std::cout << common::format(
+        "\n=== 2x-capacity overload: shed vs early-drop (drop after "
+        "%llu us) ===\n"
+        "shed        served %7zu  p99 %8.1f us  (%llu shed)\n"
+        "early-drop  served %7zu  p99 %8.1f us  (%llu shed, %llu "
+        "dropped; bound %.1f us)\n",
+        static_cast<unsigned long long>(
+            overload_policy.effectiveDropAfterUs()),
+        shed_result.stats.rowsServed,
+        shed_result.stats.p99RequestLatencyUs,
+        static_cast<unsigned long long>(shed_result.stats.queue.shed),
+        drop_result.stats.rowsServed,
+        drop_result.stats.p99RequestLatencyUs,
+        static_cast<unsigned long long>(drop_result.stats.queue.shed),
+        static_cast<unsigned long long>(
+            drop_result.stats.queue.earlyDropped),
+        drop_bound);
+    json.add("overload/shed",
+             {{"p99_request_us", shed_result.stats.p99RequestLatencyUs},
+              {"rows_served",
+               static_cast<double>(shed_result.stats.rowsServed)},
+              {"shed",
+               static_cast<double>(shed_result.stats.queue.shed)}});
+    json.add("overload/early_drop",
+             {{"p99_request_us",
+               drop_result.stats.p99RequestLatencyUs},
+              {"rows_served",
+               static_cast<double>(drop_result.stats.rowsServed)},
+              {"early_dropped",
+               static_cast<double>(
+                   drop_result.stats.queue.earlyDropped)},
+              {"bound_us", drop_bound}});
+
     bool dispatch_pass = dispatch_speedup > 1.0;
     std::cout << common::format(
         "\nsmall-batch dispatch: executor %.2fx vs spawn-per-batch — "
@@ -348,16 +545,31 @@ main(int argc, char **argv)
         hardware >= 4 ? (deadline_bounded ? "PASS" : "FAIL")
                       : (deadline_bounded ? "pass (informational)"
                                           : "miss (informational)"));
+    std::cout << common::format(
+        "probe-lane p99 bounded under saturated bulk lane: %s\n",
+        hardware >= 4 ? (probe_bounded ? "PASS" : "FAIL")
+                      : (probe_bounded ? "pass (informational)"
+                                       : "miss (informational)"));
+    std::cout << common::format(
+        "early-drop served p99 bounded at 2x capacity: %s\n",
+        hardware >= 4 ? (early_drop_bounded ? "PASS" : "FAIL")
+                      : (early_drop_bounded ? "pass (informational)"
+                                            : "miss (informational)"));
     json.add("acceptance",
              {{"dispatch_speedup_p50", dispatch_speedup},
               {"deadline_p99_bounded", deadline_bounded ? 1.0 : 0.0},
+              {"probe_lane_p99_bounded", probe_bounded ? 1.0 : 0.0},
+              {"early_drop_p99_bounded",
+               early_drop_bounded ? 1.0 : 0.0},
               {"hardware_threads", static_cast<double>(hardware)}});
 
     if (!json_path.empty() && !json.write(json_path))
         return 1;
-    // Enforce only where the claim is testable: a sub-4-core host can
+    // Enforce only where the claims are testable: a sub-4-core host can
     // neither shard a 64-row batch 4 ways nor absorb bursts while
     // batching, so the verdicts are informational there.
-    return (hardware >= 4 && (!dispatch_pass || !deadline_bounded)) ? 1
-                                                                    : 0;
+    return (hardware >= 4 && (!dispatch_pass || !deadline_bounded ||
+                              !probe_bounded || !early_drop_bounded))
+               ? 1
+               : 0;
 }

@@ -1,6 +1,7 @@
 #include "runtime/request_queue.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace homunculus::runtime {
 
@@ -8,56 +9,166 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-}  // namespace
+constexpr auto kNoLane = static_cast<std::size_t>(-1);
 
-RequestQueue::RequestQueue(QueuePolicy policy) : policy_(policy)
+/** One policy with every delay knob inside the overflow-safe range. */
+QueuePolicy
+clampPolicy(QueuePolicy policy)
 {
-    if (policy_.maxBatch == 0)
-        policy_.maxBatch = 1;
+    if (policy.maxBatch == 0)
+        policy.maxBatch = 1;
+    policy.maxDelayUs = std::min(policy.maxDelayUs, kMaxQueueDelayUs);
+    policy.dropAfterUs = std::min(policy.dropAfterUs, kMaxQueueDelayUs);
+    return policy;
 }
 
-bool
-RequestQueue::push(Request request)
+}  // namespace
+
+const char *
+backpressureModeName(BackpressureMode mode)
 {
+    switch (mode) {
+      case BackpressureMode::kShed: return "shed";
+      case BackpressureMode::kBlockWithTimeout: return "block";
+      case BackpressureMode::kEarlyDrop: return "early-drop";
+    }
+    return "?";
+}
+
+RequestQueue::RequestQueue(QueuePolicy policy)
+    : RequestQueue([&] {
+          QueueConfig config;
+          config.lanes.push_back(policy);
+          return config;
+      }())
+{
+}
+
+RequestQueue::RequestQueue(QueueConfig config) : config_(std::move(config))
+{
+    if (config_.lanes.empty())
+        config_.lanes.push_back(QueuePolicy{});
+    for (QueuePolicy &lane : config_.lanes)
+        lane = clampPolicy(lane);
+    config_.blockTimeoutUs =
+        std::min(config_.blockTimeoutUs, kMaxQueueDelayUs);
+    lanes_.resize(config_.lanes.size());
+}
+
+Admission
+RequestQueue::push(Request request, std::size_t lane)
+{
+    if (lane >= lanes_.size())
+        throw std::out_of_range("RequestQueue: lane out of range");
+    const QueuePolicy &policy = config_.lanes[lane];
     bool notify = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::mutex> lock(mutex_);
+        Lane &state = lanes_[lane];
         if (closed_) {
-            ++counters_.rejectedClosed;
-            return false;
+            ++state.counters.rejectedClosed;
+            return Admission::kRejectedClosed;
         }
-        if (policy_.maxDepth != 0 && pending_.size() >= policy_.maxDepth) {
-            ++counters_.shed;
-            return false;
+        if (policy.maxDepth != 0 &&
+            state.pending.size() >= policy.maxDepth) {
+            if (config_.backpressure !=
+                BackpressureMode::kBlockWithTimeout) {
+                ++state.counters.shed;
+                return Admission::kShed;
+            }
+            // Wait for a flush to free space in this lane; close()
+            // wakes us too, so a shutting-down queue fails fast
+            // instead of serving the full timeout.
+            auto give_up = Clock::now() + std::chrono::microseconds(
+                                              config_.blockTimeoutUs);
+            spaceCv_.wait_until(lock, give_up, [&] {
+                return closed_ ||
+                       state.pending.size() < policy.maxDepth;
+            });
+            if (closed_) {
+                ++state.counters.rejectedClosed;
+                return Admission::kRejectedClosed;
+            }
+            if (state.pending.size() >= policy.maxDepth) {
+                ++state.counters.shed;
+                ++state.counters.blockTimeouts;
+                return Admission::kTimedOut;
+            }
         }
         request.enqueuedAt = Clock::now();
-        pending_.push_back(std::move(request));
-        ++counters_.accepted;
-        // A consumer may be blocked on an empty queue (no deadline to
-        // wait for yet) or waiting for the size trigger.
-        notify = pending_.size() == 1 ||
-                 pending_.size() >= policy_.maxBatch;
+        request.lane = lane;
+        state.pending.push_back(std::move(request));
+        ++state.counters.accepted;
+        // A consumer may be blocked on an all-empty queue (no deadline
+        // to wait for yet), waiting out another lane's later deadline
+        // (this lane's new front may be earlier), or waiting for the
+        // size trigger.
+        notify = state.pending.size() == 1 ||
+                 state.pending.size() >= policy.maxBatch;
     }
     if (notify)
         readyCv_.notify_one();
-    return true;
+    return Admission::kAdmitted;
+}
+
+std::size_t
+RequestQueue::readyLaneLocked(Clock::time_point now,
+                              FlushReason &reason) const
+{
+    for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+        const Lane &state = lanes_[lane];
+        if (state.pending.empty())
+            continue;
+        const QueuePolicy &policy = config_.lanes[lane];
+        if (state.pending.size() >= policy.maxBatch) {
+            reason = FlushReason::kSize;
+            return lane;
+        }
+        if (now >= state.pending.front().enqueuedAt +
+                       std::chrono::microseconds(policy.maxDelayUs)) {
+            reason = FlushReason::kDeadline;
+            return lane;
+        }
+    }
+    return kNoLane;
 }
 
 RequestBatch
-RequestQueue::takeBatchLocked(FlushReason reason)
+RequestQueue::takeBatchLocked(std::size_t lane, FlushReason reason)
 {
+    Lane &state = lanes_[lane];
+    const QueuePolicy &policy = config_.lanes[lane];
     RequestBatch batch;
     batch.reason = reason;
-    std::size_t take = std::min(pending_.size(), policy_.maxBatch);
+    batch.lane = lane;
+
+    if (config_.backpressure == BackpressureMode::kEarlyDrop) {
+        // Late rows form a prefix (arrival order = age order): shed
+        // them now rather than spending engine capacity on rows that
+        // already blew their budget.
+        auto cutoff = Clock::now() - std::chrono::microseconds(
+                                         policy.effectiveDropAfterUs());
+        while (!state.pending.empty() &&
+               state.pending.front().enqueuedAt < cutoff) {
+            state.pending.pop_front();
+            ++state.counters.earlyDropped;
+        }
+        if (state.pending.empty())
+            return batch;  // everything aged out; no flush to count.
+    }
+
+    std::size_t take = std::min(state.pending.size(), policy.maxBatch);
     batch.requests.reserve(take);
     for (std::size_t i = 0; i < take; ++i) {
-        batch.requests.push_back(std::move(pending_.front()));
-        pending_.pop_front();
+        batch.requests.push_back(std::move(state.pending.front()));
+        state.pending.pop_front();
     }
     switch (reason) {
-      case FlushReason::kSize: ++counters_.sizeFlushes; break;
-      case FlushReason::kDeadline: ++counters_.deadlineFlushes; break;
-      case FlushReason::kDrain: ++counters_.drainFlushes; break;
+      case FlushReason::kSize: ++state.counters.sizeFlushes; break;
+      case FlushReason::kDeadline:
+        ++state.counters.deadlineFlushes;
+        break;
+      case FlushReason::kDrain: ++state.counters.drainFlushes; break;
     }
     return batch;
 }
@@ -67,28 +178,64 @@ RequestQueue::pop()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        if (pending_.size() >= policy_.maxBatch || closed_) {
-            if (pending_.empty())
+        if (closed_) {
+            // Drain: highest-priority non-empty lane, full batches
+            // counted as size flushes like before, the rest as drain.
+            std::size_t lane = kNoLane;
+            for (std::size_t i = 0; i < lanes_.size(); ++i)
+                if (!lanes_[i].pending.empty()) {
+                    lane = i;
+                    break;
+                }
+            if (lane == kNoLane)
                 return std::nullopt;  // closed and drained.
-            return takeBatchLocked(pending_.size() >= policy_.maxBatch
-                                       ? FlushReason::kSize
-                                       : FlushReason::kDrain);
+            FlushReason reason =
+                lanes_[lane].pending.size() >=
+                        config_.lanes[lane].maxBatch
+                    ? FlushReason::kSize
+                    : FlushReason::kDrain;
+            RequestBatch batch = takeBatchLocked(lane, reason);
+            if (batch.requests.empty())
+                continue;  // every row early-dropped; keep draining.
+            return batch;
         }
 
-        if (pending_.empty()) {
+        FlushReason reason = FlushReason::kSize;
+        auto now = Clock::now();
+        if (std::size_t lane = readyLaneLocked(now, reason);
+            lane != kNoLane) {
+            RequestBatch batch = takeBatchLocked(lane, reason);
+            if (batch.requests.empty())
+                continue;  // every row early-dropped; look again.
+            if (config_.backpressure ==
+                BackpressureMode::kBlockWithTimeout) {
+                // Notify after dropping the lock: woken producers
+                // would otherwise just pile up on a mutex the consumer
+                // still holds.
+                lock.unlock();
+                spaceCv_.notify_all();
+            }
+            return batch;
+        }
+
+        // No lane ready: sleep until the earliest pending deadline
+        // across all lanes, re-checking whenever new arrivals (or
+        // close) signal. A wakeup past a deadline flushes that lane.
+        bool any_pending = false;
+        Clock::time_point earliest = Clock::time_point::max();
+        for (std::size_t i = 0; i < lanes_.size(); ++i) {
+            if (lanes_[i].pending.empty())
+                continue;
+            any_pending = true;
+            auto deadline = lanes_[i].pending.front().enqueuedAt +
+                            std::chrono::microseconds(
+                                config_.lanes[i].maxDelayUs);
+            earliest = std::min(earliest, deadline);
+        }
+        if (!any_pending)
             readyCv_.wait(lock);
-            continue;
-        }
-
-        // Rows pending but below the size trigger: wait out the oldest
-        // row's deadline, re-checking whenever new arrivals (or close)
-        // signal. A wakeup past the deadline flushes what is pending.
-        auto deadline =
-            pending_.front().enqueuedAt +
-            std::chrono::microseconds(policy_.maxDelayUs);
-        if (Clock::now() >= deadline)
-            return takeBatchLocked(FlushReason::kDeadline);
-        readyCv_.wait_until(lock, deadline);
+        else
+            readyCv_.wait_until(lock, earliest);
     }
 }
 
@@ -100,6 +247,7 @@ RequestQueue::close()
         closed_ = true;
     }
     readyCv_.notify_all();
+    spaceCv_.notify_all();
 }
 
 bool
@@ -113,14 +261,34 @@ std::size_t
 RequestQueue::depth() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return pending_.size();
+    std::size_t total = 0;
+    for (const Lane &lane : lanes_)
+        total += lane.pending.size();
+    return total;
+}
+
+std::size_t
+RequestQueue::depth(std::size_t lane) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lanes_.at(lane).pending.size();
 }
 
 QueueCounters
 RequestQueue::counters() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return counters_;
+    QueueCounters total;
+    for (const Lane &lane : lanes_)
+        total += lane.counters;
+    return total;
+}
+
+QueueCounters
+RequestQueue::counters(std::size_t lane) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lanes_.at(lane).counters;
 }
 
 }  // namespace homunculus::runtime

@@ -1,25 +1,56 @@
 /**
  * @file
- * RequestQueue: bounded admission queue with size-or-deadline batching.
+ * RequestQueue: multi-lane bounded admission queue with per-lane
+ * size-or-deadline batching and pluggable backpressure.
  *
  * The serving path's front door. StreamHarness replays a whole trace in
  * fixed micro-batches — fine for throughput measurement, useless under
  * live arrivals, where waiting to fill a batch makes tail latency
  * unbounded at low load and unbounded queueing makes it unbounded at
  * high load. This queue implements the standard serving answer to both
- * (the batching policy of ASAP-style operator runtimes):
+ * (the batching policy of ASAP-style operator runtimes), generalized to
+ * mixed request classes:
  *
- *  - size-or-deadline flush: a batch is released the moment it reaches
- *    maxBatch rows OR the oldest queued request has waited maxDelay,
- *    whichever comes first. Deadline flushes bound the queueing part of
- *    p99 by ~maxDelay; size flushes keep throughput at high load.
- *  - bounded-depth admission control: once maxDepth rows are queued,
- *    further pushes are shed (counted, rejected at the door) instead of
- *    growing an unbounded backlog — the system degrades by dropping,
- *    not by serving everyone arbitrarily late.
+ *  - priority lanes: requests are admitted into one of N lanes, each
+ *    with its own QueuePolicy (maxBatch / maxDelayUs / maxDepth). Lane
+ *    0 is the most urgent. A control-plane probe lane can run a 250 µs
+ *    deadline and a shallow depth while a bulk classification lane
+ *    fills 1024-row batches behind it — the deadline classes the paper's
+ *    deployments mix no longer share one FIFO and one delay budget.
+ *  - size-or-deadline flush per lane: a lane becomes ready the moment
+ *    it reaches maxBatch rows OR its oldest queued request has waited
+ *    maxDelay. pop() releases the highest-priority ready lane (strict
+ *    priority among ready lanes; within a lane, arrival order — which
+ *    is earliest-deadline order, since a lane has one delay budget).
+ *    When no lane is ready, the consumer sleeps until the earliest
+ *    pending deadline across all lanes.
+ *  - backpressure, three ways (BackpressureMode):
+ *      kShed            — pushes beyond a lane's maxDepth are rejected
+ *                         at the door (counted). The system degrades by
+ *                         dropping, not by serving everyone late.
+ *      kBlockWithTimeout— the producer waits up to blockTimeoutUs for
+ *                         space in its lane; a consumer flush wakes
+ *                         blocked producers, who then compete with
+ *                         fresh arrivals for the freed space (no FIFO
+ *                         guarantee among concurrent producers — a
+ *                         late pusher can admit while an early one is
+ *                         still waking). A push that times out is
+ *                         shed.
+ *      kEarlyDrop       — admission never blocks and the lane depth
+ *                         still bounds memory, but additionally rows
+ *                         that are already hopelessly late at flush
+ *                         time (waited > dropAfterUs, default twice the
+ *                         lane's maxDelay) are dropped instead of
+ *                         served — under overload the engine's capacity
+ *                         goes to rows that can still meet their SLO.
  *  - clean drain: close() stops admissions; pop() hands out the
- *    remaining rows (final partial batch included) and then reports
- *    exhaustion, so shutdown loses nothing that was admitted.
+ *    remaining rows (final partial batches included, highest-priority
+ *    lane first) and then reports exhaustion, so shutdown loses nothing
+ *    that was admitted.
+ *
+ * A single-lane queue in kShed mode is exactly the PR 4 queue — same
+ * flush decisions, same counters — so existing callers see identical
+ * behavior through the one-policy constructor.
  *
  * Thread model: any number of producers push(); consumers pop() (one is
  * typical — runtime::Server's batcher thread). All counters are
@@ -37,7 +68,26 @@
 
 namespace homunculus::runtime {
 
-/** Batching + admission knobs. */
+/**
+ * Ceiling on every per-lane delay knob, one hour in microseconds.
+ * steady_clock arithmetic is int64 nanoseconds; an unvalidated
+ * maxDelayUs near 2^64 used to overflow `enqueuedAt + maxDelay` into
+ * the past and turn "flush after N µs" into "flush immediately".
+ * Policies clamp here at construction instead.
+ */
+constexpr std::uint64_t kMaxQueueDelayUs = 3'600'000'000ull;
+
+/**
+ * Floor on kEarlyDrop's drop budget, one millisecond. maxDelayUs == 0
+ * is a legitimate "flush immediately" config, but doubling it would
+ * make the drop budget zero too — and a zero budget drops every
+ * admitted row at flush time (each was necessarily pushed before the
+ * cutoff), turning the server into one that admits everything and
+ * serves nothing.
+ */
+constexpr std::uint64_t kMinDropBudgetUs = 1000;
+
+/** Per-lane batching + admission knobs. */
 struct QueuePolicy
 {
     /** Flush when this many rows are pending (the size trigger). */
@@ -46,14 +96,56 @@ struct QueuePolicy
      *  deadline trigger), in microseconds. */
     std::uint64_t maxDelayUs = 1000;
     /** Admission bound: pushes beyond this many queued rows are shed
-     *  (0 = unbounded). */
+     *  or blocked, per the queue's BackpressureMode (0 = unbounded). */
     std::size_t maxDepth = 8192;
+    /**
+     * kEarlyDrop only: a row that has queued longer than this by flush
+     * time is dropped instead of served. 0 picks the default of
+     * 2 * maxDelayUs — the flush trigger itself puts the oldest row at
+     * exactly maxDelay, so dropping at "> maxDelay" would shed every
+     * steady-state deadline flush; twice the budget is unambiguously
+     * late. Clamped like maxDelayUs.
+     */
+    std::uint64_t dropAfterUs = 0;
+
+    /** The drop threshold kEarlyDrop actually applies (never below
+     *  kMinDropBudgetUs — see its comment). */
+    std::uint64_t effectiveDropAfterUs() const
+    {
+        std::uint64_t budget =
+            dropAfterUs != 0 ? dropAfterUs : 2 * maxDelayUs;
+        return budget >= kMinDropBudgetUs ? budget : kMinDropBudgetUs;
+    }
+};
+
+/** What a producer does when its lane is at maxDepth. */
+enum class BackpressureMode
+{
+    kShed,              ///< reject at the door (PR 4 behavior).
+    kBlockWithTimeout,  ///< wait up to blockTimeoutUs for space.
+    kEarlyDrop,         ///< shed at door + drop late rows at flush.
+};
+
+/** Printable mode name ("shed" / "block" / "early-drop"). */
+const char *backpressureModeName(BackpressureMode mode);
+
+/** Whole-queue configuration: one policy per priority lane. */
+struct QueueConfig
+{
+    /** Lane policies, most urgent first. Empty behaves as one default
+     *  lane. */
+    std::vector<QueuePolicy> lanes;
+    BackpressureMode backpressure = BackpressureMode::kShed;
+    /** kBlockWithTimeout: longest a push may wait for space, in
+     *  microseconds (clamped to kMaxQueueDelayUs). */
+    std::uint64_t blockTimeoutUs = 10'000;
 };
 
 /** One queued inference request. */
 struct Request
 {
     std::uint64_t id = 0;               ///< caller-assigned ticket.
+    std::size_t lane = 0;               ///< set by push().
     std::vector<double> features;       ///< one model-input row.
     std::chrono::steady_clock::time_point enqueuedAt;  ///< set by push().
 };
@@ -61,41 +153,85 @@ struct Request
 /** Why a batch was released. */
 enum class FlushReason { kSize, kDeadline, kDrain };
 
-/** One released batch. */
+/** One released batch (single-lane by construction). */
 struct RequestBatch
 {
     std::vector<Request> requests;
     FlushReason reason = FlushReason::kSize;
+    std::size_t lane = 0;
 };
+
+/** How push() disposed of a request. */
+enum class Admission
+{
+    kAdmitted,        ///< queued; the request will be served or drained.
+    kShed,            ///< rejected at maxDepth (kShed / kEarlyDrop).
+    kTimedOut,        ///< waited blockTimeoutUs, still no space.
+    kRejectedClosed,  ///< pushed after close().
+};
+
+/** True when the request was queued. */
+inline bool
+admitted(Admission a)
+{
+    return a == Admission::kAdmitted;
+}
 
 /** Monotonic counters (snapshot via RequestQueue::counters()). */
 struct QueueCounters
 {
     std::uint64_t accepted = 0;         ///< rows admitted.
     std::uint64_t shed = 0;             ///< rows rejected at maxDepth.
+    std::uint64_t blockTimeouts = 0;    ///< sheds that waited first.
+    std::uint64_t earlyDropped = 0;     ///< admitted rows dropped late.
     std::uint64_t rejectedClosed = 0;   ///< rows pushed after close().
     std::uint64_t sizeFlushes = 0;
     std::uint64_t deadlineFlushes = 0;
     std::uint64_t drainFlushes = 0;
+
+    /** Field-wise sum — the single place the field list is walked, so
+     *  the all-lane aggregate cannot drift when a counter is added. */
+    QueueCounters &operator+=(const QueueCounters &other)
+    {
+        accepted += other.accepted;
+        shed += other.shed;
+        blockTimeouts += other.blockTimeouts;
+        earlyDropped += other.earlyDropped;
+        rejectedClosed += other.rejectedClosed;
+        sizeFlushes += other.sizeFlushes;
+        deadlineFlushes += other.deadlineFlushes;
+        drainFlushes += other.drainFlushes;
+        return *this;
+    }
 };
 
 class RequestQueue
 {
   public:
+    /** Single-lane queue in kShed mode — the PR 4 front door. */
     explicit RequestQueue(QueuePolicy policy = {});
+    /** Multi-lane queue; config.lanes[0] is the most urgent. */
+    explicit RequestQueue(QueueConfig config);
 
     /**
-     * Admit one request (its enqueuedAt is stamped here). Returns false
-     * — and counts the row as shed/rejected — when the queue is at
-     * maxDepth or already closed; the request is not retained.
+     * Admit one request into @p lane (its enqueuedAt and lane are
+     * stamped here). Returns kAdmitted when queued; otherwise the
+     * request is not retained and the outcome is counted against the
+     * lane. In kBlockWithTimeout mode a push to a full lane waits up to
+     * blockTimeoutUs for a flush to free space (close() also wakes it,
+     * to fail fast). Throws std::out_of_range for an unknown lane.
      */
-    bool push(Request request);
+    Admission push(Request request, std::size_t lane = 0);
 
     /**
-     * Block until the policy releases a batch: maxBatch rows pending,
-     * the oldest pending row maxDelay old, or close() with rows left
-     * (drain; the final batch may be partial). Batches preserve arrival
-     * order. Returns nullopt once closed and fully drained.
+     * Block until some lane releases a batch: maxBatch rows pending,
+     * its oldest pending row maxDelay old, or close() with rows left
+     * (drain; final batches may be partial). The highest-priority ready
+     * lane wins; batches preserve arrival order within their lane. In
+     * kEarlyDrop mode, rows older than their lane's dropAfterUs are
+     * removed (and counted) before the batch is formed; a flush whose
+     * rows all dropped is not returned — pop() keeps going. Returns
+     * nullopt once closed and fully drained.
      */
     std::optional<RequestBatch> pop();
 
@@ -103,22 +239,43 @@ class RequestQueue
     void close();
 
     bool closed() const;
-    std::size_t depth() const;        ///< rows currently queued.
-    QueueCounters counters() const;
+    std::size_t depth() const;                ///< rows queued, all lanes.
+    std::size_t depth(std::size_t lane) const;
+    QueueCounters counters() const;           ///< sum over lanes.
+    QueueCounters counters(std::size_t lane) const;
 
-    const QueuePolicy &policy() const { return policy_; }
+    std::size_t lanes() const { return config_.lanes.size(); }
+    const QueuePolicy &policy(std::size_t lane = 0) const
+    {
+        return config_.lanes.at(lane);
+    }
+    const QueueConfig &config() const { return config_; }
 
   private:
-    /** Pop up to maxBatch pending rows as one batch, counting the
-     *  flush reason; requires the mutex held and pending_ non-empty. */
-    RequestBatch takeBatchLocked(FlushReason reason);
+    struct Lane
+    {
+        std::deque<Request> pending;
+        QueueCounters counters;
+    };
 
-    QueuePolicy policy_;
+    /** Pop up to maxBatch pending rows of @p lane as one batch,
+     *  applying kEarlyDrop's late filter and counting the flush
+     *  reason; requires the mutex held. The batch can come back empty
+     *  when every row had already aged out. */
+    RequestBatch takeBatchLocked(std::size_t lane, FlushReason reason);
+
+    /** Highest-priority lane that is size- or deadline-ready at
+     *  @p now, or npos. Requires the mutex held. */
+    std::size_t readyLaneLocked(
+        std::chrono::steady_clock::time_point now,
+        FlushReason &reason) const;
+
+    QueueConfig config_;
     mutable std::mutex mutex_;
     std::condition_variable readyCv_;   ///< consumers wait here.
-    std::deque<Request> pending_;
+    std::condition_variable spaceCv_;   ///< blocked producers wait here.
+    std::vector<Lane> lanes_;
     bool closed_ = false;
-    QueueCounters counters_;
 };
 
 }  // namespace homunculus::runtime

@@ -1,5 +1,6 @@
 #include "runtime/server.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/string_util.hpp"
@@ -14,6 +15,32 @@ using Clock = std::chrono::steady_clock;
 /** Reservoir capacity: exact percentiles below this many samples,
  *  uniform estimates beyond — and bounded memory either way. */
 constexpr std::size_t kLatencyReservoirSize = 65536;
+
+/** Translate a queue admission outcome into the submit result. */
+SubmitStatus
+submitStatusFor(Admission admission)
+{
+    switch (admission) {
+      case Admission::kAdmitted: return SubmitStatus::kAdmitted;
+      case Admission::kShed: return SubmitStatus::kShed;
+      case Admission::kTimedOut: return SubmitStatus::kTimedOut;
+      case Admission::kRejectedClosed:
+        return SubmitStatus::kRejectedClosed;
+    }
+    return SubmitStatus::kShed;
+}
+
+QueueConfig
+queueConfigFor(const ServerConfig &config)
+{
+    QueueConfig queue;
+    queue.lanes.push_back(config.queue);
+    queue.lanes.insert(queue.lanes.end(), config.extraLanes.begin(),
+                       config.extraLanes.end());
+    queue.backpressure = config.backpressure;
+    queue.blockTimeoutUs = config.blockTimeoutUs;
+    return queue;
+}
 
 }  // namespace
 
@@ -37,15 +64,16 @@ Server::LatencyReservoir::add(double value, common::Rng &rng)
 Server::Server(InferenceEngine engine, ServerConfig config,
                VerdictFn on_verdict,
                std::optional<ml::StandardScaler> scaler)
-    : engine_(std::move(engine)), config_(config),
+    : engine_(std::move(engine)), config_(std::move(config)),
       onVerdict_(std::move(on_verdict)), scaler_(std::move(scaler)),
-      queue_(config.queue), startedAt_(Clock::now())
+      queue_(queueConfigFor(config_)), startedAt_(Clock::now())
 {
     if (scaler_ && !scaler_->fitted())
         throw std::runtime_error("Server: scaler is not fitted");
     if (scaler_ && scaler_->means().size() != engine_.plan().inputDim())
         throw std::runtime_error("Server: scaler width does not match "
                                  "the model");
+    laneTallies_.resize(queue_.lanes());
     batcher_ = std::thread([this] { serveLoop(); });
 }
 
@@ -54,8 +82,8 @@ Server::~Server()
     stop();
 }
 
-std::optional<std::uint64_t>
-Server::submit(std::vector<double> features)
+SubmitResult
+Server::submit(std::vector<double> features, std::size_t lane)
 {
     if (features.size() != engine_.plan().inputDim())
         throw std::runtime_error(common::format(
@@ -71,44 +99,52 @@ Server::submit(std::vector<double> features)
     std::uint64_t id = nextId_.fetch_add(1);
     request.id = id;
     request.features = std::move(features);
-    if (!queue_.push(std::move(request)))
-        return std::nullopt;
-    return id;
+    SubmitResult result;
+    result.status = submitStatusFor(queue_.push(std::move(request), lane));
+    if (result.admitted())
+        result.ticket = id;
+    return result;
 }
 
-std::optional<std::uint64_t>
-Server::submitPacket(const net::RawPacket &packet)
+SubmitResult
+Server::submitPacket(const net::RawPacket &packet, std::size_t lane)
 {
     if (engine_.plan().inputDim() != net::kNumTcFeatures)
         throw std::runtime_error(common::format(
             "Server: model expects %zu features but the packet "
             "extractor emits %zu",
             engine_.plan().inputDim(), net::kNumTcFeatures));
-    return submit(extractor_.extract(packet));
+    return submit(extractor_.extract(packet), lane);
 }
 
-std::optional<std::uint64_t>
-Server::submitFrame(const std::vector<std::uint8_t> &frame)
+SubmitResult
+Server::submitFrame(const std::vector<std::uint8_t> &frame,
+                    std::size_t lane)
 {
     auto packet = net::parse(frame);
     if (!packet) {
         malformed_.fetch_add(1);
-        return std::nullopt;
+        SubmitResult result;
+        result.status = SubmitStatus::kMalformed;
+        return result;
     }
-    return submitPacket(*packet);
+    return submitPacket(*packet, lane);
 }
 
 void
 Server::serveLoop()
 {
     const std::size_t dim = engine_.plan().inputDim();
-    // One buffer sized for the largest possible batch; deadline flushes
+    // One buffer sized for the largest lane's batch; deadline flushes
     // release continuously varying batch sizes, and resizeRows keeps
     // the capacity, so the hot loop never reallocates after the first
     // full batch.
-    math::Matrix features(config_.queue.maxBatch, dim);
+    std::size_t max_batch = 1;
+    for (std::size_t lane = 0; lane < queue_.lanes(); ++lane)
+        max_batch = std::max(max_batch, queue_.policy(lane).maxBatch);
+    math::Matrix features(max_batch, dim);
     std::vector<int> labels;
-    labels.reserve(config_.queue.maxBatch);
+    labels.reserve(max_batch);
 
     while (std::optional<RequestBatch> batch = queue_.pop()) {
         std::vector<Request> &requests = batch->requests;
@@ -130,15 +166,20 @@ Server::serveLoop()
 
         {
             std::lock_guard<std::mutex> lock(statsMutex_);
+            LaneTally &tally = laneTallies_[batch->lane];
             ++batches_;
+            ++tally.batches;
             rowsServed_ += rows;
+            tally.rowsServed += rows;
             batchLatenciesUs_.add(batch_us, reservoirRng_);
-            for (const Request &request : requests)
-                requestLatenciesUs_.add(
+            for (const Request &request : requests) {
+                double wait_us =
                     std::chrono::duration<double, std::micro>(
                         finished - request.enqueuedAt)
-                        .count(),
-                    reservoirRng_);
+                        .count();
+                requestLatenciesUs_.add(wait_us, reservoirRng_);
+                tally.requestLatenciesUs.add(wait_us, reservoirRng_);
+            }
         }
         if (onVerdict_)
             for (std::size_t r = 0; r < rows; ++r)
@@ -171,14 +212,34 @@ Server::stop()
             batches_ > 0 ? static_cast<double>(rowsServed_) /
                                static_cast<double>(batches_)
                          : 0.0;
-        stats.p50BatchLatencyUs =
-            math::percentileNearestRank(batchLatenciesUs_.samples, 0.50);
-        stats.p99BatchLatencyUs =
-            math::percentileNearestRank(batchLatenciesUs_.samples, 0.99);
-        stats.p50RequestLatencyUs = math::percentileNearestRank(
-            requestLatenciesUs_.samples, 0.50);
-        stats.p99RequestLatencyUs = math::percentileNearestRank(
-            requestLatenciesUs_.samples, 0.99);
+        // A run that served nothing keeps every percentile at its
+        // zeroed default instead of consulting empty reservoirs.
+        if (batches_ > 0) {
+            stats.p50BatchLatencyUs = math::percentileNearestRank(
+                batchLatenciesUs_.samples, 0.50);
+            stats.p99BatchLatencyUs = math::percentileNearestRank(
+                batchLatenciesUs_.samples, 0.99);
+        }
+        if (rowsServed_ > 0) {
+            stats.p50RequestLatencyUs = math::percentileNearestRank(
+                requestLatenciesUs_.samples, 0.50);
+            stats.p99RequestLatencyUs = math::percentileNearestRank(
+                requestLatenciesUs_.samples, 0.99);
+        }
+        stats.lanes.resize(queue_.lanes());
+        for (std::size_t lane = 0; lane < queue_.lanes(); ++lane) {
+            LaneStats &out = stats.lanes[lane];
+            const LaneTally &tally = laneTallies_[lane];
+            out.queue = queue_.counters(lane);
+            out.rowsServed = tally.rowsServed;
+            out.batches = tally.batches;
+            if (tally.rowsServed > 0) {
+                out.p50RequestLatencyUs = math::percentileNearestRank(
+                    tally.requestLatenciesUs.samples, 0.50);
+                out.p99RequestLatencyUs = math::percentileNearestRank(
+                    tally.requestLatenciesUs.samples, 0.99);
+            }
+        }
     }
     finalStats_ = stats;
     stopped_ = true;

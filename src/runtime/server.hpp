@@ -3,25 +3,33 @@
  * Server: asynchronous serving front-end over the inference runtime.
  *
  * The live-traffic counterpart of StreamHarness's trace replay. Callers
- * submit individual rows or wire frames from any thread and get a
- * ticket back immediately; a dedicated batcher thread drains a
- * RequestQueue (size-or-deadline flush, bounded-depth admission — see
+ * submit individual rows or wire frames from any thread — into one of
+ * N priority lanes — and get a typed SubmitResult back immediately
+ * (except in kBlockWithTimeout mode, where a submit to a full lane
+ * blocks the calling thread up to blockTimeoutUs waiting for space); a
+ * dedicated batcher thread drains a multi-lane RequestQueue (per-lane
+ * size-or-deadline flush, strict priority among ready lanes, shed /
+ * block-with-timeout / early-drop backpressure — see
  * request_queue.hpp), runs each released batch through the
  * InferenceEngine (which shards it on the shared persistent
  * runtime::Executor), and delivers verdicts through a callback. So the
- * full pipeline is: admission -> batching policy -> one long-lived
- * worker pool — no thread is created per request, per batch, or per
- * dispatch after warm-up.
+ * full pipeline is: per-lane admission -> per-lane batching policy ->
+ * one long-lived worker pool — no thread is created per request, per
+ * batch, or per dispatch after warm-up.
  *
  * Producer-side work stays on the producer: submitFrame() parses,
  * extracts, and standardizes on the calling thread (the same split
  * StreamHarness uses), so the batcher thread spends its time in the
  * engine. Verdicts are bit-identical to running the same rows through
- * ExecutablePlan in one call — batching never changes labels.
+ * ExecutablePlan in one call — batching never changes labels. (In
+ * kEarlyDrop mode an admitted row can still be dropped at flush time
+ * if it aged past its lane's budget; dropped rows get no verdict and
+ * are counted per lane.)
  *
  * stop() closes admissions, drains every admitted row (final partial
- * batch included), joins the batcher, and returns the run's statistics;
- * the destructor stops implicitly.
+ * batches included), joins the batcher, and returns the run's
+ * statistics — aggregate and per lane; the destructor stops
+ * implicitly.
  */
 #pragma once
 
@@ -44,13 +52,55 @@ namespace homunculus::runtime {
 /** Serving knobs. */
 struct ServerConfig
 {
+    /** Lane 0 (most urgent) batching/admission policy. A single-lane
+     *  kShed config is exactly the PR 4 server. */
     QueuePolicy queue;
+    /** Policies for lanes 1..N, in decreasing priority. */
+    std::vector<QueuePolicy> extraLanes;
+    BackpressureMode backpressure = BackpressureMode::kShed;
+    /** kBlockWithTimeout: longest a submit may wait for lane space. */
+    std::uint64_t blockTimeoutUs = 10'000;
+};
+
+/** How a submit was disposed of. */
+enum class SubmitStatus
+{
+    kAdmitted,        ///< queued; a verdict will follow (or a drain).
+    kShed,            ///< admission control rejected it (lane full).
+    kTimedOut,        ///< block-with-timeout waited, still no space.
+    kRejectedClosed,  ///< the server is stopping.
+    kMalformed,       ///< submitFrame could not parse the frame.
+};
+
+/**
+ * Result of one submit: the outcome, and the ticket when admitted.
+ * Parse failure (kMalformed) is distinguishable from admission
+ * rejection (kShed/kTimedOut) — they used to collapse into one
+ * nullopt, which made overload invisible to frame producers.
+ */
+struct SubmitResult
+{
+    SubmitStatus status = SubmitStatus::kShed;
+    std::uint64_t ticket = 0;  ///< valid only when admitted().
+
+    bool admitted() const { return status == SubmitStatus::kAdmitted; }
+    explicit operator bool() const { return admitted(); }
+};
+
+/** Per-lane slice of a serving run (valid after stop()). */
+struct LaneStats
+{
+    QueueCounters queue;             ///< this lane's admission/flushes.
+    std::size_t rowsServed = 0;      ///< verdicts delivered from it.
+    std::size_t batches = 0;
+    double p50RequestLatencyUs = 0.0;  ///< admission -> verdict.
+    double p99RequestLatencyUs = 0.0;
 };
 
 /** Everything one serving run produced (valid after stop()). */
 struct ServerStats
 {
-    QueueCounters queue;             ///< admission/flush counters.
+    QueueCounters queue;             ///< counters summed over lanes.
     std::size_t rowsServed = 0;      ///< verdicts delivered.
     std::size_t batches = 0;
     std::size_t malformedFrames = 0; ///< submitFrame parse drops.
@@ -59,27 +109,29 @@ struct ServerStats
      * Latency percentiles: exact for runs up to the sampling-reservoir
      * capacity (64k batches / 64k requests), uniform-reservoir
      * estimates beyond it — memory stays O(1) no matter how long the
-     * server lives.
+     * server lives. All-zero when the run served nothing.
      */
     double p50BatchLatencyUs = 0.0;  ///< engine time per batch.
     double p99BatchLatencyUs = 0.0;
     double p50RequestLatencyUs = 0.0;  ///< admission -> verdict.
     double p99RequestLatencyUs = 0.0;
     double wallSeconds = 0.0;          ///< construction -> stop().
+    std::vector<LaneStats> lanes;      ///< one entry per lane.
 };
 
 class Server
 {
   public:
     /** Verdict delivery, invoked on the batcher thread once per request
-     *  after its batch completes. Must be fast and thread-safe. */
+     *  after its batch completes (request.lane identifies the lane).
+     *  Must be fast and thread-safe. */
     using VerdictFn =
         std::function<void(const Request &request, int verdict)>;
 
     /**
      * Starts the batcher thread.
      * @param engine compiled model + execution policy (jobs, pool)
-     * @param config batching/admission policy
+     * @param config lane policies + backpressure mode
      * @param on_verdict optional verdict sink
      * @param scaler optional fitted feature scaler applied to every
      *        submitted row (the training-time one; see ModelIr scaler
@@ -97,27 +149,35 @@ class Server
 
     /**
      * Admit one feature row (extractor-domain values; the scaler, when
-     * bound, is applied here on the calling thread). Returns the
-     * request ticket, or nullopt when the row was shed by admission
-     * control or the server is stopping.
+     * bound, is applied here on the calling thread) into @p lane.
+     * Throws std::out_of_range for an unknown lane and
+     * std::runtime_error for a row of the wrong width.
      */
-    std::optional<std::uint64_t> submit(std::vector<double> features);
+    SubmitResult submit(std::vector<double> features,
+                        std::size_t lane = 0);
 
     /** Parse a wire frame and admit it (malformed frames are counted
-     *  and dropped). The engine's model must consume the packet
-     *  extractor's schema. */
-    std::optional<std::uint64_t> submitFrame(
-        const std::vector<std::uint8_t> &frame);
+     *  and reported as kMalformed). The engine's model must consume
+     *  the packet extractor's schema. */
+    SubmitResult submitFrame(const std::vector<std::uint8_t> &frame,
+                             std::size_t lane = 0);
 
     /** Extract + admit an already-parsed packet. */
-    std::optional<std::uint64_t> submitPacket(const net::RawPacket &packet);
+    SubmitResult submitPacket(const net::RawPacket &packet,
+                              std::size_t lane = 0);
 
     /** Close admissions, drain, join, and return the stats. Idempotent
      *  (later calls return the same snapshot). */
     ServerStats stop();
 
-    /** Rows currently queued (admission backlog). */
+    /** Rows currently queued across all lanes (admission backlog). */
     std::size_t depth() const { return queue_.depth(); }
+    /** Rows currently queued in one lane. */
+    std::size_t depth(std::size_t lane) const
+    {
+        return queue_.depth(lane);
+    }
+    std::size_t lanes() const { return queue_.lanes(); }
 
     const InferenceEngine &engine() const { return engine_; }
     const ServerConfig &config() const { return config_; }
@@ -148,12 +208,21 @@ class Server
         void add(double value, common::Rng &rng);
     };
 
+    /** Per-lane tallies the batcher appends to (under statsMutex_). */
+    struct LaneTally
+    {
+        std::size_t rowsServed = 0;
+        std::size_t batches = 0;
+        LatencyReservoir requestLatenciesUs;
+    };
+
     /** Guards the reservoirs the batcher appends to. */
     mutable std::mutex statsMutex_;
     std::size_t rowsServed_ = 0;
     std::size_t batches_ = 0;
     LatencyReservoir batchLatenciesUs_;
     LatencyReservoir requestLatenciesUs_;
+    std::vector<LaneTally> laneTallies_;
     common::Rng reservoirRng_{0x5E7Eull};
 
     std::mutex stopMutex_;    ///< serializes stop() callers.

@@ -1,14 +1,20 @@
 /**
  * @file
  * Tests for the async serving front-end: RequestQueue size/deadline
- * flush and bounded-depth shedding, drain-on-close semantics, and
- * runtime::Server end-to-end verdict correctness (batching never
- * changes labels — verdicts are bit-identical to one plan run over the
- * same rows). The producer/batcher handoffs run under TSAN in CI.
+ * flush and bounded-depth shedding, priority lanes (strict priority
+ * among ready lanes, cross-lane deadline ordering, no starvation of
+ * drained lanes), the three backpressure modes (shed /
+ * block-with-timeout / early-drop), the maxDelayUs overflow clamp,
+ * drain-on-close semantics, and runtime::Server end-to-end verdict
+ * correctness (batching never changes labels — verdicts are
+ * bit-identical to one plan run over the same rows) including per-lane
+ * statistics and typed submit results. The producer/batcher handoffs
+ * run under TSAN in CI.
  */
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -80,7 +86,7 @@ TEST(RequestQueue, SizeFlushPreservesArrivalOrder)
     hr::RequestQueue queue(policy);
 
     for (std::uint64_t i = 0; i < 20; ++i)
-        EXPECT_TRUE(queue.push(makeRequest(i, 3)));
+        EXPECT_EQ(queue.push(makeRequest(i, 3)), hr::Admission::kAdmitted);
 
     auto first = queue.pop();
     ASSERT_TRUE(first.has_value());
@@ -105,7 +111,7 @@ TEST(RequestQueue, DeadlineFlushReleasesPartialBatch)
 
     auto started = Clock::now();
     for (std::uint64_t i = 0; i < 5; ++i)
-        EXPECT_TRUE(queue.push(makeRequest(i, 3)));
+        EXPECT_EQ(queue.push(makeRequest(i, 3)), hr::Admission::kAdmitted);
     auto batch = queue.pop();
     double waited_us = std::chrono::duration<double, std::micro>(
                            Clock::now() - started)
@@ -131,7 +137,7 @@ TEST(RequestQueue, AdmissionControlShedsBeyondDepth)
 
     std::size_t admitted = 0, shed = 0;
     for (std::uint64_t i = 0; i < 25; ++i)
-        queue.push(makeRequest(i, 3)) ? ++admitted : ++shed;
+        hr::admitted(queue.push(makeRequest(i, 3))) ? ++admitted : ++shed;
     EXPECT_EQ(admitted, 10u);
     EXPECT_EQ(shed, 15u);
     EXPECT_EQ(queue.depth(), 10u);
@@ -152,9 +158,10 @@ TEST(RequestQueue, CloseDrainsEverythingThenReportsExhaustion)
     policy.maxDelayUs = 60'000'000;
     hr::RequestQueue queue(policy);
     for (std::uint64_t i = 0; i < 10; ++i)
-        EXPECT_TRUE(queue.push(makeRequest(i, 2)));
+        EXPECT_EQ(queue.push(makeRequest(i, 2)), hr::Admission::kAdmitted);
     queue.close();
-    EXPECT_FALSE(queue.push(makeRequest(99, 2)));  // closed door.
+    EXPECT_EQ(queue.push(makeRequest(99, 2)),
+              hr::Admission::kRejectedClosed);  // closed door.
 
     // 10 rows at maxBatch 4: two full batches + a 2-row drain tail.
     std::size_t rows = 0;
@@ -221,9 +228,9 @@ TEST(Server, VerdictsBitIdenticalToOnePlanRun)
 
     std::vector<std::uint64_t> tickets(kRows);
     for (std::size_t r = 0; r < kRows; ++r) {
-        auto ticket = server.submit(features.row(r));
-        ASSERT_TRUE(ticket.has_value());
-        tickets[r] = *ticket;
+        hr::SubmitResult result = server.submit(features.row(r));
+        ASSERT_TRUE(result.admitted());
+        tickets[r] = result.ticket;
     }
     hr::ServerStats stats = server.stop();
 
@@ -268,7 +275,7 @@ TEST(Server, AppliesStoredScalerLikeTheTrainingTransform)
 
     std::vector<std::uint64_t> tickets(kRows);
     for (std::size_t r = 0; r < kRows; ++r)
-        tickets[r] = *server.submit(raw.row(r));
+        tickets[r] = server.submit(raw.row(r)).ticket;
     server.stop();
 
     // Reference: scale manually, then run the plan once.
@@ -296,7 +303,7 @@ TEST(Server, ShedsWhenDepthExceededAndCountsIt)
     std::size_t admitted = 0, shed = 0;
     std::vector<double> row(model.inputDim, 1.0);
     for (int i = 0; i < 100; ++i)
-        server.submit(row) ? ++admitted : ++shed;
+        server.submit(row).admitted() ? ++admitted : ++shed;
     hr::ServerStats stats = server.stop();
 
     EXPECT_EQ(admitted, 32u);
@@ -326,8 +333,9 @@ TEST(Server, WireFramesServeAndMalformedFramesDrop)
 
     for (const auto &labeled : hn::generateIotPackets(packet_config))
         EXPECT_TRUE(
-            server.submitFrame(hn::serialize(labeled.packet)).has_value());
-    EXPECT_FALSE(server.submitFrame({0xde, 0xad}).has_value());
+            server.submitFrame(hn::serialize(labeled.packet)).admitted());
+    EXPECT_EQ(server.submitFrame({0xde, 0xad}).status,
+              hr::SubmitStatus::kMalformed);
 
     hr::ServerStats stats = server.stop();
     EXPECT_EQ(stats.rowsServed, 300u);
@@ -345,5 +353,401 @@ TEST(Server, RejectsUnfittedOrMismatchedScalerAndBadRowWidth)
     hr::Server server(hr::InferenceEngine::fromModel(model, {}), {});
     EXPECT_THROW(server.submit(std::vector<double>(3, 0.0)),
                  std::runtime_error);
+    server.stop();
+}
+
+// ------------------------------------------------- lanes + backpressure
+
+TEST(RequestQueue, MaxDelayClampPreventsDeadlineOverflow)
+{
+    // Regression: enqueuedAt + microseconds(maxDelayUs) used to wrap
+    // for huge values, turning the deadline negative and flushing
+    // every row immediately. The policy now clamps at construction.
+    hr::QueuePolicy policy;
+    policy.maxBatch = 1024;
+    policy.maxDelayUs = std::numeric_limits<std::uint64_t>::max();
+    hr::RequestQueue queue(policy);
+    EXPECT_EQ(queue.policy().maxDelayUs, hr::kMaxQueueDelayUs);
+
+    // Behavioral half: with two rows pending and a (clamped) one-hour
+    // deadline, pop() must still be waiting when close() arrives —
+    // an overflowed deadline would release a kDeadline batch at once.
+    EXPECT_EQ(queue.push(makeRequest(1, 2)), hr::Admission::kAdmitted);
+    EXPECT_EQ(queue.push(makeRequest(2, 2)), hr::Admission::kAdmitted);
+    auto started = Clock::now();
+    std::thread closer([&queue] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        queue.close();
+    });
+    auto batch = queue.pop();
+    double waited_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - started)
+            .count();
+    closer.join();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->reason, hr::FlushReason::kDrain);
+    EXPECT_EQ(batch->requests.size(), 2u);
+    EXPECT_GE(waited_ms, 20.0);
+}
+
+TEST(RequestQueue, StrictPriorityAmongReadyLanes)
+{
+    hr::QueueConfig config;
+    hr::QueuePolicy probe;
+    probe.maxBatch = 4;
+    probe.maxDelayUs = 60'000'000;
+    hr::QueuePolicy bulk = probe;
+    config.lanes = {probe, bulk};
+    hr::RequestQueue queue(config);
+
+    // Bulk becomes size-ready first, then probe: the probe batch must
+    // still come out before any bulk batch.
+    for (std::uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(queue.push(makeRequest(100 + i, 2), 1),
+                  hr::Admission::kAdmitted);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(queue.push(makeRequest(i, 2), 0),
+                  hr::Admission::kAdmitted);
+
+    auto first = queue.pop();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->lane, 0u);
+    EXPECT_EQ(first->reason, hr::FlushReason::kSize);
+    EXPECT_EQ(first->requests.front().id, 0u);
+    EXPECT_EQ(first->requests.front().lane, 0u);
+
+    auto second = queue.pop();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->lane, 1u);
+    EXPECT_EQ(second->requests.front().id, 100u);
+    EXPECT_EQ(queue.depth(0), 0u);
+    EXPECT_EQ(queue.depth(1), 4u);
+    EXPECT_EQ(queue.counters(0).sizeFlushes, 1u);
+    EXPECT_EQ(queue.counters(1).sizeFlushes, 1u);
+}
+
+TEST(RequestQueue, IdleHighPriorityLaneDoesNotStarveLowerLanes)
+{
+    hr::QueueConfig config;
+    hr::QueuePolicy lane;
+    lane.maxBatch = 2;
+    lane.maxDelayUs = 60'000'000;
+    config.lanes = {lane, lane, lane};
+    hr::RequestQueue queue(config);
+
+    EXPECT_EQ(queue.push(makeRequest(7, 2), 2), hr::Admission::kAdmitted);
+    EXPECT_EQ(queue.push(makeRequest(8, 2), 2), hr::Admission::kAdmitted);
+    auto batch = queue.pop();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->lane, 2u);
+    EXPECT_EQ(batch->requests.size(), 2u);
+}
+
+TEST(RequestQueue, EarliestDeadlineAcrossLanesWinsWhenNoneSizeReady)
+{
+    // Lane 0 has the longer delay budget: a waiting consumer must wake
+    // for lane 1's earlier deadline even though lane 0 outranks it.
+    hr::QueueConfig config;
+    hr::QueuePolicy slow;
+    slow.maxBatch = 1024;
+    slow.maxDelayUs = 60'000'000;  // lane 0: ~never.
+    hr::QueuePolicy fast = slow;
+    fast.maxDelayUs = 20'000;      // lane 1: 20 ms.
+    config.lanes = {slow, fast};
+    hr::RequestQueue queue(config);
+
+    EXPECT_EQ(queue.push(makeRequest(1, 2), 0), hr::Admission::kAdmitted);
+    EXPECT_EQ(queue.push(makeRequest(2, 2), 1), hr::Admission::kAdmitted);
+
+    auto batch = queue.pop();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->lane, 1u);
+    EXPECT_EQ(batch->reason, hr::FlushReason::kDeadline);
+    EXPECT_EQ(batch->requests.front().id, 2u);
+    EXPECT_EQ(queue.depth(0), 1u);
+}
+
+TEST(RequestQueue, DrainReleasesHighestPriorityLaneFirst)
+{
+    hr::QueueConfig config;
+    hr::QueuePolicy lane;
+    lane.maxBatch = 1024;
+    lane.maxDelayUs = 60'000'000;
+    config.lanes = {lane, lane};
+    hr::RequestQueue queue(config);
+    EXPECT_EQ(queue.push(makeRequest(2, 2), 1), hr::Admission::kAdmitted);
+    EXPECT_EQ(queue.push(makeRequest(1, 2), 0), hr::Admission::kAdmitted);
+    queue.close();
+
+    auto first = queue.pop();
+    auto second = queue.pop();
+    ASSERT_TRUE(first.has_value());
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(first->lane, 0u);
+    EXPECT_EQ(second->lane, 1u);
+    EXPECT_EQ(first->reason, hr::FlushReason::kDrain);
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(RequestQueue, EarlyDropShedsRowsPastTheirBudgetDeterministically)
+{
+    hr::QueueConfig config;
+    hr::QueuePolicy lane;
+    lane.maxBatch = 1024;
+    lane.maxDelayUs = 60'000'000;  // no deadline flush in this test.
+    lane.dropAfterUs = 1000;       // 1 ms budget, exceeded by sleeping.
+    config.lanes = {lane};
+    config.backpressure = hr::BackpressureMode::kEarlyDrop;
+    hr::RequestQueue queue(config);
+
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(queue.push(makeRequest(i, 2)), hr::Admission::kAdmitted);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+    // Every admitted row is now ~20 ms past a 1 ms budget: the drain
+    // flush drops them all and pop() reports clean exhaustion instead
+    // of serving hopelessly late rows.
+    EXPECT_FALSE(queue.pop().has_value());
+    EXPECT_EQ(queue.counters().earlyDropped, 5u);
+    EXPECT_EQ(queue.counters().drainFlushes, 0u);
+    EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(RequestQueue, EarlyDropServesFreshRowsUntouched)
+{
+    hr::QueueConfig config;
+    hr::QueuePolicy lane;
+    lane.maxBatch = 1024;
+    lane.maxDelayUs = 10'000;       // 10 ms deadline flush...
+    lane.dropAfterUs = 60'000'000;  // ...far inside a huge drop budget.
+    config.lanes = {lane};
+    config.backpressure = hr::BackpressureMode::kEarlyDrop;
+    hr::RequestQueue queue(config);
+
+    for (std::uint64_t i = 0; i < 3; ++i)
+        EXPECT_EQ(queue.push(makeRequest(i, 2)), hr::Admission::kAdmitted);
+    auto batch = queue.pop();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->reason, hr::FlushReason::kDeadline);
+    EXPECT_EQ(batch->requests.size(), 3u);
+    EXPECT_EQ(queue.counters().earlyDropped, 0u);
+}
+
+TEST(RequestQueue, DefaultDropBudgetIsTwiceMaxDelayWithAFloor)
+{
+    hr::QueuePolicy lane;
+    lane.maxDelayUs = 750;
+    EXPECT_EQ(lane.effectiveDropAfterUs(), 1500u);
+    lane.dropAfterUs = 9000;
+    EXPECT_EQ(lane.effectiveDropAfterUs(), 9000u);
+
+    // maxDelayUs 0 ("flush immediately") must not double into a zero
+    // drop budget — that would early-drop every admitted row.
+    hr::QueuePolicy immediate;
+    immediate.maxDelayUs = 0;
+    EXPECT_EQ(immediate.effectiveDropAfterUs(), hr::kMinDropBudgetUs);
+    immediate.dropAfterUs = 200;  // explicit sub-floor values too.
+    EXPECT_EQ(immediate.effectiveDropAfterUs(), hr::kMinDropBudgetUs);
+}
+
+TEST(RequestQueue, BlockWithTimeoutUnblocksWhenAFlushFreesSpace)
+{
+    hr::QueueConfig config;
+    hr::QueuePolicy lane;
+    lane.maxBatch = 4;
+    lane.maxDelayUs = 60'000'000;
+    lane.maxDepth = 4;
+    config.lanes = {lane};
+    config.backpressure = hr::BackpressureMode::kBlockWithTimeout;
+    config.blockTimeoutUs = 60'000'000;  // practically forever.
+    hr::RequestQueue queue(config);
+
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(queue.push(makeRequest(i, 2)), hr::Admission::kAdmitted);
+
+    hr::Admission fifth = hr::Admission::kShed;
+    std::thread producer([&] {
+        fifth = queue.push(makeRequest(99, 2));  // blocks: lane full.
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(queue.depth(), 4u);  // still blocked, nothing admitted.
+
+    auto batch = queue.pop();      // size flush frees the lane...
+    producer.join();               // ...which unblocks the producer.
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->requests.size(), 4u);
+    EXPECT_EQ(fifth, hr::Admission::kAdmitted);
+    EXPECT_EQ(queue.depth(), 1u);
+    EXPECT_EQ(queue.counters().accepted, 5u);
+    EXPECT_EQ(queue.counters().blockTimeouts, 0u);
+    queue.close();
+}
+
+TEST(RequestQueue, BlockWithTimeoutGivesUpAndCountsIt)
+{
+    hr::QueueConfig config;
+    hr::QueuePolicy lane;
+    lane.maxBatch = 64;
+    lane.maxDelayUs = 60'000'000;
+    lane.maxDepth = 2;
+    config.lanes = {lane};
+    config.backpressure = hr::BackpressureMode::kBlockWithTimeout;
+    config.blockTimeoutUs = 5'000;  // 5 ms, then give up.
+    hr::RequestQueue queue(config);
+
+    EXPECT_EQ(queue.push(makeRequest(1, 2)), hr::Admission::kAdmitted);
+    EXPECT_EQ(queue.push(makeRequest(2, 2)), hr::Admission::kAdmitted);
+    auto started = Clock::now();
+    EXPECT_EQ(queue.push(makeRequest(3, 2)), hr::Admission::kTimedOut);
+    double waited_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - started)
+            .count();
+    EXPECT_GE(waited_ms, 4.0);  // actually waited the bound out.
+    EXPECT_EQ(queue.counters().shed, 1u);
+    EXPECT_EQ(queue.counters().blockTimeouts, 1u);
+}
+
+TEST(RequestQueue, BlockedProducerFailsFastOnClose)
+{
+    hr::QueueConfig config;
+    hr::QueuePolicy lane;
+    lane.maxBatch = 64;
+    lane.maxDelayUs = 60'000'000;
+    lane.maxDepth = 1;
+    config.lanes = {lane};
+    config.backpressure = hr::BackpressureMode::kBlockWithTimeout;
+    config.blockTimeoutUs = 60'000'000;
+    hr::RequestQueue queue(config);
+
+    EXPECT_EQ(queue.push(makeRequest(1, 2)), hr::Admission::kAdmitted);
+    hr::Admission second = hr::Admission::kAdmitted;
+    std::thread producer(
+        [&] { second = queue.push(makeRequest(2, 2)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+    producer.join();
+    EXPECT_EQ(second, hr::Admission::kRejectedClosed);
+}
+
+TEST(RequestQueue, PushToUnknownLaneThrows)
+{
+    hr::RequestQueue queue;  // one lane.
+    EXPECT_THROW(queue.push(makeRequest(1, 2), 1), std::out_of_range);
+}
+
+// --------------------------------------------------- Server, multi-lane
+
+TEST(Server, TwoLaneServingKeepsVerdictsAndAttributesLaneStats)
+{
+    auto model = tcModel(53);
+    hc::Rng rng(59);
+    constexpr std::size_t kRows = 600;  // 300 per lane.
+    hm::Matrix features(kRows, model.inputDim);
+    for (double &v : features.data())
+        v = rng.uniform(-4.0, 4.0);
+
+    hr::ServerConfig config;
+    config.queue.maxBatch = 32;        // probe lane: small batches.
+    config.queue.maxDelayUs = 500;
+    config.queue.maxDepth = 0;
+    hr::QueuePolicy bulk;
+    bulk.maxBatch = 128;
+    bulk.maxDelayUs = 5'000;
+    bulk.maxDepth = 0;
+    config.extraLanes = {bulk};
+
+    std::mutex verdict_mutex;
+    std::map<std::uint64_t, int> verdicts;
+    std::map<std::uint64_t, std::size_t> verdict_lanes;
+    hr::Server server(
+        hr::InferenceEngine::fromModel(model, {}), config,
+        [&](const hr::Request &request, int verdict) {
+            std::lock_guard<std::mutex> lock(verdict_mutex);
+            verdicts[request.id] = verdict;
+            verdict_lanes[request.id] = request.lane;
+        });
+    ASSERT_EQ(server.lanes(), 2u);
+
+    std::vector<std::uint64_t> tickets(kRows);
+    for (std::size_t r = 0; r < kRows; ++r) {
+        hr::SubmitResult result =
+            server.submit(features.row(r), r % 2);
+        ASSERT_TRUE(result.admitted());
+        tickets[r] = result.ticket;
+    }
+    hr::ServerStats stats = server.stop();
+
+    EXPECT_EQ(stats.rowsServed, kRows);
+    ASSERT_EQ(stats.lanes.size(), 2u);
+    EXPECT_EQ(stats.lanes[0].rowsServed, kRows / 2);
+    EXPECT_EQ(stats.lanes[1].rowsServed, kRows / 2);
+    EXPECT_EQ(stats.lanes[0].queue.accepted, kRows / 2);
+    EXPECT_EQ(stats.lanes[1].queue.accepted, kRows / 2);
+    EXPECT_GT(stats.lanes[0].batches + stats.lanes[1].batches, 0u);
+
+    auto reference = hi::ExecutablePlan::compile(model).run(features);
+    ASSERT_EQ(verdicts.size(), kRows);
+    for (std::size_t r = 0; r < kRows; ++r) {
+        EXPECT_EQ(verdicts.at(tickets[r]), reference[r]) << "row " << r;
+        EXPECT_EQ(verdict_lanes.at(tickets[r]), r % 2);
+    }
+}
+
+TEST(Server, StopWithZeroRowsServedReportsZeroedPercentiles)
+{
+    auto model = tcModel(61);
+    hr::Server server(hr::InferenceEngine::fromModel(model, {}), {});
+    hr::ServerStats stats = server.stop();
+    EXPECT_EQ(stats.rowsServed, 0u);
+    EXPECT_EQ(stats.batches, 0u);
+    EXPECT_EQ(stats.meanBatchRows, 0.0);
+    EXPECT_EQ(stats.p50BatchLatencyUs, 0.0);
+    EXPECT_EQ(stats.p99BatchLatencyUs, 0.0);
+    EXPECT_EQ(stats.p50RequestLatencyUs, 0.0);
+    EXPECT_EQ(stats.p99RequestLatencyUs, 0.0);
+    ASSERT_EQ(stats.lanes.size(), 1u);
+    EXPECT_EQ(stats.lanes[0].rowsServed, 0u);
+    EXPECT_EQ(stats.lanes[0].p99RequestLatencyUs, 0.0);
+}
+
+TEST(Server, SubmitDistinguishesShedFromMalformedFromClosed)
+{
+    auto model = tcModel(67);
+    hn::IotPacketConfig packet_config;
+    packet_config.numPackets = 3;
+    packet_config.seed = 11;
+    auto packets = hn::generateIotPackets(packet_config);
+
+    hr::ServerConfig config;
+    // One-row lane and a batcher that cannot flush during the test
+    // (size trigger far above depth, deadline far away): the second
+    // well-formed frame deterministically sheds.
+    config.queue.maxBatch = 4096;
+    config.queue.maxDelayUs = 60'000'000;
+    config.queue.maxDepth = 1;
+    hr::Server server(hr::InferenceEngine::fromModel(model, {}), config);
+
+    EXPECT_EQ(server.submitFrame(hn::serialize(packets[0].packet)).status,
+              hr::SubmitStatus::kAdmitted);
+    EXPECT_EQ(server.submitFrame(hn::serialize(packets[1].packet)).status,
+              hr::SubmitStatus::kShed);
+    EXPECT_EQ(server.submitFrame({0xba, 0xad}).status,
+              hr::SubmitStatus::kMalformed);
+    hr::ServerStats stats = server.stop();
+    EXPECT_EQ(stats.malformedFrames, 1u);
+    EXPECT_EQ(stats.queue.shed, 1u);
+    EXPECT_EQ(stats.rowsServed, 1u);
+
+    // Post-stop submits report the closed door, not a shed.
+    EXPECT_EQ(server.submitFrame(hn::serialize(packets[2].packet)).status,
+              hr::SubmitStatus::kRejectedClosed);
+}
+
+TEST(Server, SubmitToUnknownLaneThrows)
+{
+    auto model = tcModel(71);
+    hr::Server server(hr::InferenceEngine::fromModel(model, {}), {});
+    std::vector<double> row(model.inputDim, 0.0);
+    EXPECT_THROW(server.submit(row, 7), std::out_of_range);
     server.stop();
 }

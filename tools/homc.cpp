@@ -7,50 +7,24 @@
  * Targets resolve through the BackendRegistry, so any registered
  * platform — built-in or plugin — is addressable via --platform.
  *
- * Usage:
+ * Flag parsing (strict: unknown flags error with a did-you-mean hint,
+ * numeric values are validated) lives in homc_cli.{hpp,cpp}; run
+ * `homc --help` for the full reference. Highlights:
+ *
  *   homc --app ad|tc|bd            built-in synthetic application
  *   homc --train t.csv --test e.csv   or: bring your own CSV data
- *        [--platform NAME]         target (default taurus); see
- *                                  --list-platforms for the known names
- *        [--algorithms dnn,svm,kmeans,decision_tree]
- *        [--init N] [--iters N]    search budget (default 5 / 15)
- *        [--jobs N]                parallel family searches (default 1;
- *                                  0 = one per hardware thread)
- *        [--infer-jobs N]          row-shard width for candidate scoring
- *                                  and --replay inference (default 1;
- *                                  0 = one per hardware thread)
- *        [--grid N]                Taurus grid side (default 16)
- *        [--tables N]              MAT stage budget (default 12)
- *        [--throughput G] [--latency NS]   performance envelope
- *        [--seed N]                determinism seed
- *        [--out FILE]              write the generated program here
- *        [--save FILE]             write the compiled model artifact
- *        [--pareto cus|mus|mat_tables]     multi-objective cost metric
- *        [--passes LIST]           emit-stage IR passes (default:
- *                                  the optimization pipeline); see
- *                                  --list-passes for the known names
- *        [--dump-ir[=PASS]]        print the artifact after each emit
- *                                  pass (or only after PASS)
- *        [--progress]              print per-stage progress events
- *        [--replay TRACE]          serving mode: after compiling, replay
- *                                  a packet trace through the winner via
- *                                  the streaming runtime. TRACE is
- *                                  iot:N (N synthetic IoT packets) or a
- *                                  file of hex-encoded frames, one per
- *                                  line. Reports rows/s and p50/p99
- *                                  micro-batch latency.
- *        [--replay-batch N]        replay micro-batch rows (default 1024)
- *        [--replay-raw]            skip feature standardization on
- *                                  replay/serve
- *        [--serve TRACE]           async serving mode: feed the trace
- *                                  through the runtime::Server admission
- *                                  queue (size-or-deadline batching,
- *                                  bounded-depth shedding) and report
- *                                  request/batch latency percentiles
- *        [--serve-rate RPS]        open-loop arrival rate (0 = max)
- *        [--serve-max-batch N]     flush at N rows (default 1024)
- *        [--serve-max-delay-us N]  flush at N us queueing (default 1000)
- *        [--serve-depth N]         shed beyond N queued rows (0 = inf)
+ *        [--platform NAME]         target (default taurus)
+ *        [--replay TRACE]          replay a packet trace through the
+ *                                  winner on the streaming runtime
+ *        [--serve TRACE]           async serving mode through the
+ *                                  multi-lane admission queue:
+ *                                  --serve-lanes N priority lanes with
+ *                                  per-lane --serve-lane-delays-us /
+ *                                  -depths / -batches policies,
+ *                                  --serve-backpressure
+ *                                  shed|block|early-drop, and
+ *                                  --serve-probe-every routing every
+ *                                  Nth frame to the probe lane
  *   homc --list-platforms          enumerate the backend registry
  *   homc --list-passes             enumerate the IR pass registry
  */
@@ -67,6 +41,7 @@
 #include "bench_common.hpp"
 #include "common/string_util.hpp"
 #include "data/loaders.hpp"
+#include "homc_cli.hpp"
 #include "ir/passes.hpp"
 #include "ir/serialize.hpp"
 #include "runtime/server.hpp"
@@ -75,172 +50,12 @@
 namespace {
 
 using namespace homunculus;
+using tools::CliOptions;
 
-struct CliOptions
-{
-    std::string app;
-    std::string trainCsv, testCsv;
-    std::string platform = "taurus";
-    std::string algorithms;
-    std::string outPath;
-    std::string savePath;
-    std::string paretoMetric;
-    std::string passes;
-    std::string dumpPass;   ///< dump filter; empty = every pass.
-    std::string replay;     ///< iot:N or a hex-frame trace file.
-    std::size_t replayBatch = 1024;
-    bool replayRaw = false;
-    std::string serve;      ///< async-serving trace (iot:N or file).
-    double serveRate = 0.0;           ///< arrival rows/s (0 = max).
-    std::size_t serveMaxBatch = 1024;   ///< queue size trigger.
-    std::size_t serveMaxDelayUs = 1000; ///< queue deadline trigger.
-    std::size_t serveDepth = 8192;      ///< admission bound (0 = inf).
-    bool dumpIr = false;
-    std::size_t init = 5;
-    std::size_t iters = 15;
-    std::size_t jobs = 1;
-    std::size_t inferJobs = 1;
-    std::size_t grid = 16;
-    std::size_t tables = 12;
-    double throughputGpps = 1.0;
-    double latencyNs = 500.0;
-    bool throughputSet = false;
-    bool latencySet = false;
-    bool listPlatforms = false;
-    bool progress = false;
-    bool listPasses = false;
-    std::uint64_t seed = bench::kBenchSeed;
-};
-
-void
-printUsage()
-{
-    std::cout <<
-        "homc — Homunculus data-plane ML compiler\n"
-        "  --app ad|tc|bd           built-in application\n"
-        "  --train FILE --test FILE CSV data (last column = label)\n"
-        "  --platform NAME          target backend (see --list-platforms)\n"
-        "  --list-platforms         enumerate registered backends\n"
-        "  --algorithms LIST        comma-separated family pool\n"
-        "  --init N --iters N       search budget\n"
-        "  --jobs N                 parallel family searches (0 = #cores)\n"
-        "  --infer-jobs N           row-shard width for scoring + replay\n"
-        "                           (0 = #cores)\n"
-        "  --replay TRACE           serving mode: replay iot:N or a\n"
-        "                           hex-frame file through the winner\n"
-        "  --replay-batch N         replay micro-batch rows (default 1024)\n"
-        "  --replay-raw             skip feature standardization on replay\n"
-        "                           and --serve\n"
-        "  --serve TRACE            async serving mode: feed the trace\n"
-        "                           through the admission queue + \n"
-        "                           size-or-deadline batcher\n"
-        "  --serve-rate RPS         arrival rate, rows/s (0 = max speed)\n"
-        "  --serve-max-batch N      flush at N rows (default 1024)\n"
-        "  --serve-max-delay-us N   flush at N us queueing (default 1000)\n"
-        "  --serve-depth N          shed beyond N queued rows (0 = inf)\n"
-        "  --grid N                 Taurus grid side\n"
-        "  --tables N               MAT stage budget\n"
-        "  --throughput GPPS --latency NS\n"
-        "  --pareto METRIC          multi-objective cost (cus|mus|...)\n"
-        "  --passes LIST            emit-stage IR passes (--list-passes)\n"
-        "  --dump-ir[=PASS]         print the IR after each emit pass\n"
-        "  --list-passes            enumerate registered IR passes\n"
-        "  --progress               print compile-stage progress\n"
-        "  --seed N --out FILE --save ARTIFACT\n";
-}
-
-bool
-parseArgs(int argc, char **argv, CliOptions &options)
-{
-    std::map<std::string, std::string> flags;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--help" || arg == "-h")
-            return false;
-        if (arg == "--list-platforms") {
-            options.listPlatforms = true;
-            continue;
-        }
-        if (arg == "--list-passes") {
-            options.listPasses = true;
-            continue;
-        }
-        if (arg == "--progress") {
-            options.progress = true;
-            continue;
-        }
-        if (arg == "--dump-ir") {
-            options.dumpIr = true;
-            continue;
-        }
-        if (arg == "--replay-raw") {
-            options.replayRaw = true;
-            continue;
-        }
-        if (common::startsWith(arg, "--dump-ir=")) {
-            options.dumpIr = true;
-            options.dumpPass = arg.substr(std::string("--dump-ir=").size());
-            continue;
-        }
-        if (!common::startsWith(arg, "--") || i + 1 >= argc) {
-            std::cerr << "homc: bad argument '" << arg << "'\n";
-            return false;
-        }
-        flags[arg.substr(2)] = argv[++i];
-    }
-
-    auto take = [&](const char *name, std::string &into) {
-        auto it = flags.find(name);
-        if (it != flags.end())
-            into = it->second;
-    };
-    auto take_size = [&](const char *name, std::size_t &into) {
-        auto it = flags.find(name);
-        if (it != flags.end())
-            into = static_cast<std::size_t>(std::stoull(it->second));
-    };
-    take("app", options.app);
-    take("train", options.trainCsv);
-    take("test", options.testCsv);
-    take("platform", options.platform);
-    take("algorithms", options.algorithms);
-    take("out", options.outPath);
-    take("save", options.savePath);
-    take("pareto", options.paretoMetric);
-    take("passes", options.passes);
-    take("replay", options.replay);
-    take_size("replay-batch", options.replayBatch);
-    take("serve", options.serve);
-    take_size("serve-max-batch", options.serveMaxBatch);
-    take_size("serve-max-delay-us", options.serveMaxDelayUs);
-    take_size("serve-depth", options.serveDepth);
-    if (flags.count("serve-rate"))
-        options.serveRate = std::stod(flags["serve-rate"]);
-    take_size("init", options.init);
-    take_size("iters", options.iters);
-    take_size("jobs", options.jobs);
-    take_size("infer-jobs", options.inferJobs);
-    take_size("grid", options.grid);
-    take_size("tables", options.tables);
-    if (flags.count("throughput")) {
-        options.throughputGpps = std::stod(flags["throughput"]);
-        options.throughputSet = true;
-    }
-    if (flags.count("latency")) {
-        options.latencyNs = std::stod(flags["latency"]);
-        options.latencySet = true;
-    }
-    if (flags.count("seed"))
-        options.seed = std::stoull(flags["seed"]);
-
-    if (options.listPlatforms || options.listPasses)
-        return true;
-    if (options.app.empty() && options.trainCsv.empty()) {
-        std::cerr << "homc: need --app or --train/--test\n";
-        return false;
-    }
-    return true;
-}
+// homc_cli duplicates the seed literal to avoid linking the bench
+// substrate; pin the two here, where both headers are visible.
+static_assert(tools::kDefaultSeed == bench::kBenchSeed,
+              "homc default seed drifted from bench::kBenchSeed");
 
 core::ModelSpec
 buildSpec(const CliOptions &options)
@@ -461,22 +276,31 @@ runReplay(const CliOptions &options, const homunculus::ir::ModelIr &model)
  * Async serving mode: feed the trace into runtime::Server as an
  * open-loop arrival process at --serve-rate rows/s (0 = as fast as
  * submission runs) and report admission, batching-policy, and latency
- * statistics. Unlike --replay (whole trace, fixed micro-batches), this
- * exercises the deadline-vs-size batcher and bounded-queue shedding.
+ * statistics — per lane when --serve-lanes splits the trace into a
+ * probe lane and bulk lanes. Unlike --replay (whole trace, fixed
+ * micro-batches), this exercises the per-lane deadline-vs-size batcher
+ * and the configured backpressure mode.
  */
 void
 runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
 {
     auto frames = loadReplayTrace(options.serve);
+    std::vector<runtime::QueuePolicy> lanes = tools::lanePolicies(options);
     std::cout << "\nserve     : " << options.serve << " ("
-              << frames.size() << " frames, maxBatch "
-              << options.serveMaxBatch << ", maxDelay "
-              << options.serveMaxDelayUs << " us, depth "
-              << options.serveDepth << ", rate "
+              << frames.size() << " frames, " << lanes.size()
+              << (lanes.size() == 1 ? " lane, " : " lanes, ")
+              << runtime::backpressureModeName(options.serveBackpressure)
+              << " backpressure, rate "
               << (options.serveRate <= 0.0
                       ? std::string("max")
                       : common::format("%.0f/s", options.serveRate))
               << ")\n";
+    for (std::size_t lane = 0; lane < lanes.size(); ++lane)
+        std::cout << common::format(
+            "lane %zu    : maxBatch %zu, maxDelay %llu us, depth %zu\n",
+            lane, lanes[lane].maxBatch,
+            static_cast<unsigned long long>(lanes[lane].maxDelayUs),
+            lanes[lane].maxDepth);
 
     std::string scaler_provenance;
     std::optional<ml::StandardScaler> scaler =
@@ -488,9 +312,10 @@ runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
     engine_options.minRowsToShard = 1;
 
     runtime::ServerConfig server_config;
-    server_config.queue.maxBatch = options.serveMaxBatch;
-    server_config.queue.maxDelayUs = options.serveMaxDelayUs;
-    server_config.queue.maxDepth = options.serveDepth;
+    server_config.queue = lanes.front();
+    server_config.extraLanes.assign(lanes.begin() + 1, lanes.end());
+    server_config.backpressure = options.serveBackpressure;
+    server_config.blockTimeoutUs = options.serveBlockTimeoutUs;
 
     std::mutex verdict_mutex;
     std::map<int, std::size_t> verdict_counts;
@@ -516,15 +341,16 @@ runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
                                          options.serveRate));
             std::this_thread::sleep_until(due);
         }
-        server.submitFrame(frames[i]);
+        server.submitFrame(frames[i], tools::laneForFrame(i, options));
     }
     runtime::ServerStats stats = server.stop();
 
     std::cout << common::format(
-        "admitted  : %llu rows (%llu shed, %zu malformed) in %zu "
-        "batches (mean %.1f rows)\n",
+        "admitted  : %llu rows (%llu shed, %llu early-dropped, "
+        "%zu malformed) in %zu batches (mean %.1f rows)\n",
         static_cast<unsigned long long>(stats.queue.accepted),
         static_cast<unsigned long long>(stats.queue.shed),
+        static_cast<unsigned long long>(stats.queue.earlyDropped),
         stats.malformedFrames, stats.batches, stats.meanBatchRows);
     std::cout << common::format(
         "flushes   : %llu size / %llu deadline / %llu drain\n",
@@ -537,6 +363,17 @@ runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
         stats.p50RequestLatencyUs, stats.p99RequestLatencyUs,
         stats.p50BatchLatencyUs, stats.p99BatchLatencyUs,
         stats.wallSeconds);
+    if (stats.lanes.size() > 1)
+        for (std::size_t lane = 0; lane < stats.lanes.size(); ++lane) {
+            const runtime::LaneStats &ls = stats.lanes[lane];
+            std::cout << common::format(
+                "lane %zu    : served %zu (%llu shed, %llu dropped), "
+                "request p50 %.1f us / p99 %.1f us\n",
+                lane, ls.rowsServed,
+                static_cast<unsigned long long>(ls.queue.shed),
+                static_cast<unsigned long long>(ls.queue.earlyDropped),
+                ls.p50RequestLatencyUs, ls.p99RequestLatencyUs);
+        }
     std::cout << "verdicts  :";
     for (const auto &[verdict, count] : verdict_counts)
         std::cout << " class " << verdict << " x" << count;
@@ -568,9 +405,15 @@ int
 main(int argc, char **argv)
 {
     CliOptions options;
-    if (!parseArgs(argc, argv, options)) {
-        printUsage();
+    switch (tools::parseArgs(argc, argv, options, std::cerr)) {
+      case tools::ParseResult::kHelp:
+        tools::printUsage(std::cout);
+        return 0;
+      case tools::ParseResult::kError:
+        tools::printUsage(std::cerr);
         return 2;
+      case tools::ParseResult::kOk:
+        break;
     }
 
     if (options.listPlatforms) {

@@ -1,0 +1,462 @@
+#include "homc_cli.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace homunculus::tools {
+
+namespace {
+
+/** Value-taking flags (without the leading "--"). */
+const char *const kValueFlags[] = {
+    "app",           "train",
+    "test",          "platform",
+    "algorithms",    "out",
+    "save",          "pareto",
+    "passes",        "replay",
+    "replay-batch",  "serve",
+    "serve-rate",    "serve-max-batch",
+    "serve-max-delay-us",  "serve-depth",
+    "serve-lanes",   "serve-backpressure",
+    "serve-block-timeout-us", "serve-probe-every",
+    "serve-lane-delays-us",   "serve-lane-depths",
+    "serve-lane-batches",
+    "init",          "iters",
+    "jobs",          "infer-jobs",
+    "grid",          "tables",
+    "throughput",    "latency",
+    "seed",
+};
+
+/** Flags that take no value (for the did-you-mean pool). */
+const char *const kBoolFlags[] = {
+    "help",        "list-platforms", "list-passes", "progress",
+    "dump-ir",     "replay-raw",
+};
+
+/** Classic edit distance, small strings only. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t subst = prev[j - 1] + (a[i - 1] != b[j - 1]);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+bool
+isValueFlag(const std::string &name)
+{
+    for (const char *flag : kValueFlags)
+        if (name == flag)
+            return true;
+    return false;
+}
+
+/** Closest known flag to @p name, or empty when nothing is near. */
+std::string
+nearestFlag(const std::string &name)
+{
+    std::string best;
+    std::size_t best_distance = 4;  // past this a hint misleads.
+    auto consider = [&](const std::string &candidate) {
+        std::size_t distance = editDistance(name, candidate);
+        if (distance < best_distance) {
+            best_distance = distance;
+            best = candidate;
+        }
+    };
+    for (const char *flag : kValueFlags)
+        consider(flag);
+    for (const char *flag : kBoolFlags)
+        consider(flag);
+    return best;
+}
+
+/** Unsigned integer, full-string, no sign tricks ("-5" would wrap). */
+bool
+parseU64(const std::string &flag, const std::string &text,
+         std::uint64_t &into, std::ostream &err)
+{
+    try {
+        if (text.empty() || text.find('-') != std::string::npos)
+            throw std::invalid_argument(text);
+        std::size_t consumed = 0;
+        into = std::stoull(text, &consumed);
+        if (consumed != text.size())
+            throw std::invalid_argument(text);
+        return true;
+    } catch (const std::exception &) {
+        err << "homc: --" << flag
+            << " expects a non-negative integer, got '" << text << "'\n";
+        return false;
+    }
+}
+
+bool
+parseSize(const std::string &flag, const std::string &text,
+          std::size_t &into, std::ostream &err)
+{
+    std::uint64_t value = 0;
+    if (!parseU64(flag, text, value, err))
+        return false;
+    into = static_cast<std::size_t>(value);
+    return true;
+}
+
+bool
+parseDouble(const std::string &flag, const std::string &text,
+            double &into, std::ostream &err)
+{
+    try {
+        std::size_t consumed = 0;
+        into = std::stod(text, &consumed);
+        if (consumed != text.size())
+            throw std::invalid_argument(text);
+        return true;
+    } catch (const std::exception &) {
+        err << "homc: --" << flag << " expects a number, got '" << text
+            << "'\n";
+        return false;
+    }
+}
+
+/** Comma-separated unsigned list ("250,2000"). */
+bool
+parseU64List(const std::string &flag, const std::string &text,
+             std::vector<std::uint64_t> &into, std::ostream &err)
+{
+    into.clear();
+    for (const std::string &field : common::split(text, ',')) {
+        std::uint64_t value = 0;
+        if (!parseU64(flag, common::trim(field), value, err))
+            return false;
+        into.push_back(value);
+    }
+    return true;
+}
+
+bool
+parseSizeList(const std::string &flag, const std::string &text,
+              std::vector<std::size_t> &into, std::ostream &err)
+{
+    std::vector<std::uint64_t> wide;
+    if (!parseU64List(flag, text, wide, err))
+        return false;
+    into.assign(wide.begin(), wide.end());
+    return true;
+}
+
+}  // namespace
+
+std::vector<std::string>
+knownValueFlags()
+{
+    return {std::begin(kValueFlags), std::end(kValueFlags)};
+}
+
+ParseResult
+parseArgs(int argc, const char *const *argv, CliOptions &options,
+          std::ostream &err)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            return ParseResult::kHelp;
+        if (arg == "--list-platforms") {
+            options.listPlatforms = true;
+            continue;
+        }
+        if (arg == "--list-passes") {
+            options.listPasses = true;
+            continue;
+        }
+        if (arg == "--progress") {
+            options.progress = true;
+            continue;
+        }
+        if (arg == "--dump-ir") {
+            options.dumpIr = true;
+            continue;
+        }
+        if (arg == "--replay-raw") {
+            options.replayRaw = true;
+            continue;
+        }
+        if (common::startsWith(arg, "--dump-ir=")) {
+            options.dumpIr = true;
+            options.dumpPass = arg.substr(std::string("--dump-ir=").size());
+            continue;
+        }
+        if (!common::startsWith(arg, "--")) {
+            err << "homc: bad argument '" << arg << "'\n";
+            return ParseResult::kError;
+        }
+        // Gate every flag against the known set right here, so a
+        // misspelled boolean flag (--progess) gets the same
+        // did-you-mean treatment as a misspelled value flag and never
+        // swallows the next token as its value.
+        std::string name = arg.substr(2);
+        if (!isValueFlag(name)) {
+            err << "homc: unknown flag '--" << name << "'";
+            std::string hint = nearestFlag(name);
+            if (!hint.empty())
+                err << " (did you mean '--" << hint << "'?)";
+            err << "\n";
+            return ParseResult::kError;
+        }
+        if (i + 1 >= argc) {
+            err << "homc: --" << name << " expects a value\n";
+            return ParseResult::kError;
+        }
+        flags[name] = argv[++i];
+    }
+
+    // Every take* consumes its entry, so whatever is left in the map
+    // afterwards is a flag we do not know — an error, not a silent
+    // no-op (--serve-max-dely-us used to be accepted and ignored).
+    bool ok = true;
+    auto take = [&](const char *name, std::string &into) {
+        auto it = flags.find(name);
+        if (it == flags.end())
+            return;
+        into = it->second;
+        flags.erase(it);
+    };
+    auto take_size = [&](const char *name, std::size_t &into) {
+        auto it = flags.find(name);
+        if (it == flags.end())
+            return;
+        ok = parseSize(name, it->second, into, err) && ok;
+        flags.erase(it);
+    };
+    auto take_u64 = [&](const char *name, std::uint64_t &into) {
+        auto it = flags.find(name);
+        if (it == flags.end())
+            return;
+        ok = parseU64(name, it->second, into, err) && ok;
+        flags.erase(it);
+    };
+    auto take_double = [&](const char *name, double &into, bool *set) {
+        auto it = flags.find(name);
+        if (it == flags.end())
+            return;
+        ok = parseDouble(name, it->second, into, err) && ok;
+        if (set)
+            *set = true;
+        flags.erase(it);
+    };
+
+    take("app", options.app);
+    take("train", options.trainCsv);
+    take("test", options.testCsv);
+    take("platform", options.platform);
+    take("algorithms", options.algorithms);
+    take("out", options.outPath);
+    take("save", options.savePath);
+    take("pareto", options.paretoMetric);
+    take("passes", options.passes);
+    take("replay", options.replay);
+    take_size("replay-batch", options.replayBatch);
+    take("serve", options.serve);
+    take_double("serve-rate", options.serveRate, nullptr);
+    take_size("serve-max-batch", options.serveMaxBatch);
+    take_u64("serve-max-delay-us", options.serveMaxDelayUs);
+    take_size("serve-depth", options.serveDepth);
+    take_size("serve-lanes", options.serveLanes);
+    take_u64("serve-block-timeout-us", options.serveBlockTimeoutUs);
+    take_size("serve-probe-every", options.serveProbeEvery);
+    if (auto it = flags.find("serve-backpressure"); it != flags.end()) {
+        std::string mode = common::toLower(common::trim(it->second));
+        if (mode == "shed") {
+            options.serveBackpressure = runtime::BackpressureMode::kShed;
+        } else if (mode == "block") {
+            options.serveBackpressure =
+                runtime::BackpressureMode::kBlockWithTimeout;
+        } else if (mode == "early-drop") {
+            options.serveBackpressure =
+                runtime::BackpressureMode::kEarlyDrop;
+        } else {
+            err << "homc: --serve-backpressure expects "
+                   "shed|block|early-drop, got '"
+                << it->second << "'\n";
+            ok = false;
+        }
+        flags.erase(it);
+    }
+    if (auto it = flags.find("serve-lane-delays-us"); it != flags.end()) {
+        ok = parseU64List("serve-lane-delays-us", it->second,
+                          options.serveLaneDelaysUs, err) &&
+             ok;
+        flags.erase(it);
+    }
+    if (auto it = flags.find("serve-lane-depths"); it != flags.end()) {
+        ok = parseSizeList("serve-lane-depths", it->second,
+                           options.serveLaneDepths, err) &&
+             ok;
+        flags.erase(it);
+    }
+    if (auto it = flags.find("serve-lane-batches"); it != flags.end()) {
+        ok = parseSizeList("serve-lane-batches", it->second,
+                           options.serveLaneBatches, err) &&
+             ok;
+        flags.erase(it);
+    }
+    take_size("init", options.init);
+    take_size("iters", options.iters);
+    take_size("jobs", options.jobs);
+    take_size("infer-jobs", options.inferJobs);
+    take_size("grid", options.grid);
+    take_size("tables", options.tables);
+    take_double("throughput", options.throughputGpps,
+                &options.throughputSet);
+    take_double("latency", options.latencyNs, &options.latencySet);
+    take_u64("seed", options.seed);
+
+    if (!flags.empty()) {
+        // The parse loop admitted only kValueFlags entries, so a
+        // leftover means a flag is listed there without a take* call —
+        // a table/parser drift, not a user error.
+        for (const auto &[name, value] : flags) {
+            (void)value;
+            err << "homc: flag '--" << name
+                << "' is known but unhandled (flag-table drift)\n";
+        }
+        return ParseResult::kError;
+    }
+    if (!ok)
+        return ParseResult::kError;
+
+    if (options.serveLanes == 0) {
+        err << "homc: --serve-lanes expects at least 1 lane\n";
+        return ParseResult::kError;
+    }
+    if (options.serveProbeEvery == 0) {
+        err << "homc: --serve-probe-every expects a positive number\n";
+        return ParseResult::kError;
+    }
+    auto lane_list_fits = [&](const char *name, std::size_t length) {
+        if (length == 0 || length == options.serveLanes)
+            return true;
+        err << "homc: --" << name << " lists " << length
+            << " lanes but --serve-lanes is " << options.serveLanes
+            << "\n";
+        return false;
+    };
+    if (!lane_list_fits("serve-lane-delays-us",
+                        options.serveLaneDelaysUs.size()) ||
+        !lane_list_fits("serve-lane-depths",
+                        options.serveLaneDepths.size()) ||
+        !lane_list_fits("serve-lane-batches",
+                        options.serveLaneBatches.size()))
+        return ParseResult::kError;
+
+    if (options.listPlatforms || options.listPasses)
+        return ParseResult::kOk;
+    if (options.app.empty() && options.trainCsv.empty()) {
+        err << "homc: need --app or --train/--test\n";
+        return ParseResult::kError;
+    }
+    return ParseResult::kOk;
+}
+
+std::vector<runtime::QueuePolicy>
+lanePolicies(const CliOptions &options)
+{
+    std::vector<runtime::QueuePolicy> policies(options.serveLanes);
+    for (std::size_t lane = 0; lane < options.serveLanes; ++lane) {
+        runtime::QueuePolicy &policy = policies[lane];
+        // Apply the queue's clamps here too, so --serve's printout
+        // shows the policy actually in force, not the raw flags.
+        policy.maxBatch = options.serveLaneBatches.empty()
+                              ? options.serveMaxBatch
+                              : options.serveLaneBatches[lane];
+        if (policy.maxBatch == 0)
+            policy.maxBatch = 1;
+        policy.maxDelayUs =
+            std::min(options.serveLaneDelaysUs.empty()
+                         ? options.serveMaxDelayUs
+                         : options.serveLaneDelaysUs[lane],
+                     runtime::kMaxQueueDelayUs);
+        policy.maxDepth = options.serveLaneDepths.empty()
+                              ? options.serveDepth
+                              : options.serveLaneDepths[lane];
+    }
+    return policies;
+}
+
+std::size_t
+laneForFrame(std::size_t index, const CliOptions &options)
+{
+    if (options.serveLanes <= 1)
+        return 0;
+    if (index % options.serveProbeEvery == 0)
+        return 0;
+    // Round-robin by bulk ordinal, not by the global index: the global
+    // index modulo (lanes - 1) skips the residues probe frames occupy,
+    // which can starve a bulk lane outright when probe-every shares a
+    // factor with the bulk-lane count (e.g. 3 lanes, probe-every 2).
+    std::size_t probes_before = (index - 1) / options.serveProbeEvery + 1;
+    std::size_t bulk_ordinal = index - probes_before;
+    return 1 + bulk_ordinal % (options.serveLanes - 1);
+}
+
+void
+printUsage(std::ostream &out)
+{
+    out <<
+        "homc — Homunculus data-plane ML compiler\n"
+        "  --app ad|tc|bd           built-in application\n"
+        "  --train FILE --test FILE CSV data (last column = label)\n"
+        "  --platform NAME          target backend (see --list-platforms)\n"
+        "  --list-platforms         enumerate registered backends\n"
+        "  --algorithms LIST        comma-separated family pool\n"
+        "  --init N --iters N       search budget\n"
+        "  --jobs N                 parallel family searches (0 = #cores)\n"
+        "  --infer-jobs N           row-shard width for scoring + replay\n"
+        "                           (0 = #cores)\n"
+        "  --replay TRACE           serving mode: replay iot:N or a\n"
+        "                           hex-frame file through the winner\n"
+        "  --replay-batch N         replay micro-batch rows (default 1024)\n"
+        "  --replay-raw             skip feature standardization on replay\n"
+        "                           and --serve\n"
+        "  --serve TRACE            async serving mode: feed the trace\n"
+        "                           through the admission queue + \n"
+        "                           size-or-deadline batcher\n"
+        "  --serve-rate RPS         arrival rate, rows/s (0 = max speed)\n"
+        "  --serve-max-batch N      flush at N rows (default 1024)\n"
+        "  --serve-max-delay-us N   flush at N us queueing (default 1000)\n"
+        "  --serve-depth N          shed beyond N queued rows (0 = inf)\n"
+        "  --serve-lanes N          priority lanes, lane 0 most urgent\n"
+        "                           (default 1)\n"
+        "  --serve-backpressure M   shed|block|early-drop (default shed)\n"
+        "  --serve-block-timeout-us N  block mode: producer wait bound\n"
+        "  --serve-lane-delays-us L comma list, per-lane maxDelay us\n"
+        "  --serve-lane-depths L    comma list, per-lane shed depth\n"
+        "  --serve-lane-batches L   comma list, per-lane flush size\n"
+        "  --serve-probe-every N    every Nth frame -> lane 0 (default 16)\n"
+        "  --grid N                 Taurus grid side\n"
+        "  --tables N               MAT stage budget\n"
+        "  --throughput GPPS --latency NS\n"
+        "  --pareto METRIC          multi-objective cost (cus|mus|...)\n"
+        "  --passes LIST            emit-stage IR passes (--list-passes)\n"
+        "  --dump-ir[=PASS]         print the IR after each emit pass\n"
+        "  --list-passes            enumerate registered IR passes\n"
+        "  --progress               print compile-stage progress\n"
+        "  --seed N --out FILE --save ARTIFACT\n";
+}
+
+}  // namespace homunculus::tools

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * homc's command-line surface, split out of the driver so it is
+ * testable: option struct, strict argument parsing (unknown flags are
+ * an error with a nearest-match hint, non-numeric values for numeric
+ * flags are an error instead of an uncaught std::stoull abort), and
+ * the serving-lane policy builder.
+ */
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/request_queue.hpp"
+
+namespace homunculus::tools {
+
+/**
+ * homc's default determinism seed. Kept numerically identical to
+ * bench::kBenchSeed (homc.cpp static_asserts the two match) without
+ * pulling the bench substrate into this library.
+ */
+constexpr std::uint64_t kDefaultSeed = 2206'05592;
+
+/** Everything homc's flags can say. */
+struct CliOptions
+{
+    std::string app;
+    std::string trainCsv, testCsv;
+    std::string platform = "taurus";
+    std::string algorithms;
+    std::string outPath;
+    std::string savePath;
+    std::string paretoMetric;
+    std::string passes;
+    std::string dumpPass;   ///< dump filter; empty = every pass.
+    std::string replay;     ///< iot:N or a hex-frame trace file.
+    std::size_t replayBatch = 1024;
+    bool replayRaw = false;
+    std::string serve;      ///< async-serving trace (iot:N or file).
+    double serveRate = 0.0;             ///< arrival rows/s (0 = max).
+    std::size_t serveMaxBatch = 1024;   ///< queue size trigger.
+    std::uint64_t serveMaxDelayUs = 1000;  ///< queue deadline trigger.
+    std::size_t serveDepth = 8192;      ///< admission bound (0 = inf).
+    std::size_t serveLanes = 1;         ///< priority lanes (lane 0 first).
+    runtime::BackpressureMode serveBackpressure =
+        runtime::BackpressureMode::kShed;
+    std::uint64_t serveBlockTimeoutUs = 10'000;  ///< block mode bound.
+    /** Per-lane overrides, comma-separated, one entry per lane; empty
+     *  lists fall back to the single-lane --serve-max-* values. */
+    std::vector<std::uint64_t> serveLaneDelaysUs;
+    std::vector<std::size_t> serveLaneDepths;
+    std::vector<std::size_t> serveLaneBatches;
+    /** Every Nth --serve frame goes to lane 0 (the probe lane); the
+     *  rest round-robin over the remaining lanes. */
+    std::size_t serveProbeEvery = 16;
+    bool dumpIr = false;
+    std::size_t init = 5;
+    std::size_t iters = 15;
+    std::size_t jobs = 1;
+    std::size_t inferJobs = 1;
+    std::size_t grid = 16;
+    std::size_t tables = 12;
+    double throughputGpps = 1.0;
+    double latencyNs = 500.0;
+    bool throughputSet = false;
+    bool latencySet = false;
+    bool listPlatforms = false;
+    bool progress = false;
+    bool listPasses = false;
+    std::uint64_t seed = kDefaultSeed;
+};
+
+/** How parseArgs() ended. */
+enum class ParseResult
+{
+    kOk,     ///< options populated; run the compiler.
+    kHelp,   ///< --help/-h: print usage, exit 0.
+    kError,  ///< bad flag/value; message already on @p err, exit 2.
+};
+
+/**
+ * Parse argv into @p options. Strict: every flag must be known (a
+ * misspelled flag errors with a did-you-mean hint instead of being
+ * silently ignored) and every numeric value must parse completely
+ * ("--jobs banana" errors instead of aborting). Diagnostics go to
+ * @p err.
+ */
+ParseResult parseArgs(int argc, const char *const *argv,
+                      CliOptions &options, std::ostream &err);
+
+/**
+ * The --serve lane policies: lane i takes its maxBatch / maxDelayUs /
+ * maxDepth from the per-lane list when given (parseArgs guarantees
+ * list length == serveLanes), else from the single-lane defaults.
+ */
+std::vector<runtime::QueuePolicy> lanePolicies(const CliOptions &options);
+
+/** Lane for the i-th --serve frame: every probe-every-th frame is a
+ *  probe (lane 0), the rest round-robin over lanes 1..N-1. */
+std::size_t laneForFrame(std::size_t index, const CliOptions &options);
+
+/** The value-taking flags parseArgs accepts (for tests: every entry
+ *  must be consumed by a take* handler, or parsing reports drift). */
+std::vector<std::string> knownValueFlags();
+
+/** The flag reference printed on --help and usage errors. */
+void printUsage(std::ostream &out);
+
+}  // namespace homunculus::tools
