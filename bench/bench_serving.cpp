@@ -40,6 +40,17 @@
  * Acceptance: early-drop served p99 within a small multiple of its
  * drop threshold, and at least one row actually early-dropped.
  *
+ * Part 5 — multi-model hot swap: two co-resident models (a 2-class
+ * front model and the 4-class SVM as the deep model) behind
+ * ModelRegistry + Router, two lanes at sub-capacity load, a chain rule
+ * escalating front-label-1 rows to the deep model, and a mid-run
+ * atomic swap of the front model to a second version. Every request's
+ * route trace is replayed single-threaded through the exact plan
+ * version that executed it. Acceptance: zero verdict errors (every hop
+ * label bit-identical to the admitting plan version — enforced via
+ * exit code on every host), both front versions observed, and request
+ * p99 still bounded by ~maxDelay across the swap.
+ *
  * Usage: bench_serving [--json PATH]
  * (custom harness: the sweep needs open-loop pacing and direct control
  * of the measurement loop; --json writes bench_common's records.)
@@ -49,6 +60,9 @@
 #include <chrono>
 #include <cmath>
 #include <iostream>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,6 +72,8 @@
 #include "math/stats.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/inference_engine.hpp"
+#include "runtime/model_registry.hpp"
+#include "runtime/router.hpp"
 #include "runtime/server.hpp"
 
 using namespace homunculus;
@@ -127,6 +143,39 @@ struct SweepResult
     runtime::ServerStats stats;
     double offeredRate = 0.0;  ///< rows/s actually offered.
 };
+
+/**
+ * A second version of the part-5 front model: bench::benchMlpIr()'s
+ * exact shape (16 features, 2 classes — the registry's drop-in
+ * invariant) with reseeded weights, so v1 and v2 label some rows
+ * differently and a batch that mixed plans would be caught.
+ */
+ir::ModelIr
+frontModelV2()
+{
+    common::Rng rng(bench::kBenchSeed + 2);
+    ir::ModelIr model;
+    model.kind = ir::ModelKind::kMlp;
+    model.inputDim = 16;
+    model.numClasses = 2;
+    std::size_t prev = 16;
+    for (std::size_t width : {std::size_t{32}, std::size_t{32},
+                              std::size_t{2}}) {
+        ir::QuantizedLayer layer;
+        layer.inputDim = prev;
+        layer.outputDim = width;
+        layer.weights.resize(prev * width);
+        layer.biases.resize(width);
+        for (auto &w : layer.weights)
+            w = static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
+        for (auto &b : layer.biases)
+            b = static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
+        model.layers.push_back(std::move(layer));
+        prev = width;
+    }
+    model.validate();
+    return model;
+}
 
 /**
  * Open-loop arrival process: bursts of @p burst rows, burst start times
@@ -533,6 +582,154 @@ main(int argc, char **argv)
                    drop_result.stats.queue.earlyDropped)},
               {"bound_us", drop_bound}});
 
+    // ------------------- part 5: multi-model serving with hot swap ---
+    // Two co-resident models on two lanes, a chain rule escalating
+    // front-label-1 rows to the deep model, and a mid-run atomic swap
+    // of the front model. The route trace of every request is replayed
+    // single-threaded through the exact plan version that executed it:
+    // "zero verdict errors" here means bit-identical labels against
+    // the admitting version, across the swap.
+    auto registry = std::make_shared<runtime::ModelRegistry>([&] {
+        runtime::EngineOptions options;
+        options.jobs = jobs;
+        options.minRowsToShard = 1;
+        return options;
+    }());
+    registry->load("front", model);          // v1 (the part-1 MLP).
+    registry->load("front", frontModelV2()); // v2, idle until the swap.
+    registry->load("deep", bench::benchSvmIr());
+
+    runtime::RouteConfig route;
+    route.defaultModel = "front";
+    route.laneModels = {"front", "deep"};
+    route.chain = {{"front", 1, "deep"}};
+
+    runtime::QueuePolicy swap_policy;
+    swap_policy.maxBatch = 256;
+    swap_policy.maxDelayUs = 1000;
+    swap_policy.maxDepth = 8192;
+    runtime::ServerConfig swap_config;
+    swap_config.queue = swap_policy;
+    swap_config.extraLanes = {swap_policy};
+
+    double swap_rate = std::max(4'000.0, capacity * 0.2);
+    auto swap_rows_wanted = static_cast<std::size_t>(
+        std::min(20'000.0, std::max(4'000.0, swap_rate * 0.5)));
+    auto front_rows = bench::benchFeatures(swap_rows_wanted, 16);
+    auto deep_rows = bench::benchFeatures(swap_rows_wanted, 16);
+
+    struct ObservedRoute
+    {
+        std::vector<double> features;
+        runtime::RouteTrace trace;
+    };
+    std::mutex trace_mutex;
+    std::vector<ObservedRoute> observed;
+    observed.reserve(2 * swap_rows_wanted);
+
+    runtime::ServerStats swap_stats;
+    {
+        runtime::Server server(
+            registry, route, swap_config, {},
+            [&](const runtime::Request &request,
+                const runtime::RouteTrace &trace) {
+                std::lock_guard<std::mutex> lock(trace_mutex);
+                observed.push_back({request.features, trace});
+            });
+        auto pace = [&](const math::Matrix &rows, std::size_t lane) {
+            constexpr std::size_t kBurst = 32;
+            auto started = Clock::now();
+            for (std::size_t i = 0; i < rows.rows(); ++i) {
+                if (i % kBurst == 0) {
+                    auto due = started +
+                               std::chrono::duration_cast<
+                                   Clock::duration>(
+                                   std::chrono::duration<double>(
+                                       static_cast<double>(i) /
+                                       swap_rate));
+                    std::this_thread::sleep_until(due);
+                }
+                server.submit(rows.row(i), lane);
+            }
+        };
+        std::thread deep_producer([&] { pace(deep_rows, 1); });
+        // Swap mid-run from a third thread so the flip races live
+        // batches: in-flight ones finish on their pinned v1, later
+        // ones pick up v2.
+        std::thread swapper([&] {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(0.5 * swap_rows_wanted /
+                                              swap_rate));
+            registry->swap("front", 2);
+        });
+        pace(front_rows, 0);
+        deep_producer.join();
+        swapper.join();
+        swap_stats = server.stop();
+    }
+
+    std::size_t verdict_errors = 0;
+    std::set<std::uint64_t> front_versions;
+    for (const ObservedRoute &entry : observed) {
+        for (const runtime::RouteHop &hop : entry.trace.hops) {
+            if (hop.model == "front")
+                front_versions.insert(hop.version);
+            auto epoch = registry->version(hop.model, hop.version);
+            if (!epoch ||
+                hop.label != epoch->engine.plan().runRow(
+                                 entry.features.data(),
+                                 entry.features.size()))
+                ++verdict_errors;
+        }
+    }
+    bool swap_exact = verdict_errors == 0 &&
+                      observed.size() == swap_stats.rowsServed &&
+                      swap_stats.rowsServed > 0;
+    bool swap_saw_both = front_versions.count(1) > 0 &&
+                         front_versions.count(2) > 0;
+    double swap_bound =
+        static_cast<double>(swap_policy.maxDelayUs) * 4.0 +
+        swap_stats.p99BatchLatencyUs + 2000.0;
+    bool swap_p99_bounded =
+        swap_stats.p99RequestLatencyUs <= swap_bound;
+
+    std::cout << common::format(
+        "\n=== multi-model hot swap: front v1 -> v2 mid-run, deep lane "
+        "+ chain front:1=deep ===\n"
+        "served %zu rows (%zu traces), %zu verdict errors vs admitting "
+        "plan, front versions seen:%s%s\n"
+        "request p50 %8.1f us  p99 %8.1f us  (bound %.1f us)\n",
+        swap_stats.rowsServed, observed.size(), verdict_errors,
+        front_versions.count(1) ? " v1" : "",
+        front_versions.count(2) ? " v2" : "",
+        swap_stats.p50RequestLatencyUs, swap_stats.p99RequestLatencyUs,
+        swap_bound);
+    for (const runtime::ModelStats &model_stats : swap_stats.models)
+        std::cout << common::format(
+            "model %-6s %8zu rows / %5zu steps   step p50 %8.1f us  "
+            "p99 %8.1f us   (active v%llu)\n",
+            model_stats.name.c_str(), model_stats.rowsServed,
+            model_stats.batches, model_stats.p50StepLatencyUs,
+            model_stats.p99StepLatencyUs,
+            static_cast<unsigned long long>(model_stats.activeVersion));
+    json.add("swap/run",
+             {{"rows_served",
+               static_cast<double>(swap_stats.rowsServed)},
+              {"verdict_errors",
+               static_cast<double>(verdict_errors)},
+              {"p50_request_us", swap_stats.p50RequestLatencyUs},
+              {"p99_request_us", swap_stats.p99RequestLatencyUs},
+              {"bound_us", swap_bound},
+              {"target_rate_rows_per_sec", swap_rate}});
+    for (const runtime::ModelStats &model_stats : swap_stats.models)
+        json.add("swap/model_" + model_stats.name,
+                 {{"rows_served",
+                   static_cast<double>(model_stats.rowsServed)},
+                  {"steps", static_cast<double>(model_stats.batches)},
+                  {"step_p99_us", model_stats.p99StepLatencyUs},
+                  {"active_version",
+                   static_cast<double>(model_stats.activeVersion)}});
+
     bool dispatch_pass = dispatch_speedup > 1.0;
     std::cout << common::format(
         "\nsmall-batch dispatch: executor %.2fx vs spawn-per-batch — "
@@ -555,21 +752,42 @@ main(int argc, char **argv)
         hardware >= 4 ? (early_drop_bounded ? "PASS" : "FAIL")
                       : (early_drop_bounded ? "pass (informational)"
                                             : "miss (informational)"));
+    // Verdict exactness is timing-independent, so it is enforced on
+    // every host; the swap's latency bound and seeing both versions
+    // mid-run join the >= 4-core timing bars.
+    std::cout << common::format(
+        "hot-swap verdicts bit-identical to admitting plan: %s\n",
+        swap_exact ? "PASS" : "FAIL");
+    std::cout << common::format(
+        "hot-swap p99 bounded, both front versions served: %s\n",
+        hardware >= 4
+            ? (swap_p99_bounded && swap_saw_both ? "PASS" : "FAIL")
+            : (swap_p99_bounded && swap_saw_both
+                   ? "pass (informational)"
+                   : "miss (informational)"));
     json.add("acceptance",
              {{"dispatch_speedup_p50", dispatch_speedup},
               {"deadline_p99_bounded", deadline_bounded ? 1.0 : 0.0},
               {"probe_lane_p99_bounded", probe_bounded ? 1.0 : 0.0},
               {"early_drop_p99_bounded",
                early_drop_bounded ? 1.0 : 0.0},
+              {"swap_verdicts_exact", swap_exact ? 1.0 : 0.0},
+              {"swap_p99_bounded", swap_p99_bounded ? 1.0 : 0.0},
+              {"swap_observed_both_versions",
+               swap_saw_both ? 1.0 : 0.0},
               {"hardware_threads", static_cast<double>(hardware)}});
 
     if (!json_path.empty() && !json.write(json_path))
         return 1;
-    // Enforce only where the claims are testable: a sub-4-core host can
-    // neither shard a 64-row batch 4 ways nor absorb bursts while
-    // batching, so the verdicts are informational there.
-    return (hardware >= 4 && (!dispatch_pass || !deadline_bounded ||
-                              !probe_bounded || !early_drop_bounded))
+    if (!swap_exact)
+        return 1;  // exactness holds on any host or the swap is broken.
+    // Enforce the timing bars only where the claims are testable: a
+    // sub-4-core host can neither shard a 64-row batch 4 ways nor
+    // absorb bursts while batching, so those verdicts are
+    // informational there.
+    return (hardware >= 4 &&
+            (!dispatch_pass || !deadline_bounded || !probe_bounded ||
+             !early_drop_bounded || !swap_p99_bounded || !swap_saw_both))
                ? 1
                : 0;
 }

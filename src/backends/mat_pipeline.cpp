@@ -320,8 +320,11 @@ MatPipeline::processBatch(const math::Matrix &x, std::size_t jobs,
     // walk is per-row independent, so row shards stitch deterministically
     // into labels at any jobs width. No separate inline cutoff: a batch
     // of at most kWalkChunkRows rows yields a single chunk, which
-    // parallelForChunks runs inline on the caller's thread anyway.
-    constexpr std::size_t kWalkChunkRows = 1024;
+    // parallelForChunks runs inline on the caller's thread anyway. 512
+    // (down from 1024) matches the engine's re-measured minRowsToShard:
+    // with the persistent Executor a dispatch is a queue handoff, so
+    // the walk profits from fan-out well below the old spawn-era bar.
+    constexpr std::size_t kWalkChunkRows = 512;
     runtime::Executor &pool = executor != nullptr
                                   ? *executor
                                   : runtime::Executor::processDefault();

@@ -20,7 +20,7 @@
  *    partitions, shrinking the search's innermost loop.
  *
  * Small batches stay inline on the calling thread (options.minRowsToShard)
- * — thread fan-out under ~2k rows costs more than it saves.
+ * — pool handoff under a few hundred rows costs more than it saves.
  */
 #pragma once
 
@@ -39,8 +39,16 @@ struct EngineOptions
     /** Worker threads for batch sharding (0 = one per hardware thread,
      *  1 = run inline on the caller's thread). */
     std::size_t jobs = 1;
-    /** Batches smaller than this run inline even when jobs > 1. */
-    std::size_t minRowsToShard = 2048;
+    /**
+     * Batches smaller than this run inline even when jobs > 1. The
+     * 2048 default dated from per-dispatch thread spawn (~50 us each);
+     * with the persistent Executor a dispatch is a ~1-2 us queue
+     * handoff, and re-measuring on the bench MLP found the crossover
+     * where sharding starts winning near a few hundred rows — 512
+     * keeps a safety margin over the crossover for cheaper plans
+     * (trees) while letting mid-size batches parallelize.
+     */
+    std::size_t minRowsToShard = 512;
     /** Upper bound on rows per shard (smaller shards balance better;
      *  the engine also never makes fewer than ~4 shards per worker). */
     std::size_t maxShardRows = 4096;

@@ -134,7 +134,8 @@ RequestQueue::readyLaneLocked(Clock::time_point now,
 }
 
 RequestBatch
-RequestQueue::takeBatchLocked(std::size_t lane, FlushReason reason)
+RequestQueue::takeBatchLocked(std::size_t lane, FlushReason reason,
+                              std::vector<DroppedRow> &dropped)
 {
     Lane &state = lanes_[lane];
     const QueuePolicy &policy = config_.lanes[lane];
@@ -146,10 +147,22 @@ RequestQueue::takeBatchLocked(std::size_t lane, FlushReason reason)
         // Late rows form a prefix (arrival order = age order): shed
         // them now rather than spending engine capacity on rows that
         // already blew their budget.
-        auto cutoff = Clock::now() - std::chrono::microseconds(
-                                         policy.effectiveDropAfterUs());
+        auto now = Clock::now();
+        auto cutoff = now - std::chrono::microseconds(
+                                policy.effectiveDropAfterUs());
         while (!state.pending.empty() &&
                state.pending.front().enqueuedAt < cutoff) {
+            if (config_.onDrop) {
+                const Request &front = state.pending.front();
+                DroppedRow drop;
+                drop.ticket = front.id;
+                drop.lane = lane;
+                drop.waitedUs = static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        now - front.enqueuedAt)
+                        .count());
+                dropped.push_back(drop);
+            }
             state.pending.pop_front();
             ++state.counters.earlyDropped;
         }
@@ -173,9 +186,23 @@ RequestQueue::takeBatchLocked(std::size_t lane, FlushReason reason)
     return batch;
 }
 
+void
+RequestQueue::fireDropsLocked(std::unique_lock<std::mutex> &lock,
+                              std::vector<DroppedRow> &dropped)
+{
+    if (dropped.empty() || !config_.onDrop)
+        return;
+    lock.unlock();
+    for (const DroppedRow &drop : dropped)
+        config_.onDrop(drop.ticket, drop.lane, drop.waitedUs);
+    dropped.clear();
+    lock.lock();
+}
+
 std::optional<RequestBatch>
 RequestQueue::pop()
 {
+    std::vector<DroppedRow> dropped;
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
         if (closed_) {
@@ -194,9 +221,16 @@ RequestQueue::pop()
                         config_.lanes[lane].maxBatch
                     ? FlushReason::kSize
                     : FlushReason::kDrain;
-            RequestBatch batch = takeBatchLocked(lane, reason);
-            if (batch.requests.empty())
-                continue;  // every row early-dropped; keep draining.
+            RequestBatch batch = takeBatchLocked(lane, reason, dropped);
+            if (batch.requests.empty()) {
+                // Every row early-dropped: report (lock released while
+                // the callbacks run) and keep draining.
+                fireDropsLocked(lock, dropped);
+                continue;
+            }
+            lock.unlock();
+            for (const DroppedRow &drop : dropped)
+                config_.onDrop(drop.ticket, drop.lane, drop.waitedUs);
             return batch;
         }
 
@@ -204,17 +238,21 @@ RequestQueue::pop()
         auto now = Clock::now();
         if (std::size_t lane = readyLaneLocked(now, reason);
             lane != kNoLane) {
-            RequestBatch batch = takeBatchLocked(lane, reason);
-            if (batch.requests.empty())
+            RequestBatch batch = takeBatchLocked(lane, reason, dropped);
+            if (batch.requests.empty()) {
+                fireDropsLocked(lock, dropped);
                 continue;  // every row early-dropped; look again.
-            if (config_.backpressure ==
-                BackpressureMode::kBlockWithTimeout) {
-                // Notify after dropping the lock: woken producers
-                // would otherwise just pile up on a mutex the consumer
-                // still holds.
-                lock.unlock();
-                spaceCv_.notify_all();
             }
+            // Both notifications and drop callbacks happen after
+            // dropping the lock: woken producers would otherwise just
+            // pile up on a mutex the consumer still holds, and onDrop
+            // may legally call back into push().
+            lock.unlock();
+            if (config_.backpressure ==
+                BackpressureMode::kBlockWithTimeout)
+                spaceCv_.notify_all();
+            for (const DroppedRow &drop : dropped)
+                config_.onDrop(drop.ticket, drop.lane, drop.waitedUs);
             return batch;
         }
 

@@ -62,6 +62,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -129,6 +130,16 @@ enum class BackpressureMode
 /** Printable mode name ("shed" / "block" / "early-drop"). */
 const char *backpressureModeName(BackpressureMode mode);
 
+/**
+ * Notification that an *admitted* request was dropped at flush time
+ * (kEarlyDrop aging out a row that blew its budget). Door-side
+ * rejections don't come through here — push() already reports those
+ * synchronously via Admission. @p waitedUs is how long the row sat
+ * queued before it was shed.
+ */
+using DropFn = std::function<void(std::uint64_t ticket, std::size_t lane,
+                                  std::uint64_t waitedUs)>;
+
 /** Whole-queue configuration: one policy per priority lane. */
 struct QueueConfig
 {
@@ -139,6 +150,14 @@ struct QueueConfig
     /** kBlockWithTimeout: longest a push may wait for space, in
      *  microseconds (clamped to kMaxQueueDelayUs). */
     std::uint64_t blockTimeoutUs = 10'000;
+    /**
+     * Optional early-drop sink, so producers can retry or degrade
+     * instead of discovering drops via counters. Invoked from the
+     * consumer's pop() with no queue lock held — safe to call back
+     * into push() — but must still be fast: it runs on the serving
+     * thread's critical path.
+     */
+    DropFn onDrop;
 };
 
 /** One queued inference request. */
@@ -258,11 +277,28 @@ class RequestQueue
         QueueCounters counters;
     };
 
+    /** One flush-time drop, recorded under the mutex and reported to
+     *  config_.onDrop only after it is released. */
+    struct DroppedRow
+    {
+        std::uint64_t ticket = 0;
+        std::size_t lane = 0;
+        std::uint64_t waitedUs = 0;
+    };
+
     /** Pop up to maxBatch pending rows of @p lane as one batch,
-     *  applying kEarlyDrop's late filter and counting the flush
+     *  applying kEarlyDrop's late filter (recording each drop into
+     *  @p dropped when onDrop is bound) and counting the flush
      *  reason; requires the mutex held. The batch can come back empty
      *  when every row had already aged out. */
-    RequestBatch takeBatchLocked(std::size_t lane, FlushReason reason);
+    RequestBatch takeBatchLocked(std::size_t lane, FlushReason reason,
+                                 std::vector<DroppedRow> &dropped);
+
+    /** Release @p lock, deliver @p dropped to onDrop, clear it, and
+     *  re-acquire — callbacks never run under the queue mutex. No-op
+     *  (lock kept) when there is nothing to report. */
+    void fireDropsLocked(std::unique_lock<std::mutex> &lock,
+                         std::vector<DroppedRow> &dropped);
 
     /** Highest-priority lane that is size- or deadline-ready at
      *  @p now, or npos. Requires the mutex held. */

@@ -1,0 +1,225 @@
+#include "runtime/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace homunculus::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kNoModel = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+Router::Router(std::shared_ptr<ModelRegistry> registry, RouteConfig config)
+    : registry_(std::move(registry)), config_(std::move(config))
+{
+    if (!registry_)
+        throw std::runtime_error("Router: registry is null");
+    if (config_.defaultModel.empty())
+        throw std::runtime_error("Router: defaultModel is empty");
+    if (config_.maxChainDepth == 0)
+        throw std::runtime_error("Router: maxChainDepth must be >= 1");
+
+    // Resolve every referenced model once, in route order (default,
+    // lane bindings, chain endpoints), deduplicated — the index into
+    // models_ is the identity runBatch and the stats use.
+    auto intern = [this](const std::string &name) {
+        auto it = std::find(models_.begin(), models_.end(), name);
+        if (it != models_.end())
+            return static_cast<std::size_t>(it - models_.begin());
+        if (!registry_->contains(name))
+            throw std::runtime_error(
+                "Router: model '" + name + "' is not loaded");
+        models_.push_back(name);
+        return models_.size() - 1;
+    };
+
+    defaultModel_ = intern(config_.defaultModel);
+    laneModel_.reserve(config_.laneModels.size());
+    for (const std::string &name : config_.laneModels)
+        laneModel_.push_back(name.empty() ? defaultModel_ : intern(name));
+    for (const ChainRule &rule : config_.chain) {
+        intern(rule.fromModel);
+        intern(rule.toModel);
+    }
+
+    // All routed models consume the same admitted row, so their input
+    // widths must agree; pin each model's class count for rule checks.
+    std::vector<int> classes(models_.size(), 0);
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+        std::shared_ptr<const ModelEpoch> epoch =
+            registry_->active(models_[m]);
+        classes[m] = epoch->numClasses();
+        if (m == 0) {
+            inputDim_ = epoch->inputDim();
+        } else if (epoch->inputDim() != inputDim_) {
+            throw std::runtime_error(common::format(
+                "Router: model '%s' consumes %zu features but '%s' "
+                "consumes %zu — routed models must share one schema",
+                models_[m].c_str(), epoch->inputDim(),
+                models_[0].c_str(), inputDim_));
+        }
+    }
+
+    nextModel_.resize(models_.size());
+    for (std::size_t m = 0; m < models_.size(); ++m)
+        nextModel_[m].assign(static_cast<std::size_t>(classes[m]),
+                             kNoModel);
+    for (const ChainRule &rule : config_.chain) {
+        std::size_t from = indexOf(rule.fromModel);
+        std::size_t to = indexOf(rule.toModel);
+        if (rule.label < 0 || rule.label >= classes[from])
+            throw std::runtime_error(common::format(
+                "Router: chain rule label %d is outside '%s' %d-class "
+                "output space",
+                rule.label, rule.fromModel.c_str(), classes[from]));
+        std::size_t slot = static_cast<std::size_t>(rule.label);
+        if (nextModel_[from][slot] != kNoModel)
+            throw std::runtime_error(common::format(
+                "Router: duplicate chain rule for ('%s', label %d)",
+                rule.fromModel.c_str(), rule.label));
+        nextModel_[from][slot] = to;
+    }
+}
+
+std::size_t
+Router::indexOf(const std::string &model) const
+{
+    auto it = std::find(models_.begin(), models_.end(), model);
+    return static_cast<std::size_t>(it - models_.begin());
+}
+
+const std::string &
+Router::modelForLane(std::size_t lane) const
+{
+    return models_[lane < laneModel_.size() ? laneModel_[lane]
+                                            : defaultModel_];
+}
+
+Router::Snapshot
+Router::snapshot() const
+{
+    Snapshot snap;
+    snap.epochs.reserve(models_.size());
+    for (const std::string &name : models_)
+        snap.epochs.push_back(registry_->active(name));
+    return snap;
+}
+
+void
+Router::runBatch(const Snapshot &snapshot, std::size_t lane,
+                 const std::vector<Request> &requests,
+                 std::vector<int> &final_labels,
+                 std::vector<RouteTrace> *traces,
+                 std::vector<RouteStepStats> &steps,
+                 Scratch &scratch) const
+{
+    const std::size_t rows = requests.size();
+    final_labels.assign(rows, 0);
+    steps.clear();
+    if (traces) {
+        traces->resize(rows);
+        for (RouteTrace &trace : *traces)
+            trace.hops.clear();
+    }
+    if (rows == 0)
+        return;
+
+    if (scratch.input.cols() != inputDim_)
+        scratch.input = math::Matrix(rows, inputDim_);
+    scratch.current.resize(models_.size());
+    scratch.next.resize(models_.size());
+    for (std::vector<std::size_t> &group : scratch.current)
+        group.clear();
+    for (std::vector<std::size_t> &group : scratch.next)
+        group.clear();
+
+    // Round 0: every row enters at its lane's model.
+    std::size_t entry =
+        lane < laneModel_.size() ? laneModel_[lane] : defaultModel_;
+    scratch.current[entry].reserve(rows);
+    for (std::size_t r = 0; r < rows; ++r)
+        scratch.current[entry].push_back(r);
+
+    for (std::size_t depth = 0; depth < config_.maxChainDepth; ++depth) {
+        bool any = false;
+        // One round: each model with pending rows runs them as one
+        // engine batch against its *snapshot* epoch.
+        for (std::size_t m = 0; m < models_.size(); ++m) {
+            const std::vector<std::size_t> &group = scratch.current[m];
+            if (group.empty())
+                continue;
+            any = true;
+            const ModelEpoch &epoch = *snapshot.epochs[m];
+
+            // Gather the group's raw rows, applying this epoch's
+            // artifact scaler — each hop standardizes with its own
+            // model's training moments, never a neighbor's.
+            scratch.input.resizeRows(group.size());
+            for (std::size_t g = 0; g < group.size(); ++g) {
+                const std::vector<double> &raw =
+                    requests[group[g]].features;
+                double *row = scratch.input.rowPtr(g);
+                if (epoch.scaler) {
+                    const std::vector<double> &means =
+                        epoch.scaler->means();
+                    const std::vector<double> &stds =
+                        epoch.scaler->stddevs();
+                    for (std::size_t c = 0; c < inputDim_; ++c)
+                        row[c] = (raw[c] - means[c]) / stds[c];
+                } else {
+                    for (std::size_t c = 0; c < inputDim_; ++c)
+                        row[c] = raw[c];
+                }
+            }
+            scratch.labels.resize(group.size());
+
+            auto started = Clock::now();
+            epoch.engine.run(scratch.input, scratch.labels.data());
+            auto finished = Clock::now();
+
+            RouteStepStats step;
+            step.model = m;
+            step.version = epoch.version;
+            step.rows = group.size();
+            step.engineUs =
+                std::chrono::duration<double, std::micro>(finished -
+                                                          started)
+                    .count();
+            steps.push_back(step);
+
+            for (std::size_t g = 0; g < group.size(); ++g) {
+                std::size_t r = group[g];
+                int label = scratch.labels[g];
+                // Every hop writes the row's label; a later hop simply
+                // overwrites, so the last executed model's verdict is
+                // final without tracking terminal rows separately.
+                final_labels[r] = label;
+                if (traces)
+                    (*traces)[r].hops.push_back(
+                        {models_[m], epoch.version, label});
+                std::size_t successor =
+                    static_cast<std::size_t>(label) < nextModel_[m].size()
+                        ? nextModel_[m][static_cast<std::size_t>(label)]
+                        : kNoModel;
+                if (successor != kNoModel &&
+                    depth + 1 < config_.maxChainDepth)
+                    scratch.next[successor].push_back(r);
+            }
+        }
+        if (!any)
+            break;
+        std::swap(scratch.current, scratch.next);
+        for (std::vector<std::size_t> &group : scratch.next)
+            group.clear();
+    }
+}
+
+}  // namespace homunculus::runtime

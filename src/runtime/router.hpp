@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Router: per-lane model binding and label-driven DAG chaining over a
+ * ModelRegistry.
+ *
+ * The batcher thread used to execute one fixed plan; with a registry of
+ * co-resident models the question per batch becomes *which* plan — and
+ * for chained apps (the paper's flagship deployment: a cheap front
+ * classifier whose verdict routes suspicious rows into a deeper
+ * per-app model), *which plans, in what order*. The router answers
+ * both from a declarative RouteConfig, the ASAP-style workflow-spec
+ * idiom: lanes bind to entry models, chain rules map (model, output
+ * label) to the next model, and runBatch() executes the resulting
+ * small schedule-DAG for one admitted batch:
+ *
+ *   1. every row starts at its lane's entry model;
+ *   2. rows are grouped by model, each group runs as one engine batch
+ *      (per-model scaling applied from the epoch's artifact scaler);
+ *   3. a row whose (model, label) matches a chain rule moves to the
+ *      next model's group for the next round; everything else keeps
+ *      its label as the final verdict;
+ *   4. rounds repeat until no rule fires or maxChainDepth model
+ *      executions have been spent on the row (which also bounds
+ *      accidental rule cycles).
+ *
+ * Plan-version semantics — the hot-swap contract: snapshot() pins the
+ * active epoch of every routed model *once*, and a batch executes
+ * entirely against that snapshot. A registry swap mid-batch therefore
+ * never mixes plan versions inside a batch; the batch finishes on the
+ * epochs it started with and the *next* batch picks up the new
+ * versions. Labels are bit-identical to running the same rows
+ * single-threaded through the snapshot's plans (the engine's
+ * determinism contract, composed per hop).
+ *
+ * All routed models must consume the same feature schema (equal input
+ * width) — chaining re-reads the admitted row, it does not transform
+ * features between hops.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "runtime/model_registry.hpp"
+#include "runtime/request_queue.hpp"
+
+namespace homunculus::runtime {
+
+/** One chaining edge: @p fromModel emitting @p label sends the row on
+ *  to @p toModel. */
+struct ChainRule
+{
+    std::string fromModel;
+    int label = 0;
+    std::string toModel;
+};
+
+/** Declarative routing spec (validated by the Router constructor). */
+struct RouteConfig
+{
+    /** Entry model for lanes without an explicit binding. */
+    std::string defaultModel;
+    /** Per-lane entry models; empty strings (and lanes beyond the
+     *  list) fall back to defaultModel. */
+    std::vector<std::string> laneModels;
+    /** Label-driven chaining edges; at most one per (model, label). */
+    std::vector<ChainRule> chain;
+    /** Most model executions any one row may consume (>= 1); bounds
+     *  chain length and rule cycles alike. */
+    std::size_t maxChainDepth = 4;
+};
+
+/** One model execution a request went through. */
+struct RouteHop
+{
+    std::string model;
+    std::uint64_t version = 0;
+    int label = 0;
+};
+
+/** The full per-request execution record (last hop's label is the
+ *  final verdict). */
+struct RouteTrace
+{
+    std::vector<RouteHop> hops;
+};
+
+/** Per-model-execution accounting for one batch. */
+struct RouteStepStats
+{
+    std::size_t model = 0;        ///< index into Router::models().
+    std::uint64_t version = 0;
+    std::size_t rows = 0;
+    double engineUs = 0.0;
+};
+
+class Router
+{
+  public:
+    /**
+     * Binds @p config against @p registry, resolving model names and
+     * validating the spec: every referenced model must be loaded, all
+     * must share one input width, chain labels must fit the source
+     * model's class count, and no (model, label) may have two rules.
+     * @throws std::runtime_error on any violation.
+     */
+    Router(std::shared_ptr<ModelRegistry> registry, RouteConfig config);
+
+    /**
+     * The pinned plan versions one batch executes against: one epoch
+     * per routed model, captured atomically-per-model from the
+     * registry. Hold it for the whole batch.
+     */
+    struct Snapshot
+    {
+        std::vector<std::shared_ptr<const ModelEpoch>> epochs;
+    };
+
+    Snapshot snapshot() const;
+
+    /** Reusable buffers so steady-state runBatch() calls stay
+     *  allocation-light. Not shareable between concurrent calls. */
+    struct Scratch
+    {
+        math::Matrix input;
+        std::vector<int> labels;
+        std::vector<std::vector<std::size_t>> current;  ///< per model.
+        std::vector<std::vector<std::size_t>> next;
+    };
+
+    /**
+     * Execute the schedule-DAG for one batch admitted on @p lane
+     * against @p snapshot. Writes one final label per request into
+     * @p final_labels (row order preserved), appends one RouteStepStats
+     * per model execution to @p steps (cleared first), and — when
+     * @p traces is non-null — records every hop per request.
+     */
+    void runBatch(const Snapshot &snapshot, std::size_t lane,
+                  const std::vector<Request> &requests,
+                  std::vector<int> &final_labels,
+                  std::vector<RouteTrace> *traces,
+                  std::vector<RouteStepStats> &steps,
+                  Scratch &scratch) const;
+
+    /** The shared feature width every routed model consumes. */
+    std::size_t inputDim() const { return inputDim_; }
+
+    /** Routed model names, index-aligned with Snapshot::epochs and
+     *  RouteStepStats::model. */
+    const std::vector<std::string> &models() const { return models_; }
+
+    /** Entry-model name for @p lane. */
+    const std::string &modelForLane(std::size_t lane) const;
+
+    const RouteConfig &config() const { return config_; }
+    const std::shared_ptr<ModelRegistry> &registry() const
+    {
+        return registry_;
+    }
+
+  private:
+    std::size_t indexOf(const std::string &model) const;
+
+    std::shared_ptr<ModelRegistry> registry_;
+    RouteConfig config_;
+    std::vector<std::string> models_;       ///< unique, route order.
+    std::vector<std::size_t> laneModel_;    ///< lane -> model index.
+    std::size_t defaultModel_ = 0;          ///< model index.
+    /** nextModel_[m][label] = successor model index, or npos. */
+    std::vector<std::vector<std::size_t>> nextModel_;
+    std::size_t inputDim_ = 0;
+};
+
+}  // namespace homunculus::runtime

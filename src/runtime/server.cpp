@@ -39,6 +39,7 @@ queueConfigFor(const ServerConfig &config)
                        config.extraLanes.end());
     queue.backpressure = config.backpressure;
     queue.blockTimeoutUs = config.blockTimeoutUs;
+    queue.onDrop = config.onDrop;
     return queue;
 }
 
@@ -68,12 +69,29 @@ Server::Server(InferenceEngine engine, ServerConfig config,
       onVerdict_(std::move(on_verdict)), scaler_(std::move(scaler)),
       queue_(queueConfigFor(config_)), startedAt_(Clock::now())
 {
+    inputDim_ = engine_->plan().inputDim();
     if (scaler_ && !scaler_->fitted())
         throw std::runtime_error("Server: scaler is not fitted");
-    if (scaler_ && scaler_->means().size() != engine_.plan().inputDim())
+    if (scaler_ && scaler_->means().size() != inputDim_)
         throw std::runtime_error("Server: scaler width does not match "
                                  "the model");
     laneTallies_.resize(queue_.lanes());
+    batcher_ = std::thread([this] { serveLoop(); });
+}
+
+Server::Server(std::shared_ptr<ModelRegistry> registry, RouteConfig route,
+               ServerConfig config, VerdictFn on_verdict,
+               RouteTraceFn on_trace)
+    : registry_(std::move(registry)), config_(std::move(config)),
+      onVerdict_(std::move(on_verdict)), onTrace_(std::move(on_trace)),
+      queue_(queueConfigFor(config_)), startedAt_(Clock::now())
+{
+    // The Router constructor validates the spec (models loaded, shared
+    // input width, rule labels in range) before any thread starts.
+    router_.emplace(registry_, std::move(route));
+    inputDim_ = router_->inputDim();
+    laneTallies_.resize(queue_.lanes());
+    modelTallies_.resize(router_->models().size());
     batcher_ = std::thread([this] { serveLoop(); });
 }
 
@@ -85,10 +103,10 @@ Server::~Server()
 SubmitResult
 Server::submit(std::vector<double> features, std::size_t lane)
 {
-    if (features.size() != engine_.plan().inputDim())
+    if (features.size() != inputDim_)
         throw std::runtime_error(common::format(
             "Server: row has %zu features, model expects %zu",
-            features.size(), engine_.plan().inputDim()));
+            features.size(), inputDim_));
     if (scaler_) {
         const std::vector<double> &means = scaler_->means();
         const std::vector<double> &stds = scaler_->stddevs();
@@ -109,11 +127,11 @@ Server::submit(std::vector<double> features, std::size_t lane)
 SubmitResult
 Server::submitPacket(const net::RawPacket &packet, std::size_t lane)
 {
-    if (engine_.plan().inputDim() != net::kNumTcFeatures)
+    if (inputDim_ != net::kNumTcFeatures)
         throw std::runtime_error(common::format(
             "Server: model expects %zu features but the packet "
             "extractor emits %zu",
-            engine_.plan().inputDim(), net::kNumTcFeatures));
+            inputDim_, net::kNumTcFeatures));
     return submit(extractor_.extract(packet), lane);
 }
 
@@ -132,58 +150,90 @@ Server::submitFrame(const std::vector<std::uint8_t> &frame,
 }
 
 void
+Server::servedBatchStats(const RequestBatch &batch,
+                         Clock::time_point finished, double batch_us,
+                         const std::vector<RouteStepStats> *steps)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    LaneTally &tally = laneTallies_[batch.lane];
+    ++batches_;
+    ++tally.batches;
+    rowsServed_ += batch.requests.size();
+    tally.rowsServed += batch.requests.size();
+    batchLatenciesUs_.add(batch_us, reservoirRng_);
+    for (const Request &request : batch.requests) {
+        double wait_us = std::chrono::duration<double, std::micro>(
+                             finished - request.enqueuedAt)
+                             .count();
+        requestLatenciesUs_.add(wait_us, reservoirRng_);
+        tally.requestLatenciesUs.add(wait_us, reservoirRng_);
+    }
+    if (steps) {
+        for (const RouteStepStats &step : *steps) {
+            ModelTally &model = modelTallies_[step.model];
+            ++model.batches;
+            model.rowsServed += step.rows;
+            model.stepLatenciesUs.add(step.engineUs, reservoirRng_);
+        }
+    }
+}
+
+void
 Server::serveLoop()
 {
-    const std::size_t dim = engine_.plan().inputDim();
+    const std::size_t dim = inputDim_;
     // One buffer sized for the largest lane's batch; deadline flushes
     // release continuously varying batch sizes, and resizeRows keeps
     // the capacity, so the hot loop never reallocates after the first
-    // full batch.
+    // full batch. (The routed path keeps its own equivalent buffers in
+    // the router Scratch.)
     std::size_t max_batch = 1;
     for (std::size_t lane = 0; lane < queue_.lanes(); ++lane)
         max_batch = std::max(max_batch, queue_.policy(lane).maxBatch);
     math::Matrix features(max_batch, dim);
     std::vector<int> labels;
     labels.reserve(max_batch);
+    Router::Scratch scratch;
+    std::vector<RouteTrace> traces;
+    std::vector<RouteStepStats> steps;
 
     while (std::optional<RequestBatch> batch = queue_.pop()) {
         std::vector<Request> &requests = batch->requests;
         const std::size_t rows = requests.size();
-        features.resizeRows(rows);
-        for (std::size_t r = 0; r < rows; ++r) {
-            double *row = features.rowPtr(r);
-            for (std::size_t c = 0; c < dim; ++c)
-                row[c] = requests[r].features[c];
-        }
-        labels.resize(rows);
 
         auto started = Clock::now();
-        engine_.run(features, labels.data());
+        if (router_) {
+            // Pin the active epoch of every routed model *once*: the
+            // whole batch — every chained hop included — executes
+            // against this snapshot, so a concurrent swap() only moves
+            // the next batch.
+            Router::Snapshot snapshot = router_->snapshot();
+            router_->runBatch(snapshot, batch->lane, requests, labels,
+                              onTrace_ ? &traces : nullptr, steps,
+                              scratch);
+        } else {
+            features.resizeRows(rows);
+            for (std::size_t r = 0; r < rows; ++r) {
+                double *row = features.rowPtr(r);
+                for (std::size_t c = 0; c < dim; ++c)
+                    row[c] = requests[r].features[c];
+            }
+            labels.resize(rows);
+            engine_->run(features, labels.data());
+        }
         auto finished = Clock::now();
         double batch_us =
             std::chrono::duration<double, std::micro>(finished - started)
                 .count();
 
-        {
-            std::lock_guard<std::mutex> lock(statsMutex_);
-            LaneTally &tally = laneTallies_[batch->lane];
-            ++batches_;
-            ++tally.batches;
-            rowsServed_ += rows;
-            tally.rowsServed += rows;
-            batchLatenciesUs_.add(batch_us, reservoirRng_);
-            for (const Request &request : requests) {
-                double wait_us =
-                    std::chrono::duration<double, std::micro>(
-                        finished - request.enqueuedAt)
-                        .count();
-                requestLatenciesUs_.add(wait_us, reservoirRng_);
-                tally.requestLatenciesUs.add(wait_us, reservoirRng_);
-            }
-        }
+        servedBatchStats(*batch, finished, batch_us,
+                         router_ ? &steps : nullptr);
         if (onVerdict_)
             for (std::size_t r = 0; r < rows; ++r)
                 onVerdict_(requests[r], labels[r]);
+        if (onTrace_)
+            for (std::size_t r = 0; r < rows; ++r)
+                onTrace_(requests[r], traces[r]);
     }
 }
 
@@ -238,6 +288,24 @@ Server::stop()
                     tally.requestLatenciesUs.samples, 0.50);
                 out.p99RequestLatencyUs = math::percentileNearestRank(
                     tally.requestLatenciesUs.samples, 0.99);
+            }
+        }
+        if (router_) {
+            const std::vector<std::string> &names = router_->models();
+            stats.models.resize(names.size());
+            for (std::size_t m = 0; m < names.size(); ++m) {
+                ModelStats &out = stats.models[m];
+                const ModelTally &tally = modelTallies_[m];
+                out.name = names[m];
+                out.activeVersion = registry_->activeVersion(names[m]);
+                out.rowsServed = tally.rowsServed;
+                out.batches = tally.batches;
+                if (tally.batches > 0) {
+                    out.p50StepLatencyUs = math::percentileNearestRank(
+                        tally.stepLatenciesUs.samples, 0.50);
+                    out.p99StepLatencyUs = math::percentileNearestRank(
+                        tally.stepLatenciesUs.samples, 0.99);
+                }
             }
         }
     }

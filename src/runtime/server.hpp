@@ -45,7 +45,9 @@
 #include "ml/preprocess.hpp"
 #include "net/feature_extract.hpp"
 #include "runtime/inference_engine.hpp"
+#include "runtime/model_registry.hpp"
 #include "runtime/request_queue.hpp"
+#include "runtime/router.hpp"
 
 namespace homunculus::runtime {
 
@@ -60,6 +62,11 @@ struct ServerConfig
     BackpressureMode backpressure = BackpressureMode::kShed;
     /** kBlockWithTimeout: longest a submit may wait for lane space. */
     std::uint64_t blockTimeoutUs = 10'000;
+    /** Optional flush-time drop sink (kEarlyDrop aging a row out) so
+     *  producers can retry or degrade instead of reading counters
+     *  after the fact. Runs on the batcher thread, lock-free w.r.t.
+     *  the queue — see runtime::DropFn. */
+    DropFn onDrop;
 };
 
 /** How a submit was disposed of. */
@@ -97,6 +104,19 @@ struct LaneStats
     double p99RequestLatencyUs = 0.0;
 };
 
+/** Per-model slice of a routed serving run (valid after stop();
+ *  empty for single-model servers). */
+struct ModelStats
+{
+    std::string name;
+    std::uint64_t activeVersion = 0;  ///< at stop() time.
+    std::size_t rowsServed = 0;       ///< rows this model executed
+                                      ///< (chained rows count per hop).
+    std::size_t batches = 0;          ///< model executions (DAG steps).
+    double p50StepLatencyUs = 0.0;    ///< engine time per execution.
+    double p99StepLatencyUs = 0.0;
+};
+
 /** Everything one serving run produced (valid after stop()). */
 struct ServerStats
 {
@@ -117,6 +137,7 @@ struct ServerStats
     double p99RequestLatencyUs = 0.0;
     double wallSeconds = 0.0;          ///< construction -> stop().
     std::vector<LaneStats> lanes;      ///< one entry per lane.
+    std::vector<ModelStats> models;    ///< routed servers only.
 };
 
 class Server
@@ -127,6 +148,13 @@ class Server
      *  Must be fast and thread-safe. */
     using VerdictFn =
         std::function<void(const Request &request, int verdict)>;
+
+    /** Routed servers only: the full hop-by-hop execution record of a
+     *  request (which models, which pinned versions, which labels),
+     *  delivered with the verdict on the batcher thread. */
+    using RouteTraceFn =
+        std::function<void(const Request &request,
+                           const RouteTrace &trace)>;
 
     /**
      * Starts the batcher thread.
@@ -141,6 +169,23 @@ class Server
                     VerdictFn on_verdict = {},
                     std::optional<ml::StandardScaler> scaler =
                         std::nullopt);
+
+    /**
+     * Routed (multi-model) server: the batcher thread executes the
+     * router's schedule-DAG per batch — lane bindings pick the entry
+     * model, chain rules move rows between models — against epochs
+     * pinned from @p registry once per batch, so a concurrent
+     * registry.swap() never mixes plan versions inside a batch.
+     *
+     * Submission differences from the single-model form: submit()
+     * stores *raw* features (each hop standardizes with its own
+     * epoch's artifact scaler inside the router — one shared producer
+     * side scaler can't serve models with different training moments),
+     * and every routed model must consume one shared input width.
+     */
+    Server(std::shared_ptr<ModelRegistry> registry, RouteConfig route,
+           ServerConfig config = {}, VerdictFn on_verdict = {},
+           RouteTraceFn on_trace = {});
 
     ~Server();
 
@@ -179,15 +224,38 @@ class Server
     }
     std::size_t lanes() const { return queue_.lanes(); }
 
-    const InferenceEngine &engine() const { return engine_; }
+    /** Single-model servers only (routed servers have no single
+     *  engine — ask the registry). */
+    const InferenceEngine &engine() const { return *engine_; }
+    /** Routed servers only; nullptr for the single-model form. */
+    const Router *router() const
+    {
+        return router_ ? &*router_ : nullptr;
+    }
+    const std::shared_ptr<ModelRegistry> &registry() const
+    {
+        return registry_;
+    }
     const ServerConfig &config() const { return config_; }
 
   private:
     void serveLoop();
+    /** Record one served batch under statsMutex_ (lane + aggregate
+     *  tallies; @p steps adds per-model tallies on routed servers). */
+    void servedBatchStats(const RequestBatch &batch,
+                          std::chrono::steady_clock::time_point finished,
+                          double batch_us,
+                          const std::vector<RouteStepStats> *steps);
 
-    InferenceEngine engine_;
+    /** The one model (single-model form) or nothing (routed form —
+     *  plans live in registry_ and are pinned per batch). */
+    std::optional<InferenceEngine> engine_;
+    std::shared_ptr<ModelRegistry> registry_;  ///< routed form only.
+    std::optional<Router> router_;             ///< routed form only.
+    std::size_t inputDim_ = 0;  ///< submit-side width check.
     ServerConfig config_;
     VerdictFn onVerdict_;
+    RouteTraceFn onTrace_;
     std::optional<ml::StandardScaler> scaler_;
     net::FeatureExtractor extractor_;
     RequestQueue queue_;
@@ -216,6 +284,15 @@ class Server
         LatencyReservoir requestLatenciesUs;
     };
 
+    /** Per-model tallies of a routed run, index-aligned with
+     *  router_->models() (under statsMutex_). */
+    struct ModelTally
+    {
+        std::size_t rowsServed = 0;
+        std::size_t batches = 0;  ///< DAG steps, not queue batches.
+        LatencyReservoir stepLatenciesUs;
+    };
+
     /** Guards the reservoirs the batcher appends to. */
     mutable std::mutex statsMutex_;
     std::size_t rowsServed_ = 0;
@@ -223,6 +300,7 @@ class Server
     LatencyReservoir batchLatenciesUs_;
     LatencyReservoir requestLatenciesUs_;
     std::vector<LaneTally> laneTallies_;
+    std::vector<ModelTally> modelTallies_;
     common::Rng reservoirRng_{0x5E7Eull};
 
     std::mutex stopMutex_;    ///< serializes stop() callers.

@@ -18,6 +18,7 @@
 #include <map>
 #include <mutex>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -750,4 +751,136 @@ TEST(Server, SubmitToUnknownLaneThrows)
     std::vector<double> row(model.inputDim, 0.0);
     EXPECT_THROW(server.submit(row, 7), std::out_of_range);
     server.stop();
+}
+
+// ------------------------------------------------------ drop visibility
+
+TEST(RequestQueue, OnDropReportsTicketLaneAndWaitForAgedOutRows)
+{
+    hr::QueueConfig config;
+    hr::QueuePolicy lane;
+    lane.maxBatch = 1024;
+    lane.maxDelayUs = 60'000'000;  // no deadline flush in this test.
+    lane.dropAfterUs = 1000;       // 1 ms budget, exceeded by sleeping.
+    config.lanes = {lane};
+    config.backpressure = hr::BackpressureMode::kEarlyDrop;
+    std::vector<std::tuple<std::uint64_t, std::size_t, std::uint64_t>>
+        drops;
+    config.onDrop = [&](std::uint64_t ticket, std::size_t from_lane,
+                        std::uint64_t waited_us) {
+        drops.emplace_back(ticket, from_lane, waited_us);
+    };
+    hr::RequestQueue queue(config);
+
+    for (std::uint64_t i = 10; i < 15; ++i)
+        EXPECT_EQ(queue.push(makeRequest(i, 2)), hr::Admission::kAdmitted);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+    EXPECT_FALSE(queue.pop().has_value());
+
+    // One callback per aged-out row, with its admission ticket, its
+    // lane, and a wait at least the budget it blew.
+    ASSERT_EQ(drops.size(), 5u);
+    for (std::size_t i = 0; i < drops.size(); ++i) {
+        EXPECT_EQ(std::get<0>(drops[i]), 10 + i);
+        EXPECT_EQ(std::get<1>(drops[i]), 0u);
+        EXPECT_GE(std::get<2>(drops[i]), 1000u);
+    }
+    EXPECT_EQ(queue.counters().earlyDropped, 5u);
+}
+
+TEST(RequestQueue, OnDropNotInvokedForDoorSheds)
+{
+    hr::QueueConfig config;
+    hr::QueuePolicy lane;
+    lane.maxBatch = 8;
+    lane.maxDepth = 1;
+    config.lanes = {lane};
+    config.backpressure = hr::BackpressureMode::kShed;
+    std::size_t drops = 0;
+    config.onDrop = [&](std::uint64_t, std::size_t, std::uint64_t) {
+        ++drops;
+    };
+    hr::RequestQueue queue(config);
+
+    EXPECT_EQ(queue.push(makeRequest(1, 2)), hr::Admission::kAdmitted);
+    // The producer learns about this synchronously via kShed — routing
+    // it through onDrop too would double-report the same row.
+    EXPECT_EQ(queue.push(makeRequest(2, 2)), hr::Admission::kShed);
+    queue.close();
+    EXPECT_TRUE(queue.pop().has_value());
+    EXPECT_EQ(drops, 0u);
+}
+
+TEST(RequestQueue, OnDropRunsOutsideTheLockAndMayRetryViaPush)
+{
+    hr::QueueConfig config;
+    hr::QueuePolicy lane;
+    lane.maxBatch = 2;
+    lane.maxDelayUs = 60'000'000;
+    lane.dropAfterUs = 1000;
+    config.lanes = {lane};
+    config.backpressure = hr::BackpressureMode::kEarlyDrop;
+    hr::RequestQueue *queue_ptr = nullptr;
+    std::vector<std::uint64_t> retried;
+    config.onDrop = [&](std::uint64_t ticket, std::size_t, std::uint64_t) {
+        // The documented producer reaction: retry the dropped request.
+        // This re-enters push() from inside the callback — it must not
+        // deadlock on the queue mutex.
+        retried.push_back(ticket);
+        queue_ptr->push(makeRequest(ticket + 100, 2));
+    };
+    hr::RequestQueue queue(config);
+    queue_ptr = &queue;
+
+    EXPECT_EQ(queue.push(makeRequest(1, 2)), hr::Admission::kAdmitted);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(queue.push(makeRequest(2, 2)), hr::Admission::kAdmitted);
+    EXPECT_EQ(queue.push(makeRequest(3, 2)), hr::Admission::kAdmitted);
+
+    // Size flush: the stale front row drops (firing the retry), the two
+    // fresh rows serve, and the retried row is queued behind them.
+    auto batch = queue.pop();
+    ASSERT_TRUE(batch.has_value());
+    ASSERT_EQ(batch->requests.size(), 2u);
+    EXPECT_EQ(batch->requests[0].id, 2u);
+    EXPECT_EQ(batch->requests[1].id, 3u);
+    ASSERT_EQ(retried.size(), 1u);
+    EXPECT_EQ(retried[0], 1u);
+    EXPECT_EQ(queue.depth(), 1u);
+}
+
+TEST(Server, OnDropSurfacesEarlyDropsToTheProducer)
+{
+    auto model = tcModel(29);
+    hr::ServerConfig config;
+    config.queue.maxBatch = 1024;
+    config.queue.maxDelayUs = 60'000'000;  // only the drain flushes.
+    config.queue.dropAfterUs = 1000;
+    config.backpressure = hr::BackpressureMode::kEarlyDrop;
+    std::mutex drop_mutex;
+    std::vector<std::uint64_t> dropped;
+    config.onDrop = [&](std::uint64_t ticket, std::size_t,
+                        std::uint64_t) {
+        std::lock_guard<std::mutex> lock(drop_mutex);
+        dropped.push_back(ticket);
+    };
+    hr::Server server(hr::InferenceEngine::fromModel(model, {}), config);
+
+    std::vector<double> row(model.inputDim, 0.5);
+    hr::SubmitResult first = server.submit(row);
+    hr::SubmitResult second = server.submit(row);
+    ASSERT_TRUE(first.admitted());
+    ASSERT_TRUE(second.admitted());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    hr::ServerStats stats = server.stop();
+
+    // Both rows aged out before the drain flush: the producer heard
+    // about each by ticket instead of diffing counters after the fact.
+    EXPECT_EQ(stats.queue.earlyDropped, 2u);
+    EXPECT_EQ(stats.rowsServed, 0u);
+    std::lock_guard<std::mutex> lock(drop_mutex);
+    ASSERT_EQ(dropped.size(), 2u);
+    EXPECT_EQ(dropped[0], first.ticket);
+    EXPECT_EQ(dropped[1], second.ticket);
 }

@@ -25,6 +25,12 @@
  *                                  shed|block|early-drop, and
  *                                  --serve-probe-every routing every
  *                                  Nth frame to the probe lane
+ *        [--serve-model NAME=FILE] multi-model serving from saved
+ *                                  artifacts (ModelRegistry + Router,
+ *                                  no compile): --serve-lane-models
+ *                                  lane bindings, --serve-chain
+ *                                  label-driven chaining, and the
+ *                                  --serve-swap-after hot-swap hook
  *   homc --list-platforms          enumerate the backend registry
  *   homc --list-passes             enumerate the IR pass registry
  */
@@ -33,6 +39,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -380,6 +387,145 @@ runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
     std::cout << "\n";
 }
 
+/**
+ * Multi-model serving mode (--serve-model): load pre-compiled
+ * homunculus-ir artifacts into a ModelRegistry, bind lanes and chain
+ * rules through a Router, and feed the trace exactly like runServe —
+ * no compile happens at all. The --serve-swap-after hook hot-swaps a
+ * model's active plan mid-run; batches in flight finish on the version
+ * that admitted them, the next batch picks up the new one. Per-model
+ * stats print after the per-lane block.
+ */
+void
+runServeRegistry(const CliOptions &options)
+{
+    auto frames = loadReplayTrace(options.serve);
+    std::vector<runtime::QueuePolicy> lanes = tools::lanePolicies(options);
+    std::cout << "\nserve     : " << options.serve << " ("
+              << frames.size() << " frames, " << lanes.size()
+              << (lanes.size() == 1 ? " lane, " : " lanes, ")
+              << runtime::backpressureModeName(options.serveBackpressure)
+              << " backpressure, rate "
+              << (options.serveRate <= 0.0
+                      ? std::string("max")
+                      : common::format("%.0f/s", options.serveRate))
+              << ")\n";
+    for (std::size_t lane = 0; lane < lanes.size(); ++lane)
+        std::cout << common::format(
+            "lane %zu    : maxBatch %zu, maxDelay %llu us, depth %zu\n",
+            lane, lanes[lane].maxBatch,
+            static_cast<unsigned long long>(lanes[lane].maxDelayUs),
+            lanes[lane].maxDepth);
+
+    runtime::EngineOptions engine_options;
+    engine_options.jobs = options.inferJobs;
+    engine_options.minRowsToShard = 1;
+    auto registry =
+        std::make_shared<runtime::ModelRegistry>(engine_options);
+    for (const auto &[name, path] : options.serveModels) {
+        std::uint64_t version = registry->loadFile(name, path);
+        auto epoch = registry->version(name, version);
+        std::cout << common::format(
+            "model     : %s v%llu <- %s (%zu features, %d classes, "
+            "scaler %s)\n",
+            name.c_str(), static_cast<unsigned long long>(version),
+            path.c_str(), epoch->inputDim(), epoch->numClasses(),
+            epoch->scaler ? "artifact" : "raw");
+    }
+
+    runtime::RouteConfig route;
+    route.defaultModel = options.serveModels.front().first;
+    route.laneModels = options.serveLaneModels;
+    route.chain = options.serveChain;
+    for (const runtime::ChainRule &rule : options.serveChain)
+        std::cout << "chain     : " << rule.fromModel << " label "
+                  << rule.label << " -> " << rule.toModel << "\n";
+
+    runtime::ServerConfig server_config;
+    server_config.queue = lanes.front();
+    server_config.extraLanes.assign(lanes.begin() + 1, lanes.end());
+    server_config.backpressure = options.serveBackpressure;
+    server_config.blockTimeoutUs = options.serveBlockTimeoutUs;
+
+    std::mutex verdict_mutex;
+    std::map<int, std::size_t> verdict_counts;
+    runtime::Server server(
+        registry, route, server_config,
+        [&](const runtime::Request &, int verdict) {
+            std::lock_guard<std::mutex> lock(verdict_mutex);
+            ++verdict_counts[verdict];
+        });
+
+    using Clock = std::chrono::steady_clock;
+    auto started = Clock::now();
+    bool swapped = false;
+    auto fire_swap = [&](std::size_t after_frames) {
+        std::uint64_t previous = registry->swap(
+            options.serveSwapModel, options.serveSwapVersion);
+        swapped = true;
+        std::cout << common::format(
+            "swap      : %s v%llu -> v%llu after %zu frames\n",
+            options.serveSwapModel.c_str(),
+            static_cast<unsigned long long>(previous),
+            static_cast<unsigned long long>(options.serveSwapVersion),
+            after_frames);
+    };
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        if (options.serveRate > 0.0) {
+            auto due = started + std::chrono::duration_cast<
+                                     Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         static_cast<double>(i) /
+                                         options.serveRate));
+            std::this_thread::sleep_until(due);
+        }
+        server.submitFrame(frames[i], tools::laneForFrame(i, options));
+        if (options.serveSwapAfter != 0 && !swapped &&
+            i + 1 >= options.serveSwapAfter)
+            fire_swap(i + 1);
+    }
+    // A trace shorter than N still honors the hook (exercised last).
+    if (options.serveSwapAfter != 0 && !swapped)
+        fire_swap(frames.size());
+    runtime::ServerStats stats = server.stop();
+
+    std::cout << common::format(
+        "admitted  : %llu rows (%llu shed, %llu early-dropped, "
+        "%zu malformed) in %zu batches (mean %.1f rows)\n",
+        static_cast<unsigned long long>(stats.queue.accepted),
+        static_cast<unsigned long long>(stats.queue.shed),
+        static_cast<unsigned long long>(stats.queue.earlyDropped),
+        stats.malformedFrames, stats.batches, stats.meanBatchRows);
+    std::cout << common::format(
+        "latency   : request p50 %.1f us / p99 %.1f us, batch "
+        "p50 %.1f us / p99 %.1f us (wall %.3fs)\n",
+        stats.p50RequestLatencyUs, stats.p99RequestLatencyUs,
+        stats.p50BatchLatencyUs, stats.p99BatchLatencyUs,
+        stats.wallSeconds);
+    if (stats.lanes.size() > 1)
+        for (std::size_t lane = 0; lane < stats.lanes.size(); ++lane) {
+            const runtime::LaneStats &ls = stats.lanes[lane];
+            std::cout << common::format(
+                "lane %zu    : served %zu (%llu shed, %llu dropped), "
+                "request p50 %.1f us / p99 %.1f us\n",
+                lane, ls.rowsServed,
+                static_cast<unsigned long long>(ls.queue.shed),
+                static_cast<unsigned long long>(ls.queue.earlyDropped),
+                ls.p50RequestLatencyUs, ls.p99RequestLatencyUs);
+        }
+    for (const runtime::ModelStats &ms : stats.models)
+        std::cout << common::format(
+            "model %s: %zu rows / %zu steps, step p50 %.1f us / "
+            "p99 %.1f us (active v%llu)\n",
+            ms.name.c_str(), ms.rowsServed, ms.batches,
+            ms.p50StepLatencyUs, ms.p99StepLatencyUs,
+            static_cast<unsigned long long>(ms.activeVersion));
+    std::cout << "verdicts  :";
+    for (const auto &[verdict, count] : verdict_counts)
+        std::cout << " class " << verdict << " x" << count;
+    std::cout << "\n";
+}
+
 /** Registry-aware pass-name check, mirroring the --list-platforms style. */
 bool
 knownPass(const std::string &name)
@@ -443,6 +589,18 @@ main(int argc, char **argv)
         std::cerr << "homc: unknown pass '" << options.dumpPass
                   << "' (known passes: " << knownPassList() << ")\n";
         return 2;
+    }
+
+    if (!options.serveModels.empty()) {
+        // Registry serving runs pre-compiled artifacts straight into
+        // the multi-model plane — no spec, no search, no compile.
+        try {
+            runServeRegistry(options);
+        } catch (const std::exception &error) {
+            std::cerr << "homc: " << error.what() << "\n";
+            return 1;
+        }
+        return 0;
     }
 
     try {

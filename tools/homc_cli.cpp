@@ -25,6 +25,8 @@ const char *const kValueFlags[] = {
     "serve-block-timeout-us", "serve-probe-every",
     "serve-lane-delays-us",   "serve-lane-depths",
     "serve-lane-batches",
+    "serve-model",   "serve-lane-models",
+    "serve-chain",   "serve-swap-after",
     "init",          "iters",
     "jobs",          "infer-jobs",
     "grid",          "tables",
@@ -222,6 +224,23 @@ parseArgs(int argc, const char *const *argv, CliOptions &options,
             err << "homc: --" << name << " expects a value\n";
             return ParseResult::kError;
         }
+        // --serve-model is the one repeatable flag: each NAME=FILE adds
+        // a model (or stacks a version onto an already-named one), so
+        // it is consumed here instead of the last-one-wins flag map.
+        if (name == "serve-model") {
+            std::string value = argv[++i];
+            auto eq = value.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 == value.size()) {
+                err << "homc: --serve-model expects NAME=IR_FILE, got '"
+                    << value << "'\n";
+                return ParseResult::kError;
+            }
+            options.serveModels.emplace_back(
+                common::trim(value.substr(0, eq)),
+                common::trim(value.substr(eq + 1)));
+            continue;
+        }
         flags[name] = argv[++i];
     }
 
@@ -315,6 +334,59 @@ parseArgs(int argc, const char *const *argv, CliOptions &options,
              ok;
         flags.erase(it);
     }
+    if (auto it = flags.find("serve-lane-models"); it != flags.end()) {
+        options.serveLaneModels.clear();
+        for (const std::string &field : common::split(it->second, ','))
+            options.serveLaneModels.push_back(common::trim(field));
+        flags.erase(it);
+    }
+    if (auto it = flags.find("serve-chain"); it != flags.end()) {
+        for (const std::string &field : common::split(it->second, ',')) {
+            std::string entry = common::trim(field);
+            auto eq = entry.find('=');
+            auto colon =
+                eq == std::string::npos ? eq : entry.rfind(':', eq);
+            std::uint64_t label = 0;
+            if (eq == std::string::npos || colon == std::string::npos ||
+                colon == 0 || colon + 1 >= eq || eq + 1 >= entry.size() ||
+                !parseU64("serve-chain",
+                          entry.substr(colon + 1, eq - colon - 1), label,
+                          err)) {
+                err << "homc: --serve-chain entries are FROM:LABEL=TO, "
+                       "got '"
+                    << entry << "'\n";
+                ok = false;
+                continue;
+            }
+            runtime::ChainRule rule;
+            rule.fromModel = entry.substr(0, colon);
+            rule.label = static_cast<int>(label);
+            rule.toModel = entry.substr(eq + 1);
+            options.serveChain.push_back(std::move(rule));
+        }
+        flags.erase(it);
+    }
+    if (auto it = flags.find("serve-swap-after"); it != flags.end()) {
+        std::string value = common::trim(it->second);
+        auto colon = value.find(':');
+        auto eq = value.rfind('=');
+        if (colon == std::string::npos || eq == std::string::npos ||
+            colon == 0 || eq <= colon + 1 || eq + 1 >= value.size() ||
+            !parseSize("serve-swap-after", value.substr(0, colon),
+                       options.serveSwapAfter, err) ||
+            !parseU64("serve-swap-after", value.substr(eq + 1),
+                      options.serveSwapVersion, err) ||
+            options.serveSwapAfter == 0 || options.serveSwapVersion == 0) {
+            err << "homc: --serve-swap-after expects N:NAME=V (N, V "
+                   "positive), got '"
+                << it->second << "'\n";
+            ok = false;
+        } else {
+            options.serveSwapModel =
+                value.substr(colon + 1, eq - colon - 1);
+        }
+        flags.erase(it);
+    }
     take_size("init", options.init);
     take_size("iters", options.iters);
     take_size("jobs", options.jobs);
@@ -361,10 +433,69 @@ parseArgs(int argc, const char *const *argv, CliOptions &options,
         !lane_list_fits("serve-lane-depths",
                         options.serveLaneDepths.size()) ||
         !lane_list_fits("serve-lane-batches",
-                        options.serveLaneBatches.size()))
+                        options.serveLaneBatches.size()) ||
+        !lane_list_fits("serve-lane-models",
+                        options.serveLaneModels.size()))
         return ParseResult::kError;
 
+    if (!options.serveModels.empty() && options.serve.empty()) {
+        err << "homc: --serve-model requires --serve\n";
+        return ParseResult::kError;
+    }
+    if (options.serveModels.empty() &&
+        (!options.serveLaneModels.empty() ||
+         !options.serveChain.empty() || options.serveSwapAfter != 0)) {
+        err << "homc: --serve-lane-models/--serve-chain/"
+               "--serve-swap-after require --serve-model\n";
+        return ParseResult::kError;
+    }
+    if (!options.serveModels.empty()) {
+        // Resolve every model reference against the --serve-model list
+        // here, where the error can name the flag, instead of letting
+        // the registry throw mid-run.
+        auto loads_of = [&](const std::string &name) {
+            std::size_t count = 0;
+            for (const auto &[model, path] : options.serveModels) {
+                (void)path;
+                count += model == name;
+            }
+            return count;
+        };
+        auto known_model = [&](const char *flag,
+                               const std::string &name) {
+            if (name.empty() || loads_of(name) > 0)
+                return true;
+            err << "homc: --" << flag << " references model '" << name
+                << "' but no --serve-model loads it\n";
+            return false;
+        };
+        for (const std::string &name : options.serveLaneModels)
+            if (!known_model("serve-lane-models", name))
+                return ParseResult::kError;
+        for (const runtime::ChainRule &rule : options.serveChain)
+            if (!known_model("serve-chain", rule.fromModel) ||
+                !known_model("serve-chain", rule.toModel))
+                return ParseResult::kError;
+        if (options.serveSwapAfter != 0) {
+            if (!known_model("serve-swap-after", options.serveSwapModel))
+                return ParseResult::kError;
+            if (options.serveSwapVersion >
+                loads_of(options.serveSwapModel)) {
+                err << "homc: --serve-swap-after wants '"
+                    << options.serveSwapModel << "' v"
+                    << options.serveSwapVersion << " but only "
+                    << loads_of(options.serveSwapModel)
+                    << " version(s) are loaded\n";
+                return ParseResult::kError;
+            }
+        }
+    }
+
     if (options.listPlatforms || options.listPasses)
+        return ParseResult::kOk;
+    // Registry serving runs pre-compiled artifacts — no --app/--train
+    // needed (and none is consulted).
+    if (!options.serveModels.empty())
         return ParseResult::kOk;
     if (options.app.empty() && options.trainCsv.empty()) {
         err << "homc: need --app or --train/--test\n";
@@ -448,6 +579,17 @@ printUsage(std::ostream &out)
         "  --serve-lane-depths L    comma list, per-lane shed depth\n"
         "  --serve-lane-batches L   comma list, per-lane flush size\n"
         "  --serve-probe-every N    every Nth frame -> lane 0 (default 16)\n"
+        "  --serve-model NAME=FILE  registry serving: load a homunculus-ir\n"
+        "                           artifact under NAME (repeatable; same\n"
+        "                           NAME again stacks v2, v3, ...; first\n"
+        "                           NAME is the default model; skips the\n"
+        "                           compile entirely)\n"
+        "  --serve-lane-models L    comma list, per-lane entry model\n"
+        "                           (empty entry = default model)\n"
+        "  --serve-chain L          comma list of FROM:LABEL=TO rules:\n"
+        "                           rows FROM labels LABEL go on to TO\n"
+        "  --serve-swap-after N:NAME=V  after frame N, hot-swap NAME's\n"
+        "                           active plan to version V (test hook)\n"
         "  --grid N                 Taurus grid side\n"
         "  --tables N               MAT stage budget\n"
         "  --throughput GPPS --latency NS\n"

@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/request_queue.hpp"
+#include "runtime/router.hpp"
 
 namespace homunculus::tools {
 
@@ -56,6 +58,24 @@ struct CliOptions
     /** Every Nth --serve frame goes to lane 0 (the probe lane); the
      *  rest round-robin over the remaining lanes. */
     std::size_t serveProbeEvery = 16;
+    /**
+     * Registry serving: (name, artifact path) pairs from repeatable
+     * --serve-model NAME=FILE flags, in the order given. Non-empty
+     * switches --serve to the multi-model plane (ModelRegistry +
+     * Router) and skips the compile; the first name is the default
+     * model. Loading one name repeatedly stacks versions (v1, v2, ...).
+     */
+    std::vector<std::pair<std::string, std::string>> serveModels;
+    /** Per-lane entry-model names (comma list, one per lane; an empty
+     *  entry falls back to the default model). */
+    std::vector<std::string> serveLaneModels;
+    /** Chain rules from --serve-chain FROM:LABEL=TO entries. */
+    std::vector<runtime::ChainRule> serveChain;
+    /** Hot-swap test hook (--serve-swap-after N:NAME=V): after frame
+     *  N is submitted, swap NAME's active plan to version V. 0 = off. */
+    std::size_t serveSwapAfter = 0;
+    std::string serveSwapModel;
+    std::uint64_t serveSwapVersion = 0;
     bool dumpIr = false;
     std::size_t init = 5;
     std::size_t iters = 15;
