@@ -1,149 +1,299 @@
 /**
  * @file
- * Micro-kernel timings (google-benchmark): the hot paths of the compiler
- * and its simulators — matrix multiply, MLP training epoch, fixed-point
- * inference, MAT pipeline lookup, MapReduce stream simulation, surrogate
- * fit + acquisition.
+ * Micro-kernel throughput per dispatch target (google-benchmark): every
+ * vectorized kernel in src/kernels/ measured rows/s against the scalar
+ * reference table, on paper-plausible model shapes. Benchmarks are
+ * registered dynamically, one per target the host can actually run, so
+ * an AVX2 box reports int8_gemm/scalar next to int8_gemm/avx2 and the
+ * speedup is a single division away.
+ *
+ * This bench is also the vectorization acceptance bar: when the AVX2
+ * table is available, the int8 GEMM must deliver >= 1.5x the scalar
+ * table's rows/s or the process exits non-zero — CI runs it, so a
+ * regression that quietly falls back to scalar (or a "vectorized"
+ * kernel that is not actually faster) fails the build instead of
+ * shipping. The ratio lands in the --json report (record
+ * `int8_gemm_speedup`) alongside the per-kernel rows/s records.
+ *
+ * Inputs are pre-quantized (ir::QuantizedMatrix), so the measured loop
+ * is the kernel itself, not the double->raw-word front end.
  */
 #include <benchmark/benchmark.h>
 
-#include "backends/mapreduce_sim.hpp"
-#include "backends/mat_platform.hpp"
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "backends/mat_pipeline.hpp"
 #include "bench_common.hpp"
-#include "opt/bayes_opt.hpp"
+#include "common/rng.hpp"
+#include "ir/exec_plan.hpp"
+#include "ir/model_ir.hpp"
+#include "kernels/kernel_dispatch.hpp"
 
 using namespace homunculus;
-using namespace homunculus::bench;
 
 namespace {
 
-void
-BM_MatMul(benchmark::State &state)
-{
-    auto n = static_cast<std::size_t>(state.range(0));
-    common::Rng rng(1);
-    math::Matrix a(n, n), b(n, n);
-    for (double &v : a.data())
-        v = rng.gaussian(0, 1);
-    for (double &v : b.data())
-        v = rng.gaussian(0, 1);
-    for (auto _ : state) {
-        auto c = a.matmul(b);
-        benchmark::DoNotOptimize(c.data());
-    }
-    state.SetComplexityN(static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128)->Complexity();
+constexpr std::size_t kBatchRows = 4096;
 
-void
-BM_MlpTrainEpoch(benchmark::State &state)
+std::int32_t
+randomWord(common::Rng &rng, const common::FixedPointFormat &format)
 {
-    auto split = loadAd();
-    ml::MlpConfig config = baselineConfig(App::kAd, split);
-    config.epochs = 1;
-    for (auto _ : state) {
-        ml::Mlp mlp(config);
-        double loss = mlp.train(split.train);
-        benchmark::DoNotOptimize(loss);
-    }
+    std::int64_t hi = (std::int64_t{1} << (format.totalBits() - 1)) - 1;
+    return static_cast<std::int32_t>(rng.uniformInt(-hi - 1, hi));
 }
-BENCHMARK(BM_MlpTrainEpoch)->Unit(benchmark::kMillisecond);
 
-void
-BM_QuantizedMlpInference(benchmark::State &state)
+/** AD-baseline-shaped MLP (16 -> 32 -> 32 -> 2) at @p format. */
+ir::ModelIr
+gemmModel(const common::FixedPointFormat &format)
 {
-    auto split = loadAd();
-    auto platform = paperTaurus();
-    auto baseline = trainBaseline(App::kAd, split, platform.platform());
-    std::size_t row = 0;
-    for (auto _ : state) {
-        int label = ir::executeIr(
-            baseline.model,
-            split.test.x.row(row++ % split.test.numSamples()));
-        benchmark::DoNotOptimize(label);
+    common::Rng rng(11);
+    ir::ModelIr model;
+    model.kind = ir::ModelKind::kMlp;
+    model.format = format;
+    model.inputDim = 16;
+    model.numClasses = 2;
+    model.activation = ml::Activation::kRelu;
+    std::size_t prev = model.inputDim;
+    for (std::size_t width : {std::size_t{32}, std::size_t{32},
+                              std::size_t{2}}) {
+        ir::QuantizedLayer layer;
+        layer.inputDim = prev;
+        layer.outputDim = width;
+        layer.weights.resize(prev * width);
+        layer.biases.resize(width);
+        for (auto &w : layer.weights)
+            w = randomWord(rng, format);
+        for (auto &b : layer.biases)
+            b = randomWord(rng, format);
+        model.layers.push_back(std::move(layer));
+        prev = width;
     }
+    model.validate();
+    return model;
 }
-BENCHMARK(BM_QuantizedMlpInference);
 
-void
-BM_MapReduceStream(benchmark::State &state)
+ir::ModelIr
+kmeansModel(const common::FixedPointFormat &format)
 {
-    auto split = loadAd();
-    auto platform = paperTaurus();
-    auto baseline = trainBaseline(App::kAd, split, platform.platform());
-    backends::MapReduceSimulator sim;
-    for (auto _ : state) {
-        auto stream = sim.runStream(baseline.model, split.test.x);
-        benchmark::DoNotOptimize(stream.labels.data());
+    common::Rng rng(13);
+    ir::ModelIr model;
+    model.kind = ir::ModelKind::kKMeans;
+    model.format = format;
+    model.inputDim = 16;
+    model.numClasses = 8;
+    for (int c = 0; c < 8; ++c) {
+        std::vector<std::int32_t> centroid(model.inputDim);
+        for (auto &v : centroid)
+            v = randomWord(rng, format);
+        model.centroids.push_back(std::move(centroid));
     }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(split.test.numSamples()));
+    model.validate();
+    return model;
 }
-BENCHMARK(BM_MapReduceStream)->Unit(benchmark::kMillisecond);
 
-void
-BM_MatLookupPipeline(benchmark::State &state)
+ir::ModelIr
+svmModel(const common::FixedPointFormat &format)
 {
-    auto split = loadTc();
-    ml::KMeansConfig config;
-    config.numClusters = 5;
-    ml::KMeans kmeans(config);
-    kmeans.fit(split.train.x);
-    auto ir_model = ir::lowerKMeans(kmeans, common::FixedPointFormat::q88(),
-                                    "km", split.train.numFeatures());
-    auto pipeline = backends::MatPipeline::compileKMeans(ir_model);
-    std::size_t row = 0;
-    for (auto _ : state) {
-        int label = pipeline.process(
-            split.test.x.row(row++ % split.test.numSamples()));
-        benchmark::DoNotOptimize(label);
+    common::Rng rng(17);
+    ir::ModelIr model;
+    model.kind = ir::ModelKind::kSvm;
+    model.format = format;
+    model.inputDim = 16;
+    model.numClasses = 4;
+    for (int c = 0; c < 4; ++c) {
+        std::vector<std::int32_t> weights(model.inputDim);
+        for (auto &v : weights)
+            v = randomWord(rng, format);
+        model.svmWeights.push_back(std::move(weights));
+        model.svmBiases.push_back(randomWord(rng, format));
     }
+    model.validate();
+    return model;
 }
-BENCHMARK(BM_MatLookupPipeline);
 
-void
-BM_SurrogateFitAndSuggest(benchmark::State &state)
+/** Complete depth-8 tree on 16 features. */
+ir::ModelIr
+treeModel(const common::FixedPointFormat &format)
 {
-    // Cost of one BO iteration's model machinery on synthetic history.
-    common::Rng rng(5);
-    std::vector<std::vector<double>> rows;
-    std::vector<double> objectives;
-    for (int i = 0; i < 30; ++i) {
-        rows.push_back({rng.uniform(0, 1), rng.uniform(0, 1),
-                        rng.uniform(0, 1)});
-        objectives.push_back(rng.uniform(0, 1));
-    }
-    auto x = math::Matrix::fromRows(rows);
-    for (auto _ : state) {
-        ml::ForestConfig config;
-        config.numTrees = 30;
-        ml::RandomForestRegressor surrogate(config);
-        surrogate.train(x, objectives);
-        double total = 0;
-        for (int c = 0; c < 600; ++c) {
-            auto pred = surrogate.predictWithVariance(
-                {rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)});
-            total += pred.mean;
+    common::Rng rng(19);
+    ir::ModelIr model;
+    model.kind = ir::ModelKind::kDecisionTree;
+    model.format = format;
+    model.inputDim = 16;
+    model.numClasses = 3;
+    model.treeDepth = 8;
+    std::function<int(std::size_t)> build = [&](std::size_t level) -> int {
+        int index = static_cast<int>(model.treeNodes.size());
+        model.treeNodes.emplace_back();
+        if (level == model.treeDepth) {
+            model.treeNodes[static_cast<std::size_t>(index)].classLabel =
+                static_cast<int>(rng.uniformInt(0, 2));
+            return index;
         }
-        benchmark::DoNotOptimize(total);
-    }
+        auto &fill = model.treeNodes[static_cast<std::size_t>(index)];
+        fill.isLeaf = false;
+        fill.feature = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(model.inputDim) - 1));
+        fill.threshold = randomWord(rng, format);
+        int left = build(level + 1);
+        int right = build(level + 1);
+        model.treeNodes[static_cast<std::size_t>(index)].left = left;
+        model.treeNodes[static_cast<std::size_t>(index)].right = right;
+        return index;
+    };
+    build(0);
+    model.validate();
+    return model;
 }
-BENCHMARK(BM_SurrogateFitAndSuggest)->Unit(benchmark::kMillisecond);
 
+/** Plan-executed kernel bench: the plan is pinned to @p target, the
+ *  batch is pre-quantized, the loop is runRange over the whole batch. */
 void
-BM_SpatialCodegen(benchmark::State &state)
+planBench(benchmark::State &state, const ir::ModelIr &model,
+          kernels::KernelTarget target)
 {
-    auto split = loadAd();
-    auto platform = paperTaurus();
-    auto baseline = trainBaseline(App::kAd, split, platform.platform());
+    auto plan = ir::ExecutablePlan::compile(model);
+    plan.forceKernelTarget(target);
+    ir::QuantizedMatrix x(bench::benchFeatures(kBatchRows, model.inputDim),
+                          model.format);
+    std::vector<int> labels(kBatchRows);
+    ir::ExecutablePlan::Scratch scratch;
     for (auto _ : state) {
-        auto code = platform.platform().generateCode(baseline.model);
-        benchmark::DoNotOptimize(code.data());
+        plan.runRange(x, 0, x.rows(), labels.data(), scratch);
+        benchmark::DoNotOptimize(labels.data());
     }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kBatchRows));
 }
-BENCHMARK(BM_SpatialCodegen);
+
+/** MAT batch walk bench: the pipeline resolves kernels through the
+ *  process-wide dispatch, so the target is forced globally here (each
+ *  run of this bench re-forces; main() resets at exit). */
+void
+matBench(benchmark::State &state, const ir::ModelIr &model,
+         kernels::KernelTarget target)
+{
+    kernels::KernelDispatch::reset();
+    kernels::KernelDispatch::force(target);
+    auto pipeline = model.kind == ir::ModelKind::kSvm
+                        ? backends::MatPipeline::compileSvm(model, 16)
+                        : backends::MatPipeline::compileKMeans(model);
+    auto x = bench::benchFeatures(kBatchRows, model.inputDim);
+    for (auto _ : state) {
+        auto labels = pipeline.processBatch(x);
+        benchmark::DoNotOptimize(labels.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kBatchRows));
+}
+
+/** Console output as usual, plus rows/s captured per run: once for the
+ *  --json report, once keyed by name for the speedup gate below. */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(runs);
+        for (const Run &run : runs) {
+            auto items = run.counters.find("items_per_second");
+            if (run.run_type != Run::RT_Iteration ||
+                items == run.counters.end())
+                continue;
+            double rows_per_sec = static_cast<double>(items->second);
+            json.add(run.benchmark_name(),
+                     {{"real_time_s",
+                       run.GetAdjustedRealTime() /
+                           benchmark::GetTimeUnitMultiplier(run.time_unit)},
+                      {"rows_per_sec", rows_per_sec}});
+            rowsPerSec[run.benchmark_name()] = rows_per_sec;
+        }
+    }
+
+    homunculus::bench::BenchJson json;
+    std::map<std::string, double> rowsPerSec;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string json_path = homunculus::bench::extractJsonPath(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    const auto int8_mlp = gemmModel({4, 4});     // int8-weight panels.
+    const auto int16_mlp = gemmModel({8, 8});    // Q8.8, int16 panels.
+    const auto wide_mlp = gemmModel({12, 12});   // int64 fallback path.
+    const auto kmeans = kmeansModel({8, 8});
+    const auto svm = svmModel({8, 8});
+    const auto tree = treeModel({8, 8});
+
+    auto available = kernels::KernelDispatch::available();
+    auto register_plan = [&](const char *kernel, const ir::ModelIr &model) {
+        for (kernels::KernelTarget target : available) {
+            std::string name = std::string(kernel) + "/" +
+                               kernels::kernelTargetName(target);
+            benchmark::RegisterBenchmark(
+                name.c_str(), [&model, target](benchmark::State &state) {
+                    planBench(state, model, target);
+                });
+        }
+    };
+    register_plan("int8_gemm", int8_mlp);
+    register_plan("int16_gemm", int16_mlp);
+    register_plan("tree_traverse", tree);
+    register_plan("kmeans_argmin", kmeans);
+    register_plan("svm_argmax", svm);
+    // The wide path is target-invariant (shared int64 reference loops);
+    // one row documents its baseline next to the narrow tiers.
+    benchmark::RegisterBenchmark(
+        "wide_gemm/reference", [&wide_mlp](benchmark::State &state) {
+            planBench(state, wide_mlp, kernels::KernelTarget::kScalar);
+        });
+    for (kernels::KernelTarget target : available) {
+        std::string name = std::string("mat_range_match/") +
+                           kernels::kernelTargetName(target);
+        benchmark::RegisterBenchmark(
+            name.c_str(), [&svm, target](benchmark::State &state) {
+                matBench(state, svm, target);
+            });
+    }
+
+    JsonCaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    kernels::KernelDispatch::reset();  // undo matBench's force().
+
+    // The vectorization acceptance bar. Only judged when both sides
+    // actually ran (a --benchmark_filter run must not trip it).
+    constexpr double kInt8GemmBar = 1.5;
+    auto scalar_rows = reporter.rowsPerSec.find("int8_gemm/scalar");
+    auto avx2_rows = reporter.rowsPerSec.find("int8_gemm/avx2");
+    if (scalar_rows != reporter.rowsPerSec.end() &&
+        avx2_rows != reporter.rowsPerSec.end()) {
+        double ratio = avx2_rows->second / scalar_rows->second;
+        reporter.json.add("int8_gemm_speedup",
+                          {{"avx2_over_scalar", ratio},
+                           {"bar", kInt8GemmBar}});
+        std::printf("int8 GEMM avx2/scalar: %.2fx (bar %.1fx)\n", ratio,
+                    kInt8GemmBar);
+        if (ratio < kInt8GemmBar) {
+            std::fprintf(stderr,
+                         "FAIL: int8 GEMM avx2 is %.2fx scalar, below "
+                         "the %.1fx acceptance bar\n",
+                         ratio, kInt8GemmBar);
+            if (!json_path.empty())
+                reporter.json.write(json_path);
+            return 1;
+        }
+    }
+    if (!json_path.empty() && !reporter.json.write(json_path))
+        return 1;
+    return 0;
+}

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
+#include "kernels/kernel_dispatch.hpp"
 #include "runtime/executor.hpp"
 
 namespace homunculus::backends {
@@ -315,16 +316,18 @@ MatPipeline::processBatch(const math::Matrix &x, std::size_t jobs,
          pre_quantized->format().fracBits() != format_.fracBits()))
         pre_quantized = nullptr;
 
-    // Per-worker scratch (quantization buffer + class accumulators),
-    // hoisted out of the per-packet loop; rows are read in place. The
-    // walk is per-row independent, so row shards stitch deterministically
-    // into labels at any jobs width. No separate inline cutoff: a batch
-    // of at most kWalkChunkRows rows yields a single chunk, which
-    // parallelForChunks runs inline on the caller's thread anyway. 512
-    // (down from 1024) matches the engine's re-measured minRowsToShard:
-    // with the persistent Executor a dispatch is a queue handoff, so
-    // the walk profits from fan-out well below the old spawn-era bar.
+    // Per-worker scratch hoisted out of the per-packet loop; rows are
+    // read in place. Shards of kWalkChunkRows fan out over the pool
+    // (512 matches the engine's re-measured minRowsToShard: with the
+    // persistent Executor a dispatch is a queue handoff), and inside a
+    // shard the walk runs stage-major over kMatChunkRows-row chunks —
+    // each table stage resolves a whole chunk before the next stage,
+    // so range-match stages batch their binary searches through the
+    // kernel dispatch layer with the table's bounds hot in cache. The
+    // walk is per-row independent, so both levels of chunking stitch
+    // deterministically into labels at any jobs width.
     constexpr std::size_t kWalkChunkRows = 512;
+    constexpr std::size_t kMatChunkRows = 64;
     runtime::Executor &pool = executor != nullptr
                                   ? *executor
                                   : runtime::Executor::processDefault();
@@ -332,32 +335,191 @@ MatPipeline::processBatch(const math::Matrix &x, std::size_t jobs,
     struct WalkScratch
     {
         std::vector<std::int32_t> quantized;
+        std::vector<const std::int32_t *> rows;
         std::vector<std::int64_t> accumulators;
+        std::vector<std::int32_t> states;
+        std::vector<std::uint8_t> written;
+        std::vector<std::uint32_t> lookup;
+        std::vector<std::int32_t> keys;
     };
     std::vector<WalkScratch> scratches(workers);
     pool.runChunks(
         workers, x.rows(), kWalkChunkRows,
         [&](std::size_t begin, std::size_t end, std::size_t worker) {
             WalkScratch &scratch = scratches[worker];
-            scratch.quantized.resize(inputDim_);
-            scratch.accumulators.resize(numClasses_);
-            for (std::size_t r = begin; r < end; ++r) {
-                const std::int32_t *q;
-                if (pre_quantized != nullptr) {
-                    q = pre_quantized->rowPtr(r);
-                } else {
-                    format_.quantizeInto(x.rowPtr(r),
-                                         scratch.quantized.data(),
-                                         inputDim_);
-                    q = scratch.quantized.data();
+            scratch.quantized.resize(kMatChunkRows * inputDim_);
+            scratch.rows.resize(kMatChunkRows);
+            scratch.accumulators.resize(kMatChunkRows * numClasses_);
+            scratch.states.resize(kMatChunkRows);
+            scratch.written.resize(kMatChunkRows);
+            scratch.lookup.resize(kMatChunkRows);
+            scratch.keys.resize(kMatChunkRows);
+            for (std::size_t chunk = begin; chunk < end;
+                 chunk += kMatChunkRows) {
+                std::size_t count =
+                    std::min(kMatChunkRows, end - chunk);
+                for (std::size_t i = 0; i < count; ++i) {
+                    if (pre_quantized != nullptr) {
+                        scratch.rows[i] =
+                            pre_quantized->rowPtr(chunk + i);
+                    } else {
+                        std::int32_t *q =
+                            scratch.quantized.data() + i * inputDim_;
+                        format_.quantizeInto(x.rowPtr(chunk + i), q,
+                                             inputDim_);
+                        scratch.rows[i] = q;
+                    }
                 }
-                std::fill(scratch.accumulators.begin(),
-                          scratch.accumulators.end(), 0);
-                labels[r] = walk(q, scratch.accumulators.data(),
-                                 /*use_index=*/true);
+                walkChunk(scratch.rows.data(), count,
+                          scratch.accumulators.data(),
+                          scratch.states.data(), labels.data() + chunk,
+                          scratch.written.data(), scratch.lookup.data(),
+                          scratch.keys.data());
             }
         });
     return labels;
+}
+
+void
+MatPipeline::walkChunk(const std::int32_t *const *rows, std::size_t count,
+                       std::int64_t *accumulators, std::int32_t *states,
+                       int *labels, std::uint8_t *written,
+                       std::uint32_t *lookup, std::int32_t *keys) const
+{
+    const kernels::KernelOps &ops = kernels::KernelDispatch::ops();
+    std::fill(accumulators, accumulators + count * numClasses_,
+              std::int64_t{0});
+    std::fill(states, states + count, 0);
+    std::fill(labels, labels + count, 0);
+    std::fill(written, written + count, std::uint8_t{0});
+
+    // One row's tree-level entry application — the same semantics as
+    // walk()'s applyTreeEntry, against this row's chunk slots.
+    auto applyTreeEntry = [&](const MatEntry &entry, std::size_t i) {
+        if (entry.labelWrite >= 0 && entry.classContribution.empty()) {
+            labels[i] = entry.labelWrite;
+            written[i] = 1;
+            return true;
+        }
+        std::int64_t threshold = entry.classContribution[0];
+        bool is_le = entry.classContribution[1] == 1;
+        auto feature =
+            static_cast<std::size_t>(entry.classContribution[2]);
+        bool cmp = rows[i][feature] <= threshold;
+        if (cmp == is_le) {
+            states[i] = entry.nextState;
+            return true;
+        }
+        return false;
+    };
+
+    for (const MatTable &table : tables_) {
+        switch (table.kind) {
+          case MatStageKind::kDistance: {
+            // Whole-chunk distance stage: the centroid streams once
+            // per row with the fused reduction kernel (narrow formats;
+            // wide ones keep the int64 scalar loop for exactness).
+            if (narrow_) {
+                for (std::size_t i = 0; i < count; ++i)
+                    accumulators[i * numClasses_ + table.classSlot] =
+                        ops.squaredDist(rows[i], table.centroid.data(),
+                                        inputDim_);
+            } else {
+                for (std::size_t i = 0; i < count; ++i) {
+                    std::int64_t dist = 0;
+                    for (std::size_t f = 0; f < inputDim_; ++f) {
+                        std::int64_t d =
+                            static_cast<std::int64_t>(rows[i][f]) -
+                            table.centroid[f];
+                        dist += d * d;
+                    }
+                    accumulators[i * numClasses_ + table.classSlot] =
+                        dist;
+                }
+            }
+            break;
+          }
+          case MatStageKind::kAccumulate: {
+            if (table.rangeIndexed) {
+                // Batched range-match: resolve every row's bucket in
+                // one kernel call (the binary searches share the
+                // table's hi bounds in cache), then confirm lo and
+                // apply the ALU action per row.
+                const std::size_t n = table.orderedHi.size();
+                for (std::size_t i = 0; i < count; ++i)
+                    keys[i] = rows[i][table.keyField];
+                ops.rangeLowerBound(keys, count, table.orderedHi.data(),
+                                    n, lookup);
+                for (std::size_t i = 0; i < count; ++i) {
+                    if (lookup[i] >= n)
+                        continue;  // key above every entry's hi.
+                    const MatEntry &entry = table.entries[lookup[i]];
+                    if (entry.lo > keys[i])
+                        continue;  // gap between bins.
+                    std::int64_t *acc = accumulators + i * numClasses_;
+                    for (std::size_t c = 0; c < numClasses_; ++c)
+                        acc[c] += entry.classContribution[c];
+                }
+            } else {
+                for (std::size_t i = 0; i < count; ++i) {
+                    std::int32_t key = rows[i][table.keyField];
+                    for (const MatEntry &entry : table.entries) {
+                        if (key >= entry.lo && key <= entry.hi) {
+                            std::int64_t *acc =
+                                accumulators + i * numClasses_;
+                            for (std::size_t c = 0; c < numClasses_;
+                                 ++c)
+                                acc[c] += entry.classContribution[c];
+                            break;  // first-match semantics.
+                        }
+                    }
+                }
+            }
+            break;
+          }
+          case MatStageKind::kTreeLevel: {
+            for (std::size_t i = 0; i < count; ++i) {
+                if (written[i])
+                    continue;  // classified at a shallower leaf.
+                if (table.groupIndexed) {
+                    auto [begin, end] = findExactGroup(table, states[i]);
+                    for (std::size_t e = begin; e < end; ++e)
+                        if (applyTreeEntry(
+                                table.entries[table.sortedOrder[e]], i))
+                            break;
+                } else {
+                    for (const MatEntry &entry : table.entries) {
+                        if (states[i] < entry.lo || states[i] > entry.hi)
+                            continue;
+                        if (applyTreeEntry(entry, i))
+                            break;
+                    }
+                }
+            }
+            break;
+          }
+          case MatStageKind::kSelectMin:
+          case MatStageKind::kSelectMax:
+            break;  // standalone select stages are always fused.
+        }
+
+        if (table.fusedSelect) {
+            for (std::size_t i = 0; i < count; ++i) {
+                if (written[i])
+                    continue;
+                const std::int64_t *acc = accumulators + i * numClasses_;
+                std::size_t best = 0;
+                for (std::size_t c = 1; c < numClasses_; ++c) {
+                    bool better = table.selectMin ? acc[c] < acc[best]
+                                                  : acc[c] > acc[best];
+                    if (better)
+                        best = c;
+                }
+                labels[i] = static_cast<int>(best);
+                written[i] = 1;
+            }
+        }
+    }
 }
 
 int

@@ -156,7 +156,7 @@ class MatPipeline
 
   private:
     explicit MatPipeline(common::FixedPointFormat format)
-        : format_(format)
+        : format_(format), narrow_(format.totalBits() <= 16)
     {
     }
 
@@ -167,6 +167,25 @@ class MatPipeline
     int walk(const std::int32_t *quantized, std::int64_t *accumulators,
              bool use_index) const;
 
+    /**
+     * Stage-major walk of a whole row chunk (the processBatch hot
+     * path): instead of running every table per packet, each table
+     * stage resolves all @p count rows before the next stage runs —
+     * range-match stages batch their bucket lookups through the
+     * dispatch kernel layer (kernels::KernelOps::rangeLowerBound), and
+     * distance stages the fused squared-distance reduction. Per-row
+     * results are bit-identical to walk(q, acc, use_index=true) — the
+     * stages only commute across rows, never within one.
+     * All arrays are caller-owned chunk scratch: @p rows holds count
+     * quantized-row pointers; accumulators (count x numClasses), states,
+     * labels, written, lookup and keys (count each) are initialized
+     * here.
+     */
+    void walkChunk(const std::int32_t *const *rows, std::size_t count,
+                   std::int64_t *accumulators, std::int32_t *states,
+                   int *labels, std::uint8_t *written,
+                   std::uint32_t *lookup, std::int32_t *keys) const;
+
     /** Build every table's lookup index; called by the compile*
      *  factories after the entries are installed. */
     void buildLookupIndexes();
@@ -175,6 +194,10 @@ class MatPipeline
     common::FixedPointFormat format_;
     std::size_t numClasses_ = 0;
     std::size_t inputDim_ = 0;
+    /** Format fits 16 bits: feature differences fit int32, so the
+     *  vectorized distance kernel is exact (wide formats keep the
+     *  int64 scalar loop). */
+    bool narrow_ = true;
 };
 
 }  // namespace homunculus::backends

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "kernels/kernel_dispatch.hpp"
+
 namespace homunculus::ir {
 
 namespace {
@@ -53,6 +55,7 @@ ExecutablePlan::compile(const ModelIr &model)
     plan.rawMax_ = (std::int64_t{1} << (total_bits - 1)) - 1;
     plan.rawMin_ = -(std::int64_t{1} << (total_bits - 1));
     plan.narrow_ = total_bits <= 16;
+    plan.int8_ = total_bits <= 8;
 
     switch (model.kind) {
       case ModelKind::kMlp: {
@@ -69,6 +72,28 @@ ExecutablePlan::compile(const ModelIr &model)
                         layer.weights[in * layer.outputDim + out];
             plan.maxWidth_ = std::max(plan.maxWidth_, layer.outputDim);
             plan.layers_.push_back(std::move(compiled));
+        }
+        // Packed-weight panels for the narrow dense kernels: every raw
+        // word of a <= 16-bit format fits int16 (and of a <= 8-bit
+        // format, int8), so repacking at compile time is lossless and
+        // the GEMM streams half (or a quarter of) the weight bytes.
+        for (Layer &layer : plan.layers_) {
+            if (plan.narrow_) {
+                layer.weights16.resize(layer.weightsT.size());
+                for (std::size_t i = 0; i < layer.weightsT.size(); ++i)
+                    layer.weights16[i] =
+                        static_cast<std::int16_t>(layer.weightsT[i]);
+            }
+            if (plan.int8_) {
+                layer.weights8.resize(layer.weightsT.size());
+                for (std::size_t i = 0; i < layer.weightsT.size(); ++i)
+                    layer.weights8[i] =
+                        static_cast<std::int8_t>(layer.weightsT[i]);
+                layer.biases16.resize(layer.biases.size());
+                for (std::size_t i = 0; i < layer.biases.size(); ++i)
+                    layer.biases16[i] =
+                        static_cast<std::int16_t>(layer.biases[i]);
+            }
         }
         // Hidden activations as one clamp window: ReLU's max(acc, 0) is
         // clamp(acc, 0, rawMax) because acc is already saturated.
@@ -131,29 +156,33 @@ ExecutablePlan::runMlpRangeNarrow(const math::Matrix *x,
                                   const QuantizedMatrix *qx,
                                   std::size_t row_begin,
                                   std::size_t row_end, int *labels,
-                                  Scratch &scratch) const
+                                  Scratch &scratch,
+                                  const kernels::KernelOps &ops) const
 {
-    // The blocked int32 GEMM kernel for formats of <= 16 total bits (the
+    // The blocked int32 GEMM path for formats of <= 16 total bits (the
     // Q8.8 default). kLanes rows are processed together in a lane-major
     // interleaved layout (element `in` of lane `l` lives at
-    // in * kLanes + l), which makes the lane loop stride-1 so the
-    // compiler can keep the accumulators in one vector register. With a
-    // narrow format every |raw| <= 2^15, so a weight * activation product
-    // fits int32 exactly and the whole MAC — product, renormalizing
-    // shift, both saturations — runs in int32 lanes. Each lane still
-    // replays the interpreter's exact saturating term order, so labels
-    // are bit-identical to executeIr regardless of where a shard's lane
-    // groups fall.
-    constexpr std::size_t kLanes = 8;
-    const auto raw_min = static_cast<std::int32_t>(rawMin_);
-    const auto raw_max = static_cast<std::int32_t>(rawMax_);
-    const int frac = fracBits_;
-    const std::int32_t act_lo = actLo_;
-    const std::int32_t act_hi = actHi_;
+    // in * kLanes + l), which makes the lane dimension stride-1 — the
+    // dense kernel holds the accumulators in one vector register. With
+    // a narrow format every |raw| <= 2^15, so a weight * activation
+    // product fits int32 exactly and the whole MAC — product,
+    // renormalizing shift, both saturations — runs in int32 lanes.
+    // Each lane still replays the interpreter's exact saturating term
+    // order (the kernel contract), so labels are bit-identical to
+    // executeIr regardless of where a shard's lane groups fall or
+    // which dispatch target runs them.
+    constexpr std::size_t kLanes = kernels::kDenseLanes32;
     scratch.quantized.resize(kLanes * inputDim_);
     scratch.actA.resize(kLanes * maxWidth_);
     scratch.actB.resize(kLanes * maxWidth_);
     std::int32_t *quantized = scratch.quantized.data();
+
+    kernels::DenseI32Args args;
+    args.fracBits = fracBits_;
+    args.rawMin = static_cast<std::int32_t>(rawMin_);
+    args.rawMax = static_cast<std::int32_t>(rawMax_);
+    args.actLo = actLo_;
+    args.actHi = actHi_;
 
     std::size_t base = row_begin;
     for (; base + kLanes <= row_end; base += kLanes) {
@@ -174,47 +203,20 @@ ExecutablePlan::runMlpRangeNarrow(const math::Matrix *x,
         std::int32_t *back = scratch.actB.data();
         for (std::size_t l = 0; l < layers_.size(); ++l) {
             const Layer &layer = layers_[l];
-            bool hidden = l + 1 < layers_.size();
-            for (std::size_t out = 0; out < layer.outputDim; ++out) {
-                const std::int32_t *w = &layer.weightsT[out * layer.inputDim];
-                std::int32_t acc[kLanes];
-                for (std::size_t lane = 0; lane < kLanes; ++lane)
-                    acc[lane] = layer.biases[out];
-                for (std::size_t in = 0; in < layer.inputDim; ++in) {
-                    const std::int32_t weight = w[in];
-                    const std::int32_t *iv = current + in * kLanes;
-                    for (std::size_t lane = 0; lane < kLanes; ++lane) {
-                        std::int32_t product = (iv[lane] * weight) >> frac;
-                        product = std::min(std::max(product, raw_min),
-                                           raw_max);
-                        std::int32_t sum = acc[lane] + product;
-                        acc[lane] = std::min(std::max(sum, raw_min),
-                                             raw_max);
-                    }
-                }
-                std::int32_t *ov = front + out * kLanes;
-                if (hidden) {
-                    for (std::size_t lane = 0; lane < kLanes; ++lane)
-                        ov[lane] = std::min(std::max(acc[lane], act_lo),
-                                            act_hi);
-                } else {
-                    for (std::size_t lane = 0; lane < kLanes; ++lane)
-                        ov[lane] = acc[lane];
-                }
-            }
+            args.input = current;
+            args.output = front;
+            args.weightsT = layer.weights16.data();
+            args.biases = layer.biases.data();
+            args.inputDim = layer.inputDim;
+            args.outputDim = layer.outputDim;
+            args.clampAct = l + 1 < layers_.size();
+            ops.denseI32(args);
             current = front;
             std::swap(front, back);
         }
 
-        std::size_t width = layers_.back().outputDim;
-        for (std::size_t lane = 0; lane < kLanes; ++lane) {
-            std::size_t best = 0;
-            for (std::size_t c = 1; c < width; ++c)
-                if (current[c * kLanes + lane] >
-                    current[best * kLanes + lane])
-                    best = c;
-            labels[base + lane - row_begin] = static_cast<int>(best);
-        }
+        ops.argmaxI32(current, layers_.back().outputDim,
+                      labels + (base - row_begin));
     }
 
     for (; base < row_end; ++base) {
@@ -226,6 +228,136 @@ ExecutablePlan::runMlpRangeNarrow(const math::Matrix *x,
             q = quantized;
         }
         labels[base - row_begin] = inferMlp(q, scratch);
+    }
+}
+
+void
+ExecutablePlan::runMlpRangeI8(const math::Matrix *x,
+                              const QuantizedMatrix *qx,
+                              std::size_t row_begin, std::size_t row_end,
+                              int *labels, Scratch &scratch,
+                              const kernels::KernelOps &ops) const
+{
+    // The int8-weight fast path for formats of <= 8 total bits: 16
+    // rows per group in all-int16 arithmetic (|raw| <= 2^7 keeps every
+    // product within int16 and every post-clamp sum within [-256, 255],
+    // so int16 replays the int64 reference exactly). Same interleaved
+    // layout as the int32 path, twice the lanes per register.
+    constexpr std::size_t kLanes = kernels::kDenseLanes16;
+    scratch.quantized.resize(inputDim_);  // int32 quantizer staging.
+    scratch.quantized16.resize(kLanes * inputDim_);
+    scratch.act16A.resize(kLanes * maxWidth_);
+    scratch.act16B.resize(kLanes * maxWidth_);
+    std::int16_t *quantized16 = scratch.quantized16.data();
+
+    kernels::DenseI16Args args;
+    args.fracBits = fracBits_;
+    args.rawMin = static_cast<std::int16_t>(rawMin_);
+    args.rawMax = static_cast<std::int16_t>(rawMax_);
+    args.actLo = static_cast<std::int16_t>(actLo_);
+    args.actHi = static_cast<std::int16_t>(actHi_);
+
+    std::size_t base = row_begin;
+    for (; base + kLanes <= row_end; base += kLanes) {
+        for (std::size_t lane = 0; lane < kLanes; ++lane) {
+            const std::int32_t *q;
+            if (qx != nullptr) {
+                q = qx->rowPtr(base + lane);
+            } else {
+                format_.quantizeInto(x->rowPtr(base + lane),
+                                     scratch.quantized.data(),
+                                     inputDim_);
+                q = scratch.quantized.data();
+            }
+            // Narrowing copy is lossless: the quantizer saturates to
+            // the format's <= 8-bit raw range.
+            for (std::size_t in = 0; in < inputDim_; ++in)
+                quantized16[in * kLanes + lane] =
+                    static_cast<std::int16_t>(q[in]);
+        }
+
+        const std::int16_t *current = quantized16;
+        std::int16_t *front = scratch.act16A.data();
+        std::int16_t *back = scratch.act16B.data();
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+            const Layer &layer = layers_[l];
+            args.input = current;
+            args.output = front;
+            args.weightsT = layer.weights8.data();
+            args.biases = layer.biases16.data();
+            args.inputDim = layer.inputDim;
+            args.outputDim = layer.outputDim;
+            args.clampAct = l + 1 < layers_.size();
+            ops.denseI16(args);
+            current = front;
+            std::swap(front, back);
+        }
+
+        ops.argmaxI16(current, layers_.back().outputDim,
+                      labels + (base - row_begin));
+    }
+
+    for (; base < row_end; ++base) {
+        const std::int32_t *q;
+        if (qx != nullptr) {
+            q = qx->rowPtr(base);
+        } else {
+            quantizeRow(x->rowPtr(base), scratch.quantized.data());
+            q = scratch.quantized.data();
+        }
+        labels[base - row_begin] = inferMlp(q, scratch);
+    }
+}
+
+void
+ExecutablePlan::runTreeRange(const math::Matrix *x,
+                             const QuantizedMatrix *qx,
+                             std::size_t row_begin, std::size_t row_end,
+                             int *labels, Scratch &scratch,
+                             const kernels::KernelOps &ops) const
+{
+    // Blocked descent: kTreeLanes rows walk the SoA node arrays
+    // together (vectorized compare+select per level) instead of the
+    // branchy per-row loop; a lane that reaches its leaf early just
+    // stops advancing while the group finishes.
+    constexpr std::size_t kLanes = kernels::kTreeLanes;
+    scratch.quantized.resize(kLanes * inputDim_);
+    std::int32_t *quantized = scratch.quantized.data();
+
+    kernels::TreeTraverseArgs args;
+    args.nodeFeature = nodeFeature_.data();
+    args.nodeThreshold = nodeThreshold_.data();
+    args.nodeLeft = nodeLeft_.data();
+    args.nodeRight = nodeRight_.data();
+    args.nodeLabel = nodeLabel_.data();
+
+    std::size_t base = row_begin;
+    for (; base + kLanes <= row_end; base += kLanes) {
+        if (qx != nullptr) {
+            for (std::size_t lane = 0; lane < kLanes; ++lane) {
+                const std::int32_t *q = qx->rowPtr(base + lane);
+                for (std::size_t in = 0; in < inputDim_; ++in)
+                    quantized[in * kLanes + lane] = q[in];
+            }
+        } else {
+            for (std::size_t lane = 0; lane < kLanes; ++lane)
+                format_.quantizeInto(x->rowPtr(base + lane),
+                                     &quantized[lane], inputDim_, kLanes);
+        }
+        args.input = quantized;
+        args.labels = labels + (base - row_begin);
+        ops.treeTraverse(args);
+    }
+
+    for (; base < row_end; ++base) {
+        const std::int32_t *q;
+        if (qx != nullptr) {
+            q = qx->rowPtr(base);
+        } else {
+            quantizeRow(x->rowPtr(base), quantized);
+            q = quantized;
+        }
+        labels[base - row_begin] = inferTree(q);
     }
 }
 
@@ -467,12 +599,27 @@ ExecutablePlan::runRangeImpl(const math::Matrix *x,
     if (row_begin == row_end)
         return;
 
+    // One dispatch resolution per shard: a plan-level pin wins, else
+    // the process-wide probe/env/force result.
+    const kernels::KernelOps &ops =
+        forcedOps_ != nullptr ? *forcedOps_
+                              : kernels::KernelDispatch::ops();
+
+    if (kind_ == ModelKind::kMlp && int8_) {
+        runMlpRangeI8(x, qx, row_begin, row_end, labels, scratch, ops);
+        return;
+    }
     if (kind_ == ModelKind::kMlp && narrow_) {
-        runMlpRangeNarrow(x, qx, row_begin, row_end, labels, scratch);
+        runMlpRangeNarrow(x, qx, row_begin, row_end, labels, scratch,
+                          ops);
         return;
     }
     if (kind_ == ModelKind::kMlp) {
         runMlpRangeWide(x, qx, row_begin, row_end, labels, scratch);
+        return;
+    }
+    if (kind_ == ModelKind::kDecisionTree) {
+        runTreeRange(x, qx, row_begin, row_end, labels, scratch, ops);
         return;
     }
 
@@ -486,8 +633,33 @@ ExecutablePlan::runRangeImpl(const math::Matrix *x,
             quantizeRow(x->rowPtr(r), scratch.quantized.data());
             q = scratch.quantized.data();
         }
-        labels[r - row_begin] = inferRow(q, scratch);
+        // Fused reduction kernels carry the narrow contract (terms and
+        // differences must fit int32); wide formats keep the int64
+        // reference loops.
+        if (kind_ == ModelKind::kKMeans && narrow_)
+            labels[r - row_begin] = ops.kmeansArgmin(
+                q, centroids_.data(), numCentroids_, inputDim_);
+        else if (kind_ == ModelKind::kSvm && narrow_)
+            labels[r - row_begin] = ops.svmArgmaxNarrow(
+                q, svmWeights_.data(), svmBiases_.data(),
+                svmBiases_.size(), inputDim_, fracBits_,
+                static_cast<std::int32_t>(rawMin_),
+                static_cast<std::int32_t>(rawMax_));
+        else
+            labels[r - row_begin] = inferRow(q, scratch);
     }
+}
+
+void
+ExecutablePlan::forceKernelTarget(kernels::KernelTarget target)
+{
+    const kernels::KernelOps *ops = kernels::KernelDispatch::find(target);
+    if (ops == nullptr)
+        throw std::runtime_error(
+            std::string("ExecutablePlan: kernel target '") +
+            kernels::kernelTargetName(target) +
+            "' is not available on this host");
+    forcedOps_ = ops;
 }
 
 void

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "ir/model_ir.hpp"
+#include "kernels/kernel_api.hpp"
 #include "math/matrix.hpp"
 
 namespace homunculus::ir {
@@ -97,6 +98,11 @@ class ExecutablePlan
         std::vector<std::int32_t> quantized;
         std::vector<std::int32_t> actA;
         std::vector<std::int32_t> actB;
+        /** int16 mirrors for the int8-weight GEMM path (<= 8-bit
+         *  formats run 16 lanes of all-int16 arithmetic). */
+        std::vector<std::int16_t> quantized16;
+        std::vector<std::int16_t> act16A;
+        std::vector<std::int16_t> act16B;
     };
 
     /** One-time compilation; validates the model first. */
@@ -139,29 +145,64 @@ class ExecutablePlan
     int numClasses() const { return numClasses_; }
     const common::FixedPointFormat &format() const { return format_; }
 
+    /**
+     * Pin this plan to one kernel target instead of the process-wide
+     * KernelDispatch resolution — the per-plan knob behind
+     * EngineOptions::forceScalarKernels and the differential tests
+     * that execute several targets side by side. Labels never change
+     * (every target is bit-identical); only the instruction mix does.
+     * @throws std::runtime_error when the target is unavailable here.
+     */
+    void forceKernelTarget(kernels::KernelTarget target);
+
+    /** The pinned table, or nullptr when following KernelDispatch. */
+    const kernels::KernelOps *forcedKernels() const
+    {
+        return forcedOps_;
+    }
+
   private:
     ExecutablePlan() = default;
 
-    /** Transposed dense layer: weightsT[out * inputDim + in]. */
+    /** Transposed dense layer: weightsT[out * inputDim + in]. The
+     *  packed mirrors are built at compile() for narrow formats: int16
+     *  panels when the format fits 16 bits, int8 panels (plus int16
+     *  biases) when it fits 8 — same [out * inputDim + in] order, so
+     *  the dense kernels stream half/quarter the weight bytes. */
     struct Layer
     {
         std::size_t inputDim = 0;
         std::size_t outputDim = 0;
         std::vector<std::int32_t> weightsT;
         std::vector<std::int32_t> biases;
+        std::vector<std::int16_t> weights16;
+        std::vector<std::int8_t> weights8;
+        std::vector<std::int16_t> biases16;
     };
 
     void quantizeRow(const double *row, std::int32_t *out) const;
-    /** Blocked int32 GEMM over interleaved lanes (formats <= 16 bits).
+    /** Blocked int32 GEMM over interleaved lanes (formats <= 16 bits),
+     *  executed through @p ops.denseI32/argmaxI32.
      *  @p quantized_rows is the pre-quantized matrix when non-null. */
     void runMlpRangeNarrow(const math::Matrix *x,
                            const QuantizedMatrix *qx,
                            std::size_t row_begin, std::size_t row_end,
-                           int *labels, Scratch &scratch) const;
+                           int *labels, Scratch &scratch,
+                           const kernels::KernelOps &ops) const;
+    /** int8-weight GEMM over 16 int16 lanes (formats <= 8 bits). */
+    void runMlpRangeI8(const math::Matrix *x, const QuantizedMatrix *qx,
+                       std::size_t row_begin, std::size_t row_end,
+                       int *labels, Scratch &scratch,
+                       const kernels::KernelOps &ops) const;
     /** Generic-format blocked range path (int64 arithmetic). */
     void runMlpRangeWide(const math::Matrix *x, const QuantizedMatrix *qx,
                          std::size_t row_begin, std::size_t row_end,
                          int *labels, Scratch &scratch) const;
+    /** Blocked tree traversal (kTreeLanes rows per descent). */
+    void runTreeRange(const math::Matrix *x, const QuantizedMatrix *qx,
+                      std::size_t row_begin, std::size_t row_end,
+                      int *labels, Scratch &scratch,
+                      const kernels::KernelOps &ops) const;
     void runRangeImpl(const math::Matrix *x, const QuantizedMatrix *qx,
                       std::size_t row_begin, std::size_t row_end,
                       int *labels, Scratch &scratch) const;
@@ -183,6 +224,12 @@ class ExecutablePlan
     std::int64_t rawMax_ = 0;    ///< saturation bounds of the format.
     std::int64_t rawMin_ = 0;
     bool narrow_ = true;         ///< format <= 16 bits: int32 MACs exact.
+    bool int8_ = false;          ///< format <= 8 bits: int16 MACs exact.
+
+    /** Pinned kernel table (forceKernelTarget); nullptr = follow the
+     *  process-wide KernelDispatch. Points at immutable static data,
+     *  so plan copies stay valid. */
+    const kernels::KernelOps *forcedOps_ = nullptr;
 
     // --- MLP ------------------------------------------------------------
     std::vector<Layer> layers_;

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * NEON kernel table (AArch64). Same exactness contract as the AVX2 TU:
+ * vectorize across rows only, clamp every term, never reorder a
+ * saturating chain. NEON has no gather, so the lookup-heavy kernels
+ * (tree traversal, MAT range-match) stay null here and the dispatcher
+ * patches them with the scalar reference — a partial table is a valid
+ * table.
+ *
+ * Note vshlq with a negative shift count is NEON's arithmetic
+ * right-shift-by-register; it truncates toward negative infinity
+ * exactly like the scalar `>>` on GCC/Clang.
+ */
+#include "kernels/kernel_api.hpp"
+
+#if defined(__ARM_NEON) || defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+
+namespace homunculus::kernels {
+
+namespace {
+
+void
+denseI32Neon(const DenseI32Args &args)
+{
+    const int32x4_t shift = vdupq_n_s32(-args.fracBits);
+    const int32x4_t raw_min = vdupq_n_s32(args.rawMin);
+    const int32x4_t raw_max = vdupq_n_s32(args.rawMax);
+    const int32x4_t act_lo = vdupq_n_s32(args.actLo);
+    const int32x4_t act_hi = vdupq_n_s32(args.actHi);
+    for (std::size_t out = 0; out < args.outputDim; ++out) {
+        const std::int16_t *w = args.weightsT + out * args.inputDim;
+        int32x4_t acc0 = vdupq_n_s32(args.biases[out]);
+        int32x4_t acc1 = acc0;
+        for (std::size_t in = 0; in < args.inputDim; ++in) {
+            const int32x4_t weight = vdupq_n_s32(w[in]);
+            const std::int32_t *iv = args.input + in * kDenseLanes32;
+            int32x4_t p0 = vmulq_s32(vld1q_s32(iv), weight);
+            int32x4_t p1 = vmulq_s32(vld1q_s32(iv + 4), weight);
+            p0 = vshlq_s32(p0, shift);
+            p1 = vshlq_s32(p1, shift);
+            p0 = vminq_s32(vmaxq_s32(p0, raw_min), raw_max);
+            p1 = vminq_s32(vmaxq_s32(p1, raw_min), raw_max);
+            acc0 = vminq_s32(vmaxq_s32(vaddq_s32(acc0, p0), raw_min),
+                             raw_max);
+            acc1 = vminq_s32(vmaxq_s32(vaddq_s32(acc1, p1), raw_min),
+                             raw_max);
+        }
+        if (args.clampAct) {
+            acc0 = vminq_s32(vmaxq_s32(acc0, act_lo), act_hi);
+            acc1 = vminq_s32(vmaxq_s32(acc1, act_lo), act_hi);
+        }
+        std::int32_t *ov = args.output + out * kDenseLanes32;
+        vst1q_s32(ov, acc0);
+        vst1q_s32(ov + 4, acc1);
+    }
+}
+
+void
+denseI16Neon(const DenseI16Args &args)
+{
+    const int16x8_t shift = vdupq_n_s16(
+        static_cast<std::int16_t>(-args.fracBits));
+    const int16x8_t raw_min = vdupq_n_s16(args.rawMin);
+    const int16x8_t raw_max = vdupq_n_s16(args.rawMax);
+    const int16x8_t act_lo = vdupq_n_s16(args.actLo);
+    const int16x8_t act_hi = vdupq_n_s16(args.actHi);
+    for (std::size_t out = 0; out < args.outputDim; ++out) {
+        const std::int8_t *w = args.weightsT + out * args.inputDim;
+        int16x8_t acc0 = vdupq_n_s16(args.biases[out]);
+        int16x8_t acc1 = acc0;
+        for (std::size_t in = 0; in < args.inputDim; ++in) {
+            const int16x8_t weight = vdupq_n_s16(w[in]);
+            const std::int16_t *iv = args.input + in * kDenseLanes16;
+            int16x8_t p0 = vmulq_s16(vld1q_s16(iv), weight);
+            int16x8_t p1 = vmulq_s16(vld1q_s16(iv + 8), weight);
+            p0 = vshlq_s16(p0, shift);
+            p1 = vshlq_s16(p1, shift);
+            p0 = vminq_s16(vmaxq_s16(p0, raw_min), raw_max);
+            p1 = vminq_s16(vmaxq_s16(p1, raw_min), raw_max);
+            acc0 = vminq_s16(vmaxq_s16(vaddq_s16(acc0, p0), raw_min),
+                             raw_max);
+            acc1 = vminq_s16(vmaxq_s16(vaddq_s16(acc1, p1), raw_min),
+                             raw_max);
+        }
+        if (args.clampAct) {
+            acc0 = vminq_s16(vmaxq_s16(acc0, act_lo), act_hi);
+            acc1 = vminq_s16(vmaxq_s16(acc1, act_lo), act_hi);
+        }
+        std::int16_t *ov = args.output + out * kDenseLanes16;
+        vst1q_s16(ov, acc0);
+        vst1q_s16(ov + 8, acc1);
+    }
+}
+
+std::int64_t
+squaredDistNeon(const std::int32_t *q, const std::int32_t *centroid,
+                std::size_t n)
+{
+    int64x2_t acc = vdupq_n_s64(0);
+    std::size_t f = 0;
+    for (; f + 4 <= n; f += 4) {
+        const int32x4_t d =
+            vsubq_s32(vld1q_s32(q + f), vld1q_s32(centroid + f));
+        const int32x2_t lo = vget_low_s32(d);
+        const int32x2_t hi = vget_high_s32(d);
+        acc = vaddq_s64(acc, vmull_s32(lo, lo));
+        acc = vaddq_s64(acc, vmull_s32(hi, hi));
+    }
+    std::int64_t dist = vgetq_lane_s64(acc, 0) + vgetq_lane_s64(acc, 1);
+    for (; f < n; ++f) {
+        std::int64_t d = static_cast<std::int64_t>(q[f]) - centroid[f];
+        dist += d * d;
+    }
+    return dist;
+}
+
+int
+kmeansArgminNeon(const std::int32_t *q, const std::int32_t *centroids,
+                 std::size_t k, std::size_t n)
+{
+    std::int64_t best_dist = 0;
+    int best = 0;
+    const std::int32_t *centroid = centroids;
+    for (std::size_t c = 0; c < k; ++c) {
+        std::int64_t dist = squaredDistNeon(q, centroid, n);
+        if (c == 0 || dist < best_dist) {
+            best_dist = dist;
+            best = static_cast<int>(c);
+        }
+        centroid += n;
+    }
+    return best;
+}
+
+int
+svmArgmaxNarrowNeon(const std::int32_t *q, const std::int32_t *weights,
+                    const std::int64_t *biases, std::size_t classes,
+                    std::size_t n, int frac_bits, std::int32_t raw_min,
+                    std::int32_t raw_max)
+{
+    const int32x4_t shift = vdupq_n_s32(-frac_bits);
+    const int32x4_t lo = vdupq_n_s32(raw_min);
+    const int32x4_t hi = vdupq_n_s32(raw_max);
+    std::int64_t best_score = 0;
+    int best = 0;
+    const std::int32_t *w = weights;
+    for (std::size_t c = 0; c < classes; ++c) {
+        int64x2_t acc = vdupq_n_s64(0);
+        std::size_t f = 0;
+        for (; f + 4 <= n; f += 4) {
+            int32x4_t product =
+                vmulq_s32(vld1q_s32(q + f), vld1q_s32(w + f));
+            product = vshlq_s32(product, shift);
+            product = vminq_s32(vmaxq_s32(product, lo), hi);
+            acc = vaddw_s32(acc, vget_low_s32(product));
+            acc = vaddw_s32(acc, vget_high_s32(product));
+        }
+        std::int64_t score = biases[c] + vgetq_lane_s64(acc, 0) +
+                             vgetq_lane_s64(acc, 1);
+        for (; f < n; ++f) {
+            std::int32_t product = (q[f] * w[f]) >> frac_bits;
+            product = std::min(std::max(product, raw_min), raw_max);
+            score += product;
+        }
+        if (c == 0 || score > best_score) {
+            best_score = score;
+            best = static_cast<int>(c);
+        }
+        w += n;
+    }
+    return best;
+}
+
+}  // namespace
+
+const KernelOps *
+neonOps()
+{
+    static const KernelOps ops = [] {
+        KernelOps table;
+        table.target = KernelTarget::kNeon;
+        table.name = "neon";
+        table.denseI32 = denseI32Neon;
+        table.denseI16 = denseI16Neon;
+        table.squaredDist = squaredDistNeon;
+        table.kmeansArgmin = kmeansArgminNeon;
+        table.svmArgmaxNarrow = svmArgmaxNarrowNeon;
+        // argmax / treeTraverse / rangeLowerBound: no NEON gather —
+        // the dispatcher patches in the scalar reference.
+        return table;
+    }();
+    return &ops;
+}
+
+}  // namespace homunculus::kernels
+
+#else  // !__ARM_NEON
+
+namespace homunculus::kernels {
+
+const KernelOps *
+neonOps()
+{
+    return nullptr;  // TU built without NEON support.
+}
+
+}  // namespace homunculus::kernels
+
+#endif

@@ -44,6 +44,10 @@ InferenceEngine::InferenceEngine(ir::ExecutablePlan plan,
                                  EngineOptions options)
     : plan_(std::move(plan)), options_(options)
 {
+    // The engine owns its plan copy, so pinning the kernel target here
+    // never affects other consumers of the same compiled model.
+    if (options_.forceScalarKernels)
+        plan_.forceKernelTarget(kernels::KernelTarget::kScalar);
 }
 
 InferenceEngine

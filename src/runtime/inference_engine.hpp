@@ -55,6 +55,16 @@ struct EngineOptions
     /** Worker pool to shard on (nullptr = the process-default
      *  Executor). Labels never depend on the pool. */
     Executor *executor = nullptr;
+    /**
+     * Pin this engine's plan to the scalar kernel table regardless of
+     * the process-wide KernelDispatch resolution (CPU probe /
+     * HOMUNCULUS_KERNELS / homc --kernel). Labels never change —
+     * every kernel target is bit-identical by contract — so this is a
+     * test/bench knob: differential suites and the micro-kernel bench
+     * run a scalar-pinned engine next to a vectorized one in one
+     * process.
+     */
+    bool forceScalarKernels = false;
 };
 
 /** A compiled plan plus the parallel execution policy for it. */

@@ -14,15 +14,16 @@ ModelRegistry::ModelRegistry(EngineOptions engine_options)
 
 std::uint64_t
 ModelRegistry::load(const std::string &name, const ir::ModelIr &model,
-                    bool activate_if_first)
+                    bool activate_if_first,
+                    const std::optional<EngineOptions> &engine_options)
 {
     if (name.empty())
         throw std::runtime_error("ModelRegistry: model name is empty");
     // Compile outside the lock: plan compilation is the expensive part
     // and must not stall concurrent active() lookups on the serving
     // path.
-    InferenceEngine engine =
-        InferenceEngine::fromModel(model, engineOptions_);
+    InferenceEngine engine = InferenceEngine::fromModel(
+        model, engine_options.value_or(engineOptions_));
     std::optional<ml::StandardScaler> scaler;
     if (model.hasScaler())
         scaler = ml::StandardScaler::fromMoments(model.scalerMeans,
@@ -53,9 +54,11 @@ ModelRegistry::load(const std::string &name, const ir::ModelIr &model,
 
 std::uint64_t
 ModelRegistry::loadFile(const std::string &name, const std::string &path,
-                        bool activate_if_first)
+                        bool activate_if_first,
+                        const std::optional<EngineOptions> &engine_options)
 {
-    return load(name, ir::loadModel(path), activate_if_first);
+    return load(name, ir::loadModel(path), activate_if_first,
+                engine_options);
 }
 
 const ModelRegistry::Entry &

@@ -99,14 +99,26 @@ class ModelRegistry
      * @throws std::runtime_error when the model is invalid or is not a
      *         drop-in for the name (input width / class count differ
      *         from version 1).
+     *
+     * @param engine_options per-load execution policy override: a
+     *        probe-lane model can reserve its own executor / shard
+     *        thresholds (or pin scalar kernels) while the rest of the
+     *        fleet keeps the registry-wide defaults. nullopt = the
+     *        registry's shared options. The override is per *version*:
+     *        reloading a name can change its policy along with its
+     *        weights.
      */
     std::uint64_t load(const std::string &name, const ir::ModelIr &model,
-                       bool activate_if_first = true);
+                       bool activate_if_first = true,
+                       const std::optional<EngineOptions>
+                           &engine_options = std::nullopt);
 
     /** load() from a serialized `homunculus-ir` artifact file. */
     std::uint64_t loadFile(const std::string &name,
                            const std::string &path,
-                           bool activate_if_first = true);
+                           bool activate_if_first = true,
+                           const std::optional<EngineOptions>
+                               &engine_options = std::nullopt);
 
     /**
      * Atomically make @p version the one active() returns for @p name.

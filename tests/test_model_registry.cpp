@@ -235,13 +235,24 @@ TEST(ModelRegistry, SwapUnderConcurrentLookupsServesOneVersionPerPin)
             next = next == 2 ? 1 : 2;
         }
     });
+    // At least 300 pinned batches, and keep pinning (bounded by wall
+    // clock, yielding) until both versions were observed — on a
+    // single-core host the consumer can otherwise outrun the swapper's
+    // first scheduling slice entirely.
     std::set<std::uint64_t> seen;
-    for (int i = 0; i < 300; ++i) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (int i = 0;
+         i < 300 || (seen.size() < 2 &&
+                     std::chrono::steady_clock::now() < deadline);
+         ++i) {
         std::shared_ptr<const hr::ModelEpoch> epoch =
             registry->active("m");
         seen.insert(epoch->version);
         EXPECT_EQ(epoch->engine.run(x),
                   epoch->version == 1 ? ref1 : ref2);
+        if (seen.size() < 2)
+            std::this_thread::yield();
     }
     stop.store(true);
     swapper.join();

@@ -50,6 +50,7 @@
 #include "data/loaders.hpp"
 #include "homc_cli.hpp"
 #include "ir/passes.hpp"
+#include "kernels/kernel_dispatch.hpp"
 #include "ir/serialize.hpp"
 #include "runtime/server.hpp"
 #include "runtime/stream_harness.hpp"
@@ -132,6 +133,16 @@ buildPlatform(const CliOptions &options)
         perf.maxLatencyNs = options.latencyNs;
     handle->constrain(perf, budget);
     return handle;
+}
+
+/** One provenance line for the serving summaries: which kernel table
+ *  inference dispatches to, and why it was picked. */
+void
+printKernelLine(std::ostream &out)
+{
+    out << "kernel    : "
+        << kernels::kernelTargetName(kernels::KernelDispatch::active())
+        << " (" << kernels::KernelDispatch::provenance() << ")\n";
 }
 
 /** Decode one hex-encoded frame line (whitespace tolerated). */
@@ -253,6 +264,7 @@ runReplay(const CliOptions &options, const homunculus::ir::ModelIr &model)
     std::optional<ml::StandardScaler> scaler =
         resolveServingScaler(options, model, frames, scaler_provenance);
     std::cout << "scaler    : " << scaler_provenance << "\n";
+    printKernelLine(std::cout);
 
     runtime::StreamConfig stream_config;
     stream_config.batchRows = options.replayBatch;
@@ -313,6 +325,7 @@ runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
     std::optional<ml::StandardScaler> scaler =
         resolveServingScaler(options, model, frames, scaler_provenance);
     std::cout << "scaler    : " << scaler_provenance << "\n";
+    printKernelLine(std::cout);
 
     runtime::EngineOptions engine_options;
     engine_options.jobs = options.inferJobs;
@@ -417,6 +430,7 @@ runServeRegistry(const CliOptions &options)
             static_cast<unsigned long long>(lanes[lane].maxDelayUs),
             lanes[lane].maxDepth);
 
+    printKernelLine(std::cout);
     runtime::EngineOptions engine_options;
     engine_options.jobs = options.inferJobs;
     engine_options.minRowsToShard = 1;
@@ -560,6 +574,54 @@ main(int argc, char **argv)
         return 2;
       case tools::ParseResult::kOk:
         break;
+    }
+
+    // Pin the kernel table before anything compiles or serves, so every
+    // summary line and every inference below reflects the pin. "auto"
+    // explicitly restores the probe/env resolution (a no-op unless
+    // something forced earlier in this process).
+    if (!options.kernel.empty()) {
+        try {
+            if (options.kernel == "auto")
+                kernels::KernelDispatch::reset();
+            else
+                kernels::KernelDispatch::force(
+                    kernels::parseKernelTarget(options.kernel));
+        } catch (const std::exception &error) {
+            std::cerr << "homc: --kernel " << options.kernel << ": "
+                      << error.what() << "\n";
+            return 2;
+        }
+    }
+    if (options.listKernels) {
+        try {
+            const auto available = kernels::KernelDispatch::available();
+            auto is_available = [&](kernels::KernelTarget target) {
+                for (kernels::KernelTarget t : available)
+                    if (t == target)
+                        return true;
+                return false;
+            };
+            kernels::KernelTarget active =
+                kernels::KernelDispatch::active();
+            for (int i = 0; i < kernels::kNumKernelTargets; ++i) {
+                auto target = static_cast<kernels::KernelTarget>(i);
+                std::cout << kernels::kernelTargetName(target) << "  "
+                          << (is_available(target) ? "available"
+                                                   : "unavailable");
+                if (target == active)
+                    std::cout << "  active ("
+                              << kernels::KernelDispatch::provenance()
+                              << ")";
+                std::cout << "\n";
+            }
+        } catch (const std::exception &error) {
+            // A bogus HOMUNCULUS_KERNELS makes resolution itself throw;
+            // surface it as the listing's diagnostic.
+            std::cerr << "homc: " << error.what() << "\n";
+            return 2;
+        }
+        return 0;
     }
 
     if (options.listPlatforms) {

@@ -31,13 +31,13 @@ const char *const kValueFlags[] = {
     "jobs",          "infer-jobs",
     "grid",          "tables",
     "throughput",    "latency",
-    "seed",
+    "seed",          "kernel",
 };
 
 /** Flags that take no value (for the did-you-mean pool). */
 const char *const kBoolFlags[] = {
     "help",        "list-platforms", "list-passes", "progress",
-    "dump-ir",     "replay-raw",
+    "dump-ir",     "replay-raw",     "list-kernels",
 };
 
 /** Classic edit distance, small strings only. */
@@ -196,6 +196,10 @@ parseArgs(int argc, const char *const *argv, CliOptions &options,
         }
         if (arg == "--replay-raw") {
             options.replayRaw = true;
+            continue;
+        }
+        if (arg == "--list-kernels") {
+            options.listKernels = true;
             continue;
         }
         if (common::startsWith(arg, "--dump-ir=")) {
@@ -397,6 +401,18 @@ parseArgs(int argc, const char *const *argv, CliOptions &options,
                 &options.throughputSet);
     take_double("latency", options.latencyNs, &options.latencySet);
     take_u64("seed", options.seed);
+    if (auto it = flags.find("kernel"); it != flags.end()) {
+        std::string target = common::toLower(common::trim(it->second));
+        if (target != "auto" && target != "scalar" && target != "avx2" &&
+            target != "neon") {
+            err << "homc: --kernel expects auto|scalar|avx2|neon, got '"
+                << it->second << "'\n";
+            ok = false;
+        } else {
+            options.kernel = target;
+        }
+        flags.erase(it);
+    }
 
     if (!flags.empty()) {
         // The parse loop admitted only kValueFlags entries, so a
@@ -491,7 +507,8 @@ parseArgs(int argc, const char *const *argv, CliOptions &options,
         }
     }
 
-    if (options.listPlatforms || options.listPasses)
+    if (options.listPlatforms || options.listPasses ||
+        options.listKernels)
         return ParseResult::kOk;
     // Registry serving runs pre-compiled artifacts — no --app/--train
     // needed (and none is consulted).
@@ -590,6 +607,13 @@ printUsage(std::ostream &out)
         "                           rows FROM labels LABEL go on to TO\n"
         "  --serve-swap-after N:NAME=V  after frame N, hot-swap NAME's\n"
         "                           active plan to version V (test hook)\n"
+        "  --kernel T               pin the CPU kernel table: auto|\n"
+        "                           scalar|avx2|neon (default auto =\n"
+        "                           probe; errors when T is not\n"
+        "                           available on this host)\n"
+        "  --list-kernels           enumerate kernel targets: which are\n"
+        "                           available here and which the probe\n"
+        "                           (or HOMUNCULUS_KERNELS) picks\n"
         "  --grid N                 Taurus grid side\n"
         "  --tables N               MAT stage budget\n"
         "  --throughput GPPS --latency NS\n"

@@ -77,6 +77,10 @@ struct CliOptions
     std::string serveSwapModel;
     std::uint64_t serveSwapVersion = 0;
     bool dumpIr = false;
+    /** Kernel dispatch pin from --kernel (auto|scalar|avx2|neon; empty
+     *  = leave the dispatch to its probe / HOMUNCULUS_KERNELS). */
+    std::string kernel;
+    bool listKernels = false;
     std::size_t init = 5;
     std::size_t iters = 15;
     std::size_t jobs = 1;
