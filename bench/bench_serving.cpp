@@ -51,6 +51,15 @@
  * exit code on every host), both front versions observed, and request
  * p99 still bounded by ~maxDelay across the swap.
  *
+ * Part 6 — availability under injected faults: the part-4 overload
+ * rerun with a deterministic FaultInjector armed at engine.run, over
+ * a (fault rate x bisect-retry depth) grid. Acceptance (every host —
+ * the invariants are count-based, not timed): every admitted row
+ * resolves as exactly one of {verdict, failure}, every delivered
+ * verdict is bit-identical to a single-threaded replay through the
+ * same plan, the disarmed leg fails nothing, and the 0.1%-rate legs
+ * keep availability >= 99%.
+ *
  * Usage: bench_serving [--json PATH]
  * (custom harness: the sweep needs open-loop pacing and direct control
  * of the measurement loop; --json writes bench_common's records.)
@@ -71,6 +80,7 @@
 #include "common/string_util.hpp"
 #include "math/stats.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/fault_injector.hpp"
 #include "runtime/inference_engine.hpp"
 #include "runtime/model_registry.hpp"
 #include "runtime/router.hpp"
@@ -730,6 +740,144 @@ main(int argc, char **argv)
                   {"active_version",
                    static_cast<double>(model_stats.activeVersion)}});
 
+    // ----------- part 6: availability under injected engine faults ---
+    // The part-4 overload (2x capacity, kShed) rerun with a
+    // deterministic fault injector armed at the engine.run site, over
+    // a (rate x bisect-retry) grid. Every admitted row must resolve
+    // as exactly one of {verdict, failure} (no early-drop in shed
+    // mode), every delivered verdict must be bit-identical to a
+    // single-threaded replay through the same plan, and the 0.1%-rate
+    // legs must keep served-verdict availability >= 99%.
+    struct FaultLeg
+    {
+        const char *key;
+        double rate;
+        std::size_t retry;
+    };
+    const FaultLeg fault_legs[] = {
+        {"rate0_retry0", 0.0, 0},     {"rate001_retry0", 0.001, 0},
+        {"rate001_retry5", 0.001, 5}, {"rate01_retry0", 0.01, 0},
+        {"rate01_retry5", 0.01, 5},
+    };
+    // Small batches so the per-mille rates actually fire: ~500
+    // engine.run draws per leg instead of part 4's ~60.
+    runtime::QueuePolicy fault_policy;
+    fault_policy.maxBatch = 32;
+    fault_policy.maxDelayUs = 1000;
+    fault_policy.maxDepth = 8192;
+    runtime::EngineOptions fault_ref_options;
+    fault_ref_options.jobs = 1;
+    runtime::InferenceEngine fault_ref =
+        runtime::InferenceEngine::fromModel(model, fault_ref_options);
+
+    bool fault_partition_ok = true;    // served + failed == accepted.
+    bool fault_zero_rate_clean = true; // disarmed leg fails nothing.
+    std::size_t fault_mismatches = 0;  // verdicts vs replayed plan.
+    double fault_availability = 1.0;  // worst 0.1%-rate-leg ratio.
+    std::cout << common::format(
+        "\n=== injected engine.run faults at 2x capacity (kShed, "
+        "maxBatch %zu) ===\n",
+        fault_policy.maxBatch);
+    for (const FaultLeg &leg : fault_legs) {
+        runtime::faults::FaultInjector injector;
+        if (leg.rate > 0.0)
+            injector.arm(runtime::faults::kSiteEngineRun, leg.rate,
+                         bench::kBenchSeed);
+
+        runtime::EngineOptions fault_engine_options;
+        fault_engine_options.jobs = jobs;
+        fault_engine_options.minRowsToShard = 1;
+        runtime::ServerConfig fault_config;
+        fault_config.queue = fault_policy;
+        fault_config.backpressure = runtime::BackpressureMode::kShed;
+        fault_config.retryDepth = leg.retry;
+        fault_config.injector = &injector;
+
+        std::mutex verdict_mutex;
+        std::vector<std::pair<std::vector<double>, int>> verdicts;
+        verdicts.reserve(overload_rows.rows());
+        std::atomic<std::size_t> failures{0};
+        fault_config.onFailure = [&](std::uint64_t, std::size_t,
+                                     const std::string &) {
+            failures.fetch_add(1);
+        };
+        runtime::Server server(
+            runtime::InferenceEngine::fromModel(model,
+                                                fault_engine_options),
+            fault_config,
+            [&](const runtime::Request &request, int verdict) {
+                std::lock_guard<std::mutex> lock(verdict_mutex);
+                verdicts.emplace_back(request.features, verdict);
+            });
+        constexpr std::size_t kBurst = 32;
+        auto started = Clock::now();
+        for (std::size_t i = 0; i < overload_rows.rows(); ++i) {
+            if (i % kBurst == 0) {
+                auto due = started +
+                           std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   static_cast<double>(i) /
+                                   overload_rate));
+                std::this_thread::sleep_until(due);
+            }
+            server.submit(overload_rows.row(i));
+        }
+        runtime::ServerStats stats = server.stop();
+
+        std::size_t mismatches = 0;
+        for (const auto &[features, verdict] : verdicts)
+            if (verdict != fault_ref.plan().runRow(features.data(),
+                                                   features.size()))
+                ++mismatches;
+        fault_mismatches += mismatches;
+
+        bool partition = stats.queue.accepted ==
+                             stats.rowsServed + stats.failedRows +
+                                 stats.queue.earlyDropped &&
+                         verdicts.size() == stats.rowsServed &&
+                         failures.load() == stats.failedRows;
+        fault_partition_ok = fault_partition_ok && partition;
+        if (leg.rate == 0.0)
+            fault_zero_rate_clean = fault_zero_rate_clean &&
+                                    stats.failedRows == 0 &&
+                                    stats.failedBatches == 0;
+        double availability =
+            stats.queue.accepted > 0
+                ? static_cast<double>(stats.rowsServed) /
+                      static_cast<double>(stats.queue.accepted)
+                : 0.0;
+        if (leg.rate == 0.001)
+            fault_availability =
+                std::min(fault_availability, availability);
+
+        std::cout << common::format(
+            "rate %-6.3f retry %zu  served %7zu / %7zu accepted  "
+            "failed %5zu rows / %4zu batches  (%zu bisect retries, "
+            "availability %.4f, %zu mismatches)\n",
+            leg.rate, leg.retry, stats.rowsServed,
+            static_cast<std::size_t>(stats.queue.accepted),
+            stats.failedRows, stats.failedBatches,
+            stats.retriedBatches, availability, mismatches);
+        json.add(std::string("faults/") + leg.key,
+                 {{"fault_rate", leg.rate},
+                  {"retry_depth", static_cast<double>(leg.retry)},
+                  {"accepted",
+                   static_cast<double>(stats.queue.accepted)},
+                  {"rows_served",
+                   static_cast<double>(stats.rowsServed)},
+                  {"failed_rows",
+                   static_cast<double>(stats.failedRows)},
+                  {"failed_batches",
+                   static_cast<double>(stats.failedBatches)},
+                  {"retried_batches",
+                   static_cast<double>(stats.retriedBatches)},
+                  {"availability", availability},
+                  {"verdict_mismatches",
+                   static_cast<double>(mismatches)}});
+    }
+    bool fault_exact = fault_mismatches == 0;
+    bool fault_available = fault_availability >= 0.99;
+
     bool dispatch_pass = dispatch_speedup > 1.0;
     std::cout << common::format(
         "\nsmall-batch dispatch: executor %.2fx vs spawn-per-batch — "
@@ -765,6 +913,20 @@ main(int argc, char **argv)
             : (swap_p99_bounded && swap_saw_both
                    ? "pass (informational)"
                    : "miss (informational)"));
+    // The fault bars are timing-independent (the injector draws from a
+    // fixed seed and the invariants are counts, not latencies), so all
+    // three hold on every host.
+    std::cout << common::format(
+        "fault legs: served verdicts bit-identical to replayed plan: "
+        "%s\n",
+        fault_exact ? "PASS" : "FAIL");
+    std::cout << common::format(
+        "fault legs: accepted == served + failed on every leg: %s\n",
+        fault_partition_ok && fault_zero_rate_clean ? "PASS" : "FAIL");
+    std::cout << common::format(
+        "availability >= 0.99 at the 0.1%% fault rate: %s (worst "
+        "%.4f)\n",
+        fault_available ? "PASS" : "FAIL", fault_availability);
     json.add("acceptance",
              {{"dispatch_speedup_p50", dispatch_speedup},
               {"deadline_p99_bounded", deadline_bounded ? 1.0 : 0.0},
@@ -775,12 +937,20 @@ main(int argc, char **argv)
               {"swap_p99_bounded", swap_p99_bounded ? 1.0 : 0.0},
               {"swap_observed_both_versions",
                swap_saw_both ? 1.0 : 0.0},
+              {"fault_verdicts_exact", fault_exact ? 1.0 : 0.0},
+              {"fault_resolution_partition",
+               fault_partition_ok && fault_zero_rate_clean ? 1.0
+                                                           : 0.0},
+              {"fault_availability_ok", fault_available ? 1.0 : 0.0},
               {"hardware_threads", static_cast<double>(hardware)}});
 
     if (!json_path.empty() && !json.write(json_path))
         return 1;
     if (!swap_exact)
         return 1;  // exactness holds on any host or the swap is broken.
+    if (!fault_exact || !fault_partition_ok || !fault_zero_rate_clean ||
+        !fault_available)
+        return 1;  // fault invariants are count-based: any-host bars.
     // Enforce the timing bars only where the claims are testable: a
     // sub-4-core host can neither shard a 64-row batch 4 ways nor
     // absorb bursts while batching, so those verdicts are

@@ -1,0 +1,189 @@
+#include "runtime/fault_injector.hpp"
+
+#include <cstdlib>
+
+#include "common/string_util.hpp"
+
+namespace homunculus::runtime::faults {
+
+namespace {
+
+/** splitmix64: the standard 64-bit finalizer — every (seed, counter)
+ *  pair maps to an independent-looking 64-bit value, which is all a
+ *  per-check Bernoulli draw needs. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform [0, 1) from the hash's top 53 bits, so rate 1.0 always
+ *  fires and rate 0.0 never does. */
+double
+unitDouble(std::uint64_t hash)
+{
+    return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector &
+FaultInjector::global()
+{
+    static FaultInjector *instance = [] {
+        auto *injector = new FaultInjector();
+        if (const char *spec = std::getenv("HOMUNCULUS_FAULTS"))
+            injector->armSpec(spec);
+        return injector;
+    }();
+    return *instance;
+}
+
+std::vector<FaultSite>
+FaultInjector::parseSpec(const std::string &text)
+{
+    std::vector<FaultSite> sites;
+    for (const std::string &field : common::split(text, ',')) {
+        std::string entry = common::trim(field);
+        if (entry.empty())
+            continue;
+        std::vector<std::string> parts = common::split(entry, ':');
+        if (parts.size() < 2 || parts.size() > 3)
+            throw std::runtime_error(
+                "faults: spec entries are SITE:RATE[:SEED], got '" +
+                entry + "'");
+        FaultSite site;
+        site.site = common::trim(parts[0]);
+        if (site.site.empty())
+            throw std::runtime_error(
+                "faults: empty site name in '" + entry + "'");
+        try {
+            std::size_t consumed = 0;
+            site.rate = std::stod(parts[1], &consumed);
+            if (consumed != parts[1].size())
+                throw std::invalid_argument(parts[1]);
+        } catch (const std::exception &) {
+            throw std::runtime_error(
+                "faults: bad rate '" + parts[1] + "' in '" + entry +
+                "'");
+        }
+        if (!(site.rate >= 0.0 && site.rate <= 1.0))
+            throw std::runtime_error(
+                "faults: rate must be in [0, 1], got '" + parts[1] +
+                "'");
+        if (parts.size() == 3) {
+            try {
+                if (parts[2].empty() ||
+                    parts[2].find('-') != std::string::npos)
+                    throw std::invalid_argument(parts[2]);
+                std::size_t consumed = 0;
+                site.seed = std::stoull(parts[2], &consumed);
+                if (consumed != parts[2].size())
+                    throw std::invalid_argument(parts[2]);
+            } catch (const std::exception &) {
+                throw std::runtime_error(
+                    "faults: bad seed '" + parts[2] + "' in '" + entry +
+                    "'");
+            }
+        }
+        sites.push_back(std::move(site));
+    }
+    return sites;
+}
+
+void
+FaultInjector::arm(const std::string &site, double rate,
+                   std::uint64_t seed)
+{
+    if (site.empty())
+        throw std::runtime_error("faults: empty site name");
+    if (!(rate >= 0.0 && rate <= 1.0))
+        throw std::runtime_error("faults: rate must be in [0, 1]");
+    std::lock_guard<std::mutex> lock(mutex_);
+    SiteState state;
+    state.rate = rate;
+    state.seed = seed;
+    sites_[site] = state;
+    armed_.store(true, std::memory_order_release);
+}
+
+void
+FaultInjector::armSpec(const std::string &spec)
+{
+    for (const FaultSite &site : parseSpec(spec))
+        arm(site.site, site.rate, site.seed);
+}
+
+void
+FaultInjector::disarm()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_.clear();
+    armed_.store(false, std::memory_order_release);
+}
+
+void
+FaultInjector::disarm(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_.erase(site);
+    armed_.store(!sites_.empty(), std::memory_order_release);
+}
+
+bool
+FaultInjector::shouldFail(const char *site)
+{
+    if (!armed())
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    if (it == sites_.end())
+        return false;
+    SiteState &state = it->second;
+    // The decision is a pure function of (seed, check ordinal): check
+    // sequences replay identically run-to-run, which is what makes
+    // "the same batches fail" a testable property.
+    std::uint64_t draw = splitmix64(state.seed + state.checks);
+    ++state.checks;
+    bool fire = unitDouble(draw) < state.rate;
+    if (fire)
+        ++state.fired;
+    return fire;
+}
+
+std::uint64_t
+FaultInjector::fired(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    return it != sites_.end() ? it->second.fired : 0;
+}
+
+std::uint64_t
+FaultInjector::checked(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    return it != sites_.end() ? it->second.checks : 0;
+}
+
+std::vector<FaultSite>
+FaultInjector::sites() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<FaultSite> out;
+    out.reserve(sites_.size());
+    for (const auto &[name, state] : sites_) {
+        FaultSite site;
+        site.site = name;
+        site.rate = state.rate;
+        site.seed = state.seed;
+        out.push_back(std::move(site));
+    }
+    return out;
+}
+
+}  // namespace homunculus::runtime::faults

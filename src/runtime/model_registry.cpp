@@ -4,6 +4,7 @@
 
 #include "common/string_util.hpp"
 #include "ir/serialize.hpp"
+#include "runtime/fault_injector.hpp"
 
 namespace homunculus::runtime {
 
@@ -57,6 +58,9 @@ ModelRegistry::loadFile(const std::string &name, const std::string &path,
                         bool activate_if_first,
                         const std::optional<EngineOptions> &engine_options)
 {
+    // The artifact-read fault site models a torn/unreadable file: it
+    // throws before any parse work, like a disk error would.
+    faults::FaultInjector::global().maybe(faults::kSiteArtifactRead);
     return load(name, ir::loadModel(path), activate_if_first,
                 engine_options);
 }

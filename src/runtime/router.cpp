@@ -17,6 +17,17 @@ constexpr std::size_t kNoModel = std::numeric_limits<std::size_t>::max();
 
 }  // namespace
 
+const char *
+breakerStateName(BreakerState state)
+{
+    switch (state) {
+      case BreakerState::kClosed: return "closed";
+      case BreakerState::kOpen: return "open";
+      case BreakerState::kHalfOpen: return "half-open";
+    }
+    return "closed";
+}
+
 Router::Router(std::shared_ptr<ModelRegistry> registry, RouteConfig config)
     : registry_(std::move(registry)), config_(std::move(config))
 {
@@ -48,6 +59,11 @@ Router::Router(std::shared_ptr<ModelRegistry> registry, RouteConfig config)
     for (const ChainRule &rule : config_.chain) {
         intern(rule.fromModel);
         intern(rule.toModel);
+    }
+    for (const FallbackRule &rule : config_.fallbacks) {
+        intern(rule.model);
+        if (!rule.toModel.empty())
+            intern(rule.toModel);
     }
 
     // All routed models consume the same admitted row, so their input
@@ -87,6 +103,42 @@ Router::Router(std::shared_ptr<ModelRegistry> registry, RouteConfig config)
                 rule.fromModel.c_str(), rule.label));
         nextModel_[from][slot] = to;
     }
+
+    // Fallback rules: exactly one destination each (a model or a static
+    // verdict in the broken model's class space), at most one per
+    // model, no self-loops.
+    fallbackModel_.assign(models_.size(), kNoModel);
+    fallbackLabel_.assign(models_.size(), -1);
+    for (const FallbackRule &rule : config_.fallbacks) {
+        std::size_t from = indexOf(rule.model);
+        bool has_model = !rule.toModel.empty();
+        bool has_label = rule.label >= 0;
+        if (has_model == has_label)
+            throw std::runtime_error(common::format(
+                "Router: fallback for '%s' must name a model or a "
+                "label, not %s",
+                rule.model.c_str(), has_model ? "both" : "neither"));
+        if (fallbackModel_[from] != kNoModel || fallbackLabel_[from] >= 0)
+            throw std::runtime_error(common::format(
+                "Router: duplicate fallback rule for '%s'",
+                rule.model.c_str()));
+        if (has_model) {
+            std::size_t to = indexOf(rule.toModel);
+            if (to == from)
+                throw std::runtime_error(common::format(
+                    "Router: fallback for '%s' routes to itself",
+                    rule.model.c_str()));
+            fallbackModel_[from] = to;
+        } else {
+            if (rule.label >= classes[from])
+                throw std::runtime_error(common::format(
+                    "Router: fallback label %d is outside '%s' "
+                    "%d-class output space",
+                    rule.label, rule.model.c_str(), classes[from]));
+            fallbackLabel_[from] = rule.label;
+        }
+    }
+    breakers_.resize(models_.size());
 }
 
 std::size_t
@@ -113,15 +165,83 @@ Router::snapshot() const
     return snap;
 }
 
+bool
+Router::breakerAllows(std::size_t model) const
+{
+    std::lock_guard<std::mutex> lock(breakerMutex_);
+    Breaker &breaker = breakers_[model];
+    switch (breaker.state) {
+      case BreakerState::kClosed:
+      case BreakerState::kHalfOpen:
+        return true;
+      case BreakerState::kOpen: {
+        auto cooled = breaker.openedAt +
+                      std::chrono::microseconds(config_.breakerCooldownUs);
+        if (Clock::now() < cooled)
+            return false;
+        // Cooldown elapsed: half-open and let this group through as
+        // the probe. Its outcome (recordSuccess / recordFailure)
+        // decides whether the breaker closes or reopens.
+        breaker.state = BreakerState::kHalfOpen;
+        ++breaker.probes;
+        return true;
+      }
+    }
+    return true;
+}
+
 void
+Router::recordFailure(std::size_t model) const
+{
+    std::lock_guard<std::mutex> lock(breakerMutex_);
+    Breaker &breaker = breakers_[model];
+    ++breaker.failures;
+    ++breaker.consecutive;
+    bool reopen = breaker.state == BreakerState::kHalfOpen;
+    bool trip = breaker.state == BreakerState::kClosed &&
+                breaker.consecutive >= config_.breakerThreshold;
+    if (reopen || trip) {
+        breaker.state = BreakerState::kOpen;
+        breaker.openedAt = Clock::now();
+        ++breaker.opens;
+    }
+}
+
+void
+Router::recordSuccess(std::size_t model) const
+{
+    std::lock_guard<std::mutex> lock(breakerMutex_);
+    Breaker &breaker = breakers_[model];
+    breaker.consecutive = 0;
+    if (breaker.state == BreakerState::kHalfOpen)
+        breaker.state = BreakerState::kClosed;
+}
+
+BreakerSnapshot
+Router::breaker(std::size_t model) const
+{
+    std::lock_guard<std::mutex> lock(breakerMutex_);
+    const Breaker &breaker = breakers_.at(model);
+    BreakerSnapshot snap;
+    snap.state = breaker.state;
+    snap.opens = breaker.opens;
+    snap.failures = breaker.failures;
+    snap.consecutiveFailures = breaker.consecutive;
+    snap.probes = breaker.probes;
+    snap.fallbackRows = breaker.fallbackRows;
+    return snap;
+}
+
+RouteBatchOutcome
 Router::runBatch(const Snapshot &snapshot, std::size_t lane,
-                 const std::vector<Request> &requests,
+                 const Request *requests, std::size_t rows,
                  std::vector<int> &final_labels,
                  std::vector<RouteTrace> *traces,
                  std::vector<RouteStepStats> &steps,
-                 Scratch &scratch) const
+                 Scratch &scratch,
+                 faults::FaultInjector *injector) const
 {
-    const std::size_t rows = requests.size();
+    RouteBatchOutcome outcome;
     final_labels.assign(rows, 0);
     steps.clear();
     if (traces) {
@@ -130,7 +250,7 @@ Router::runBatch(const Snapshot &snapshot, std::size_t lane,
             trace.hops.clear();
     }
     if (rows == 0)
-        return;
+        return outcome;
 
     if (scratch.input.cols() != inputDim_)
         scratch.input = math::Matrix(rows, inputDim_);
@@ -150,6 +270,59 @@ Router::runBatch(const Snapshot &snapshot, std::size_t lane,
 
     for (std::size_t depth = 0; depth < config_.maxChainDepth; ++depth) {
         bool any = false;
+        // Breaker gate, before any execution this round: a group bound
+        // for an open breaker follows the fallback chain — merging into
+        // another model's group (executed below, same round) or
+        // resolving to the static verdict. Gating the whole round first
+        // keeps redirects independent of model iteration order.
+        if (config_.breakerThreshold != 0) {
+            for (std::size_t m = 0; m < models_.size(); ++m) {
+                std::vector<std::size_t> &group = scratch.current[m];
+                if (group.empty())
+                    continue;
+                std::size_t target = m;
+                int static_label = -1;
+                // Bounded walk: each step moves to a distinct model, so
+                // models_.size() steps either find a runnable target or
+                // prove every fallback on the path is open too.
+                std::size_t steps_taken = 0;
+                while (!breakerAllows(target)) {
+                    {
+                        std::lock_guard<std::mutex> lock(breakerMutex_);
+                        breakers_[target].fallbackRows += group.size();
+                    }
+                    if (fallbackLabel_[target] >= 0) {
+                        static_label = fallbackLabel_[target];
+                        break;
+                    }
+                    if (fallbackModel_[target] == kNoModel ||
+                        ++steps_taken > models_.size())
+                        throw std::runtime_error(common::format(
+                            "router: model '%s' circuit breaker is "
+                            "open and no fallback is available",
+                            models_[target].c_str()));
+                    target = fallbackModel_[target];
+                }
+                if (static_label >= 0) {
+                    // The broken model's static verdict: the row is
+                    // final — no chain rule fires off a fallback label.
+                    for (std::size_t r : group) {
+                        final_labels[r] = static_label;
+                        if (traces)
+                            (*traces)[r].hops.push_back(
+                                {models_[target], 0, static_label});
+                    }
+                    outcome.fallbackRows += group.size();
+                    group.clear();
+                } else if (target != m) {
+                    outcome.fallbackRows += group.size();
+                    scratch.current[target].insert(
+                        scratch.current[target].end(), group.begin(),
+                        group.end());
+                    group.clear();
+                }
+            }
+        }
         // One round: each model with pending rows runs them as one
         // engine batch against its *snapshot* epoch.
         for (std::size_t m = 0; m < models_.size(); ++m) {
@@ -182,7 +355,24 @@ Router::runBatch(const Snapshot &snapshot, std::size_t lane,
             scratch.labels.resize(group.size());
 
             auto started = Clock::now();
-            epoch.engine.run(scratch.input, scratch.labels.data());
+            try {
+                if (injector && injector->armed()) {
+                    injector->maybe(faults::kSiteRouterHop);
+                    injector->maybe(
+                        (std::string(faults::kSiteRouterHop) + "." +
+                         models_[m])
+                            .c_str());
+                }
+                epoch.engine.run(scratch.input, scratch.labels.data());
+            } catch (...) {
+                // The batch is the caller's to fail or retry; the
+                // breaker just learns this model is misbehaving.
+                if (config_.breakerThreshold != 0)
+                    recordFailure(m);
+                throw;
+            }
+            if (config_.breakerThreshold != 0)
+                recordSuccess(m);
             auto finished = Clock::now();
 
             RouteStepStats step;
@@ -210,8 +400,19 @@ Router::runBatch(const Snapshot &snapshot, std::size_t lane,
                         ? nextModel_[m][static_cast<std::size_t>(label)]
                         : kNoModel;
                 if (successor != kNoModel &&
-                    depth + 1 < config_.maxChainDepth)
-                    scratch.next[successor].push_back(r);
+                    depth + 1 < config_.maxChainDepth) {
+                    // Deadline gate: a row over its admission budget
+                    // keeps this hop's label instead of starting a hop
+                    // it can't afford.
+                    if (config_.deadlineUs != 0 &&
+                        finished >=
+                            requests[r].enqueuedAt +
+                                std::chrono::microseconds(
+                                    config_.deadlineUs))
+                        ++outcome.deadlineTruncated;
+                    else
+                        scratch.next[successor].push_back(r);
+                }
             }
         }
         if (!any)
@@ -220,6 +421,7 @@ Router::runBatch(const Snapshot &snapshot, std::size_t lane,
         for (std::vector<std::size_t> &group : scratch.next)
             group.clear();
     }
+    return outcome;
 }
 
 }  // namespace homunculus::runtime

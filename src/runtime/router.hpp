@@ -35,15 +35,38 @@
  * All routed models must consume the same feature schema (equal input
  * width) — chaining re-reads the admitted row, it does not transform
  * features between hops.
+ *
+ * Fault tolerance (opt-in, zero-cost when unconfigured):
+ *
+ *   - Per-model circuit breakers: when breakerThreshold consecutive
+ *     executions of a model throw, its breaker opens and the model is
+ *     taken out of rotation. After breakerCooldownUs the breaker
+ *     half-opens — the next group routed to the model runs as a probe
+ *     batch; success closes the breaker, failure reopens it for another
+ *     cooldown. While open, groups follow the model's FallbackRule: to
+ *     a fallback model (rows merge into its group for the round) or to
+ *     a static verdict label (rows resolve immediately). An open
+ *     breaker with no fallback fails the batch — the Server supervisor
+ *     turns that into per-request failures.
+ *
+ *   - Request deadlines: with deadlineUs set, a row whose admission age
+ *     exceeds the budget does not start another chain hop — it keeps
+ *     the label of the hop it already completed, counted in
+ *     RouteBatchOutcome::deadlineTruncated. The entry hop always runs
+ *     (an admitted request is owed a verdict); only escalations are
+ *     truncated.
  */
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "math/matrix.hpp"
+#include "runtime/fault_injector.hpp"
 #include "runtime/model_registry.hpp"
 #include "runtime/request_queue.hpp"
 
@@ -56,6 +79,18 @@ struct ChainRule
     std::string fromModel;
     int label = 0;
     std::string toModel;
+};
+
+/**
+ * Where rows routed to @p model go while its circuit breaker is open:
+ * exactly one of @p toModel (another routed model) or @p label (a
+ * static verdict in the broken model's class space) must be set.
+ */
+struct FallbackRule
+{
+    std::string model;
+    std::string toModel;  ///< fallback model; empty when label is used.
+    int label = -1;       ///< static verdict; -1 when toModel is used.
 };
 
 /** Declarative routing spec (validated by the Router constructor). */
@@ -71,6 +106,18 @@ struct RouteConfig
     /** Most model executions any one row may consume (>= 1); bounds
      *  chain length and rule cycles alike. */
     std::size_t maxChainDepth = 4;
+    /** Consecutive execution failures that open a model's circuit
+     *  breaker; 0 disables the breakers entirely. */
+    std::size_t breakerThreshold = 0;
+    /** How long an open breaker rejects traffic before half-opening
+     *  for a probe batch. */
+    std::uint64_t breakerCooldownUs = 100'000;
+    /** Per-model open-breaker fallbacks; at most one per model. */
+    std::vector<FallbackRule> fallbacks;
+    /** Per-request chain budget in us from admission; 0 = unbounded.
+     *  Rows over budget keep their current hop's label instead of
+     *  starting another hop. */
+    std::uint64_t deadlineUs = 0;
 };
 
 /** One model execution a request went through. */
@@ -96,6 +143,38 @@ struct RouteStepStats
     std::size_t rows = 0;
     double engineUs = 0.0;
 };
+
+/** What one runBatch() resolved outside the normal hop path. */
+struct RouteBatchOutcome
+{
+    /** Rows that kept a completed hop's label because the next hop
+     *  exceeded their deadline budget. */
+    std::size_t deadlineTruncated = 0;
+    /** Rows resolved through an open breaker's fallback (redirected to
+     *  the fallback model or given its static verdict). */
+    std::size_t fallbackRows = 0;
+};
+
+/** Circuit-breaker lifecycle (see RouteConfig::breakerThreshold). */
+enum class BreakerState
+{
+    kClosed,    ///< normal service.
+    kOpen,      ///< rejecting traffic until the cooldown elapses.
+    kHalfOpen,  ///< cooldown elapsed; next group runs as a probe.
+};
+
+/** Point-in-time view of one model's breaker. */
+struct BreakerSnapshot
+{
+    BreakerState state = BreakerState::kClosed;
+    std::uint64_t opens = 0;        ///< closed/half-open -> open flips.
+    std::uint64_t failures = 0;     ///< execution failures recorded.
+    std::uint64_t consecutiveFailures = 0;
+    std::uint64_t probes = 0;       ///< half-open probe batches granted.
+    std::uint64_t fallbackRows = 0; ///< rows routed around this model.
+};
+
+const char *breakerStateName(BreakerState state);
 
 class Router
 {
@@ -132,18 +211,32 @@ class Router
     };
 
     /**
-     * Execute the schedule-DAG for one batch admitted on @p lane
-     * against @p snapshot. Writes one final label per request into
-     * @p final_labels (row order preserved), appends one RouteStepStats
-     * per model execution to @p steps (cleared first), and — when
-     * @p traces is non-null — records every hop per request.
+     * Execute the schedule-DAG for the @p rows requests at @p requests
+     * admitted on @p lane against @p snapshot. Writes one final label
+     * per request into @p final_labels (row order preserved), appends
+     * one RouteStepStats per model execution to @p steps (cleared
+     * first), and — when @p traces is non-null — records every hop per
+     * request. @p injector, when non-null, is consulted at
+     * "router.hop" (and "router.hop.<model>") before every model
+     * execution.
+     *
+     * Failure semantics: a throwing model execution records a breaker
+     * failure for that model and rethrows — the caller owns the batch
+     * outcome (the Server supervisor bisects or fails it). The scratch
+     * and output buffers are reset on entry, so a failed call may
+     * simply be retried.
      */
-    void runBatch(const Snapshot &snapshot, std::size_t lane,
-                  const std::vector<Request> &requests,
-                  std::vector<int> &final_labels,
-                  std::vector<RouteTrace> *traces,
-                  std::vector<RouteStepStats> &steps,
-                  Scratch &scratch) const;
+    RouteBatchOutcome runBatch(const Snapshot &snapshot, std::size_t lane,
+                               const Request *requests, std::size_t rows,
+                               std::vector<int> &final_labels,
+                               std::vector<RouteTrace> *traces,
+                               std::vector<RouteStepStats> &steps,
+                               Scratch &scratch,
+                               faults::FaultInjector *injector =
+                                   nullptr) const;
+
+    /** This model's breaker right now (index into models()). */
+    BreakerSnapshot breaker(std::size_t model) const;
 
     /** The shared feature width every routed model consumes. */
     std::size_t inputDim() const { return inputDim_; }
@@ -162,7 +255,25 @@ class Router
     }
 
   private:
+    /** Mutable breaker state, guarded by breakerMutex_ (runBatch is
+     *  const; the breakers are bookkeeping, not routing config). */
+    struct Breaker
+    {
+        BreakerState state = BreakerState::kClosed;
+        std::size_t consecutive = 0;
+        std::chrono::steady_clock::time_point openedAt;
+        std::uint64_t opens = 0;
+        std::uint64_t failures = 0;
+        std::uint64_t probes = 0;
+        std::uint64_t fallbackRows = 0;
+    };
+
     std::size_t indexOf(const std::string &model) const;
+    /** May this model execute a group now? Grants the half-open probe
+     *  when the cooldown has elapsed. */
+    bool breakerAllows(std::size_t model) const;
+    void recordFailure(std::size_t model) const;
+    void recordSuccess(std::size_t model) const;
 
     std::shared_ptr<ModelRegistry> registry_;
     RouteConfig config_;
@@ -171,7 +282,13 @@ class Router
     std::size_t defaultModel_ = 0;          ///< model index.
     /** nextModel_[m][label] = successor model index, or npos. */
     std::vector<std::vector<std::size_t>> nextModel_;
+    /** Per-model open-breaker redirects (npos / -1 when unset). */
+    std::vector<std::size_t> fallbackModel_;
+    std::vector<int> fallbackLabel_;
     std::size_t inputDim_ = 0;
+
+    mutable std::mutex breakerMutex_;
+    mutable std::vector<Breaker> breakers_;
 };
 
 }  // namespace homunculus::runtime

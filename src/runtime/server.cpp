@@ -1,6 +1,7 @@
 #include "runtime/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/string_util.hpp"
@@ -30,20 +31,34 @@ submitStatusFor(Admission admission)
     return SubmitStatus::kShed;
 }
 
+}  // namespace
+
 QueueConfig
-queueConfigFor(const ServerConfig &config)
+Server::makeQueueConfig()
 {
     QueueConfig queue;
-    queue.lanes.push_back(config.queue);
-    queue.lanes.insert(queue.lanes.end(), config.extraLanes.begin(),
-                       config.extraLanes.end());
-    queue.backpressure = config.backpressure;
-    queue.blockTimeoutUs = config.blockTimeoutUs;
-    queue.onDrop = config.onDrop;
+    queue.lanes.push_back(config_.queue);
+    queue.lanes.insert(queue.lanes.end(), config_.extraLanes.begin(),
+                       config_.extraLanes.end());
+    queue.backpressure = config_.backpressure;
+    queue.blockTimeoutUs = config_.blockTimeoutUs;
+    if (config_.onDrop) {
+        // Guard the user's drop sink like every other callback: it runs
+        // on the batcher thread inside pop(), where a throw used to be
+        // thread death.
+        DropFn user = config_.onDrop;
+        queue.onDrop = [this, user](std::uint64_t ticket,
+                                    std::size_t lane,
+                                    std::uint64_t waited_us) {
+            try {
+                user(ticket, lane, waited_us);
+            } catch (...) {
+                callbackErrors_.fetch_add(1);
+            }
+        };
+    }
     return queue;
 }
-
-}  // namespace
 
 void
 Server::LatencyReservoir::add(double value, common::Rng &rng)
@@ -67,7 +82,9 @@ Server::Server(InferenceEngine engine, ServerConfig config,
                std::optional<ml::StandardScaler> scaler)
     : engine_(std::move(engine)), config_(std::move(config)),
       onVerdict_(std::move(on_verdict)), scaler_(std::move(scaler)),
-      queue_(queueConfigFor(config_)), startedAt_(Clock::now())
+      injector_(config_.injector ? config_.injector
+                                 : &faults::FaultInjector::global()),
+      queue_(makeQueueConfig()), startedAt_(Clock::now())
 {
     inputDim_ = engine_->plan().inputDim();
     if (scaler_ && !scaler_->fitted())
@@ -84,7 +101,9 @@ Server::Server(std::shared_ptr<ModelRegistry> registry, RouteConfig route,
                RouteTraceFn on_trace)
     : registry_(std::move(registry)), config_(std::move(config)),
       onVerdict_(std::move(on_verdict)), onTrace_(std::move(on_trace)),
-      queue_(queueConfigFor(config_)), startedAt_(Clock::now())
+      injector_(config_.injector ? config_.injector
+                                 : &faults::FaultInjector::global()),
+      queue_(makeQueueConfig()), startedAt_(Clock::now())
 {
     // The Router constructor validates the spec (models loaded, shared
     // input width, rule labels in range) before any thread starts.
@@ -150,20 +169,24 @@ Server::submitFrame(const std::vector<std::uint8_t> &frame,
 }
 
 void
-Server::servedBatchStats(const RequestBatch &batch,
-                         Clock::time_point finished, double batch_us,
-                         const std::vector<RouteStepStats> *steps)
+Server::servedSliceStats(const RequestBatch &batch, std::size_t begin,
+                         std::size_t end, Clock::time_point finished,
+                         double batch_us,
+                         const std::vector<RouteStepStats> *steps,
+                         const RouteBatchOutcome &outcome)
 {
     std::lock_guard<std::mutex> lock(statsMutex_);
     LaneTally &tally = laneTallies_[batch.lane];
     ++batches_;
     ++tally.batches;
-    rowsServed_ += batch.requests.size();
-    tally.rowsServed += batch.requests.size();
+    rowsServed_ += end - begin;
+    tally.rowsServed += end - begin;
+    deadlineTruncated_ += outcome.deadlineTruncated;
+    fallbackRows_ += outcome.fallbackRows;
     batchLatenciesUs_.add(batch_us, reservoirRng_);
-    for (const Request &request : batch.requests) {
+    for (std::size_t r = begin; r < end; ++r) {
         double wait_us = std::chrono::duration<double, std::micro>(
-                             finished - request.enqueuedAt)
+                             finished - batch.requests[r].enqueuedAt)
                              .count();
         requestLatenciesUs_.add(wait_us, reservoirRng_);
         tally.requestLatenciesUs.add(wait_us, reservoirRng_);
@@ -179,62 +202,144 @@ Server::servedBatchStats(const RequestBatch &batch,
 }
 
 void
+Server::failSlice(const RequestBatch &batch, std::size_t begin,
+                  std::size_t end, const std::string &error)
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++failedBatches_;
+        failedRows_ += end - begin;
+        laneTallies_[batch.lane].rowsFailed += end - begin;
+    }
+    if (!config_.onFailure)
+        return;
+    for (std::size_t r = begin; r < end; ++r) {
+        try {
+            config_.onFailure(batch.requests[r].id, batch.lane, error);
+        } catch (...) {
+            callbackErrors_.fetch_add(1);
+        }
+    }
+}
+
+void
+Server::runSlice(RequestBatch &batch, std::size_t begin,
+                 std::size_t end, std::size_t depth,
+                 ServeBuffers &buffers)
+{
+    if (begin >= end)
+        return;
+    std::vector<Request> &requests = batch.requests;
+    const std::size_t rows = end - begin;
+    const std::size_t dim = inputDim_;
+    RouteBatchOutcome outcome;
+
+    auto started = Clock::now();
+    try {
+        // The queue handoff site fires once per popped batch, before
+        // any work — a "flush lost" fault, retryable like the rest.
+        if (depth == 0)
+            injector_->maybe(faults::kSiteQueueFlush);
+        // A non-finite feature is a poison row: the quantizer's
+        // behavior on NaN/Inf is undefined across kernels, so the
+        // whole slice throws here and the bisect-retry narrows the
+        // blast radius down to the poison rows themselves.
+        for (std::size_t r = begin; r < end; ++r)
+            for (std::size_t c = 0; c < dim; ++c)
+                if (!std::isfinite(requests[r].features[c]))
+                    throw std::runtime_error(
+                        "serve: non-finite feature in admitted row");
+        if (router_) {
+            // Pin the active epoch of every routed model *once*: the
+            // whole slice — every chained hop included — executes
+            // against this snapshot, so a concurrent swap() only moves
+            // the next batch (a bisect-retried half re-pins, like any
+            // new batch).
+            Router::Snapshot snapshot = router_->snapshot();
+            outcome = router_->runBatch(
+                snapshot, batch.lane, requests.data() + begin, rows,
+                buffers.labels, onTrace_ ? &buffers.traces : nullptr,
+                buffers.steps, buffers.scratch, injector_);
+        } else {
+            buffers.features.resizeRows(rows);
+            for (std::size_t r = 0; r < rows; ++r) {
+                double *row = buffers.features.rowPtr(r);
+                for (std::size_t c = 0; c < dim; ++c)
+                    row[c] = requests[begin + r].features[c];
+            }
+            injector_->maybe(faults::kSiteEngineRun);
+            buffers.labels.resize(rows);
+            engine_->run(buffers.features, buffers.labels.data());
+        }
+    } catch (const std::exception &e) {
+        if (rows > 1 && depth < config_.retryDepth) {
+            // Bisect-retry: split the slice and run the halves
+            // independently. Poison rows re-fail down to singletons;
+            // their healthy batchmates get served.
+            {
+                std::lock_guard<std::mutex> lock(statsMutex_);
+                ++retriedBatches_;
+            }
+            std::size_t mid = begin + rows / 2;
+            runSlice(batch, begin, mid, depth + 1, buffers);
+            runSlice(batch, mid, end, depth + 1, buffers);
+        } else {
+            failSlice(batch, begin, end, e.what());
+        }
+        return;
+    }
+    auto finished = Clock::now();
+    double batch_us =
+        std::chrono::duration<double, std::micro>(finished - started)
+            .count();
+
+    servedSliceStats(batch, begin, end, finished, batch_us,
+                     router_ ? &buffers.steps : nullptr, outcome);
+    // Callback delivery: each invocation individually guarded, so one
+    // throwing callback costs its own notification, never the
+    // batcher thread or the rest of the batch.
+    if (onVerdict_) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            try {
+                injector_->maybe(faults::kSiteCallbackDispatch);
+                onVerdict_(requests[begin + r], buffers.labels[r]);
+            } catch (...) {
+                callbackErrors_.fetch_add(1);
+            }
+        }
+    }
+    if (onTrace_) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            try {
+                injector_->maybe(faults::kSiteCallbackDispatch);
+                onTrace_(requests[begin + r], buffers.traces[r]);
+            } catch (...) {
+                callbackErrors_.fetch_add(1);
+            }
+        }
+    }
+}
+
+void
 Server::serveLoop()
 {
-    const std::size_t dim = inputDim_;
-    // One buffer sized for the largest lane's batch; deadline flushes
-    // release continuously varying batch sizes, and resizeRows keeps
-    // the capacity, so the hot loop never reallocates after the first
-    // full batch. (The routed path keeps its own equivalent buffers in
-    // the router Scratch.)
+    // One buffer set sized for the largest lane's batch; deadline
+    // flushes release continuously varying batch sizes, and resizeRows
+    // keeps the capacity, so the hot loop never reallocates after the
+    // first full batch. (The routed path keeps its own equivalent
+    // buffers in the router Scratch.)
     std::size_t max_batch = 1;
     for (std::size_t lane = 0; lane < queue_.lanes(); ++lane)
         max_batch = std::max(max_batch, queue_.policy(lane).maxBatch);
-    math::Matrix features(max_batch, dim);
-    std::vector<int> labels;
-    labels.reserve(max_batch);
-    Router::Scratch scratch;
-    std::vector<RouteTrace> traces;
-    std::vector<RouteStepStats> steps;
+    ServeBuffers buffers;
+    buffers.features = math::Matrix(max_batch, inputDim_);
+    buffers.labels.reserve(max_batch);
 
-    while (std::optional<RequestBatch> batch = queue_.pop()) {
-        std::vector<Request> &requests = batch->requests;
-        const std::size_t rows = requests.size();
-
-        auto started = Clock::now();
-        if (router_) {
-            // Pin the active epoch of every routed model *once*: the
-            // whole batch — every chained hop included — executes
-            // against this snapshot, so a concurrent swap() only moves
-            // the next batch.
-            Router::Snapshot snapshot = router_->snapshot();
-            router_->runBatch(snapshot, batch->lane, requests, labels,
-                              onTrace_ ? &traces : nullptr, steps,
-                              scratch);
-        } else {
-            features.resizeRows(rows);
-            for (std::size_t r = 0; r < rows; ++r) {
-                double *row = features.rowPtr(r);
-                for (std::size_t c = 0; c < dim; ++c)
-                    row[c] = requests[r].features[c];
-            }
-            labels.resize(rows);
-            engine_->run(features, labels.data());
-        }
-        auto finished = Clock::now();
-        double batch_us =
-            std::chrono::duration<double, std::micro>(finished - started)
-                .count();
-
-        servedBatchStats(*batch, finished, batch_us,
-                         router_ ? &steps : nullptr);
-        if (onVerdict_)
-            for (std::size_t r = 0; r < rows; ++r)
-                onVerdict_(requests[r], labels[r]);
-        if (onTrace_)
-            for (std::size_t r = 0; r < rows; ++r)
-                onTrace_(requests[r], traces[r]);
-    }
+    // The supervisor: every popped batch executes inside runSlice's
+    // try/catch, so nothing a batch does — engine throw, router throw,
+    // poison row, injected fault — can take the batcher thread down.
+    while (std::optional<RequestBatch> batch = queue_.pop())
+        runSlice(*batch, 0, batch->requests.size(), 0, buffers);
 }
 
 ServerStats
@@ -252,12 +357,19 @@ Server::stop()
     stats.queue = queue_.counters();
     stats.malformedFrames =
         static_cast<std::size_t>(malformed_.load());
+    stats.callbackErrors =
+        static_cast<std::size_t>(callbackErrors_.load());
     stats.wallSeconds =
         std::chrono::duration<double>(Clock::now() - startedAt_).count();
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
         stats.rowsServed = rowsServed_;
         stats.batches = batches_;
+        stats.failedBatches = failedBatches_;
+        stats.failedRows = failedRows_;
+        stats.retriedBatches = retriedBatches_;
+        stats.deadlineTruncated = deadlineTruncated_;
+        stats.fallbackRows = fallbackRows_;
         stats.meanBatchRows =
             batches_ > 0 ? static_cast<double>(rowsServed_) /
                                static_cast<double>(batches_)
@@ -282,6 +394,7 @@ Server::stop()
             const LaneTally &tally = laneTallies_[lane];
             out.queue = queue_.counters(lane);
             out.rowsServed = tally.rowsServed;
+            out.rowsFailed = tally.rowsFailed;
             out.batches = tally.batches;
             if (tally.rowsServed > 0) {
                 out.p50RequestLatencyUs = math::percentileNearestRank(
@@ -306,6 +419,10 @@ Server::stop()
                     out.p99StepLatencyUs = math::percentileNearestRank(
                         tally.stepLatenciesUs.samples, 0.99);
                 }
+                BreakerSnapshot breaker = router_->breaker(m);
+                out.breakerState = breakerStateName(breaker.state);
+                out.breakerOpens = breaker.opens;
+                out.breakerFallbackRows = breaker.fallbackRows;
             }
         }
     }

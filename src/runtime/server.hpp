@@ -30,6 +30,17 @@
  * batches included), joins the batcher, and returns the run's
  * statistics — aggregate and per lane; the destructor stops
  * implicitly.
+ *
+ * Fault tolerance: the batcher thread is supervised. A throw anywhere
+ * in batch execution (engine, router hop, fault injection, a poison
+ * row) is caught per batch and — after an optional bisect-retry that
+ * splits the batch in half up to retryDepth times to isolate the
+ * poison rows — converted into per-request failure notifications
+ * (ServerConfig::onFailure) and failedBatches/failedRows counters.
+ * User callbacks (onVerdict/onTrace/onDrop/onFailure) are individually
+ * guarded: a throwing callback is counted in callbackErrors and never
+ * kills the batcher or loses later verdicts. Every admitted request
+ * therefore resolves as exactly one of {verdict, failure, drop}.
  */
 #pragma once
 
@@ -44,12 +55,19 @@
 #include "common/rng.hpp"
 #include "ml/preprocess.hpp"
 #include "net/feature_extract.hpp"
+#include "runtime/fault_injector.hpp"
 #include "runtime/inference_engine.hpp"
 #include "runtime/model_registry.hpp"
 #include "runtime/request_queue.hpp"
 #include "runtime/router.hpp"
 
 namespace homunculus::runtime {
+
+/** Per-request failure sink: the batch carrying this request threw
+ *  terminally (past any bisect-retry budget). Runs on the batcher
+ *  thread; a throwing sink is counted, not fatal. */
+using FailureFn = std::function<void(
+    std::uint64_t ticket, std::size_t lane, const std::string &error)>;
 
 /** Serving knobs. */
 struct ServerConfig
@@ -67,6 +85,17 @@ struct ServerConfig
      *  after the fact. Runs on the batcher thread, lock-free w.r.t.
      *  the queue — see runtime::DropFn. */
     DropFn onDrop;
+    /** Optional per-request failure sink (see FailureFn). */
+    FailureFn onFailure;
+    /** Bisect-retry budget for a failed batch: how many times it may
+     *  be split in half before its rows fail. 0 fails the whole batch
+     *  on first throw; log2(maxBatch) isolates single poison rows. */
+    std::size_t retryDepth = 0;
+    /** Fault injector consulted at the serving sites ("engine.run",
+     *  "queue.flush", "router.hop", "callback.dispatch"). nullptr uses
+     *  the process-global injector (HOMUNCULUS_FAULTS) — which is
+     *  disarmed, and free, unless the operator armed it. */
+    faults::FaultInjector *injector = nullptr;
 };
 
 /** How a submit was disposed of. */
@@ -99,6 +128,7 @@ struct LaneStats
 {
     QueueCounters queue;             ///< this lane's admission/flushes.
     std::size_t rowsServed = 0;      ///< verdicts delivered from it.
+    std::size_t rowsFailed = 0;      ///< failure notifications from it.
     std::size_t batches = 0;
     double p50RequestLatencyUs = 0.0;  ///< admission -> verdict.
     double p99RequestLatencyUs = 0.0;
@@ -115,6 +145,11 @@ struct ModelStats
     std::size_t batches = 0;          ///< model executions (DAG steps).
     double p50StepLatencyUs = 0.0;    ///< engine time per execution.
     double p99StepLatencyUs = 0.0;
+    /** Circuit-breaker slice at stop() time (all-zero / "closed" when
+     *  breakers are disabled). */
+    std::string breakerState = "closed";
+    std::uint64_t breakerOpens = 0;
+    std::uint64_t breakerFallbackRows = 0;
 };
 
 /** Everything one serving run produced (valid after stop()). */
@@ -136,6 +171,17 @@ struct ServerStats
     double p50RequestLatencyUs = 0.0;  ///< admission -> verdict.
     double p99RequestLatencyUs = 0.0;
     double wallSeconds = 0.0;          ///< construction -> stop().
+    /**
+     * Fault-tolerance counters. An admitted request resolves exactly
+     * once: rowsServed + failedRows + queue.earlyDropped ==
+     * queue.accepted after stop().
+     */
+    std::size_t failedBatches = 0;   ///< terminal batch-slice failures.
+    std::size_t failedRows = 0;      ///< requests failed (not served).
+    std::size_t retriedBatches = 0;  ///< bisect splits performed.
+    std::size_t callbackErrors = 0;  ///< throwing user callbacks caught.
+    std::size_t deadlineTruncated = 0;  ///< chain hops skipped (routed).
+    std::size_t fallbackRows = 0;    ///< breaker-fallback rows (routed).
     std::vector<LaneStats> lanes;      ///< one entry per lane.
     std::vector<ModelStats> models;    ///< routed servers only.
 };
@@ -239,13 +285,41 @@ class Server
     const ServerConfig &config() const { return config_; }
 
   private:
+    /** The batcher loop's reusable buffers, threaded through the slice
+     *  recursion so a bisect-retry allocates nothing new. */
+    struct ServeBuffers
+    {
+        math::Matrix features;
+        std::vector<int> labels;
+        Router::Scratch scratch;
+        std::vector<RouteTrace> traces;
+        std::vector<RouteStepStats> steps;
+    };
+
     void serveLoop();
-    /** Record one served batch under statsMutex_ (lane + aggregate
+    /**
+     * Execute requests [begin, end) of @p batch as one engine batch,
+     * supervised: a throw bisects (while depth < retryDepth and the
+     * slice splits) or fails the slice. Success records stats and
+     * delivers guarded callbacks.
+     */
+    void runSlice(RequestBatch &batch, std::size_t begin,
+                  std::size_t end, std::size_t depth,
+                  ServeBuffers &buffers);
+    /** Terminal failure of [begin, end): counters + onFailure each. */
+    void failSlice(const RequestBatch &batch, std::size_t begin,
+                   std::size_t end, const std::string &error);
+    /** Record one served slice under statsMutex_ (lane + aggregate
      *  tallies; @p steps adds per-model tallies on routed servers). */
-    void servedBatchStats(const RequestBatch &batch,
+    void servedSliceStats(const RequestBatch &batch, std::size_t begin,
+                          std::size_t end,
                           std::chrono::steady_clock::time_point finished,
                           double batch_us,
-                          const std::vector<RouteStepStats> *steps);
+                          const std::vector<RouteStepStats> *steps,
+                          const RouteBatchOutcome &outcome);
+    /** The queue config, with the user's onDrop wrapped in the
+     *  callback guard. */
+    QueueConfig makeQueueConfig();
 
     /** The one model (single-model form) or nothing (routed form —
      *  plans live in registry_ and are pinned per batch). */
@@ -258,6 +332,13 @@ class Server
     RouteTraceFn onTrace_;
     std::optional<ml::StandardScaler> scaler_;
     net::FeatureExtractor extractor_;
+    /** Incremented wherever a guarded user callback throws; atomic
+     *  because the onDrop guard fires inside queue_.pop(). Declared
+     *  before queue_ so makeQueueConfig()'s wrapper never touches an
+     *  unconstructed member. */
+    std::atomic<std::size_t> callbackErrors_{0};
+    /** Fault-injection hook point (never null after construction). */
+    faults::FaultInjector *injector_ = nullptr;
     RequestQueue queue_;
     std::thread batcher_;
     std::atomic<std::uint64_t> nextId_{1};
@@ -280,6 +361,7 @@ class Server
     struct LaneTally
     {
         std::size_t rowsServed = 0;
+        std::size_t rowsFailed = 0;
         std::size_t batches = 0;
         LatencyReservoir requestLatenciesUs;
     };
@@ -297,6 +379,11 @@ class Server
     mutable std::mutex statsMutex_;
     std::size_t rowsServed_ = 0;
     std::size_t batches_ = 0;
+    std::size_t failedBatches_ = 0;
+    std::size_t failedRows_ = 0;
+    std::size_t retriedBatches_ = 0;
+    std::size_t deadlineTruncated_ = 0;
+    std::size_t fallbackRows_ = 0;
     LatencyReservoir batchLatenciesUs_;
     LatencyReservoir requestLatenciesUs_;
     std::vector<LaneTally> laneTallies_;

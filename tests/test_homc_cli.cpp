@@ -255,7 +255,14 @@ TEST(HomcCli, EveryDocumentedFlagIsConsumed)
                      "--replay", "iot:10", "--replay-batch", "64",
                      "--serve", "iot:10", "--serve-rate", "1000",
                      "--serve-max-batch", "32", "--serve-max-delay-us",
-                     "500", "--serve-depth", "64"},
+                     "500", "--serve-depth", "64",
+                     "--serve-model", "a=/tmp/a.ir",
+                     "--serve-model", "b=/tmp/b.ir",
+                     "--serve-fault", "engine.run:0.01",
+                     "--serve-retry-depth", "3",
+                     "--serve-fallback", "a=b",
+                     "--serve-breaker-threshold", "2",
+                     "--serve-deadline-us", "800"},
                     options, errors),
               ht::ParseResult::kOk)
         << errors;
@@ -263,6 +270,11 @@ TEST(HomcCli, EveryDocumentedFlagIsConsumed)
     EXPECT_EQ(options.replayBatch, 64u);
     EXPECT_DOUBLE_EQ(options.serveRate, 1000.0);
     EXPECT_EQ(options.serveMaxDelayUs, 500u);
+    EXPECT_EQ(options.serveFaults.size(), 1u);
+    EXPECT_EQ(options.serveRetryDepth, 3u);
+    EXPECT_EQ(options.serveFallbacks.size(), 1u);
+    EXPECT_EQ(options.serveBreakerThreshold, 2u);
+    EXPECT_EQ(options.serveDeadlineUs, 800u);
 }
 
 TEST(HomcCli, MisspelledBooleanFlagGetsAHintAndSwallowsNothing)
@@ -342,4 +354,172 @@ TEST(HomcCli, BulkLanesRoundRobinByBulkOrdinal)
     }
     EXPECT_EQ(lane1, 250u);  // even split of the 500 bulk frames.
     EXPECT_EQ(lane2, 250u);
+}
+
+TEST(HomcCli, ServeFaultFlagsParseRepeatablyWithRetryDepth)
+{
+    ht::CliOptions options;
+    std::string errors;
+    ASSERT_EQ(parse({"--app", "tc", "--serve", "iot:10",
+                     "--serve-fault", "engine.run:0.01",
+                     "--serve-fault", "router.hop:0.5:9",
+                     "--serve-retry-depth", "4"},
+                    options, errors),
+              ht::ParseResult::kOk)
+        << errors;
+    ASSERT_EQ(options.serveFaults.size(), 2u);
+    EXPECT_EQ(options.serveFaults[0], "engine.run:0.01");
+    EXPECT_EQ(options.serveFaults[1], "router.hop:0.5:9");
+    EXPECT_EQ(options.serveRetryDepth, 4u);
+}
+
+TEST(HomcCli, MalformedServeFaultSpecsErrorAtParseTime)
+{
+    // A typo'd spec must fail the parse, not blow up (or silently arm
+    // nothing) once serving has already started.
+    ht::CliOptions options;
+    std::string errors;
+    EXPECT_EQ(parse({"--app", "tc", "--serve", "iot:10",
+                     "--serve-fault", "engine.run"},
+                    options, errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(errors.find("homc: --serve-fault:"), std::string::npos)
+        << errors;
+
+    EXPECT_EQ(parse({"--app", "tc", "--serve", "iot:10",
+                     "--serve-fault", "engine.run:2.0"},
+                    options, errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(errors.find("rate must be in [0, 1]"), std::string::npos)
+        << errors;
+}
+
+TEST(HomcCli, FaultAndRetryFlagsRequireServe)
+{
+    ht::CliOptions options;
+    std::string errors;
+    EXPECT_EQ(parse({"--app", "tc", "--serve-fault", "engine.run:0.1"},
+                    options, errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(errors.find("require --serve"), std::string::npos)
+        << errors;
+
+    EXPECT_EQ(parse({"--app", "tc", "--serve-retry-depth", "2"},
+                    options, errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(errors.find("require --serve"), std::string::npos)
+        << errors;
+}
+
+TEST(HomcCli, ServeFallbackParsesModelAndStaticLabelDestinations)
+{
+    ht::CliOptions options;
+    std::string errors;
+    ASSERT_EQ(parse({"--app", "tc", "--serve", "iot:10",
+                     "--serve-model", "a=/tmp/a.ir",
+                     "--serve-model", "b=/tmp/b.ir",
+                     "--serve-fallback", "a=b,b=2",
+                     "--serve-breaker-threshold", "5",
+                     "--serve-deadline-us", "750"},
+                    options, errors),
+              ht::ParseResult::kOk)
+        << errors;
+    ASSERT_EQ(options.serveFallbacks.size(), 2u);
+    EXPECT_EQ(options.serveFallbacks[0].model, "a");
+    EXPECT_EQ(options.serveFallbacks[0].toModel, "b");
+    EXPECT_EQ(options.serveFallbacks[0].label, -1);
+    EXPECT_EQ(options.serveFallbacks[1].model, "b");
+    EXPECT_TRUE(options.serveFallbacks[1].toModel.empty());
+    EXPECT_EQ(options.serveFallbacks[1].label, 2);
+    EXPECT_EQ(options.serveBreakerThreshold, 5u);
+    EXPECT_EQ(options.serveDeadlineUs, 750u);
+}
+
+TEST(HomcCli, MalformedServeFallbackEntriesAreRejected)
+{
+    ht::CliOptions options;
+    std::string errors;
+    EXPECT_EQ(parse({"--app", "tc", "--serve", "iot:10",
+                     "--serve-model", "a=/tmp/a.ir",
+                     "--serve-fallback", "a"},
+                    options, errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(errors.find("MODEL=NAME|LABEL"), std::string::npos)
+        << errors;
+}
+
+TEST(HomcCli, ServeFallbackReferencingAnUnloadedModelIsRejected)
+{
+    // Catch the dangling reference at the flag, where the error can
+    // name it, instead of letting the router throw mid-run.
+    ht::CliOptions options;
+    std::string errors;
+    EXPECT_EQ(parse({"--app", "tc", "--serve", "iot:10",
+                     "--serve-model", "a=/tmp/a.ir",
+                     "--serve-fallback", "a=ghost"},
+                    options, errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(errors.find("references model 'ghost'"),
+              std::string::npos)
+        << errors;
+    EXPECT_NE(errors.find("no --serve-model loads it"),
+              std::string::npos)
+        << errors;
+}
+
+TEST(HomcCli, BreakerAndDeadlineFlagsRequireServeModel)
+{
+    ht::CliOptions options;
+    std::string errors;
+    EXPECT_EQ(parse({"--app", "tc", "--serve", "iot:10",
+                     "--serve-breaker-threshold", "3"},
+                    options, errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(errors.find("require --serve-model"), std::string::npos)
+        << errors;
+
+    EXPECT_EQ(parse({"--app", "tc", "--serve", "iot:10",
+                     "--serve-deadline-us", "500"},
+                    options, errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(errors.find("require --serve-model"), std::string::npos)
+        << errors;
+}
+
+TEST(HomcCli, NonNumericFaultToleranceValuesAreRejected)
+{
+    ht::CliOptions options;
+    std::string errors;
+    EXPECT_EQ(parse({"--app", "tc", "--serve", "iot:10",
+                     "--serve-retry-depth", "banana"},
+                    options, errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(
+        errors.find(
+            "--serve-retry-depth expects a non-negative integer"),
+        std::string::npos)
+        << errors;
+
+    EXPECT_EQ(parse({"--app", "tc", "--serve", "iot:10",
+                     "--serve-model", "a=/tmp/a.ir",
+                     "--serve-deadline-us", "-5"},
+                    options, errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(errors.find("--serve-deadline-us expects a non-negative "
+                          "integer"),
+              std::string::npos)
+        << errors;
+}
+
+TEST(HomcCli, MisspelledFaultFlagGetsAHint)
+{
+    ht::CliOptions options;
+    std::string errors;
+    EXPECT_EQ(parse({"--app", "tc", "--serve", "iot:10",
+                     "--serve-falt", "engine.run:0.1"},
+                    options, errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(errors.find("did you mean '--serve-fault'"),
+              std::string::npos)
+        << errors;
 }

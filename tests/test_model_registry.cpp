@@ -332,8 +332,8 @@ TEST(Router, ChainsRowsByLabelWithTracesAgainstAManualReference)
     std::vector<hr::RouteTrace> traces;
     std::vector<hr::RouteStepStats> steps;
     hr::Router::Scratch scratch;
-    router.runBatch(router.snapshot(), /*lane=*/0, requests, labels,
-                    &traces, steps, scratch);
+    router.runBatch(router.snapshot(), /*lane=*/0, requests.data(),
+                    requests.size(), labels, &traces, steps, scratch);
 
     ASSERT_EQ(labels.size(), x.rows());
     ASSERT_EQ(traces.size(), x.rows());
@@ -391,8 +391,8 @@ TEST(Router, MaxChainDepthBoundsRuleCycles)
     std::vector<hr::RouteTrace> traces;
     std::vector<hr::RouteStepStats> steps;
     hr::Router::Scratch scratch;
-    router.runBatch(router.snapshot(), 0, requests, labels, &traces,
-                    steps, scratch);
+    router.runBatch(router.snapshot(), 0, requests.data(),
+                    requests.size(), labels, &traces, steps, scratch);
 
     for (std::size_t r = 0; r < x.rows(); ++r) {
         EXPECT_EQ(labels[r], ref[r]);  // re-running can't change it.

@@ -10,15 +10,19 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
 #include "common/csv.hpp"
 #include "common/rng.hpp"
 #include "data/flowmarker.hpp"
 #include "data/loaders.hpp"
 #include "ir/model_ir.hpp"
+#include "ir/serialize.hpp"
 #include "ml/mlp.hpp"
 #include "net/feature_extract.hpp"
 #include "opt/search_space.hpp"
+#include "runtime/model_registry.hpp"
 
 namespace hc = homunculus::common;
 namespace hn = homunculus::net;
@@ -201,4 +205,155 @@ TEST(Robustness, EmptyFlowVectorRejectedByBuilders)
     EXPECT_THROW(hd::buildPerPacketDataset(
                      {}, hd::homunculusCompressedConfig()),
                  std::runtime_error);
+}
+
+// ----------------------------------------------- artifact fuzzing
+
+namespace {
+
+/** A valid v3 artifact exercising every optional section: MLP layers,
+ *  scaler provenance, and a lowering-audit line. */
+std::string
+referenceArtifact()
+{
+    hc::Rng rng(99);
+    hi::ModelIr model;
+    model.kind = hi::ModelKind::kMlp;
+    model.inputDim = 4;
+    model.numClasses = 3;
+    std::size_t prev = 4;
+    for (std::size_t width : {std::size_t{6}, std::size_t{3}}) {
+        hi::QuantizedLayer layer;
+        layer.inputDim = prev;
+        layer.outputDim = width;
+        layer.weights.resize(prev * width);
+        layer.biases.resize(width);
+        for (auto &w : layer.weights)
+            w = static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
+        for (auto &b : layer.biases)
+            b = static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
+        model.layers.push_back(std::move(layer));
+        prev = width;
+    }
+    model.passes = {"dedup-tables"};
+    model.scalerMeans = {0.5, -1.25, 3.0, 0.0};
+    model.scalerStds = {1.0, 2.0, 0.5, 4.0};
+    model.scalerRecorded = true;
+    model.validate();
+    return hi::serializeModel(model);
+}
+
+/** Corrupt artifacts must surface as clean "ir: ..." runtime_errors —
+ *  never a bare library exception, never an abort, and (checked at the
+ *  registry) never a half-parsed model. */
+void
+expectCleanOutcome(const std::string &text)
+{
+    try {
+        hi::ModelIr model = hi::deserializeModel(text);
+        model.validate();  // a parse that "succeeds" is a real model.
+    } catch (const std::runtime_error &e) {
+        EXPECT_EQ(std::string(e.what()).rfind("ir: ", 0), 0u)
+            << "leaked diagnostic: " << e.what();
+    }
+}
+
+}  // namespace
+
+TEST(Fuzz, TruncatedArtifactsAlwaysSurfaceCleanIrErrors)
+{
+    std::string text = referenceArtifact();
+    // Every proper prefix is missing at least the 'end' sentinel.
+    for (std::size_t n = 0; n < text.size(); n += 7) {
+        std::string truncated = text.substr(0, n);
+        try {
+            hi::deserializeModel(truncated);
+            FAIL() << "prefix of " << n << " bytes parsed as a model";
+        } catch (const std::runtime_error &e) {
+            ASSERT_EQ(std::string(e.what()).rfind("ir: ", 0), 0u)
+                << "at prefix " << n << ": " << e.what();
+        }
+    }
+}
+
+TEST(Fuzz, BitFlippedArtifactsNeverCrashTheDeserializer)
+{
+    const std::string pristine = referenceArtifact();
+    hc::Rng rng(7);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::string text = pristine;
+        auto byte = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(text.size()) - 1));
+        text[byte] = static_cast<char>(
+            text[byte] ^ (1 << rng.uniformInt(0, 7)));
+        expectCleanOutcome(text);
+    }
+}
+
+TEST(Fuzz, TagShuffledArtifactsNeverLoadHalfParsedModels)
+{
+    const std::string pristine = referenceArtifact();
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream in(pristine);
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_GT(lines.size(), 4u);
+
+    hc::Rng rng(13);
+    for (int trial = 0; trial < 500; ++trial) {
+        // Shuffle the body (keep the magic header in place): tags now
+        // arrive in orders the writer never emits — weights before
+        // their layer, 'end' mid-stream, duplicated-section orders.
+        std::vector<std::string> shuffled(lines.begin() + 1, lines.end());
+        for (std::size_t i = shuffled.size(); i > 1; --i)
+            std::swap(shuffled[i - 1],
+                      shuffled[static_cast<std::size_t>(rng.uniformInt(
+                          0, static_cast<std::int64_t>(i) - 1))]);
+        std::string text = lines.front() + "\n";
+        for (const std::string &body_line : shuffled)
+            text += body_line + "\n";
+        expectCleanOutcome(text);
+    }
+}
+
+TEST(Fuzz, RegistryLoadFileRejectsCorruptArtifactsWithoutSideEffects)
+{
+    const std::string pristine = referenceArtifact();
+    std::string dir = ::testing::TempDir();
+    auto write = [&](const std::string &name, const std::string &text) {
+        std::string path = dir + "/" + name;
+        std::ofstream out(path);
+        out << text;
+        return path;
+    };
+
+    homunculus::runtime::ModelRegistry registry;
+    std::string truncated =
+        write("truncated.hir", pristine.substr(0, pristine.size() / 2));
+    std::string garbled = pristine;
+    garbled.replace(garbled.find("format"), 8, "formaX 9");
+    std::string bad_tag = write("garbled.hir", garbled);
+    std::string bad_format = pristine;
+    bad_format.replace(bad_format.find("format 8 8"),
+                       std::string("format 8 8").size(), "format 40 40");
+    std::string bad_q = write("bad_q.hir", bad_format);
+
+    for (const std::string &path : {truncated, bad_tag, bad_q}) {
+        try {
+            registry.loadFile("m", path);
+            FAIL() << path << " loaded";
+        } catch (const std::runtime_error &e) {
+            EXPECT_EQ(std::string(e.what()).rfind("ir: ", 0), 0u)
+                << path << ": " << e.what();
+        }
+        // A failed load leaves no half-registered model behind.
+        EXPECT_FALSE(registry.contains("m"));
+    }
+
+    // And the pristine artifact still round-trips through the same
+    // path — the hardening rejects corruption, not artifacts.
+    std::string good = write("good.hir", pristine);
+    EXPECT_EQ(registry.loadFile("m", good), 1u);
+    EXPECT_TRUE(registry.contains("m"));
 }

@@ -292,6 +292,51 @@ runReplay(const CliOptions &options, const homunculus::ir::ModelIr &model)
 }
 
 /**
+ * Arm the global fault injector from --serve-fault specs (the
+ * HOMUNCULUS_FAULTS env var is applied by the injector itself on first
+ * use) and say what is armed, so a faulted run is visible in the log.
+ */
+void
+armServeFaults(const CliOptions &options)
+{
+    auto &injector = runtime::faults::FaultInjector::global();
+    for (const std::string &spec : options.serveFaults)
+        injector.armSpec(spec);
+    if (!injector.armed())
+        return;
+    std::cout << "faults    : armed";
+    for (const runtime::faults::FaultSite &site : injector.sites())
+        std::cout << common::format(
+            " %s:%g:%llu", site.site.c_str(), site.rate,
+            static_cast<unsigned long long>(site.seed));
+    std::cout << "\n";
+}
+
+/** The post-run fault-tolerance summary both serving modes print. */
+void
+printFaultSummary(const runtime::ServerStats &stats)
+{
+    std::cout << common::format(
+        "failures  : %zu rows in %zu batches (%zu bisect retries, "
+        "%zu callback errors, %zu deadline-truncated, "
+        "%zu fallback rows)\n",
+        stats.failedRows, stats.failedBatches, stats.retriedBatches,
+        stats.callbackErrors, stats.deadlineTruncated,
+        stats.fallbackRows);
+    auto &injector = runtime::faults::FaultInjector::global();
+    if (!injector.armed())
+        return;
+    std::cout << "faults    :";
+    for (const runtime::faults::FaultSite &site : injector.sites())
+        std::cout << common::format(
+            " %s fired %llu/%llu", site.site.c_str(),
+            static_cast<unsigned long long>(injector.fired(site.site)),
+            static_cast<unsigned long long>(
+                injector.checked(site.site)));
+    std::cout << "\n";
+}
+
+/**
  * Async serving mode: feed the trace into runtime::Server as an
  * open-loop arrival process at --serve-rate rows/s (0 = as fast as
  * submission runs) and report admission, batching-policy, and latency
@@ -336,6 +381,8 @@ runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
     server_config.extraLanes.assign(lanes.begin() + 1, lanes.end());
     server_config.backpressure = options.serveBackpressure;
     server_config.blockTimeoutUs = options.serveBlockTimeoutUs;
+    server_config.retryDepth = options.serveRetryDepth;
+    armServeFaults(options);
 
     std::mutex verdict_mutex;
     std::map<int, std::size_t> verdict_counts;
@@ -394,6 +441,7 @@ runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
                 static_cast<unsigned long long>(ls.queue.earlyDropped),
                 ls.p50RequestLatencyUs, ls.p99RequestLatencyUs);
         }
+    printFaultSummary(stats);
     std::cout << "verdicts  :";
     for (const auto &[verdict, count] : verdict_counts)
         std::cout << " class " << verdict << " x" << count;
@@ -454,12 +502,32 @@ runServeRegistry(const CliOptions &options)
     for (const runtime::ChainRule &rule : options.serveChain)
         std::cout << "chain     : " << rule.fromModel << " label "
                   << rule.label << " -> " << rule.toModel << "\n";
+    // Fallbacks only matter once a breaker can open, so giving any
+    // --serve-fallback turns the breakers on at a default threshold
+    // unless --serve-breaker-threshold says otherwise.
+    route.breakerThreshold =
+        options.serveBreakerThreshold != 0 ? options.serveBreakerThreshold
+        : options.serveFallbacks.empty()   ? 0
+                                           : 3;
+    route.fallbacks = options.serveFallbacks;
+    route.deadlineUs = options.serveDeadlineUs;
+    for (const runtime::FallbackRule &rule : options.serveFallbacks) {
+        std::cout << "fallback  : " << rule.model << " -> ";
+        if (rule.toModel.empty())
+            std::cout << "label " << rule.label;
+        else
+            std::cout << rule.toModel;
+        std::cout << common::format(" (breaker threshold %zu)\n",
+                                    route.breakerThreshold);
+    }
 
     runtime::ServerConfig server_config;
     server_config.queue = lanes.front();
     server_config.extraLanes.assign(lanes.begin() + 1, lanes.end());
     server_config.backpressure = options.serveBackpressure;
     server_config.blockTimeoutUs = options.serveBlockTimeoutUs;
+    server_config.retryDepth = options.serveRetryDepth;
+    armServeFaults(options);
 
     std::mutex verdict_mutex;
     std::map<int, std::size_t> verdict_counts;
@@ -527,13 +595,22 @@ runServeRegistry(const CliOptions &options)
                 static_cast<unsigned long long>(ls.queue.earlyDropped),
                 ls.p50RequestLatencyUs, ls.p99RequestLatencyUs);
         }
-    for (const runtime::ModelStats &ms : stats.models)
+    for (const runtime::ModelStats &ms : stats.models) {
         std::cout << common::format(
             "model %s: %zu rows / %zu steps, step p50 %.1f us / "
-            "p99 %.1f us (active v%llu)\n",
+            "p99 %.1f us (active v%llu)",
             ms.name.c_str(), ms.rowsServed, ms.batches,
             ms.p50StepLatencyUs, ms.p99StepLatencyUs,
             static_cast<unsigned long long>(ms.activeVersion));
+        if (route.breakerThreshold != 0)
+            std::cout << common::format(
+                ", breaker %s (%llu opens, %llu fallback rows)",
+                ms.breakerState.c_str(),
+                static_cast<unsigned long long>(ms.breakerOpens),
+                static_cast<unsigned long long>(ms.breakerFallbackRows));
+        std::cout << "\n";
+    }
+    printFaultSummary(stats);
     std::cout << "verdicts  :";
     for (const auto &[verdict, count] : verdict_counts)
         std::cout << " class " << verdict << " x" << count;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/string_util.hpp"
+#include "runtime/fault_injector.hpp"
 
 namespace homunculus::tools {
 
@@ -27,6 +28,9 @@ const char *const kValueFlags[] = {
     "serve-lane-batches",
     "serve-model",   "serve-lane-models",
     "serve-chain",   "serve-swap-after",
+    "serve-fault",   "serve-retry-depth",
+    "serve-fallback", "serve-breaker-threshold",
+    "serve-deadline-us",
     "init",          "iters",
     "jobs",          "infer-jobs",
     "grid",          "tables",
@@ -245,6 +249,23 @@ parseArgs(int argc, const char *const *argv, CliOptions &options,
                 common::trim(value.substr(eq + 1)));
             continue;
         }
+        // --serve-fault is repeatable too: each SITE:RATE[:SEED] arms
+        // one injection site. Validated right here so a typo'd spec
+        // errors before any serving starts.
+        if (name == "serve-fault") {
+            std::string value = common::trim(argv[++i]);
+            try {
+                if (runtime::faults::FaultInjector::parseSpec(value)
+                        .empty())
+                    throw std::runtime_error(
+                        "faults: empty spec '" + value + "'");
+            } catch (const std::exception &e) {
+                err << "homc: --serve-fault: " << e.what() << "\n";
+                return ParseResult::kError;
+            }
+            options.serveFaults.push_back(std::move(value));
+            continue;
+        }
         flags[name] = argv[++i];
     }
 
@@ -391,6 +412,41 @@ parseArgs(int argc, const char *const *argv, CliOptions &options,
         }
         flags.erase(it);
     }
+    take_size("serve-retry-depth", options.serveRetryDepth);
+    take_size("serve-breaker-threshold", options.serveBreakerThreshold);
+    take_u64("serve-deadline-us", options.serveDeadlineUs);
+    if (auto it = flags.find("serve-fallback"); it != flags.end()) {
+        for (const std::string &field : common::split(it->second, ',')) {
+            std::string entry = common::trim(field);
+            auto eq = entry.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 >= entry.size()) {
+                err << "homc: --serve-fallback entries are "
+                       "MODEL=NAME|LABEL, got '"
+                    << entry << "'\n";
+                ok = false;
+                continue;
+            }
+            runtime::FallbackRule rule;
+            rule.model = common::trim(entry.substr(0, eq));
+            std::string to = common::trim(entry.substr(eq + 1));
+            // An all-digits destination is a static verdict label;
+            // anything else names the fallback model.
+            if (to.find_first_not_of("0123456789") ==
+                std::string::npos) {
+                std::uint64_t label = 0;
+                if (!parseU64("serve-fallback", to, label, err)) {
+                    ok = false;
+                    continue;
+                }
+                rule.label = static_cast<int>(label);
+            } else {
+                rule.toModel = std::move(to);
+            }
+            options.serveFallbacks.push_back(std::move(rule));
+        }
+        flags.erase(it);
+    }
     take_size("init", options.init);
     take_size("iters", options.iters);
     take_size("jobs", options.jobs);
@@ -465,6 +521,20 @@ parseArgs(int argc, const char *const *argv, CliOptions &options,
                "--serve-swap-after require --serve-model\n";
         return ParseResult::kError;
     }
+    if (options.serve.empty() &&
+        (!options.serveFaults.empty() || options.serveRetryDepth != 0)) {
+        err << "homc: --serve-fault/--serve-retry-depth require "
+               "--serve\n";
+        return ParseResult::kError;
+    }
+    if (options.serveModels.empty() &&
+        (!options.serveFallbacks.empty() ||
+         options.serveBreakerThreshold != 0 ||
+         options.serveDeadlineUs != 0)) {
+        err << "homc: --serve-fallback/--serve-breaker-threshold/"
+               "--serve-deadline-us require --serve-model\n";
+        return ParseResult::kError;
+    }
     if (!options.serveModels.empty()) {
         // Resolve every model reference against the --serve-model list
         // here, where the error can name the flag, instead of letting
@@ -491,6 +561,10 @@ parseArgs(int argc, const char *const *argv, CliOptions &options,
         for (const runtime::ChainRule &rule : options.serveChain)
             if (!known_model("serve-chain", rule.fromModel) ||
                 !known_model("serve-chain", rule.toModel))
+                return ParseResult::kError;
+        for (const runtime::FallbackRule &rule : options.serveFallbacks)
+            if (!known_model("serve-fallback", rule.model) ||
+                !known_model("serve-fallback", rule.toModel))
                 return ParseResult::kError;
         if (options.serveSwapAfter != 0) {
             if (!known_model("serve-swap-after", options.serveSwapModel))
@@ -607,6 +681,25 @@ printUsage(std::ostream &out)
         "                           rows FROM labels LABEL go on to TO\n"
         "  --serve-swap-after N:NAME=V  after frame N, hot-swap NAME's\n"
         "                           active plan to version V (test hook)\n"
+        "  --serve-fault SITE:RATE[:SEED]  arm deterministic fault\n"
+        "                           injection at SITE (engine.run,\n"
+        "                           router.hop, queue.flush, ...) with\n"
+        "                           Bernoulli RATE (repeatable; also via\n"
+        "                           HOMUNCULUS_FAULTS env)\n"
+        "  --serve-retry-depth N    bisect-retry failed batches up to N\n"
+        "                           splits to isolate poison rows\n"
+        "                           (default 0 = fail whole batch)\n"
+        "  --serve-fallback L       comma list of MODEL=NAME|LABEL rules:\n"
+        "                           while MODEL's breaker is open, rows\n"
+        "                           go to model NAME or resolve as the\n"
+        "                           static verdict LABEL\n"
+        "  --serve-breaker-threshold N  consecutive failures that open a\n"
+        "                           model's circuit breaker (default 3\n"
+        "                           when --serve-fallback is given,\n"
+        "                           else off)\n"
+        "  --serve-deadline-us N    per-request chain budget from\n"
+        "                           admission; over-budget rows skip\n"
+        "                           further chain hops (0 = unbounded)\n"
         "  --kernel T               pin the CPU kernel table: auto|\n"
         "                           scalar|avx2|neon (default auto =\n"
         "                           probe; errors when T is not\n"

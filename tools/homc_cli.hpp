@@ -76,6 +76,21 @@ struct CliOptions
     std::size_t serveSwapAfter = 0;
     std::string serveSwapModel;
     std::uint64_t serveSwapVersion = 0;
+    /** Fault-injection specs from repeatable --serve-fault
+     *  SITE:RATE[:SEED] flags; validated at parse time, armed on the
+     *  global injector by the driver. */
+    std::vector<std::string> serveFaults;
+    /** Bisect-retry depth for failed serving batches (0 = a failed
+     *  batch fails whole). */
+    std::size_t serveRetryDepth = 0;
+    /** Open-breaker fallbacks from --serve-fallback MODEL=NAME|LABEL
+     *  entries (an all-digits right side is a static verdict label). */
+    std::vector<runtime::FallbackRule> serveFallbacks;
+    /** Consecutive failures that open a model's circuit breaker; 0
+     *  defers to the driver default (3 when fallbacks are given). */
+    std::size_t serveBreakerThreshold = 0;
+    /** Per-request chain deadline in us (0 = unbounded). */
+    std::uint64_t serveDeadlineUs = 0;
     bool dumpIr = false;
     /** Kernel dispatch pin from --kernel (auto|scalar|avx2|neon; empty
      *  = leave the dispatch to its probe / HOMUNCULUS_KERNELS). */
