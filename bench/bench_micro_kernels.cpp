@@ -169,18 +169,17 @@ planBench(benchmark::State &state, const ir::ModelIr &model,
                             static_cast<std::int64_t>(kBatchRows));
 }
 
-/** MAT batch walk bench: the pipeline resolves kernels through the
- *  process-wide dispatch, so the target is forced globally here (each
- *  run of this bench re-forces; main() resets at exit). */
+/** MAT batch walk bench: the target is pinned per pipeline
+ *  (MatPipeline::forceKernelTarget), so nothing here touches the
+ *  process-wide dispatch state. */
 void
 matBench(benchmark::State &state, const ir::ModelIr &model,
          kernels::KernelTarget target)
 {
-    kernels::KernelDispatch::reset();
-    kernels::KernelDispatch::force(target);
     auto pipeline = model.kind == ir::ModelKind::kSvm
                         ? backends::MatPipeline::compileSvm(model, 16)
                         : backends::MatPipeline::compileKMeans(model);
+    pipeline.forceKernelTarget(target);
     auto x = bench::benchFeatures(kBatchRows, model.inputDim);
     for (auto _ : state) {
         auto labels = pipeline.processBatch(x);
@@ -268,7 +267,6 @@ main(int argc, char **argv)
     JsonCaptureReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
-    kernels::KernelDispatch::reset();  // undo matBench's force().
 
     // The vectorization acceptance bar. Only judged when both sides
     // actually ran (a --benchmark_filter run must not trip it).

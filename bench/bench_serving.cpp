@@ -60,6 +60,19 @@
  * same plan, the disarmed leg fails nothing, and the 0.1%-rate legs
  * keep availability >= 99%.
  *
+ * Part 7 — submit-path contention sweep: the lock-free MPSC admission
+ * door against an in-bench reimplementation of the PR 8 door (one
+ * mutex + deque + CV around every push), driven by 1..8 tight-loop
+ * submitter threads against a draining consumer, across 1 and 4
+ * lanes; then a ShardedServer shard sweep (1/2/4 shards) fed from
+ * concurrent producers with per-row flow keys. Acceptance: submit p99
+ * stays flat within 2x as submitters grow 1 -> 8 (the mutex door
+ * convoys instead — that contrast is the point), single-submitter
+ * door throughput is not regressed vs the mutex baseline (>= 0.9x),
+ * and every sharded verdict is bit-identical to a single plan run
+ * (count-based, enforced on every host; the two timing bars join the
+ * >= 4-core gate).
+ *
  * Usage: bench_serving [--json PATH]
  * (custom harness: the sweep needs open-loop pacing and direct control
  * of the measurement loop; --json writes bench_common's records.)
@@ -68,7 +81,10 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -83,8 +99,10 @@
 #include "runtime/fault_injector.hpp"
 #include "runtime/inference_engine.hpp"
 #include "runtime/model_registry.hpp"
+#include "runtime/request_queue.hpp"
 #include "runtime/router.hpp"
 #include "runtime/server.hpp"
+#include "runtime/sharded_server.hpp"
 
 using namespace homunculus;
 
@@ -235,6 +253,142 @@ sweepConfig(const ir::ModelIr &model, const math::Matrix &rows,
         offered_seconds > 0.0
             ? static_cast<double>(rows.rows()) / offered_seconds
             : 0.0;
+    return result;
+}
+
+/**
+ * The PR 8 admission door, reproduced as the part-7 baseline: one
+ * mutex + deque per lane and a CV, taken on *every* push. Same
+ * observable semantics as kShed RequestQueue admission (bounded depth,
+ * shed beyond it, batch pops), so the sweep isolates exactly the door:
+ * lock convoy vs lock-free ticket + ring.
+ */
+class MutexDoorQueue
+{
+  public:
+    MutexDoorQueue(std::size_t lanes, std::size_t max_depth,
+                   std::size_t max_batch)
+        : rows_(lanes), maxDepth_(max_depth), maxBatch_(max_batch)
+    {
+    }
+
+    runtime::Admission push(runtime::Request request, std::size_t lane)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return runtime::Admission::kRejectedClosed;
+        if (rows_[lane].size() >= maxDepth_)
+            return runtime::Admission::kShed;
+        rows_[lane].push_back(std::move(request));
+        readyCv_.notify_one();
+        return runtime::Admission::kAdmitted;
+    }
+
+    /** Blocking batch pop; false once closed and drained. */
+    bool pop(std::vector<runtime::Request> &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        readyCv_.wait(lock, [&] {
+            if (closed_)
+                return true;
+            for (const auto &lane : rows_)
+                if (!lane.empty())
+                    return true;
+            return false;
+        });
+        for (auto &lane : rows_) {
+            if (lane.empty())
+                continue;
+            std::size_t take = std::min(maxBatch_, lane.size());
+            out.assign(std::make_move_iterator(lane.begin()),
+                       std::make_move_iterator(lane.begin() +
+                                               static_cast<long>(take)));
+            lane.erase(lane.begin(),
+                       lane.begin() + static_cast<long>(take));
+            return true;
+        }
+        return false;  // closed and empty.
+    }
+
+    void close()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        readyCv_.notify_all();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable readyCv_;
+    std::vector<std::deque<runtime::Request>> rows_;
+    std::size_t maxDepth_;
+    std::size_t maxBatch_;
+    bool closed_ = false;
+};
+
+struct ContentionResult
+{
+    double p50SubmitUs = 0.0;
+    double p99SubmitUs = 0.0;
+    double pushesPerSec = 0.0;  ///< door attempts/s (admitted + shed).
+};
+
+/**
+ * Run @p threads tight-loop submitters for @p seconds against a
+ * draining consumer, timing every 16th push. @p push is
+ * (thread, sequence) -> void (it owns building the Request and picking
+ * the lane); @p stop closes the queue, @p drained joins the consumer.
+ */
+ContentionResult
+measureDoor(std::size_t threads, double seconds,
+            const std::function<void(std::size_t, std::uint64_t)> &push,
+            const std::function<void()> &stop)
+{
+    constexpr std::uint64_t kSampleMask = 15;
+    std::vector<std::vector<double>> samples(threads);
+    std::vector<std::uint64_t> attempts(threads, 0);
+    auto bench_start = Clock::now();
+    auto deadline = bench_start + std::chrono::duration<double>(seconds);
+    std::vector<std::thread> producers;
+    for (std::size_t t = 0; t < threads; ++t)
+        producers.emplace_back([&, t] {
+            samples[t].reserve(1 << 16);
+            std::uint64_t i = 0;
+            for (;; ++i) {
+                if ((i & kSampleMask) == 0) {
+                    if (Clock::now() >= deadline)
+                        break;
+                    auto started = Clock::now();
+                    push(t, i);
+                    samples[t].push_back(
+                        std::chrono::duration<double, std::micro>(
+                            Clock::now() - started)
+                            .count());
+                } else {
+                    push(t, i);
+                }
+            }
+            attempts[t] = i;
+        });
+    for (auto &producer : producers)
+        producer.join();
+    double wall =
+        std::chrono::duration<double>(Clock::now() - bench_start)
+            .count();
+    stop();
+
+    ContentionResult result;
+    std::vector<double> merged;
+    std::uint64_t total = 0;
+    for (std::size_t t = 0; t < threads; ++t) {
+        merged.insert(merged.end(), samples[t].begin(),
+                      samples[t].end());
+        total += attempts[t];
+    }
+    result.p50SubmitUs = math::percentileNearestRank(merged, 0.50);
+    result.p99SubmitUs = math::percentileNearestRank(merged, 0.99);
+    result.pushesPerSec =
+        wall > 0.0 ? static_cast<double>(total) / wall : 0.0;
     return result;
 }
 
@@ -878,6 +1032,207 @@ main(int argc, char **argv)
     bool fault_exact = fault_mismatches == 0;
     bool fault_available = fault_availability >= 0.99;
 
+    // --------------- part 7: submit-door contention + sharded sweep ---
+    // Tight-loop submitters against a draining consumer: the mutex+CV
+    // baseline door convoys as submitters grow; the lock-free ticket +
+    // MPSC ring door must keep its submit p99 flat within 2x from 1 to
+    // 8 threads, without giving up single-submitter throughput.
+    constexpr double kDoorSeconds = 0.2;
+    constexpr std::size_t kDoorDepth = 8192;
+    constexpr std::size_t kDoorBatch = 256;
+    const std::vector<std::size_t> door_threads = {1, 2, 4, 8};
+    const std::vector<double> door_features(4, 0.5);
+    auto door_request = [&](std::uint64_t id) {
+        runtime::Request request;
+        request.id = id;
+        request.features = door_features;
+        return request;
+    };
+
+    std::cout << common::format(
+        "\n=== submit-door contention (%0.1fs tight-loop legs, depth "
+        "%zu) ===\n"
+        "door   threads lanes    p50 us    p99 us     pushes/s\n",
+        kDoorSeconds, kDoorDepth);
+    std::map<std::string, ContentionResult> door_results;
+    for (std::size_t threads : door_threads) {
+        MutexDoorQueue baseline(1, kDoorDepth, kDoorBatch);
+        std::thread drain([&] {
+            std::vector<runtime::Request> batch;
+            while (baseline.pop(batch))
+                batch.clear();
+        });
+        ContentionResult result = measureDoor(
+            threads, kDoorSeconds,
+            [&](std::size_t, std::uint64_t i) {
+                baseline.push(door_request(i), 0);
+            },
+            [&] { baseline.close(); });
+        drain.join();
+        std::string key = common::format("q_mutex_t%zu_l1", threads);
+        door_results[key] = result;
+        std::cout << common::format(
+            "mutex  %7zu %5d %9.2f %9.2f %12.0f\n", threads, 1,
+            result.p50SubmitUs, result.p99SubmitUs,
+            result.pushesPerSec);
+        json.add("contention/" + key,
+                 {{"threads", static_cast<double>(threads)},
+                  {"lanes", 1.0},
+                  {"p50_submit_us", result.p50SubmitUs},
+                  {"p99_submit_us", result.p99SubmitUs},
+                  {"pushes_per_sec", result.pushesPerSec}});
+    }
+    for (std::size_t lanes : {std::size_t{1}, std::size_t{4}}) {
+        for (std::size_t threads : door_threads) {
+            runtime::QueuePolicy door_policy;
+            door_policy.maxBatch = kDoorBatch;
+            door_policy.maxDelayUs = 1000;
+            door_policy.maxDepth = kDoorDepth;
+            runtime::QueueConfig door_config;
+            door_config.lanes.assign(lanes, door_policy);
+            runtime::RequestQueue queue(door_config);
+            std::thread drain([&] {
+                while (queue.pop()) {
+                }
+            });
+            ContentionResult result = measureDoor(
+                threads, kDoorSeconds,
+                [&](std::size_t t, std::uint64_t i) {
+                    queue.push(door_request(i), t % lanes);
+                },
+                [&] { queue.close(); });
+            drain.join();
+            std::string key = common::format("q_mpsc_t%zu_l%zu",
+                                             threads, lanes);
+            door_results[key] = result;
+            std::cout << common::format(
+                "mpsc   %7zu %5zu %9.2f %9.2f %12.0f\n", threads,
+                lanes, result.p50SubmitUs, result.p99SubmitUs,
+                result.pushesPerSec);
+            json.add("contention/" + key,
+                     {{"threads", static_cast<double>(threads)},
+                      {"lanes", static_cast<double>(lanes)},
+                      {"p50_submit_us", result.p50SubmitUs},
+                      {"p99_submit_us", result.p99SubmitUs},
+                      {"pushes_per_sec", result.pushesPerSec}});
+        }
+    }
+
+    // Flatness: p99 at 8 submitters within 2x of 1 submitter per lane
+    // count (the 1-thread p99 is floored at 5 us so timer quantization
+    // on a near-zero baseline cannot fail an absolutely-fine door).
+    bool contention_flat = true;
+    double worst_growth = 0.0;
+    for (std::size_t lanes : {std::size_t{1}, std::size_t{4}}) {
+        double base = std::max(
+            door_results[common::format("q_mpsc_t1_l%zu", lanes)]
+                .p99SubmitUs,
+            5.0);
+        double contended =
+            door_results[common::format("q_mpsc_t8_l%zu", lanes)]
+                .p99SubmitUs;
+        worst_growth = std::max(worst_growth, contended / base);
+        if (contended > 2.0 * base)
+            contention_flat = false;
+    }
+    double single_thread_ratio =
+        door_results["q_mutex_t1_l1"].pushesPerSec > 0.0
+            ? door_results["q_mpsc_t1_l1"].pushesPerSec /
+                  door_results["q_mutex_t1_l1"].pushesPerSec
+            : 0.0;
+    bool single_thread_ok = single_thread_ratio >= 0.9;
+
+    // Sharded sweep: verdict exactness is the bar (count-based, every
+    // host); the submit rate is reported for the scaling story.
+    constexpr std::size_t kShardSweepRows = 3000;
+    auto shard_rows = bench::benchFeatures(kShardSweepRows,
+                                           model.inputDim);
+    runtime::EngineOptions shard_engine_options;
+    shard_engine_options.jobs = 1;
+    std::vector<int> shard_reference =
+        runtime::InferenceEngine::fromModel(model, shard_engine_options)
+            .run(shard_rows);
+    std::cout << common::format(
+        "\n=== sharded serving sweep (%zu rows, per-row flow keys) "
+        "===\n"
+        "shards threads   served   mismatches    submit rows/s\n",
+        kShardSweepRows);
+    bool sharded_exact = true;
+    for (std::size_t shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+            runtime::ShardedServerConfig sharded_config;
+            sharded_config.shards = shards;
+            sharded_config.server.queue.maxBatch = kDoorBatch;
+            sharded_config.server.queue.maxDelayUs = 1000;
+            sharded_config.server.queue.maxDepth = 0;  // admit all.
+            std::mutex verdict_mutex;
+            std::map<std::uint64_t, int> verdicts;
+            runtime::ShardedServer server(
+                runtime::InferenceEngine::fromModel(
+                    model, shard_engine_options),
+                sharded_config,
+                [&](const runtime::Request &request, int verdict) {
+                    std::lock_guard<std::mutex> lock(verdict_mutex);
+                    verdicts[request.id] = verdict;
+                });
+            std::vector<std::map<std::uint64_t, std::size_t>>
+                ticket_rows(threads);
+            auto submit_start = Clock::now();
+            std::vector<std::thread> submitters;
+            for (std::size_t t = 0; t < threads; ++t)
+                submitters.emplace_back([&, t] {
+                    for (std::size_t r = t; r < kShardSweepRows;
+                         r += threads) {
+                        auto admitted = server.submit(
+                            r * 0x9e3779b97f4a7c15ull,
+                            shard_rows.row(r));
+                        if (admitted.admitted())
+                            ticket_rows[t][admitted.ticket] = r;
+                    }
+                });
+            for (auto &submitter : submitters)
+                submitter.join();
+            double submit_seconds =
+                std::chrono::duration<double>(Clock::now() -
+                                              submit_start)
+                    .count();
+            runtime::ServerStats stats = server.stop();
+
+            std::size_t matched = 0, mismatches = 0;
+            for (const auto &per_thread : ticket_rows)
+                for (const auto &[ticket, row] : per_thread) {
+                    auto verdict = verdicts.find(ticket);
+                    if (verdict == verdicts.end() ||
+                        verdict->second != shard_reference[row])
+                        ++mismatches;
+                    else
+                        ++matched;
+                }
+            bool exact = mismatches == 0 &&
+                         matched == kShardSweepRows &&
+                         stats.rowsServed == kShardSweepRows;
+            sharded_exact = sharded_exact && exact;
+            double submit_rate =
+                submit_seconds > 0.0
+                    ? static_cast<double>(kShardSweepRows) /
+                          submit_seconds
+                    : 0.0;
+            std::cout << common::format(
+                "%6zu %7zu %8zu %12zu %16.0f\n", shards, threads,
+                stats.rowsServed, mismatches, submit_rate);
+            json.add(common::format("contention/sharded_s%zu_t%zu",
+                                    shards, threads),
+                     {{"shards", static_cast<double>(shards)},
+                      {"threads", static_cast<double>(threads)},
+                      {"rows_served",
+                       static_cast<double>(stats.rowsServed)},
+                      {"verdict_mismatches",
+                       static_cast<double>(mismatches)},
+                      {"submit_rows_per_sec", submit_rate}});
+        }
+    }
+
     bool dispatch_pass = dispatch_speedup > 1.0;
     std::cout << common::format(
         "\nsmall-batch dispatch: executor %.2fx vs spawn-per-batch — "
@@ -927,6 +1282,23 @@ main(int argc, char **argv)
         "availability >= 0.99 at the 0.1%% fault rate: %s (worst "
         "%.4f)\n",
         fault_available ? "PASS" : "FAIL", fault_availability);
+    std::cout << common::format(
+        "submit p99 flat within 2x from 1 to 8 submitters: %s (worst "
+        "growth %.2fx)\n",
+        hardware >= 4 ? (contention_flat ? "PASS" : "FAIL")
+                      : (contention_flat ? "pass (informational)"
+                                         : "miss (informational)"),
+        worst_growth);
+    std::cout << common::format(
+        "single-submitter door throughput >= 0.9x mutex baseline: %s "
+        "(%.2fx)\n",
+        hardware >= 4 ? (single_thread_ok ? "PASS" : "FAIL")
+                      : (single_thread_ok ? "pass (informational)"
+                                          : "miss (informational)"),
+        single_thread_ratio);
+    std::cout << common::format(
+        "sharded verdicts bit-identical to one plan run: %s\n",
+        sharded_exact ? "PASS" : "FAIL");
     json.add("acceptance",
              {{"dispatch_speedup_p50", dispatch_speedup},
               {"deadline_p99_bounded", deadline_bounded ? 1.0 : 0.0},
@@ -942,6 +1314,13 @@ main(int argc, char **argv)
                fault_partition_ok && fault_zero_rate_clean ? 1.0
                                                            : 0.0},
               {"fault_availability_ok", fault_available ? 1.0 : 0.0},
+              {"contention_p99_flat", contention_flat ? 1.0 : 0.0},
+              {"contention_p99_worst_growth", worst_growth},
+              {"contention_single_thread_ok",
+               single_thread_ok ? 1.0 : 0.0},
+              {"contention_single_thread_ratio", single_thread_ratio},
+              {"contention_sharded_verdicts_exact",
+               sharded_exact ? 1.0 : 0.0},
               {"hardware_threads", static_cast<double>(hardware)}});
 
     if (!json_path.empty() && !json.write(json_path))
@@ -951,13 +1330,16 @@ main(int argc, char **argv)
     if (!fault_exact || !fault_partition_ok || !fault_zero_rate_clean ||
         !fault_available)
         return 1;  // fault invariants are count-based: any-host bars.
+    if (!sharded_exact)
+        return 1;  // sharding must never change a verdict, anywhere.
     // Enforce the timing bars only where the claims are testable: a
     // sub-4-core host can neither shard a 64-row batch 4 ways nor
-    // absorb bursts while batching, so those verdicts are
-    // informational there.
+    // absorb bursts while batching (nor contend 8 submitters), so
+    // those verdicts are informational there.
     return (hardware >= 4 &&
             (!dispatch_pass || !deadline_bounded || !probe_bounded ||
-             !early_drop_bounded || !swap_p99_bounded || !swap_saw_both))
+             !early_drop_bounded || !swap_p99_bounded ||
+             !swap_saw_both || !contention_flat || !single_thread_ok))
                ? 1
                : 0;
 }

@@ -124,6 +124,18 @@ MatPipeline::totalEntries() const
     return total;
 }
 
+void
+MatPipeline::forceKernelTarget(kernels::KernelTarget target)
+{
+    const kernels::KernelOps *ops = kernels::KernelDispatch::find(target);
+    if (ops == nullptr)
+        throw std::runtime_error(
+            std::string("MatPipeline: kernel target '") +
+            kernels::kernelTargetName(target) +
+            "' is not available on this host");
+    forcedOps_ = ops;
+}
+
 MatPipeline
 MatPipeline::compileKMeans(const ir::ModelIr &model)
 {
@@ -386,7 +398,9 @@ MatPipeline::walkChunk(const std::int32_t *const *rows, std::size_t count,
                        int *labels, std::uint8_t *written,
                        std::uint32_t *lookup, std::int32_t *keys) const
 {
-    const kernels::KernelOps &ops = kernels::KernelDispatch::ops();
+    const kernels::KernelOps &ops =
+        forcedOps_ != nullptr ? *forcedOps_
+                              : kernels::KernelDispatch::ops();
     std::fill(accumulators, accumulators + count * numClasses_,
               std::int64_t{0});
     std::fill(states, states + count, 0);

@@ -154,6 +154,24 @@ class MatPipeline
     const std::vector<MatTable> &tables() const { return tables_; }
     const common::FixedPointFormat &format() const { return format_; }
 
+    /**
+     * Pin this pipeline's batched walk to one kernel target instead of
+     * the process-wide KernelDispatch resolution — the MAT mirror of
+     * ExecutablePlan::forceKernelTarget, so differential harnesses can
+     * run a scalar-pinned pipeline next to a vectorized one in the
+     * same process without the global KernelDispatch::force()/reset()
+     * dance (which is process-wide state and races any concurrent
+     * batch). Labels never change; only the instruction mix does.
+     * @throws std::runtime_error when the target is unavailable here.
+     */
+    void forceKernelTarget(kernels::KernelTarget target);
+
+    /** The pinned table, or nullptr when following KernelDispatch. */
+    const kernels::KernelOps *forcedKernels() const
+    {
+        return forcedOps_;
+    }
+
   private:
     explicit MatPipeline(common::FixedPointFormat format)
         : format_(format), narrow_(format.totalBits() <= 16)
@@ -198,6 +216,10 @@ class MatPipeline
      *  vectorized distance kernel is exact (wide formats keep the
      *  int64 scalar loop). */
     bool narrow_ = true;
+    /** Pinned kernel table (forceKernelTarget); nullptr = follow the
+     *  process-wide KernelDispatch. Points at immutable static data,
+     *  so copies of the pipeline share it safely. */
+    const kernels::KernelOps *forcedOps_ = nullptr;
 };
 
 }  // namespace homunculus::backends

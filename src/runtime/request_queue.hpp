@@ -1,7 +1,8 @@
 /**
  * @file
  * RequestQueue: multi-lane bounded admission queue with per-lane
- * size-or-deadline batching and pluggable backpressure.
+ * size-or-deadline batching, pluggable backpressure, and a lock-free
+ * submit path.
  *
  * The serving path's front door. StreamHarness replays a whole trace in
  * fixed micro-batches — fine for throughput measurement, useless under
@@ -20,22 +21,20 @@
  *  - size-or-deadline flush per lane: a lane becomes ready the moment
  *    it reaches maxBatch rows OR its oldest queued request has waited
  *    maxDelay. pop() releases the highest-priority ready lane (strict
- *    priority among ready lanes; within a lane, arrival order — which
- *    is earliest-deadline order, since a lane has one delay budget).
- *    When no lane is ready, the consumer sleeps until the earliest
- *    pending deadline across all lanes.
+ *    priority among ready lanes by default; QueueConfig::fairnessAgingUs
+ *    lets a badly overdue lower-priority lane preempt, so sustained
+ *    probe load cannot starve bulk lanes forever). When no lane is
+ *    ready, the consumer sleeps until the earliest pending deadline.
  *  - backpressure, three ways (BackpressureMode):
  *      kShed            — pushes beyond a lane's maxDepth are rejected
  *                         at the door (counted). The system degrades by
  *                         dropping, not by serving everyone late.
  *      kBlockWithTimeout— the producer waits up to blockTimeoutUs for
- *                         space in its lane; a consumer flush wakes
- *                         blocked producers, who then compete with
- *                         fresh arrivals for the freed space (no FIFO
- *                         guarantee among concurrent producers — a
- *                         late pusher can admit while an early one is
- *                         still waking). A push that times out is
- *                         shed.
+ *                         space in its lane. Blocked producers are
+ *                         granted freed space strictly in arrival
+ *                         order (deterministic FIFO — a late pusher
+ *                         can no longer admit while an early one is
+ *                         still waking). A push that times out is shed.
  *      kEarlyDrop       — admission never blocks and the lane depth
  *                         still bounds memory, but additionally rows
  *                         that are already hopelessly late at flush
@@ -48,24 +47,50 @@
  *    lane first) and then reports exhaustion, so shutdown loses nothing
  *    that was admitted.
  *
- * A single-lane queue in kShed mode is exactly the PR 4 queue — same
- * flush decisions, same counters — so existing callers see identical
- * behavior through the one-policy constructor.
+ * Submit fast path (the scale-out redesign): push() takes NO lock.
+ * Admission control is an atomic per-lane depth ticket (fetch_add,
+ * undone when the lane is over depth), and the row itself lands in a
+ * per-lane lock-free MPSC ring (see mpsc_ring.hpp) with one CAS slot
+ * reservation — so N submitting cores no longer serialize on one mutex
+ * line, and submit-path p99 stays flat as producers are added. The
+ * mutex + condition variables survive only at the two edges the issue
+ * carves out:
  *
- * Thread model: any number of producers push(); consumers pop() (one is
- * typical — runtime::Server's batcher thread). All counters are
- * internally synchronized.
+ *   - consumer sleep: when no lane is ready the consumer parks on
+ *     readyCv_. Producers detect a sleeping consumer via a flag with a
+ *     seq_cst fence on each side (store-buffering pattern: either the
+ *     producer observes the flag and notifies, or the consumer's
+ *     post-flag recheck observes the published row — a wakeup can
+ *     never be lost), and only then touch the mutex.
+ *   - blocked producers (kBlockWithTimeout): waiters register in a
+ *     FIFO list under the mutex; the consumer transfers freed depth
+ *     tickets to the waiters at the head of the list, in arrival
+ *     order, before returning the remainder to the door.
+ *
+ * The consumer drains the rings into per-lane staging deques and makes
+ * all flush decisions there, single-threaded — so batch composition,
+ * flush accounting, and early-drop behavior are bit-identical to the
+ * mutex queue's, and deterministic for a given arrival order.
+ *
+ * Thread model: any number of producers push(); exactly ONE consumer
+ * thread pop()s (runtime::Server's batcher — the single-consumer
+ * contract the MPSC ring encodes). Counters and depths are atomics,
+ * readable from any thread.
  */
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
+
+#include "runtime/mpsc_ring.hpp"
 
 namespace homunculus::runtime {
 
@@ -151,6 +176,19 @@ struct QueueConfig
      *  microseconds (clamped to kMaxQueueDelayUs). */
     std::uint64_t blockTimeoutUs = 10'000;
     /**
+     * Lane-fairness aging budget in microseconds. 0 (the default)
+     * keeps strict priority among ready lanes — the historical
+     * behavior, where a continuously ready lane 0 starves everyone
+     * below it. When > 0, a ready lane whose oldest row is overdue
+     * (past the lane's own maxDelay) by more than this budget is
+     * released ahead of higher-priority ready lanes, most-overdue lane
+     * first — bounded priority inversion instead of unbounded
+     * starvation. Flushes won this way are tagged in
+     * QueueCounters::agedFlushes (they also count under their flush
+     * reason as usual).
+     */
+    std::uint64_t fairnessAgingUs = 0;
+    /**
      * Optional early-drop sink, so producers can retry or degrade
      * instead of discovering drops via counters. Invoked from the
      * consumer's pop() with no queue lock held — safe to call back
@@ -207,6 +245,9 @@ struct QueueCounters
     std::uint64_t sizeFlushes = 0;
     std::uint64_t deadlineFlushes = 0;
     std::uint64_t drainFlushes = 0;
+    /** Flushes a lower-priority lane won via fairness aging (each also
+     *  counts under its flush reason above). */
+    std::uint64_t agedFlushes = 0;
 
     /** Field-wise sum — the single place the field list is walked, so
      *  the all-lane aggregate cannot drift when a counter is added. */
@@ -220,6 +261,7 @@ struct QueueCounters
         sizeFlushes += other.sizeFlushes;
         deadlineFlushes += other.deadlineFlushes;
         drainFlushes += other.drainFlushes;
+        agedFlushes += other.agedFlushes;
         return *this;
     }
 };
@@ -236,9 +278,11 @@ class RequestQueue
      * Admit one request into @p lane (its enqueuedAt and lane are
      * stamped here). Returns kAdmitted when queued; otherwise the
      * request is not retained and the outcome is counted against the
-     * lane. In kBlockWithTimeout mode a push to a full lane waits up to
-     * blockTimeoutUs for a flush to free space (close() also wakes it,
-     * to fail fast). Throws std::out_of_range for an unknown lane.
+     * lane. Lock-free in kShed/kEarlyDrop modes and whenever the lane
+     * has space. In kBlockWithTimeout mode a push to a full lane waits
+     * up to blockTimeoutUs for a flush to free space — waiters admit
+     * in arrival order — and close() wakes it, to fail fast. Throws
+     * std::out_of_range for an unknown lane.
      */
     Admission push(Request request, std::size_t lane = 0);
 
@@ -246,11 +290,12 @@ class RequestQueue
      * Block until some lane releases a batch: maxBatch rows pending,
      * its oldest pending row maxDelay old, or close() with rows left
      * (drain; final batches may be partial). The highest-priority ready
-     * lane wins; batches preserve arrival order within their lane. In
-     * kEarlyDrop mode, rows older than their lane's dropAfterUs are
-     * removed (and counted) before the batch is formed; a flush whose
-     * rows all dropped is not returned — pop() keeps going. Returns
-     * nullopt once closed and fully drained.
+     * lane wins (subject to fairness aging — see QueueConfig); batches
+     * preserve arrival order within their lane. In kEarlyDrop mode,
+     * rows older than their lane's dropAfterUs are removed (and
+     * counted) before the batch is formed; a flush whose rows all
+     * dropped is not returned — pop() keeps going. Returns nullopt
+     * once closed and fully drained. Single consumer thread only.
      */
     std::optional<RequestBatch> pop();
 
@@ -271,14 +316,54 @@ class RequestQueue
     const QueueConfig &config() const { return config_; }
 
   private:
-    struct Lane
+    /** Lock-free counter cells, one set per lane; counters() folds
+     *  them into the plain QueueCounters snapshot struct. */
+    struct AtomicCounters
     {
-        std::deque<Request> pending;
-        QueueCounters counters;
+        std::atomic<std::uint64_t> accepted{0};
+        std::atomic<std::uint64_t> shed{0};
+        std::atomic<std::uint64_t> blockTimeouts{0};
+        std::atomic<std::uint64_t> earlyDropped{0};
+        std::atomic<std::uint64_t> rejectedClosed{0};
+        std::atomic<std::uint64_t> sizeFlushes{0};
+        std::atomic<std::uint64_t> deadlineFlushes{0};
+        std::atomic<std::uint64_t> drainFlushes{0};
+        std::atomic<std::uint64_t> agedFlushes{0};
+
+        QueueCounters snapshot() const;
     };
 
-    /** One flush-time drop, recorded under the mutex and reported to
-     *  config_.onDrop only after it is released. */
+    /** One producer parked in kBlockWithTimeout mode, queued on the
+     *  lane's FIFO waiter list (guarded by mutex_). The consumer
+     *  transfers a freed depth ticket by setting granted. */
+    struct BlockedWaiter
+    {
+        bool granted = false;
+    };
+
+    struct Lane
+    {
+        /** The lock-free admission path: producers publish here. */
+        std::unique_ptr<MpscRing<Request>> ring;
+        /** Consumer-private: rows drained from the ring, awaiting a
+         *  flush decision. Never touched by producers. */
+        std::deque<Request> staged;
+        /** FIFO of blocked producers (kBlockWithTimeout), arrival
+         *  order; guarded by mutex_. */
+        std::deque<BlockedWaiter *> waiters;
+        /**
+         * Admission tickets: one per row between door and flush (ring
+         * + staged + block-granted-but-not-yet-published). fetch_add
+         * at the door, undone when over maxDepth — so shed decisions
+         * are exact even under contention, and the ring (sized >=
+         * maxDepth) can never be lapped by admitted rows.
+         */
+        std::atomic<std::size_t> depthTickets{0};
+        AtomicCounters counters;
+    };
+
+    /** One flush-time drop, recorded while forming a batch and
+     *  reported to config_.onDrop afterwards (never under any lock). */
     struct DroppedRow
     {
         std::uint64_t ticket = 0;
@@ -286,32 +371,70 @@ class RequestQueue
         std::uint64_t waitedUs = 0;
     };
 
-    /** Pop up to maxBatch pending rows of @p lane as one batch,
-     *  applying kEarlyDrop's late filter (recording each drop into
-     *  @p dropped when onDrop is bound) and counting the flush
-     *  reason; requires the mutex held. The batch can come back empty
-     *  when every row had already aged out. */
-    RequestBatch takeBatchLocked(std::size_t lane, FlushReason reason,
-                                 std::vector<DroppedRow> &dropped);
+    /** Clamp knobs + materialize the default lane (shared by both
+     *  constructors; runs before lanes_ is sized off the config). */
+    static QueueConfig normalizeConfig(QueueConfig config);
 
-    /** Release @p lock, deliver @p dropped to onDrop, clear it, and
-     *  re-acquire — callbacks never run under the queue mutex. No-op
-     *  (lock kept) when there is nothing to report. */
-    void fireDropsLocked(std::unique_lock<std::mutex> &lock,
-                         std::vector<DroppedRow> &dropped);
+    /** Stamp @p request and publish it into @p lane's ring. Spins
+     *  (with consumer wakeups) on the transient-full window, then
+     *  counts the admission and wakes a sleeping consumer. */
+    void publishAdmitted(std::size_t lane, Request request);
 
-    /** Highest-priority lane that is size- or deadline-ready at
-     *  @p now, or npos. Requires the mutex held. */
-    std::size_t readyLaneLocked(
-        std::chrono::steady_clock::time_point now,
-        FlushReason &reason) const;
+    /** kBlockWithTimeout slow path: join the lane's FIFO waiter list
+     *  and wait for a transferred ticket, a timeout, or close(). */
+    Admission pushBlocking(Request request, std::size_t lane);
+
+    /** Return @p freed depth tickets to @p lane. In block mode the
+     *  head waiters get them first (FIFO grants, under the mutex);
+     *  everything ungranted goes back to the door. */
+    void releaseSpace(std::size_t lane, std::size_t freed);
+
+    /** Notify the consumer iff it parked (seq_cst-fence handshake
+     *  against the sleeping_ flag — see the file comment). */
+    void wakeConsumer();
+
+    /** Move every published row from the rings into the staging
+     *  deques (consumer only). */
+    void drainRings();
+
+    /** True when no lane's ring has a poppable row (consumer only). */
+    bool ringsEmpty() const;
+
+    /** Outstanding depth tickets across all lanes. */
+    std::size_t totalTickets() const;
+
+    /** The staged lane pop() should release at @p now, or kNoLane:
+     *  highest-priority ready lane, preempted by the most-overdue
+     *  starving lane when fairness aging is on (@p aged reports the
+     *  preemption so the flush can be tagged). Consumer only. */
+    std::size_t readyLane(std::chrono::steady_clock::time_point now,
+                          FlushReason &reason, bool &aged) const;
+
+    /** Form a batch from @p lane's staging deque: early-drop filter,
+     *  up to maxBatch rows, flush accounting, ticket release.
+     *  Consumer only; can come back empty when every row aged out. */
+    RequestBatch takeBatch(std::size_t lane, FlushReason reason,
+                           bool aged, std::vector<DroppedRow> &dropped);
+
+    /** Deliver @p dropped to onDrop (no lock held) and clear it. */
+    void fireDrops(std::vector<DroppedRow> &dropped);
+
+    /** Park until a producer or close() signals, or until @p earliest
+     *  (the soonest staged deadline) when one exists. */
+    void sleepUntilWork(bool any_pending,
+                        std::chrono::steady_clock::time_point earliest);
 
     QueueConfig config_;
-    mutable std::mutex mutex_;
-    std::condition_variable readyCv_;   ///< consumers wait here.
-    std::condition_variable spaceCv_;   ///< blocked producers wait here.
     std::vector<Lane> lanes_;
-    bool closed_ = false;
+    std::atomic<bool> closed_{false};
+    /** True while the consumer is parked on readyCv_ — the producer
+     *  side of the lost-wakeup handshake. */
+    std::atomic<bool> sleeping_{false};
+    /** Guards: consumer sleep transitions, waiter lists, block-mode
+     *  ticket grants. Never taken on the lock-free admit path. */
+    mutable std::mutex mutex_;
+    std::condition_variable readyCv_;   ///< the consumer waits here.
+    std::condition_variable spaceCv_;   ///< blocked producers wait here.
 };
 
 }  // namespace homunculus::runtime

@@ -42,6 +42,7 @@ Server::makeQueueConfig()
                        config_.extraLanes.end());
     queue.backpressure = config_.backpressure;
     queue.blockTimeoutUs = config_.blockTimeoutUs;
+    queue.fairnessAgingUs = config_.fairnessAgingUs;
     if (config_.onDrop) {
         // Guard the user's drop sink like every other callback: it runs
         // on the batcher thread inside pop(), where a throw used to be
@@ -86,6 +87,7 @@ Server::Server(InferenceEngine engine, ServerConfig config,
                                  : &faults::FaultInjector::global()),
       queue_(makeQueueConfig()), startedAt_(Clock::now())
 {
+    nextId_.store(config_.ticketBase != 0 ? config_.ticketBase : 1);
     inputDim_ = engine_->plan().inputDim();
     if (scaler_ && !scaler_->fitted())
         throw std::runtime_error("Server: scaler is not fitted");
@@ -107,6 +109,7 @@ Server::Server(std::shared_ptr<ModelRegistry> registry, RouteConfig route,
 {
     // The Router constructor validates the spec (models loaded, shared
     // input width, rule labels in range) before any thread starts.
+    nextId_.store(config_.ticketBase != 0 ? config_.ticketBase : 1);
     router_.emplace(registry_, std::move(route));
     inputDim_ = router_->inputDim();
     laneTallies_.resize(queue_.lanes());
@@ -388,6 +391,8 @@ Server::stop()
             stats.p99RequestLatencyUs = math::percentileNearestRank(
                 requestLatenciesUs_.samples, 0.99);
         }
+        stats.batchLatencySamplesUs = batchLatenciesUs_.samples;
+        stats.requestLatencySamplesUs = requestLatenciesUs_.samples;
         stats.lanes.resize(queue_.lanes());
         for (std::size_t lane = 0; lane < queue_.lanes(); ++lane) {
             LaneStats &out = stats.lanes[lane];
@@ -402,6 +407,8 @@ Server::stop()
                 out.p99RequestLatencyUs = math::percentileNearestRank(
                     tally.requestLatenciesUs.samples, 0.99);
             }
+            out.requestLatencySamplesUs =
+                tally.requestLatenciesUs.samples;
         }
         if (router_) {
             const std::vector<std::string> &names = router_->models();
@@ -419,6 +426,7 @@ Server::stop()
                     out.p99StepLatencyUs = math::percentileNearestRank(
                         tally.stepLatenciesUs.samples, 0.99);
                 }
+                out.stepLatencySamplesUs = tally.stepLatenciesUs.samples;
                 BreakerSnapshot breaker = router_->breaker(m);
                 out.breakerState = breakerStateName(breaker.state);
                 out.breakerOpens = breaker.opens;

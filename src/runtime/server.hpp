@@ -91,6 +91,19 @@ struct ServerConfig
      *  be split in half before its rows fail. 0 fails the whole batch
      *  on first throw; log2(maxBatch) isolates single poison rows. */
     std::size_t retryDepth = 0;
+    /** Lane-fairness aging budget (µs) for the queue: 0 keeps strict
+     *  priority; > 0 lets a lane overdue past its own deadline by this
+     *  much preempt higher-priority ready lanes. See
+     *  QueueConfig::fairnessAgingUs. */
+    std::uint64_t fairnessAgingUs = 0;
+    /**
+     * First ticket value this server issues (tickets count up from
+     * here). The default matches the historical "tickets start at 1".
+     * ShardedServer hands each shard a disjoint high-bits namespace
+     * (shard index << 48) so tickets stay globally unique — and
+     * shard-recoverable — after stats merge.
+     */
+    std::uint64_t ticketBase = 1;
     /** Fault injector consulted at the serving sites ("engine.run",
      *  "queue.flush", "router.hop", "callback.dispatch"). nullptr uses
      *  the process-global injector (HOMUNCULUS_FAULTS) — which is
@@ -132,6 +145,10 @@ struct LaneStats
     std::size_t batches = 0;
     double p50RequestLatencyUs = 0.0;  ///< admission -> verdict.
     double p99RequestLatencyUs = 0.0;
+    /** The lane's request-latency reservoir snapshot (µs) — what the
+     *  percentiles above were computed from; ShardedServer concatenates
+     *  these across shards to recompute merged percentiles. */
+    std::vector<double> requestLatencySamplesUs;
 };
 
 /** Per-model slice of a routed serving run (valid after stop();
@@ -145,6 +162,8 @@ struct ModelStats
     std::size_t batches = 0;          ///< model executions (DAG steps).
     double p50StepLatencyUs = 0.0;    ///< engine time per execution.
     double p99StepLatencyUs = 0.0;
+    /** Step-latency reservoir snapshot (µs), for cross-shard merging. */
+    std::vector<double> stepLatencySamplesUs;
     /** Circuit-breaker slice at stop() time (all-zero / "closed" when
      *  breakers are disabled). */
     std::string breakerState = "closed";
@@ -182,6 +201,15 @@ struct ServerStats
     std::size_t callbackErrors = 0;  ///< throwing user callbacks caught.
     std::size_t deadlineTruncated = 0;  ///< chain hops skipped (routed).
     std::size_t fallbackRows = 0;    ///< breaker-fallback rows (routed).
+    /**
+     * Latency reservoir snapshots (µs) the percentiles were computed
+     * from. ShardedServer::stop() concatenates them across shards and
+     * recomputes — exact whenever no shard overflowed its 64k
+     * reservoir (the common case), a shard-sample-weighted estimate
+     * beyond that.
+     */
+    std::vector<double> batchLatencySamplesUs;
+    std::vector<double> requestLatencySamplesUs;
     std::vector<LaneStats> lanes;      ///< one entry per lane.
     std::vector<ModelStats> models;    ///< routed servers only.
 };

@@ -262,7 +262,9 @@ TEST(HomcCli, EveryDocumentedFlagIsConsumed)
                      "--serve-retry-depth", "3",
                      "--serve-fallback", "a=b",
                      "--serve-breaker-threshold", "2",
-                     "--serve-deadline-us", "800"},
+                     "--serve-deadline-us", "800",
+                     "--serve-shards", "2",
+                     "--serve-aging-us", "150"},
                     options, errors),
               ht::ParseResult::kOk)
         << errors;
@@ -275,6 +277,8 @@ TEST(HomcCli, EveryDocumentedFlagIsConsumed)
     EXPECT_EQ(options.serveFallbacks.size(), 1u);
     EXPECT_EQ(options.serveBreakerThreshold, 2u);
     EXPECT_EQ(options.serveDeadlineUs, 800u);
+    EXPECT_EQ(options.serveShards, 2u);
+    EXPECT_EQ(options.serveAgingUs, 150u);
 }
 
 TEST(HomcCli, MisspelledBooleanFlagGetsAHintAndSwallowsNothing)
@@ -520,6 +524,70 @@ TEST(HomcCli, MisspelledFaultFlagGetsAHint)
                     options, errors),
               ht::ParseResult::kError);
     EXPECT_NE(errors.find("did you mean '--serve-fault'"),
+              std::string::npos)
+        << errors;
+}
+
+TEST(HomcCli, ServeShardAndAgingFlagsParseWithServe)
+{
+    ht::CliOptions options;
+    std::string errors;
+    ASSERT_EQ(parse({"--app", "tc", "--serve", "iot:10",
+                     "--serve-shards", "4",
+                     "--serve-aging-us", "250"},
+                    options, errors),
+              ht::ParseResult::kOk)
+        << errors;
+    EXPECT_EQ(options.serveShards, 4u);
+    EXPECT_EQ(options.serveAgingUs, 250u);
+}
+
+TEST(HomcCli, ZeroServeShardsIsRejected)
+{
+    ht::CliOptions options;
+    std::string errors;
+    EXPECT_EQ(parse({"--app", "tc", "--serve", "iot:10",
+                     "--serve-shards", "0"},
+                    options, errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(errors.find("at least 1 shard"), std::string::npos)
+        << errors;
+}
+
+TEST(HomcCli, ShardAndAgingFlagsRequireServe)
+{
+    ht::CliOptions options;
+    std::string errors;
+    EXPECT_EQ(parse({"--app", "tc", "--serve-shards", "2"}, options,
+                    errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(errors.find("require --serve"), std::string::npos)
+        << errors;
+
+    EXPECT_EQ(parse({"--app", "tc", "--serve-aging-us", "100"},
+                    options, errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(errors.find("require --serve"), std::string::npos)
+        << errors;
+
+    // --serve-shards 1 is the default single-server door; saying it
+    // explicitly without --serve stays harmless.
+    ht::CliOptions fresh;
+    EXPECT_EQ(parse({"--app", "tc", "--serve-shards", "1"}, fresh,
+                    errors),
+              ht::ParseResult::kOk)
+        << errors;
+}
+
+TEST(HomcCli, MisspelledShardFlagGetsAHint)
+{
+    ht::CliOptions options;
+    std::string errors;
+    EXPECT_EQ(parse({"--app", "tc", "--serve", "iot:10",
+                     "--serve-shard", "2"},
+                    options, errors),
+              ht::ParseResult::kError);
+    EXPECT_NE(errors.find("did you mean '--serve-shards'"),
               std::string::npos)
         << errors;
 }

@@ -421,8 +421,9 @@ TEST(KernelMat, BatchWalkMatchesPerRowOnEveryTarget)
             for (std::size_t r = 0; r < x.rows(); ++r)
                 per_row[r] = pipeline.process(x.row(r));
             for (hk::KernelTarget target : hk::KernelDispatch::available()) {
-                hk::KernelDispatch::reset();
-                hk::KernelDispatch::force(target);
+                // Per-pipeline pin (no process-global force/reset
+                // dance): only this pipeline's walk changes target.
+                pipeline.forceKernelTarget(target);
                 EXPECT_EQ(pipeline.processBatch(x), per_row)
                     << hi::modelKindName(model.kind) << " on "
                     << hk::kernelTargetName(target) << " (format Q"

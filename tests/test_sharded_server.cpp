@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Tests for runtime::ShardedServer, the scale-out serving front door:
+ * flow affinity (one flow key -> one shard, forever, with per-flow
+ * verdict order preserved), verdict bit-exactness against a single
+ * plan run, globally unique tickets with shard recovery, merged
+ * ServerStats (counters summed, percentiles recomputed from the
+ * concatenated reservoirs), consistent-hash spread across shards, and
+ * the routed (registry-backed) form. The multi-shard submit/verdict
+ * paths run under TSAN in CI (ShardedServer* is in the filter).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/feature_extract.hpp"
+#include "net/packet.hpp"
+#include "runtime/sharded_server.hpp"
+
+namespace hc = homunculus::common;
+namespace hi = homunculus::ir;
+namespace hm = homunculus::math;
+namespace hn = homunculus::net;
+namespace hr = homunculus::runtime;
+
+namespace {
+
+/** A small deterministic MLP of the given shape. */
+hi::ModelIr
+mlpModel(std::uint64_t seed, std::size_t input_dim, std::size_t classes)
+{
+    hc::Rng rng(seed);
+    hi::ModelIr model;
+    model.kind = hi::ModelKind::kMlp;
+    model.inputDim = input_dim;
+    model.numClasses = static_cast<int>(classes);
+    std::size_t prev = input_dim;
+    for (std::size_t width : {std::size_t{12}, classes}) {
+        hi::QuantizedLayer layer;
+        layer.inputDim = prev;
+        layer.outputDim = width;
+        layer.weights.resize(prev * width);
+        layer.biases.resize(width);
+        for (auto &w : layer.weights)
+            w = static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
+        for (auto &b : layer.biases)
+            b = static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
+        model.layers.push_back(std::move(layer));
+        prev = width;
+    }
+    model.validate();
+    return model;
+}
+
+/** Deterministic feature rows in the extractor-ish value range. */
+hm::Matrix
+featureRows(std::uint64_t seed, std::size_t rows, std::size_t cols)
+{
+    hc::Rng rng(seed);
+    hm::Matrix x(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            x(r, c) = rng.uniform(-2.0, 2.0);
+    return x;
+}
+
+/** Fast-flush sharded config: @p shards shards, no admission limit. */
+hr::ShardedServerConfig
+shardedConfig(std::size_t shards)
+{
+    hr::ShardedServerConfig config;
+    config.shards = shards;
+    config.server.queue.maxBatch = 32;
+    config.server.queue.maxDelayUs = 200;
+    config.server.queue.maxDepth = 0;
+    return config;
+}
+
+/** A parsed TCP packet with the given 5-tuple fields. */
+hn::RawPacket
+tuplePacket(std::uint32_t src_addr, std::uint32_t dst_addr,
+            std::uint16_t src_port, std::uint16_t dst_port)
+{
+    hn::RawPacket packet;
+    packet.ipv4.protocol = 6;  // TCP.
+    packet.ipv4.srcAddr = src_addr;
+    packet.ipv4.dstAddr = dst_addr;
+    hn::TcpHeader tcp;
+    tcp.srcPort = src_port;
+    tcp.dstPort = dst_port;
+    packet.tcp = tcp;
+    return packet;
+}
+
+}  // namespace
+
+TEST(ShardedServer, FlowKeyIsStablePerTupleAndSplitsDistinctFlows)
+{
+    auto a1 = hr::flowKey(tuplePacket(0x0a000001, 0x0a000002, 443, 5000));
+    auto a2 = hr::flowKey(tuplePacket(0x0a000001, 0x0a000002, 443, 5000));
+    EXPECT_EQ(a1, a2);  // frames of one flow share the key.
+    EXPECT_NE(a1, hr::flowKey(tuplePacket(0x0a000001, 0x0a000002, 443,
+                                          5001)));  // port differs.
+    EXPECT_NE(a1, hr::flowKey(tuplePacket(0x0a000003, 0x0a000002, 443,
+                                          5000)));  // address differs.
+}
+
+TEST(ShardedServer, ConsistentHashSpreadsFlowsAcrossEveryShard)
+{
+    auto model = mlpModel(3, 4, 3);
+    hr::ShardedServer server(hr::InferenceEngine::fromModel(model, {}),
+                             shardedConfig(4));
+    ASSERT_EQ(server.shards(), 4u);
+
+    std::vector<std::size_t> flows_per_shard(4, 0);
+    constexpr std::size_t kFlows = 1000;
+    for (std::uint64_t key = 0; key < kFlows; ++key) {
+        std::size_t shard = server.shardFor(key);
+        ASSERT_LT(shard, 4u);
+        EXPECT_EQ(server.shardFor(key), shard);  // stable per key.
+        ++flows_per_shard[shard];
+    }
+    // splitmix64 placement: every shard owns a healthy slice — no
+    // empty shard, no shard hoarding most of the key space.
+    for (std::size_t shard = 0; shard < 4; ++shard) {
+        EXPECT_GT(flows_per_shard[shard], kFlows / 20);
+        EXPECT_LT(flows_per_shard[shard], (kFlows * 6) / 10);
+    }
+    server.stop();
+}
+
+TEST(ShardedServer, FlowAffinityKeepsPerFlowVerdictOrderOnOneShard)
+{
+    auto model = mlpModel(5, 4, 3);
+    constexpr std::size_t kFlows = 24;
+    constexpr std::size_t kRowsPerFlow = 40;
+
+    // The callback only records raw tickets: a shard's batcher can
+    // serve a row before submit() even returns to this thread, so the
+    // ticket -> (flow, seq) resolution has to wait until after stop().
+    std::mutex mutex;
+    std::map<std::uint64_t, std::pair<std::uint64_t, std::size_t>> sent;
+    std::vector<std::uint64_t> served;
+    hr::ShardedServer server(
+        hr::InferenceEngine::fromModel(model, {}), shardedConfig(4),
+        [&](const hr::Request &request, int) {
+            std::lock_guard<std::mutex> lock(mutex);
+            served.push_back(request.id);
+        });
+
+    hm::Matrix x = featureRows(7, kRowsPerFlow, 4);
+    std::set<std::uint64_t> tickets;
+    for (std::size_t seq = 0; seq < kRowsPerFlow; ++seq)
+        for (std::uint64_t flow = 0; flow < kFlows; ++flow) {
+            std::uint64_t key = 0x9000 + flow * 131;
+            hr::SubmitResult result = server.submit(key, x.row(seq));
+            ASSERT_TRUE(result.admitted());
+            // The ticket's high bits name the issuing shard, which must
+            // be the flow's ring owner; tickets never collide across
+            // shards.
+            EXPECT_EQ(hr::ShardedServer::shardOfTicket(result.ticket),
+                      server.shardFor(key));
+            EXPECT_TRUE(tickets.insert(result.ticket).second);
+            std::lock_guard<std::mutex> lock(mutex);
+            sent[result.ticket] = {flow, seq};
+        }
+    server.stop();
+
+    std::map<std::uint64_t, std::vector<std::size_t>> arrival_order;
+    for (std::uint64_t ticket : served) {
+        auto [flow, seq] = sent.at(ticket);
+        arrival_order[flow].push_back(seq);
+    }
+
+    // One flow -> one shard -> one batcher: each flow's verdicts come
+    // back in exactly its submission order, with nothing lost.
+    ASSERT_EQ(arrival_order.size(), kFlows);
+    for (const auto &[flow, order] : arrival_order) {
+        ASSERT_EQ(order.size(), kRowsPerFlow) << "flow " << flow;
+        for (std::size_t seq = 0; seq < kRowsPerFlow; ++seq)
+            ASSERT_EQ(order[seq], seq) << "flow " << flow
+                                       << " reordered";
+    }
+}
+
+TEST(ShardedServer, VerdictsBitIdenticalToOnePlanRun)
+{
+    auto model = mlpModel(11, 4, 3);
+    constexpr std::size_t kRows = 2000;
+    hm::Matrix x = featureRows(13, kRows, 4);
+
+    std::mutex mutex;
+    std::map<std::uint64_t, int> verdicts;
+    hr::ShardedServer server(
+        hr::InferenceEngine::fromModel(model, {}), shardedConfig(3),
+        [&](const hr::Request &request, int verdict) {
+            std::lock_guard<std::mutex> lock(mutex);
+            verdicts[request.id] = verdict;
+        });
+
+    std::map<std::uint64_t, std::size_t> ticket_row;
+    for (std::size_t r = 0; r < kRows; ++r) {
+        // Many distinct flows so every shard serves a slice.
+        hr::SubmitResult result = server.submit(r * 2654435761u, x.row(r));
+        ASSERT_TRUE(result.admitted());
+        ticket_row[result.ticket] = r;
+    }
+    hr::ServerStats stats = server.stop();
+
+    // Sharding is a routing decision, never a verdict decision: every
+    // row classifies exactly as one plan run over the same matrix.
+    std::vector<int> reference =
+        hr::InferenceEngine::fromModel(model, {}).run(x);
+    ASSERT_EQ(verdicts.size(), kRows);
+    for (const auto &[ticket, row] : ticket_row)
+        ASSERT_EQ(verdicts.at(ticket), reference[row]) << "row " << row;
+    EXPECT_EQ(stats.rowsServed, kRows);
+}
+
+TEST(ShardedServer, StopMergesShardStatsAndKeepsPerShardSlices)
+{
+    auto model = mlpModel(17, 4, 3);
+    constexpr std::size_t kRows = 600;
+    hm::Matrix x = featureRows(19, kRows, 4);
+
+    hr::ShardedServer server(hr::InferenceEngine::fromModel(model, {}),
+                             shardedConfig(4));
+    for (std::size_t r = 0; r < kRows; ++r)
+        ASSERT_TRUE(server.submit(r * 0x9e3779b9u, x.row(r)).admitted());
+    // Malformed frames are counted at the sharded front door — no
+    // shard ever sees an unparseable frame.
+    EXPECT_EQ(server.submitFrame({0xde, 0xad}).status,
+              hr::SubmitStatus::kMalformed);
+
+    hr::ServerStats merged = server.stop();
+    const std::vector<hr::ServerStats> &per_shard = server.shardStats();
+    ASSERT_EQ(per_shard.size(), 4u);
+
+    std::size_t rows_sum = 0, batches_sum = 0, accepted_sum = 0;
+    for (const hr::ServerStats &shard : per_shard) {
+        rows_sum += shard.rowsServed;
+        batches_sum += shard.batches;
+        accepted_sum += shard.queue.accepted;
+    }
+    EXPECT_EQ(merged.rowsServed, kRows);
+    EXPECT_EQ(rows_sum, kRows);
+    EXPECT_EQ(merged.batches, batches_sum);
+    EXPECT_EQ(merged.queue.accepted, accepted_sum);
+    EXPECT_EQ(merged.malformedFrames, 1u);
+    EXPECT_GT(merged.p50RequestLatencyUs, 0.0);
+    EXPECT_GE(merged.p99RequestLatencyUs, merged.p50RequestLatencyUs);
+    EXPECT_GT(merged.p50BatchLatencyUs, 0.0);
+    // The merged percentiles come from the concatenated reservoirs.
+    EXPECT_EQ(merged.requestLatencySamplesUs.size(), kRows);
+
+    // stop() is idempotent and keeps returning the merged view.
+    EXPECT_EQ(server.stop().rowsServed, kRows);
+}
+
+TEST(ShardedServer, RoutedShardsShareTheRegistryAndLaneBindings)
+{
+    hi::ModelIr a_ir = mlpModel(31, 4, 3);
+    hi::ModelIr b_ir = mlpModel(32, 4, 3);
+    auto registry = std::make_shared<hr::ModelRegistry>();
+    registry->load("a", a_ir);
+    registry->load("b", b_ir);
+
+    hr::RouteConfig route;
+    route.defaultModel = "a";
+    route.laneModels = {"a", "b"};
+
+    hr::ShardedServerConfig config = shardedConfig(2);
+    config.server.extraLanes = {config.server.queue};
+
+    std::mutex mutex;
+    std::map<std::uint64_t, int> verdicts;
+    hr::ShardedServer server(
+        registry, route, config,
+        [&](const hr::Request &request, int verdict) {
+            std::lock_guard<std::mutex> lock(mutex);
+            verdicts[request.id] = verdict;
+        });
+
+    hm::Matrix x0 = featureRows(41, 120, 4);
+    hm::Matrix x1 = featureRows(42, 80, 4);
+    std::map<std::uint64_t, std::size_t> ticket_row0, ticket_row1;
+    for (std::size_t r = 0; r < x0.rows(); ++r)
+        ticket_row0[server.submit(r * 7919u, x0.row(r), 0).ticket] = r;
+    for (std::size_t r = 0; r < x1.rows(); ++r)
+        ticket_row1[server.submit(r * 104729u, x1.row(r), 1).ticket] = r;
+    hr::ServerStats stats = server.stop();
+
+    // Each lane's rows ran its bound model on whichever shard owned
+    // the flow; merged model slices sum across shards.
+    std::vector<int> ref0 = hr::InferenceEngine::fromModel(a_ir, {}).run(x0);
+    std::vector<int> ref1 = hr::InferenceEngine::fromModel(b_ir, {}).run(x1);
+    ASSERT_EQ(verdicts.size(), x0.rows() + x1.rows());
+    for (const auto &[ticket, row] : ticket_row0)
+        EXPECT_EQ(verdicts.at(ticket), ref0[row]);
+    for (const auto &[ticket, row] : ticket_row1)
+        EXPECT_EQ(verdicts.at(ticket), ref1[row]);
+
+    ASSERT_EQ(stats.models.size(), 2u);
+    EXPECT_EQ(stats.models[0].name, "a");
+    EXPECT_EQ(stats.models[0].rowsServed, x0.rows());
+    EXPECT_EQ(stats.models[1].name, "b");
+    EXPECT_EQ(stats.models[1].rowsServed, x1.rows());
+    ASSERT_EQ(stats.lanes.size(), 2u);
+    EXPECT_EQ(stats.lanes[0].rowsServed, x0.rows());
+    EXPECT_EQ(stats.lanes[1].rowsServed, x1.rows());
+}
+
+TEST(ShardedServer, WireFramesRouteByFiveTupleWithVerdictsServed)
+{
+    auto model = mlpModel(23, hn::kNumTcFeatures, 4);
+    hn::IotPacketConfig packet_config;
+    packet_config.numPackets = 200;
+    packet_config.seed = 7;
+
+    std::mutex mutex;
+    std::size_t delivered = 0;
+    hr::ShardedServer server(
+        hr::InferenceEngine::fromModel(model, {}), shardedConfig(2),
+        [&](const hr::Request &, int) {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++delivered;
+        });
+
+    for (const auto &labeled : hn::generateIotPackets(packet_config)) {
+        hr::SubmitResult result =
+            server.submitFrame(hn::serialize(labeled.packet));
+        ASSERT_TRUE(result.admitted());
+        // The frame's ticket shard matches its parsed flow key's ring
+        // owner — frames of one flow serialize onto one batcher.
+        EXPECT_EQ(hr::ShardedServer::shardOfTicket(result.ticket),
+                  server.shardFor(hr::flowKey(labeled.packet)));
+    }
+    hr::ServerStats stats = server.stop();
+    EXPECT_EQ(stats.rowsServed, 200u);
+    EXPECT_EQ(stats.malformedFrames, 0u);
+    EXPECT_EQ(delivered, 200u);
+}

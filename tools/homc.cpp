@@ -53,6 +53,7 @@
 #include "kernels/kernel_dispatch.hpp"
 #include "ir/serialize.hpp"
 #include "runtime/server.hpp"
+#include "runtime/sharded_server.hpp"
 #include "runtime/stream_harness.hpp"
 
 namespace {
@@ -336,6 +337,39 @@ printFaultSummary(const runtime::ServerStats &stats)
     std::cout << "\n";
 }
 
+/** Per-shard stats lines both serving modes print after stop() when
+ *  --serve-shards splits the front door. */
+void
+printShardLines(const runtime::ShardedServer &server)
+{
+    const std::vector<runtime::ServerStats> &per_shard =
+        server.shardStats();
+    for (std::size_t shard = 0; shard < per_shard.size(); ++shard) {
+        const runtime::ServerStats &ss = per_shard[shard];
+        std::cout << common::format(
+            "shard %zu   : served %zu rows in %zu batches (%llu shed, "
+            "%llu dropped), request p50 %.1f us / p99 %.1f us\n",
+            shard, ss.rowsServed, ss.batches,
+            static_cast<unsigned long long>(ss.queue.shed),
+            static_cast<unsigned long long>(ss.queue.earlyDropped),
+            ss.p50RequestLatencyUs, ss.p99RequestLatencyUs);
+    }
+}
+
+/** The serve-header shards/aging lines (only when the knobs are on). */
+void
+printScaleOutLines(const CliOptions &options)
+{
+    if (options.serveShards > 1)
+        std::cout << common::format(
+            "shards    : %zu (flow-affine 5-tuple consistent hashing)\n",
+            options.serveShards);
+    if (options.serveAgingUs != 0)
+        std::cout << common::format(
+            "aging     : %llu us lane-fairness budget\n",
+            static_cast<unsigned long long>(options.serveAgingUs));
+}
+
 /**
  * Async serving mode: feed the trace into runtime::Server as an
  * open-loop arrival process at --serve-rate rows/s (0 = as fast as
@@ -365,6 +399,7 @@ runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
             lane, lanes[lane].maxBatch,
             static_cast<unsigned long long>(lanes[lane].maxDelayUs),
             lanes[lane].maxDepth);
+    printScaleOutLines(options);
 
     std::string scaler_provenance;
     std::optional<ml::StandardScaler> scaler =
@@ -382,18 +417,32 @@ runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
     server_config.backpressure = options.serveBackpressure;
     server_config.blockTimeoutUs = options.serveBlockTimeoutUs;
     server_config.retryDepth = options.serveRetryDepth;
+    server_config.fairnessAgingUs = options.serveAgingUs;
     armServeFaults(options);
 
     std::mutex verdict_mutex;
     std::map<int, std::size_t> verdict_counts;
-    runtime::Server server(
-        runtime::InferenceEngine::fromModel(model, engine_options),
-        server_config,
-        [&](const runtime::Request &, int verdict) {
-            std::lock_guard<std::mutex> lock(verdict_mutex);
-            ++verdict_counts[verdict];
-        },
-        std::move(scaler));
+    auto on_verdict = [&](const runtime::Request &, int verdict) {
+        std::lock_guard<std::mutex> lock(verdict_mutex);
+        ++verdict_counts[verdict];
+    };
+    // --serve-shards > 1 swaps the single Server for a ShardedServer
+    // front door; frames still enter via submitFrame, which keys each
+    // one by its 5-tuple so a flow sticks to one shard.
+    std::unique_ptr<runtime::Server> server;
+    std::unique_ptr<runtime::ShardedServer> sharded;
+    if (options.serveShards > 1) {
+        runtime::ShardedServerConfig sharded_config;
+        sharded_config.shards = options.serveShards;
+        sharded_config.server = server_config;
+        sharded = std::make_unique<runtime::ShardedServer>(
+            runtime::InferenceEngine::fromModel(model, engine_options),
+            sharded_config, on_verdict, std::move(scaler));
+    } else {
+        server = std::make_unique<runtime::Server>(
+            runtime::InferenceEngine::fromModel(model, engine_options),
+            server_config, on_verdict, std::move(scaler));
+    }
 
     using Clock = std::chrono::steady_clock;
     auto started = Clock::now();
@@ -408,9 +457,14 @@ runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
                                          options.serveRate));
             std::this_thread::sleep_until(due);
         }
-        server.submitFrame(frames[i], tools::laneForFrame(i, options));
+        std::size_t lane = tools::laneForFrame(i, options);
+        if (sharded)
+            sharded->submitFrame(frames[i], lane);
+        else
+            server->submitFrame(frames[i], lane);
     }
-    runtime::ServerStats stats = server.stop();
+    runtime::ServerStats stats = sharded ? sharded->stop()
+                                         : server->stop();
 
     std::cout << common::format(
         "admitted  : %llu rows (%llu shed, %llu early-dropped, "
@@ -441,6 +495,8 @@ runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
                 static_cast<unsigned long long>(ls.queue.earlyDropped),
                 ls.p50RequestLatencyUs, ls.p99RequestLatencyUs);
         }
+    if (sharded)
+        printShardLines(*sharded);
     printFaultSummary(stats);
     std::cout << "verdicts  :";
     for (const auto &[verdict, count] : verdict_counts)
@@ -477,6 +533,7 @@ runServeRegistry(const CliOptions &options)
             lane, lanes[lane].maxBatch,
             static_cast<unsigned long long>(lanes[lane].maxDelayUs),
             lanes[lane].maxDepth);
+    printScaleOutLines(options);
 
     printKernelLine(std::cout);
     runtime::EngineOptions engine_options;
@@ -527,16 +584,29 @@ runServeRegistry(const CliOptions &options)
     server_config.backpressure = options.serveBackpressure;
     server_config.blockTimeoutUs = options.serveBlockTimeoutUs;
     server_config.retryDepth = options.serveRetryDepth;
+    server_config.fairnessAgingUs = options.serveAgingUs;
     armServeFaults(options);
 
     std::mutex verdict_mutex;
     std::map<int, std::size_t> verdict_counts;
-    runtime::Server server(
-        registry, route, server_config,
-        [&](const runtime::Request &, int verdict) {
-            std::lock_guard<std::mutex> lock(verdict_mutex);
-            ++verdict_counts[verdict];
-        });
+    auto on_verdict = [&](const runtime::Request &, int verdict) {
+        std::lock_guard<std::mutex> lock(verdict_mutex);
+        ++verdict_counts[verdict];
+    };
+    // Sharded registry serving: shards share the registry (a hot swap
+    // hits every shard at its next batch) but each runs its own Router.
+    std::unique_ptr<runtime::Server> server;
+    std::unique_ptr<runtime::ShardedServer> sharded;
+    if (options.serveShards > 1) {
+        runtime::ShardedServerConfig sharded_config;
+        sharded_config.shards = options.serveShards;
+        sharded_config.server = server_config;
+        sharded = std::make_unique<runtime::ShardedServer>(
+            registry, route, sharded_config, on_verdict);
+    } else {
+        server = std::make_unique<runtime::Server>(
+            registry, route, server_config, on_verdict);
+    }
 
     using Clock = std::chrono::steady_clock;
     auto started = Clock::now();
@@ -561,7 +631,11 @@ runServeRegistry(const CliOptions &options)
                                          options.serveRate));
             std::this_thread::sleep_until(due);
         }
-        server.submitFrame(frames[i], tools::laneForFrame(i, options));
+        std::size_t lane = tools::laneForFrame(i, options);
+        if (sharded)
+            sharded->submitFrame(frames[i], lane);
+        else
+            server->submitFrame(frames[i], lane);
         if (options.serveSwapAfter != 0 && !swapped &&
             i + 1 >= options.serveSwapAfter)
             fire_swap(i + 1);
@@ -569,7 +643,8 @@ runServeRegistry(const CliOptions &options)
     // A trace shorter than N still honors the hook (exercised last).
     if (options.serveSwapAfter != 0 && !swapped)
         fire_swap(frames.size());
-    runtime::ServerStats stats = server.stop();
+    runtime::ServerStats stats = sharded ? sharded->stop()
+                                         : server->stop();
 
     std::cout << common::format(
         "admitted  : %llu rows (%llu shed, %llu early-dropped, "
@@ -610,6 +685,8 @@ runServeRegistry(const CliOptions &options)
                 static_cast<unsigned long long>(ms.breakerFallbackRows));
         std::cout << "\n";
     }
+    if (sharded)
+        printShardLines(*sharded);
     printFaultSummary(stats);
     std::cout << "verdicts  :";
     for (const auto &[verdict, count] : verdict_counts)

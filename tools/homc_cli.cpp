@@ -30,7 +30,8 @@ const char *const kValueFlags[] = {
     "serve-chain",   "serve-swap-after",
     "serve-fault",   "serve-retry-depth",
     "serve-fallback", "serve-breaker-threshold",
-    "serve-deadline-us",
+    "serve-deadline-us", "serve-shards",
+    "serve-aging-us",
     "init",          "iters",
     "jobs",          "infer-jobs",
     "grid",          "tables",
@@ -415,6 +416,8 @@ parseArgs(int argc, const char *const *argv, CliOptions &options,
     take_size("serve-retry-depth", options.serveRetryDepth);
     take_size("serve-breaker-threshold", options.serveBreakerThreshold);
     take_u64("serve-deadline-us", options.serveDeadlineUs);
+    take_size("serve-shards", options.serveShards);
+    take_u64("serve-aging-us", options.serveAgingUs);
     if (auto it = flags.find("serve-fallback"); it != flags.end()) {
         for (const std::string &field : common::split(it->second, ',')) {
             std::string entry = common::trim(field);
@@ -490,6 +493,15 @@ parseArgs(int argc, const char *const *argv, CliOptions &options,
     }
     if (options.serveProbeEvery == 0) {
         err << "homc: --serve-probe-every expects a positive number\n";
+        return ParseResult::kError;
+    }
+    if (options.serveShards == 0) {
+        err << "homc: --serve-shards expects at least 1 shard\n";
+        return ParseResult::kError;
+    }
+    if (options.serve.empty() &&
+        (options.serveShards != 1 || options.serveAgingUs != 0)) {
+        err << "homc: --serve-shards/--serve-aging-us require --serve\n";
         return ParseResult::kError;
     }
     auto lane_list_fits = [&](const char *name, std::size_t length) {
@@ -700,6 +712,15 @@ printUsage(std::ostream &out)
         "  --serve-deadline-us N    per-request chain budget from\n"
         "                           admission; over-budget rows skip\n"
         "                           further chain hops (0 = unbounded)\n"
+        "  --serve-shards N         scale out: N independent servers\n"
+        "                           (queue + batcher + engine each),\n"
+        "                           frames hashed to shards by 5-tuple\n"
+        "                           flow key; prints per-shard + merged\n"
+        "                           stats (default 1 = unsharded)\n"
+        "  --serve-aging-us N       lane-fairness aging: a lane overdue\n"
+        "                           past its own deadline by N us may\n"
+        "                           preempt strict priority (default 0\n"
+        "                           = strict)\n"
         "  --kernel T               pin the CPU kernel table: auto|\n"
         "                           scalar|avx2|neon (default auto =\n"
         "                           probe; errors when T is not\n"

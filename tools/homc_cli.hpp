@@ -91,6 +91,14 @@ struct CliOptions
     std::size_t serveBreakerThreshold = 0;
     /** Per-request chain deadline in us (0 = unbounded). */
     std::uint64_t serveDeadlineUs = 0;
+    /** Serving shards (--serve-shards): 1 = one Server; > 1 runs a
+     *  ShardedServer with flow-affine consistent-hash routing and
+     *  per-shard + merged stats. */
+    std::size_t serveShards = 1;
+    /** Lane-fairness aging budget in us (--serve-aging-us): 0 keeps
+     *  strict priority; > 0 lets a lane overdue past its own deadline
+     *  by this much preempt higher-priority ready lanes. */
+    std::uint64_t serveAgingUs = 0;
     bool dumpIr = false;
     /** Kernel dispatch pin from --kernel (auto|scalar|avx2|neon; empty
      *  = leave the dispatch to its probe / HOMUNCULUS_KERNELS). */
