@@ -6,6 +6,7 @@
 #include "common/string_util.hpp"
 #include "core/design_space.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/fault_injector.hpp"
 #include "runtime/quant_cache.hpp"
 
 namespace homunculus::core {
@@ -484,6 +485,12 @@ CompileSession::searchFamilies()
         return status;
     if (Status status = checkCancelled("searchFamilies"); !status)
         return status;
+    // Injected search failure (global injector only): surfaces as a
+    // Status like every other stage error, never as a throw — the
+    // session API's contract.
+    if (runtime::faults::FaultInjector::global().shouldFail(
+            runtime::faults::kSiteCompileSearch))
+        return Status::internal("fault-injected: compile.search");
 
     std::vector<FamilyWork> work;
     for (auto &state : specs_) {

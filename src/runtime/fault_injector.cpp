@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/string_util.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace homunculus::runtime::faults {
 
@@ -149,8 +150,16 @@ FaultInjector::shouldFail(const char *site)
     std::uint64_t draw = splitmix64(state.seed + state.checks);
     ++state.checks;
     bool fire = unitDouble(draw) < state.rate;
-    if (fire)
+    if (fire) {
         ++state.fired;
+        // Mirror into the global telemetry registry so stats dumps
+        // carry the injection record. The counter never resets (it is
+        // cumulative across re-arms); the deterministic per-site
+        // (seed, checks) sequence above is untouched.
+        telemetry::MetricRegistry::global()
+            .counter("faults.fired", {{"site", site}})
+            .add();
+    }
     return fire;
 }
 

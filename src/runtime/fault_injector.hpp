@@ -34,6 +34,14 @@
  *   queue.flush       batch handoff from the RequestQueue to the batcher
  *   artifact.read     ModelRegistry::loadFile (global injector only)
  *   callback.dispatch user verdict/trace callback invocation
+ *   compile.search    CompileSession family search (global injector
+ *                     only) — surfaces as a Status, not a throw
+ *   cache.quantize    QuantCache artifact quantization (global
+ *                     injector only)
+ *
+ * Every fire is also mirrored as a "faults.fired" {site=...} counter in
+ * the process-global telemetry registry, so --serve-stats-json dumps
+ * carry the injection record alongside the serving counters.
  */
 #pragma once
 
@@ -56,6 +64,8 @@ constexpr const char *kSiteRouterHop = "router.hop";
 constexpr const char *kSiteQueueFlush = "queue.flush";
 constexpr const char *kSiteArtifactRead = "artifact.read";
 constexpr const char *kSiteCallbackDispatch = "callback.dispatch";
+constexpr const char *kSiteCompileSearch = "compile.search";
+constexpr const char *kSiteCacheQuantize = "cache.quantize";
 
 /** One armed site: fire with probability @p rate per check, decided by
  *  a deterministic hash of (@p seed, per-site check counter). */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernels/kernel_dispatch.hpp"
 #include "runtime/executor.hpp"
 
 namespace homunculus::runtime {
@@ -48,6 +49,17 @@ InferenceEngine::InferenceEngine(ir::ExecutablePlan plan,
     // never affects other consumers of the same compiled model.
     if (options_.forceScalarKernels)
         plan_.forceKernelTarget(kernels::KernelTarget::kScalar);
+    // Per-target throughput counters in the global registry. A
+    // scalar-pinned engine never touches KernelDispatch (its label is
+    // known); everything else resolves the active target — which any
+    // run() would have resolved anyway.
+    const char *target =
+        options_.forceScalarKernels
+            ? kernels::kernelTargetName(kernels::KernelTarget::kScalar)
+            : kernels::kernelTargetName(kernels::KernelDispatch::active());
+    telemetry::MetricRegistry &reg = telemetry::MetricRegistry::global();
+    batchesCounter_ = &reg.counter("engine.batches", {{"target", target}});
+    rowsCounter_ = &reg.counter("engine.rows", {{"target", target}});
 }
 
 InferenceEngine
@@ -80,6 +92,8 @@ InferenceEngine::shardRowsFor(std::size_t rows) const
 void
 InferenceEngine::run(const math::Matrix &x, int *labels) const
 {
+    batchesCounter_->add();
+    rowsCounter_->add(x.rows());
     std::size_t workers = jobs();
     if (workers <= 1 || x.rows() < options_.minRowsToShard) {
         ir::ExecutablePlan::Scratch scratch;
@@ -97,6 +111,8 @@ InferenceEngine::run(const math::Matrix &x, int *labels) const
 void
 InferenceEngine::run(const ir::QuantizedMatrix &x, int *labels) const
 {
+    batchesCounter_->add();
+    rowsCounter_->add(x.rows());
     std::size_t workers = jobs();
     if (workers <= 1 || x.rows() < options_.minRowsToShard) {
         ir::ExecutablePlan::Scratch scratch;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "ir/exec_plan.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace homunculus::runtime {
 
@@ -101,6 +102,11 @@ class InferenceEngine
   private:
     ir::ExecutablePlan plan_;
     EngineOptions options_;
+    /** "engine.rows"/"engine.batches" {target=scalar|avx2|neon} in the
+     *  process-global telemetry registry, resolved once at
+     *  construction (stable pointers; engine copies share them). */
+    telemetry::Counter *rowsCounter_ = nullptr;
+    telemetry::Counter *batchesCounter_ = nullptr;
 };
 
 }  // namespace homunculus::runtime

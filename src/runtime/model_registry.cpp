@@ -8,9 +8,20 @@
 
 namespace homunculus::runtime {
 
-ModelRegistry::ModelRegistry(EngineOptions engine_options)
-    : engineOptions_(engine_options)
+ModelRegistry::ModelRegistry(EngineOptions engine_options,
+                             telemetry::MetricRegistry *metrics)
+    : engineOptions_(engine_options),
+      metrics_(metrics != nullptr ? metrics
+                                  : &telemetry::MetricRegistry::global())
 {
+}
+
+void
+ModelRegistry::count(const char *event, const std::string &name) const
+{
+    // Control-plane events only (loads, swaps, pins, unloads) — the
+    // resolve-under-mutex cost is fine off the per-row hot path.
+    metrics_->counter(event, {{"model", name}}).add();
 }
 
 std::uint64_t
@@ -50,6 +61,7 @@ ModelRegistry::load(const std::string &name, const ir::ModelIr &model,
         name, version, std::move(engine), std::move(scaler));
     if (entry.active == 0 && activate_if_first)
         entry.active = version;
+    count("registry.loads", name);
     return version;
 }
 
@@ -93,6 +105,7 @@ ModelRegistry::swap(const std::string &name, std::uint64_t version)
     // the previous epoch keep their shared_ptr; nothing they hold is
     // touched.
     entry.active = version;
+    count("registry.swaps", name);
     return previous;
 }
 
@@ -104,6 +117,7 @@ ModelRegistry::active(const std::string &name) const
     if (entry.active == 0)
         throw std::out_of_range("ModelRegistry: model '" + name +
                                 "' has no active version");
+    count("registry.pins", name);
     return entry.loaded.at(entry.active);
 }
 
@@ -177,6 +191,7 @@ ModelRegistry::unloadIdle(const std::string &name)
         // mutex.
         if (vit->first != entry.active && vit->second.use_count() == 1) {
             vit = entry.loaded.erase(vit);
+            count("registry.unloads", name);
             ++removed;
         } else {
             ++vit;
@@ -198,7 +213,10 @@ ModelRegistry::unload(const std::string &name, std::uint64_t version)
             "ModelRegistry: cannot unload the active v%llu of '%s' — "
             "swap first",
             static_cast<unsigned long long>(version), name.c_str()));
-    return entry.loaded.erase(version) > 0;
+    bool erased = entry.loaded.erase(version) > 0;
+    if (erased)
+        count("registry.unloads", name);
+    return erased;
 }
 
 }  // namespace homunculus::runtime

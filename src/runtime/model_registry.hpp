@@ -51,6 +51,7 @@
 
 #include "ml/preprocess.hpp"
 #include "runtime/inference_engine.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace homunculus::runtime {
 
@@ -84,8 +85,13 @@ class ModelRegistry
 {
   public:
     /** @param engine_options execution policy every loaded model's
-     *  engine is built with (jobs, inline threshold, pool). */
-    explicit ModelRegistry(EngineOptions engine_options = {});
+     *  engine is built with (jobs, inline threshold, pool).
+     *  @param metrics registry the control-plane event counters land
+     *  in ("registry.loads" {model=name}, .swaps, .pins, .unloads).
+     *  nullptr (the default) uses the process-global registry — model
+     *  lifecycles are control-plane events with no per-shard owner. */
+    explicit ModelRegistry(EngineOptions engine_options = {},
+                           telemetry::MetricRegistry *metrics = nullptr);
 
     ModelRegistry(const ModelRegistry &) = delete;
     ModelRegistry &operator=(const ModelRegistry &) = delete;
@@ -178,7 +184,11 @@ class ModelRegistry
 
     const Entry &entryFor(const std::string &name) const;
 
+    /** Bump "registry.<event>" {model=name} in metrics_. */
+    void count(const char *event, const std::string &name) const;
+
     EngineOptions engineOptions_;
+    telemetry::MetricRegistry *metrics_ = nullptr;
     mutable std::mutex mutex_;
     std::map<std::string, Entry> entries_;
 };

@@ -23,6 +23,7 @@
 #include <utility>
 
 #include "ir/exec_plan.hpp"
+#include "runtime/fault_injector.hpp"
 
 namespace homunculus::runtime {
 
@@ -47,9 +48,16 @@ class QuantCache
         std::lock_guard<std::mutex> lock(mutex_);
         auto key = std::make_pair(format.integerBits(), format.fracBits());
         auto it = cache_.find(key);
-        if (it == cache_.end())
+        if (it == cache_.end()) {
+            // Injected quantization failure (global injector only) on
+            // the miss path — a cache hit cannot fail, like any other
+            // memoized read. The throw propagates to the family-search
+            // worker, which folds it into the spec's Status.
+            faults::FaultInjector::global().maybe(
+                faults::kSiteCacheQuantize);
             it = cache_.emplace(key, ir::QuantizedMatrix(*x_, format))
                      .first;
+        }
         return it->second;
     }
 

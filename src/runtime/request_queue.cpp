@@ -56,19 +56,35 @@ backpressureModeName(BackpressureMode mode)
     return "?";
 }
 
+void
+RequestQueue::LaneCounters::bind(telemetry::MetricRegistry &registry,
+                                 std::size_t lane)
+{
+    telemetry::Labels labels{{"lane", std::to_string(lane)}};
+    accepted = &registry.counter("queue.accepted", labels);
+    shed = &registry.counter("queue.shed", labels);
+    blockTimeouts = &registry.counter("queue.block_timeouts", labels);
+    earlyDropped = &registry.counter("queue.early_dropped", labels);
+    rejectedClosed = &registry.counter("queue.rejected_closed", labels);
+    sizeFlushes = &registry.counter("queue.size_flushes", labels);
+    deadlineFlushes = &registry.counter("queue.deadline_flushes", labels);
+    drainFlushes = &registry.counter("queue.drain_flushes", labels);
+    agedFlushes = &registry.counter("queue.aged_flushes", labels);
+}
+
 QueueCounters
-RequestQueue::AtomicCounters::snapshot() const
+RequestQueue::LaneCounters::snapshot() const
 {
     QueueCounters c;
-    c.accepted = accepted.load(std::memory_order_relaxed);
-    c.shed = shed.load(std::memory_order_relaxed);
-    c.blockTimeouts = blockTimeouts.load(std::memory_order_relaxed);
-    c.earlyDropped = earlyDropped.load(std::memory_order_relaxed);
-    c.rejectedClosed = rejectedClosed.load(std::memory_order_relaxed);
-    c.sizeFlushes = sizeFlushes.load(std::memory_order_relaxed);
-    c.deadlineFlushes = deadlineFlushes.load(std::memory_order_relaxed);
-    c.drainFlushes = drainFlushes.load(std::memory_order_relaxed);
-    c.agedFlushes = agedFlushes.load(std::memory_order_relaxed);
+    c.accepted = accepted->value();
+    c.shed = shed->value();
+    c.blockTimeouts = blockTimeouts->value();
+    c.earlyDropped = earlyDropped->value();
+    c.rejectedClosed = rejectedClosed->value();
+    c.sizeFlushes = sizeFlushes->value();
+    c.deadlineFlushes = deadlineFlushes->value();
+    c.drainFlushes = drainFlushes->value();
+    c.agedFlushes = agedFlushes->value();
     return c;
 }
 
@@ -97,11 +113,18 @@ RequestQueue::RequestQueue(QueuePolicy policy)
 
 RequestQueue::RequestQueue(QueueConfig config)
     : config_(normalizeConfig(std::move(config))),
+      metricsOwned_(config_.metrics != nullptr
+                        ? nullptr
+                        : std::make_unique<telemetry::MetricRegistry>()),
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : metricsOwned_.get()),
       lanes_(config_.lanes.size())
 {
-    for (std::size_t i = 0; i < lanes_.size(); ++i)
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
         lanes_[i].ring = std::make_unique<MpscRing<Request>>(
             ringCapacityFor(config_.lanes[i]));
+        lanes_[i].counters.bind(*metrics_, i);
+    }
 }
 
 void
@@ -141,7 +164,7 @@ RequestQueue::publishAdmitted(std::size_t lane_index, Request request)
         wakeConsumer();
         std::this_thread::yield();
     }
-    state.counters.accepted.fetch_add(1, std::memory_order_relaxed);
+    state.counters.accepted->add();
     wakeConsumer();
 }
 
@@ -152,8 +175,7 @@ RequestQueue::push(Request request, std::size_t lane)
         throw std::out_of_range("RequestQueue: lane out of range");
     Lane &state = lanes_[lane];
     if (closed_.load(std::memory_order_acquire)) {
-        state.counters.rejectedClosed.fetch_add(
-            1, std::memory_order_relaxed);
+        state.counters.rejectedClosed->add();
         return Admission::kRejectedClosed;
     }
     const QueuePolicy &policy = config_.lanes[lane];
@@ -169,8 +191,7 @@ RequestQueue::push(Request request, std::size_t lane)
             state.depthTickets.fetch_sub(1, std::memory_order_relaxed);
             if (config_.backpressure !=
                 BackpressureMode::kBlockWithTimeout) {
-                state.counters.shed.fetch_add(
-                    1, std::memory_order_relaxed);
+                state.counters.shed->add();
                 return Admission::kShed;
             }
             return pushBlocking(std::move(request), lane);
@@ -193,8 +214,7 @@ RequestQueue::pushBlocking(Request request, std::size_t lane_index)
     {
         std::unique_lock<std::mutex> lock(mutex_);
         if (closed_.load(std::memory_order_relaxed)) {
-            state.counters.rejectedClosed.fetch_add(
-                1, std::memory_order_relaxed);
+            state.counters.rejectedClosed->add();
             return Admission::kRejectedClosed;
         }
         // Register in the FIFO first, retry the door second: the
@@ -225,14 +245,11 @@ RequestQueue::pushBlocking(Request request, std::size_t lane_index)
                 if (it != state.waiters.end())
                     state.waiters.erase(it);
                 if (closed_.load(std::memory_order_relaxed)) {
-                    state.counters.rejectedClosed.fetch_add(
-                        1, std::memory_order_relaxed);
+                    state.counters.rejectedClosed->add();
                     return Admission::kRejectedClosed;
                 }
-                state.counters.shed.fetch_add(
-                    1, std::memory_order_relaxed);
-                state.counters.blockTimeouts.fetch_add(
-                    1, std::memory_order_relaxed);
+                state.counters.shed->add();
+                state.counters.blockTimeouts->add();
                 return Admission::kTimedOut;
             }
         }
@@ -385,8 +402,7 @@ RequestQueue::takeBatch(std::size_t lane_index, FlushReason reason,
                 dropped.push_back(drop);
             }
             state.staged.pop_front();
-            state.counters.earlyDropped.fetch_add(
-                1, std::memory_order_relaxed);
+            state.counters.earlyDropped->add();
             ++freed;
         }
         if (state.staged.empty()) {
@@ -404,21 +420,17 @@ RequestQueue::takeBatch(std::size_t lane_index, FlushReason reason,
     freed += take;
     switch (reason) {
       case FlushReason::kSize:
-        state.counters.sizeFlushes.fetch_add(1,
-                                             std::memory_order_relaxed);
+        state.counters.sizeFlushes->add();
         break;
       case FlushReason::kDeadline:
-        state.counters.deadlineFlushes.fetch_add(
-            1, std::memory_order_relaxed);
+        state.counters.deadlineFlushes->add();
         break;
       case FlushReason::kDrain:
-        state.counters.drainFlushes.fetch_add(
-            1, std::memory_order_relaxed);
+        state.counters.drainFlushes->add();
         break;
     }
     if (aged)
-        state.counters.agedFlushes.fetch_add(1,
-                                             std::memory_order_relaxed);
+        state.counters.agedFlushes->add();
     releaseSpace(lane_index, freed);
     return batch;
 }

@@ -91,6 +91,7 @@
 #include <vector>
 
 #include "runtime/mpsc_ring.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace homunculus::runtime {
 
@@ -196,6 +197,14 @@ struct QueueConfig
      * thread's critical path.
      */
     DropFn onDrop;
+    /**
+     * Registry the queue's per-lane counters live in ("queue.accepted"
+     * {lane=N}, ...). Non-owning; must outlive the queue. nullptr (the
+     * default) gives the queue a private registry, so standalone
+     * queues keep working — Server passes its own registry here so
+     * queue, server, and router instruments share one snapshot.
+     */
+    telemetry::MetricRegistry *metrics = nullptr;
 };
 
 /** One queued inference request. */
@@ -315,20 +324,30 @@ class RequestQueue
     }
     const QueueConfig &config() const { return config_; }
 
+    /** The registry holding this queue's instruments (the config's, or
+     *  the queue's private one when none was supplied). */
+    telemetry::MetricRegistry &metrics() { return *metrics_; }
+
   private:
-    /** Lock-free counter cells, one set per lane; counters() folds
-     *  them into the plain QueueCounters snapshot struct. */
-    struct AtomicCounters
+    /** The queue's per-lane instruments, resolved once at construction
+     *  from the telemetry registry ("queue.accepted" {lane=N}, ...);
+     *  updates are the same relaxed-atomic adds the old embedded
+     *  counters did, and counters() folds the registry values back
+     *  into the plain QueueCounters view struct. */
+    struct LaneCounters
     {
-        std::atomic<std::uint64_t> accepted{0};
-        std::atomic<std::uint64_t> shed{0};
-        std::atomic<std::uint64_t> blockTimeouts{0};
-        std::atomic<std::uint64_t> earlyDropped{0};
-        std::atomic<std::uint64_t> rejectedClosed{0};
-        std::atomic<std::uint64_t> sizeFlushes{0};
-        std::atomic<std::uint64_t> deadlineFlushes{0};
-        std::atomic<std::uint64_t> drainFlushes{0};
-        std::atomic<std::uint64_t> agedFlushes{0};
+        telemetry::Counter *accepted = nullptr;
+        telemetry::Counter *shed = nullptr;
+        telemetry::Counter *blockTimeouts = nullptr;
+        telemetry::Counter *earlyDropped = nullptr;
+        telemetry::Counter *rejectedClosed = nullptr;
+        telemetry::Counter *sizeFlushes = nullptr;
+        telemetry::Counter *deadlineFlushes = nullptr;
+        telemetry::Counter *drainFlushes = nullptr;
+        telemetry::Counter *agedFlushes = nullptr;
+
+        /** Resolve every counter for @p lane in @p registry. */
+        void bind(telemetry::MetricRegistry &registry, std::size_t lane);
 
         QueueCounters snapshot() const;
     };
@@ -359,7 +378,7 @@ class RequestQueue
          * maxDepth) can never be lapped by admitted rows.
          */
         std::atomic<std::size_t> depthTickets{0};
-        AtomicCounters counters;
+        LaneCounters counters;
     };
 
     /** One flush-time drop, recorded while forming a batch and
@@ -425,6 +444,10 @@ class RequestQueue
                         std::chrono::steady_clock::time_point earliest);
 
     QueueConfig config_;
+    /** Private registry when the config supplied none. Declared before
+     *  lanes_ so lane counters can bind to it during construction. */
+    std::unique_ptr<telemetry::MetricRegistry> metricsOwned_;
+    telemetry::MetricRegistry *metrics_ = nullptr;
     std::vector<Lane> lanes_;
     std::atomic<bool> closed_{false};
     /** True while the consumer is parked on readyCv_ — the producer

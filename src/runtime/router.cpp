@@ -28,8 +28,13 @@ breakerStateName(BreakerState state)
     return "closed";
 }
 
-Router::Router(std::shared_ptr<ModelRegistry> registry, RouteConfig config)
-    : registry_(std::move(registry)), config_(std::move(config))
+Router::Router(std::shared_ptr<ModelRegistry> registry, RouteConfig config,
+               telemetry::MetricRegistry *metrics)
+    : registry_(std::move(registry)), config_(std::move(config)),
+      metricsOwned_(metrics != nullptr
+                        ? nullptr
+                        : std::make_unique<telemetry::MetricRegistry>()),
+      metrics_(metrics != nullptr ? metrics : metricsOwned_.get())
 {
     if (!registry_)
         throw std::runtime_error("Router: registry is null");
@@ -139,6 +144,23 @@ Router::Router(std::shared_ptr<ModelRegistry> registry, RouteConfig config)
         }
     }
     breakers_.resize(models_.size());
+
+    // Instruments, registered up front (even the ones this config can
+    // never bump, so exports always carry the full breaker key set).
+    deadlineTruncated_ = &metrics_->counter("router.deadline_truncated");
+    modelIns_.resize(models_.size());
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+        telemetry::Labels labels{{"model", models_[m]}};
+        ModelInstruments &ins = modelIns_[m];
+        ins.hops = &metrics_->counter("router.hops", labels);
+        ins.hopRows = &metrics_->counter("router.hop_rows", labels);
+        ins.opens = &metrics_->counter("router.breaker.opens", labels);
+        ins.failures =
+            &metrics_->counter("router.breaker.failures", labels);
+        ins.probes = &metrics_->counter("router.breaker.probes", labels);
+        ins.fallbackRows =
+            &metrics_->counter("router.breaker.fallback_rows", labels);
+    }
 }
 
 std::size_t
@@ -183,7 +205,7 @@ Router::breakerAllows(std::size_t model) const
         // the probe. Its outcome (recordSuccess / recordFailure)
         // decides whether the breaker closes or reopens.
         breaker.state = BreakerState::kHalfOpen;
-        ++breaker.probes;
+        modelIns_[model].probes->add();
         return true;
       }
     }
@@ -195,7 +217,7 @@ Router::recordFailure(std::size_t model) const
 {
     std::lock_guard<std::mutex> lock(breakerMutex_);
     Breaker &breaker = breakers_[model];
-    ++breaker.failures;
+    modelIns_[model].failures->add();
     ++breaker.consecutive;
     bool reopen = breaker.state == BreakerState::kHalfOpen;
     bool trip = breaker.state == BreakerState::kClosed &&
@@ -203,7 +225,7 @@ Router::recordFailure(std::size_t model) const
     if (reopen || trip) {
         breaker.state = BreakerState::kOpen;
         breaker.openedAt = Clock::now();
-        ++breaker.opens;
+        modelIns_[model].opens->add();
     }
 }
 
@@ -220,15 +242,18 @@ Router::recordSuccess(std::size_t model) const
 BreakerSnapshot
 Router::breaker(std::size_t model) const
 {
+    // The state-machine fields come from under the mutex; the
+    // monotonic counts are views over the registry counters.
     std::lock_guard<std::mutex> lock(breakerMutex_);
     const Breaker &breaker = breakers_.at(model);
+    const ModelInstruments &ins = modelIns_.at(model);
     BreakerSnapshot snap;
     snap.state = breaker.state;
-    snap.opens = breaker.opens;
-    snap.failures = breaker.failures;
+    snap.opens = ins.opens->value();
+    snap.failures = ins.failures->value();
     snap.consecutiveFailures = breaker.consecutive;
-    snap.probes = breaker.probes;
-    snap.fallbackRows = breaker.fallbackRows;
+    snap.probes = ins.probes->value();
+    snap.fallbackRows = ins.fallbackRows->value();
     return snap;
 }
 
@@ -287,10 +312,7 @@ Router::runBatch(const Snapshot &snapshot, std::size_t lane,
                 // prove every fallback on the path is open too.
                 std::size_t steps_taken = 0;
                 while (!breakerAllows(target)) {
-                    {
-                        std::lock_guard<std::mutex> lock(breakerMutex_);
-                        breakers_[target].fallbackRows += group.size();
-                    }
+                    modelIns_[target].fallbackRows->add(group.size());
                     if (fallbackLabel_[target] >= 0) {
                         static_label = fallbackLabel_[target];
                         break;
@@ -375,6 +397,9 @@ Router::runBatch(const Snapshot &snapshot, std::size_t lane,
                 recordSuccess(m);
             auto finished = Clock::now();
 
+            modelIns_[m].hops->add();
+            modelIns_[m].hopRows->add(group.size());
+
             RouteStepStats step;
             step.model = m;
             step.version = epoch.version;
@@ -408,9 +433,10 @@ Router::runBatch(const Snapshot &snapshot, std::size_t lane,
                         finished >=
                             requests[r].enqueuedAt +
                                 std::chrono::microseconds(
-                                    config_.deadlineUs))
+                                    config_.deadlineUs)) {
                         ++outcome.deadlineTruncated;
-                    else
+                        deadlineTruncated_->add();
+                    } else
                         scratch.next[successor].push_back(r);
                 }
             }

@@ -69,6 +69,7 @@
 #include "runtime/fault_injector.hpp"
 #include "runtime/model_registry.hpp"
 #include "runtime/request_queue.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace homunculus::runtime {
 
@@ -186,7 +187,8 @@ class Router
      * model's class count, and no (model, label) may have two rules.
      * @throws std::runtime_error on any violation.
      */
-    Router(std::shared_ptr<ModelRegistry> registry, RouteConfig config);
+    Router(std::shared_ptr<ModelRegistry> registry, RouteConfig config,
+           telemetry::MetricRegistry *metrics = nullptr);
 
     /**
      * The pinned plan versions one batch executes against: one epoch
@@ -255,17 +257,28 @@ class Router
     }
 
   private:
-    /** Mutable breaker state, guarded by breakerMutex_ (runBatch is
-     *  const; the breakers are bookkeeping, not routing config). */
+    /** Mutable breaker state-machine fields, guarded by breakerMutex_
+     *  (runBatch is const; the breakers are bookkeeping, not routing
+     *  config). The monotonic counts (opens/failures/probes/
+     *  fallbackRows) live in the telemetry registry — BreakerSnapshot
+     *  is a view over those instruments. */
     struct Breaker
     {
         BreakerState state = BreakerState::kClosed;
         std::size_t consecutive = 0;
         std::chrono::steady_clock::time_point openedAt;
-        std::uint64_t opens = 0;
-        std::uint64_t failures = 0;
-        std::uint64_t probes = 0;
-        std::uint64_t fallbackRows = 0;
+    };
+
+    /** Per-model breaker + hop instruments ("router.*" {model=name}),
+     *  resolved once at construction. */
+    struct ModelInstruments
+    {
+        telemetry::Counter *hops = nullptr;      ///< group executions.
+        telemetry::Counter *hopRows = nullptr;   ///< rows per execution.
+        telemetry::Counter *opens = nullptr;
+        telemetry::Counter *failures = nullptr;
+        telemetry::Counter *probes = nullptr;
+        telemetry::Counter *fallbackRows = nullptr;
     };
 
     std::size_t indexOf(const std::string &model) const;
@@ -286,6 +299,14 @@ class Router
     std::vector<std::size_t> fallbackModel_;
     std::vector<int> fallbackLabel_;
     std::size_t inputDim_ = 0;
+
+    /** Private registry when the constructor got none (standalone
+     *  routers in tests); Server passes its own so router instruments
+     *  land in the same snapshot as queue and server ones. */
+    std::unique_ptr<telemetry::MetricRegistry> metricsOwned_;
+    telemetry::MetricRegistry *metrics_ = nullptr;
+    std::vector<ModelInstruments> modelIns_;  ///< aligned with models_.
+    telemetry::Counter *deadlineTruncated_ = nullptr;
 
     mutable std::mutex breakerMutex_;
     mutable std::vector<Breaker> breakers_;

@@ -60,6 +60,7 @@
 #include "runtime/model_registry.hpp"
 #include "runtime/request_queue.hpp"
 #include "runtime/router.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace homunculus::runtime {
 
@@ -109,6 +110,21 @@ struct ServerConfig
      *  the process-global injector (HOMUNCULUS_FAULTS) — which is
      *  disarmed, and free, unless the operator armed it. */
     faults::FaultInjector *injector = nullptr;
+    /**
+     * Registry every instrument of this server lives in — its own, its
+     * queue's, and its router's. nullptr (the default) gives the
+     * server a private registry, so each shard of a ShardedServer
+     * stays independently snapshotable/mergeable. The public stats
+     * structs are views materialized from this registry at stop().
+     */
+    std::shared_ptr<telemetry::MetricRegistry> metrics;
+    /**
+     * Opt-in request-lifecycle span sink (see telemetry::TraceSink).
+     * Non-owning; must outlive the server. When set, every admitted
+     * request records one span — served, failed, or dropped — with its
+     * lane, timestamps, routed model hops, and bisect-retry depth.
+     */
+    telemetry::TraceSink *trace = nullptr;
 };
 
 /** How a submit was disposed of. */
@@ -130,7 +146,10 @@ enum class SubmitStatus
 struct SubmitResult
 {
     SubmitStatus status = SubmitStatus::kShed;
-    std::uint64_t ticket = 0;  ///< valid only when admitted().
+    /** Valid when admitted() — and for kMalformed, where it names the
+     *  onFailure notification the parse failure was reported under, so
+     *  frame producers can correlate instead of counting anonymously. */
+    std::uint64_t ticket = 0;
 
     bool admitted() const { return status == SubmitStatus::kAdmitted; }
     explicit operator bool() const { return admitted(); }
@@ -275,9 +294,10 @@ class Server
     SubmitResult submit(std::vector<double> features,
                         std::size_t lane = 0);
 
-    /** Parse a wire frame and admit it (malformed frames are counted
-     *  and reported as kMalformed). The engine's model must consume
-     *  the packet extractor's schema. */
+    /** Parse a wire frame and admit it. A malformed frame is counted,
+     *  assigned a ticket, reported through onFailure under that
+     *  ticket, and returned as kMalformed. The engine's model must
+     *  consume the packet extractor's schema. */
     SubmitResult submitFrame(const std::vector<std::uint8_t> &frame,
                              std::size_t lane = 0);
 
@@ -312,6 +332,17 @@ class Server
     }
     const ServerConfig &config() const { return config_; }
 
+    /** The registry holding every instrument of this server (the
+     *  config's, or the private one created at construction). Live —
+     *  snapshot() works mid-run; the stats structs returned by stop()
+     *  are views materialized from it. */
+    telemetry::MetricRegistry &metrics() const { return *metrics_; }
+    const std::shared_ptr<telemetry::MetricRegistry> &
+    metricsHandle() const
+    {
+        return metrics_;
+    }
+
   private:
     /** The batcher loop's reusable buffers, threaded through the slice
      *  recursion so a bisect-retry allocates nothing new. */
@@ -334,19 +365,32 @@ class Server
     void runSlice(RequestBatch &batch, std::size_t begin,
                   std::size_t end, std::size_t depth,
                   ServeBuffers &buffers);
-    /** Terminal failure of [begin, end): counters + onFailure each. */
+    /** Terminal failure of [begin, end): counters + onFailure each
+     *  (@p depth is the bisect depth the slice died at, for spans). */
     void failSlice(const RequestBatch &batch, std::size_t begin,
-                   std::size_t end, const std::string &error);
-    /** Record one served slice under statsMutex_ (lane + aggregate
-     *  tallies; @p steps adds per-model tallies on routed servers). */
+                   std::size_t end, std::size_t depth,
+                   const std::string &error);
+    /** Record one served slice into the registry instruments (lane +
+     *  aggregate; @p steps adds per-model instruments when routed). */
     void servedSliceStats(const RequestBatch &batch, std::size_t begin,
                           std::size_t end,
                           std::chrono::steady_clock::time_point finished,
                           double batch_us,
                           const std::vector<RouteStepStats> *steps,
                           const RouteBatchOutcome &outcome);
+    /** Record one span per request of [begin, end) into the trace
+     *  sink (no-op when no sink is bound). @p traces supplies routed
+     *  hop records, index-aligned with the slice rows. */
+    void recordSpans(const RequestBatch &batch, std::size_t begin,
+                     std::size_t end,
+                     std::chrono::steady_clock::time_point finished,
+                     std::size_t depth, telemetry::SpanOutcome outcome,
+                     const std::vector<RouteTrace> *traces);
+    /** Resolve every aggregate/lane/model instrument in metrics_
+     *  (constructor body, before the batcher starts). */
+    void bindInstruments();
     /** The queue config, with the user's onDrop wrapped in the
-     *  callback guard. */
+     *  callback guard (and span recording when a sink is bound). */
     QueueConfig makeQueueConfig();
 
     /** The one model (single-model form) or nothing (routed form —
@@ -360,63 +404,64 @@ class Server
     RouteTraceFn onTrace_;
     std::optional<ml::StandardScaler> scaler_;
     net::FeatureExtractor extractor_;
-    /** Incremented wherever a guarded user callback throws; atomic
-     *  because the onDrop guard fires inside queue_.pop(). Declared
-     *  before queue_ so makeQueueConfig()'s wrapper never touches an
-     *  unconstructed member. */
-    std::atomic<std::size_t> callbackErrors_{0};
     /** Fault-injection hook point (never null after construction). */
     faults::FaultInjector *injector_ = nullptr;
+    /** The registry behind every stat of this server (the config's or
+     *  a private one). Declared before queue_ so makeQueueConfig() can
+     *  hand it to the queue's lane counters. */
+    std::shared_ptr<telemetry::MetricRegistry> metrics_;
     RequestQueue queue_;
     std::thread batcher_;
     std::atomic<std::uint64_t> nextId_{1};
-    std::atomic<std::uint64_t> malformed_{0};
     std::chrono::steady_clock::time_point startedAt_;
 
     /**
-     * Bounded uniform reservoir (Vitter's algorithm R): a long-lived
-     * server keeps O(1) latency-sample memory instead of one double
-     * per request forever. Touched only under statsMutex_.
+     * The server's aggregate instruments, resolved once from metrics_
+     * by bindInstruments() — the hot path updates through these stable
+     * pointers (relaxed-atomic counters, per-histogram-mutex
+     * reservoirs) and never takes a shared stats lock. The old
+     * statsMutex_-guarded tallies and reservoirs live in the registry
+     * now; stop() materializes ServerStats from a snapshot.
      */
-    struct LatencyReservoir
+    struct Instruments
     {
-        std::vector<double> samples;
-        std::uint64_t seen = 0;
-        void add(double value, common::Rng &rng);
+        telemetry::Counter *rowsServed = nullptr;
+        telemetry::Counter *batches = nullptr;
+        telemetry::Counter *failedBatches = nullptr;
+        telemetry::Counter *failedRows = nullptr;
+        telemetry::Counter *retriedBatches = nullptr;
+        telemetry::Counter *deadlineTruncated = nullptr;
+        telemetry::Counter *fallbackRows = nullptr;
+        telemetry::Counter *callbackErrors = nullptr;
+        telemetry::Counter *malformedFrames = nullptr;
+        telemetry::Histogram *batchLatencyUs = nullptr;
+        telemetry::Histogram *requestLatencyUs = nullptr;
     };
 
-    /** Per-lane tallies the batcher appends to (under statsMutex_). */
-    struct LaneTally
+    /** Per-lane instruments ("server.lane.*" {lane=N}). */
+    struct LaneInstruments
     {
-        std::size_t rowsServed = 0;
-        std::size_t rowsFailed = 0;
-        std::size_t batches = 0;
-        LatencyReservoir requestLatenciesUs;
+        telemetry::Counter *rowsServed = nullptr;
+        telemetry::Counter *rowsFailed = nullptr;
+        telemetry::Counter *batches = nullptr;
+        telemetry::Histogram *requestLatencyUs = nullptr;
     };
 
-    /** Per-model tallies of a routed run, index-aligned with
-     *  router_->models() (under statsMutex_). */
-    struct ModelTally
+    /** Per-model instruments of a routed run ("server.model.*"
+     *  {model=name}), index-aligned with router_->models(). */
+    struct ModelInstruments
     {
-        std::size_t rowsServed = 0;
-        std::size_t batches = 0;  ///< DAG steps, not queue batches.
-        LatencyReservoir stepLatenciesUs;
+        telemetry::Counter *rows = nullptr;
+        telemetry::Counter *steps = nullptr;  ///< DAG executions.
+        telemetry::Histogram *stepLatencyUs = nullptr;
     };
 
-    /** Guards the reservoirs the batcher appends to. */
-    mutable std::mutex statsMutex_;
-    std::size_t rowsServed_ = 0;
-    std::size_t batches_ = 0;
-    std::size_t failedBatches_ = 0;
-    std::size_t failedRows_ = 0;
-    std::size_t retriedBatches_ = 0;
-    std::size_t deadlineTruncated_ = 0;
-    std::size_t fallbackRows_ = 0;
-    LatencyReservoir batchLatenciesUs_;
-    LatencyReservoir requestLatenciesUs_;
-    std::vector<LaneTally> laneTallies_;
-    std::vector<ModelTally> modelTallies_;
-    common::Rng reservoirRng_{0x5E7Eull};
+    Instruments ins_;
+    std::vector<LaneInstruments> laneIns_;
+    std::vector<ModelInstruments> modelIns_;
+    /** Span ids of router_->models(), interned into config_.trace at
+     *  construction so hop recording is an array write. */
+    std::vector<std::uint16_t> spanModelIds_;
 
     std::mutex stopMutex_;    ///< serializes stop() callers.
     bool stopped_ = false;

@@ -35,11 +35,15 @@ fillPercentiles(const std::vector<double> &samples, double &p50,
 }
 
 /** The per-shard ServerConfig: identical knobs, disjoint ticket
- *  namespace (see kShardTicketShift). */
+ *  namespace (see kShardTicketShift). A caller-supplied metrics
+ *  registry is dropped: shards must stay independently snapshotable
+ *  (and sharing one registry would collide every shard onto the same
+ *  instruments) — metricsSnapshot() is the cross-shard merge. */
 ServerConfig
 shardConfig(const ServerConfig &base, std::size_t shard)
 {
     ServerConfig config = base;
+    config.metrics = nullptr;
     std::uint64_t low = base.ticketBase != 0 ? base.ticketBase : 1;
     config.ticketBase =
         (static_cast<std::uint64_t>(shard) << kShardTicketShift) + low;
@@ -77,6 +81,7 @@ ShardedServer::ShardedServer(const InferenceEngine &engine,
         servers_.push_back(std::make_unique<Server>(
             engine, shardConfig(config.server, s), on_verdict, scaler));
     buildRing(shard_count, config.virtualNodes);
+    initFrontDoor(config.server);
 }
 
 ShardedServer::ShardedServer(std::shared_ptr<ModelRegistry> registry,
@@ -92,6 +97,21 @@ ShardedServer::ShardedServer(std::shared_ptr<ModelRegistry> registry,
             registry, route, shardConfig(config.server, s), on_verdict,
             on_trace));
     buildRing(shard_count, config.virtualNodes);
+    initFrontDoor(config.server);
+}
+
+void
+ShardedServer::initFrontDoor(const ServerConfig &base)
+{
+    frontMalformed_ = &frontMetrics_.counter("server.malformed_frames");
+    frontCallbackErrors_ =
+        &frontMetrics_.counter("server.callback_errors");
+    std::uint64_t low = base.ticketBase != 0 ? base.ticketBase : 1;
+    frontNextId_.store(
+        (static_cast<std::uint64_t>(servers_.size())
+         << kShardTicketShift) +
+        low);
+    onFailure_ = base.onFailure;
 }
 
 ShardedServer::~ShardedServer()
@@ -153,12 +173,35 @@ ShardedServer::submitFrame(const std::vector<std::uint8_t> &frame,
     // anyway, and the owning shard then skips re-parsing.
     auto packet = net::parse(frame);
     if (!packet) {
-        malformed_.fetch_add(1);
+        // Per-ticket malformed reporting, same contract as
+        // Server::submitFrame — but from the front door's own ticket
+        // namespace, since no shard ever saw the frame.
+        std::uint64_t ticket = frontNextId_.fetch_add(1);
+        frontMalformed_->add();
+        if (onFailure_) {
+            try {
+                onFailure_(ticket, lane, "malformed frame");
+            } catch (...) {
+                frontCallbackErrors_->add();
+            }
+        }
         SubmitResult result;
         result.status = SubmitStatus::kMalformed;
+        result.ticket = ticket;
         return result;
     }
     return submitPacket(*packet, lane);
+}
+
+telemetry::MetricsSnapshot
+ShardedServer::metricsSnapshot() const
+{
+    telemetry::MetricsSnapshot merged =
+        frontMetrics_.snapshot().withLabel("shard", "front");
+    for (std::size_t s = 0; s < servers_.size(); ++s)
+        merged.merge(servers_[s]->metrics().snapshot().withLabel(
+            "shard", std::to_string(s)));
+    return merged;
 }
 
 std::size_t
@@ -213,7 +256,9 @@ ShardedServer::stop()
             s.requestLatencySamplesUs.end());
     }
     merged.malformedFrames +=
-        static_cast<std::size_t>(malformed_.load());
+        static_cast<std::size_t>(frontMalformed_->value());
+    merged.callbackErrors +=
+        static_cast<std::size_t>(frontCallbackErrors_->value());
     merged.meanBatchRows =
         merged.batches > 0 ? static_cast<double>(merged.rowsServed) /
                                  static_cast<double>(merged.batches)

@@ -109,8 +109,11 @@ class ShardedServer
                         std::size_t lane = 0);
 
     /** Parse a wire frame, key it by 5-tuple, and admit it on the
-     *  owning shard (malformed frames are counted here — no shard
-     *  ever sees them). */
+     *  owning shard. A malformed frame never reaches a shard: the
+     *  front door counts it, issues a ticket from its own namespace
+     *  (shard index == shards(), recoverable via shardOfTicket), and
+     *  reports it through the shared onFailure sink under that
+     *  ticket — same per-ticket contract as Server::submitFrame. */
     SubmitResult submitFrame(const std::vector<std::uint8_t> &frame,
                              std::size_t lane = 0);
 
@@ -124,6 +127,15 @@ class ShardedServer
 
     /** Per-shard stats, index == shard; valid after stop(). */
     const std::vector<ServerStats> &shardStats() const;
+
+    /**
+     * One merged telemetry snapshot of the whole fleet: every shard's
+     * registry tagged {shard=N} plus the front door's {shard=front},
+     * folded with MetricsSnapshot::merge. Live — callable mid-run (the
+     * instruments are atomics) and after stop(). This is what
+     * homc --serve-stats-json dumps for sharded runs.
+     */
+    telemetry::MetricsSnapshot metricsSnapshot() const;
 
     std::size_t shards() const { return servers_.size(); }
     /** The shard @p flow_key routes to (stable for a fixed config). */
@@ -158,10 +170,23 @@ class ShardedServer
     };
 
     void buildRing(std::size_t shard_count, std::size_t virtual_nodes);
+    /** Bind the front door's instruments + ticket namespace (both
+     *  constructors, after servers_ is sized). */
+    void initFrontDoor(const ServerConfig &base);
 
     std::vector<std::unique_ptr<Server>> servers_;
     std::vector<RingPoint> ring_;  ///< sorted; immutable after ctor.
-    std::atomic<std::uint64_t> malformed_{0};
+
+    /** The front door's own registry: events that belong to no shard
+     *  (malformed frames rejected at parse, their onFailure callback
+     *  errors). Merged into metricsSnapshot() as {shard=front}. */
+    telemetry::MetricRegistry frontMetrics_;
+    telemetry::Counter *frontMalformed_ = nullptr;
+    telemetry::Counter *frontCallbackErrors_ = nullptr;
+    /** Tickets for front-door malformed frames: namespace shards()
+     *  << kShardTicketShift, disjoint from every shard's. */
+    std::atomic<std::uint64_t> frontNextId_{0};
+    FailureFn onFailure_;  ///< the shared sink (may be empty).
 
     std::mutex stopMutex_;  ///< serializes stop() callers.
     bool stopped_ = false;

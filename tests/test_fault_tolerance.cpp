@@ -677,3 +677,147 @@ TEST(Breaker, TransitionsUnderConcurrentSwapKeepTheResolutionInvariant)
     EXPECT_EQ(stats.models[1].name, "b");
     EXPECT_GT(stats.models[1].rowsServed, 0u);
 }
+
+// --------------------------------------- compile-pipeline fault sites
+
+#include "core/compiler.hpp"
+#include "data/anomaly_generator.hpp"
+#include "runtime/quant_cache.hpp"
+#include "runtime/telemetry.hpp"
+
+namespace {
+
+namespace hcore = homunculus::core;
+namespace hd = homunculus::data;
+namespace ht = homunculus::runtime::telemetry;
+
+/** A tiny anomaly-detection compile spec (fast search). */
+hcore::ModelSpec
+tinyAdSpec()
+{
+    hcore::ModelSpec spec;
+    spec.name = "ad";
+    spec.optimizationMetric = hcore::Metric::kF1;
+    spec.algorithms = {hcore::Algorithm::kDnn};
+    spec.dataLoader = [] {
+        hd::AnomalyConfig config;
+        config.numSamples = 600;
+        return hd::generateAnomalySplit(config);
+    };
+    return spec;
+}
+
+hcore::CompileOptions
+tinyCompileOptions()
+{
+    hcore::CompileOptions options;
+    options.bo.numInitSamples = 2;
+    options.bo.numIterations = 2;
+    return options;
+}
+
+/** Disarms the global injector on scope exit — compile-site tests arm
+ *  the process-global instance, and leaking an armed site would fail
+ *  unrelated tests in the same process. */
+struct GlobalDisarm
+{
+    ~GlobalDisarm() { hf::FaultInjector::global().disarm(); }
+};
+
+}  // namespace
+
+TEST(CompileFault, InjectedSearchFaultSurfacesAsAnInternalStatus)
+{
+    GlobalDisarm guard;
+    auto platform = hcore::Platforms::taurus();
+    platform.constrain({1.0, 500.0}, {16, 16});
+    platform.schedule(tinyAdSpec());
+
+    hcore::Compiler compiler(tinyCompileOptions());
+    hcore::CompileSession session = compiler.openSession(platform);
+    ASSERT_TRUE(session.loadData().isOk());
+    ASSERT_TRUE(session.selectFamilies().isOk());
+
+    const std::uint64_t fired_before =
+        ht::MetricRegistry::global()
+            .snapshot()
+            .counterValue("faults.fired",
+                          {{"site", hf::kSiteCompileSearch}});
+    hf::FaultInjector::global().arm(hf::kSiteCompileSearch, 1.0);
+    hcore::Status status = session.searchFamilies();
+    hf::FaultInjector::global().disarm();
+
+    // The session API's contract: stage errors are Status, never a
+    // throw escaping the call.
+    EXPECT_EQ(status.code(), hcore::StatusCode::kInternal);
+    EXPECT_NE(status.message().find(hf::kSiteCompileSearch),
+              std::string::npos);
+    // And the fire was mirrored into the global telemetry registry.
+    EXPECT_EQ(ht::MetricRegistry::global().snapshot().counterValue(
+                  "faults.fired", {{"site", hf::kSiteCompileSearch}}),
+              fired_before + 1);
+}
+
+TEST(CompileFault, DisarmedCompileSearchSiteCompilesClean)
+{
+    GlobalDisarm guard;
+    auto platform = hcore::Platforms::taurus();
+    platform.constrain({1.0, 500.0}, {16, 16});
+    platform.schedule(tinyAdSpec());
+
+    // Rate 0.0 armed: the site is consulted but never fires — the
+    // pipeline must be byte-for-byte a normal compile.
+    hf::FaultInjector::global().arm(hf::kSiteCompileSearch, 0.0);
+    hcore::Compiler compiler(tinyCompileOptions());
+    auto compiled = compiler.compile(platform);
+    ASSERT_TRUE(compiled.isOk());
+    EXPECT_NE(compiled->find("ad"), nullptr);
+    EXPECT_GT(hf::FaultInjector::global().checked(
+                  hf::kSiteCompileSearch),
+              0u);
+}
+
+TEST(CompileFault, QuantizeCacheFaultFoldsIntoTheSearchStatus)
+{
+    GlobalDisarm guard;
+    auto platform = hcore::Platforms::taurus();
+    platform.constrain({1.0, 500.0}, {16, 16});
+    platform.schedule(tinyAdSpec());
+
+    // cache.quantize throws on the first cache *miss* inside the
+    // family-search workers; the worker catches it and the stage folds
+    // it into a non-OK Status naming the search failure.
+    hf::FaultInjector::global().arm(hf::kSiteCacheQuantize, 1.0);
+    hcore::Compiler compiler(tinyCompileOptions());
+    hcore::CompileSession session = compiler.openSession(platform);
+    ASSERT_TRUE(session.loadData().isOk());
+    ASSERT_TRUE(session.selectFamilies().isOk());
+    hcore::Status status = session.searchFamilies();
+    hf::FaultInjector::global().disarm();
+
+    EXPECT_FALSE(status.isOk());
+    EXPECT_NE(status.toString().find("fault-injected"),
+              std::string::npos);
+}
+
+TEST(CompileFault, QuantCacheHitsNeverConsultTheInjector)
+{
+    GlobalDisarm guard;
+    hm::Matrix x(8, 3);
+    for (std::size_t r = 0; r < 8; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            x(r, c) = static_cast<double>(r) + 0.1 * c;
+    hr::QuantCache cache(x);
+    homunculus::common::FixedPointFormat format(4, 4);
+
+    // Warm the entry while disarmed...
+    const auto &first = cache.get(format);
+    // ...then arm at rate 1.0: a hit is a memoized read and cannot
+    // fail, so the armed site must not fire.
+    hf::FaultInjector::global().arm(hf::kSiteCacheQuantize, 1.0);
+    const auto &again = cache.get(format);
+    EXPECT_EQ(&first, &again);
+    // A *miss* under the armed site does fire.
+    homunculus::common::FixedPointFormat other(6, 2);
+    EXPECT_THROW(cache.get(other), hf::FaultInjectedError);
+}

@@ -346,3 +346,84 @@ TEST(ShardedServer, WireFramesRouteByFiveTupleWithVerdictsServed)
     EXPECT_EQ(stats.malformedFrames, 0u);
     EXPECT_EQ(delivered, 200u);
 }
+
+// --------------------------------------------- front-door failure path
+
+TEST(ShardedServer, MalformedFrameGetsAFrontDoorTicketAndFailureCall)
+{
+    auto model = mlpModel(23, hn::kNumTcFeatures, 3);
+    hr::ShardedServerConfig config = shardedConfig(2);
+
+    std::mutex failure_mutex;
+    std::vector<std::pair<std::uint64_t, std::size_t>> failures;
+    config.server.onFailure = [&](std::uint64_t ticket, std::size_t lane,
+                                  const std::string &error) {
+        std::lock_guard<std::mutex> lock(failure_mutex);
+        EXPECT_NE(error.find("malformed"), std::string::npos);
+        failures.emplace_back(ticket, lane);
+    };
+    hr::ShardedServer server(hr::InferenceEngine::fromModel(model, {}),
+                             config);
+
+    hr::SubmitResult first = server.submitFrame({0xba, 0xad}, 1);
+    hr::SubmitResult second = server.submitFrame({0x00});
+    EXPECT_EQ(first.status, hr::SubmitStatus::kMalformed);
+    EXPECT_EQ(second.status, hr::SubmitStatus::kMalformed);
+
+    // Front-door tickets live in their own namespace — shardOfTicket
+    // recovers shards() (not any real shard), and the sequence is
+    // monotone like every other ticket sequence.
+    EXPECT_EQ(hr::ShardedServer::shardOfTicket(first.ticket),
+              server.shards());
+    EXPECT_EQ(hr::ShardedServer::shardOfTicket(second.ticket),
+              server.shards());
+    EXPECT_GT(second.ticket, first.ticket);
+
+    ASSERT_EQ(failures.size(), 2u);
+    EXPECT_EQ(failures[0], std::make_pair(first.ticket,
+                                          std::size_t{1}));
+    EXPECT_EQ(failures[1], std::make_pair(second.ticket,
+                                          std::size_t{0}));
+
+    hr::ServerStats stats = server.stop();
+    EXPECT_EQ(stats.malformedFrames, 2u);
+    EXPECT_EQ(stats.failedRows, 0u);  // rejected at parse != admitted.
+}
+
+TEST(ShardedServer, MetricsSnapshotTagsShardsAndSumsToMergedStats)
+{
+    auto model = mlpModel(29, 4, 3);
+    constexpr std::size_t kRows = 400;
+    hm::Matrix x = featureRows(31, kRows, 4);
+
+    hr::ShardedServer server(hr::InferenceEngine::fromModel(model, {}),
+                             shardedConfig(2));
+    for (std::size_t r = 0; r < kRows; ++r)
+        ASSERT_TRUE(server.submit(r * 0x9e3779b9u, x.row(r)).admitted());
+    EXPECT_EQ(server.submitFrame({0xff}).status,
+              hr::SubmitStatus::kMalformed);
+    hr::ServerStats merged = server.stop();
+
+    namespace ht = homunculus::runtime::telemetry;
+    const ht::MetricsSnapshot snap = server.metricsSnapshot();
+
+    // Per-shard slices carry their own label and sum to the merged
+    // struct — the same arithmetic ShardedServer::stop used.
+    std::uint64_t served = 0;
+    for (std::size_t s = 0; s < server.shards(); ++s)
+        served += snap.counterValue(
+            "server.rows_served", {{"shard", std::to_string(s)}});
+    EXPECT_EQ(served, merged.rowsServed);
+    EXPECT_EQ(snap.sumCounters("server.rows_served"), merged.rowsServed);
+    EXPECT_EQ(snap.sumCounters("queue.accepted"), merged.queue.accepted);
+
+    // The malformed frame was rejected at the front door, so its count
+    // lives in the {shard=front} slice, not in any shard's.
+    EXPECT_EQ(snap.counterValue("server.malformed_frames",
+                                {{"shard", "front"}}),
+              1u);
+    for (std::size_t s = 0; s < server.shards(); ++s)
+        EXPECT_EQ(snap.counterValue("server.malformed_frames",
+                                    {{"shard", std::to_string(s)}}),
+                  0u);
+}

@@ -55,6 +55,7 @@
 #include "runtime/server.hpp"
 #include "runtime/sharded_server.hpp"
 #include "runtime/stream_harness.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace {
 
@@ -370,6 +371,68 @@ printScaleOutLines(const CliOptions &options)
             static_cast<unsigned long long>(options.serveAgingUs));
 }
 
+/** The span ring behind --serve-stats-json (nullptr when the dump is
+ *  off — servers then skip span recording entirely). */
+std::unique_ptr<runtime::telemetry::TraceSink>
+makeTraceSink(const CliOptions &options)
+{
+    if (options.serveStatsJson.empty())
+        return nullptr;
+    return std::make_unique<runtime::telemetry::TraceSink>(8192);
+}
+
+/** One live counters line on stderr (--serve-stats-every), read from
+ *  the same registry instruments the final stats materialize from. */
+void
+printStatsLine(std::size_t frames,
+               const runtime::telemetry::MetricsSnapshot &snap)
+{
+    std::cerr << common::format(
+        "stats     : frames=%zu accepted=%llu served=%llu shed=%llu "
+        "dropped=%llu failed=%llu malformed=%llu\n",
+        frames,
+        static_cast<unsigned long long>(
+            snap.sumCounters("queue.accepted")),
+        static_cast<unsigned long long>(
+            snap.sumCounters("server.rows_served")),
+        static_cast<unsigned long long>(snap.sumCounters("queue.shed")),
+        static_cast<unsigned long long>(
+            snap.sumCounters("queue.early_dropped")),
+        static_cast<unsigned long long>(
+            snap.sumCounters("server.failed_rows")),
+        static_cast<unsigned long long>(
+            snap.sumCounters("server.malformed_frames")));
+}
+
+/**
+ * The --serve-stats-json dump: the serving-plane snapshot (per-shard
+ * labeled when sharded) merged with the process-global registry —
+ * engine throughput, fault fires, model-registry events — plus the
+ * retained request spans. "-" writes to stdout.
+ */
+void
+dumpServeStats(const CliOptions &options,
+               runtime::telemetry::MetricsSnapshot snapshot,
+               const runtime::telemetry::TraceSink *sink)
+{
+    if (options.serveStatsJson.empty())
+        return;
+    snapshot.merge(
+        runtime::telemetry::MetricRegistry::global().snapshot());
+    if (options.serveStatsJson == "-") {
+        runtime::telemetry::writeServeStatsJson(std::cout, snapshot,
+                                                sink);
+        return;
+    }
+    std::ofstream out(options.serveStatsJson);
+    if (!out)
+        throw std::runtime_error(
+            "homc: cannot write --serve-stats-json file '" +
+            options.serveStatsJson + "'");
+    runtime::telemetry::writeServeStatsJson(out, snapshot, sink);
+    std::cout << "stats-json: " << options.serveStatsJson << "\n";
+}
+
 /**
  * Async serving mode: feed the trace into runtime::Server as an
  * open-loop arrival process at --serve-rate rows/s (0 = as fast as
@@ -419,6 +482,8 @@ runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
     server_config.retryDepth = options.serveRetryDepth;
     server_config.fairnessAgingUs = options.serveAgingUs;
     armServeFaults(options);
+    auto trace_sink = makeTraceSink(options);
+    server_config.trace = trace_sink.get();
 
     std::mutex verdict_mutex;
     std::map<int, std::size_t> verdict_counts;
@@ -462,6 +527,11 @@ runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
             sharded->submitFrame(frames[i], lane);
         else
             server->submitFrame(frames[i], lane);
+        if (options.serveStatsEvery != 0 &&
+            (i + 1) % options.serveStatsEvery == 0)
+            printStatsLine(i + 1,
+                           sharded ? sharded->metricsSnapshot()
+                                   : server->metrics().snapshot());
     }
     runtime::ServerStats stats = sharded ? sharded->stop()
                                          : server->stop();
@@ -498,6 +568,10 @@ runServe(const CliOptions &options, const homunculus::ir::ModelIr &model)
     if (sharded)
         printShardLines(*sharded);
     printFaultSummary(stats);
+    dumpServeStats(options,
+                   sharded ? sharded->metricsSnapshot()
+                           : server->metrics().snapshot(),
+                   trace_sink.get());
     std::cout << "verdicts  :";
     for (const auto &[verdict, count] : verdict_counts)
         std::cout << " class " << verdict << " x" << count;
@@ -586,6 +660,8 @@ runServeRegistry(const CliOptions &options)
     server_config.retryDepth = options.serveRetryDepth;
     server_config.fairnessAgingUs = options.serveAgingUs;
     armServeFaults(options);
+    auto trace_sink = makeTraceSink(options);
+    server_config.trace = trace_sink.get();
 
     std::mutex verdict_mutex;
     std::map<int, std::size_t> verdict_counts;
@@ -639,6 +715,11 @@ runServeRegistry(const CliOptions &options)
         if (options.serveSwapAfter != 0 && !swapped &&
             i + 1 >= options.serveSwapAfter)
             fire_swap(i + 1);
+        if (options.serveStatsEvery != 0 &&
+            (i + 1) % options.serveStatsEvery == 0)
+            printStatsLine(i + 1,
+                           sharded ? sharded->metricsSnapshot()
+                                   : server->metrics().snapshot());
     }
     // A trace shorter than N still honors the hook (exercised last).
     if (options.serveSwapAfter != 0 && !swapped)
@@ -688,6 +769,10 @@ runServeRegistry(const CliOptions &options)
     if (sharded)
         printShardLines(*sharded);
     printFaultSummary(stats);
+    dumpServeStats(options,
+                   sharded ? sharded->metricsSnapshot()
+                           : server->metrics().snapshot(),
+                   trace_sink.get());
     std::cout << "verdicts  :";
     for (const auto &[verdict, count] : verdict_counts)
         std::cout << " class " << verdict << " x" << count;

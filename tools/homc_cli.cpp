@@ -31,7 +31,8 @@ const char *const kValueFlags[] = {
     "serve-fault",   "serve-retry-depth",
     "serve-fallback", "serve-breaker-threshold",
     "serve-deadline-us", "serve-shards",
-    "serve-aging-us",
+    "serve-aging-us", "serve-stats-json",
+    "serve-stats-every",
     "init",          "iters",
     "jobs",          "infer-jobs",
     "grid",          "tables",
@@ -418,6 +419,8 @@ parseArgs(int argc, const char *const *argv, CliOptions &options,
     take_u64("serve-deadline-us", options.serveDeadlineUs);
     take_size("serve-shards", options.serveShards);
     take_u64("serve-aging-us", options.serveAgingUs);
+    take("serve-stats-json", options.serveStatsJson);
+    take_size("serve-stats-every", options.serveStatsEvery);
     if (auto it = flags.find("serve-fallback"); it != flags.end()) {
         for (const std::string &field : common::split(it->second, ',')) {
             std::string entry = common::trim(field);
@@ -502,6 +505,12 @@ parseArgs(int argc, const char *const *argv, CliOptions &options,
     if (options.serve.empty() &&
         (options.serveShards != 1 || options.serveAgingUs != 0)) {
         err << "homc: --serve-shards/--serve-aging-us require --serve\n";
+        return ParseResult::kError;
+    }
+    if (options.serve.empty() && (!options.serveStatsJson.empty() ||
+                                  options.serveStatsEvery != 0)) {
+        err << "homc: --serve-stats-json/--serve-stats-every require "
+               "--serve\n";
         return ParseResult::kError;
     }
     auto lane_list_fits = [&](const char *name, std::size_t length) {
@@ -721,6 +730,13 @@ printUsage(std::ostream &out)
         "                           past its own deadline by N us may\n"
         "                           preempt strict priority (default 0\n"
         "                           = strict)\n"
+        "  --serve-stats-json PATH  end-of-run telemetry dump: every\n"
+        "                           metric (queue, lanes, models,\n"
+        "                           breakers, faults, shards) + request\n"
+        "                           spans as JSON ('-' = stdout)\n"
+        "  --serve-stats-every N    every N submitted frames, print one\n"
+        "                           live counters line to stderr\n"
+        "                           (default 0 = off)\n"
         "  --kernel T               pin the CPU kernel table: auto|\n"
         "                           scalar|avx2|neon (default auto =\n"
         "                           probe; errors when T is not\n"

@@ -99,6 +99,13 @@ struct CliOptions
      *  strict priority; > 0 lets a lane overdue past its own deadline
      *  by this much preempt higher-priority ready lanes. */
     std::uint64_t serveAgingUs = 0;
+    /** End-of-run telemetry dump (--serve-stats-json PATH): the merged
+     *  metric snapshot + request spans as schema-pinned JSON
+     *  (telemetry::kServeStatsSchema). "-" writes to stdout. */
+    std::string serveStatsJson;
+    /** Periodic stats line (--serve-stats-every N): every N submitted
+     *  frames, one counters line on stderr (0 = off). */
+    std::size_t serveStatsEvery = 0;
     bool dumpIr = false;
     /** Kernel dispatch pin from --kernel (auto|scalar|avx2|neon; empty
      *  = leave the dispatch to its probe / HOMUNCULUS_KERNELS). */
